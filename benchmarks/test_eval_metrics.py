@@ -1,0 +1,74 @@
+"""E21 — downstream quality metrics across selectors (intro motivation).
+
+The paper motivates subset selection by downstream value; this bench
+compares the selectors on the broader quality metrics of ``repro.eval``:
+class coverage, balance entropy, coverage radius (k-center objective),
+facility location, and within-subset redundancy.
+
+Expected shape: the submodular selection dominates random on objective and
+redundancy while keeping class coverage/balance competitive; k-center wins
+coverage radius (it optimizes exactly that) but loses the objective.
+"""
+
+import numpy as np
+
+from common import format_rows, report
+from repro.baselines import k_center, random_subset
+from repro.core.distributed import distributed_greedy
+from repro.core.greedy import greedy_heap
+from repro.eval import evaluate_selection
+
+
+def test_e21_quality_metrics(benchmark, cifar_ds, cifar_problem_09):
+    problem = cifar_problem_09
+    n = problem.n
+    k = n // 10
+
+    def compute():
+        selections = {
+            "centralized greedy": greedy_heap(problem, k).selected,
+            "distributed (m=16,r=8,adaptive)": distributed_greedy(
+                problem, k, m=16, rounds=8, adaptive=True, seed=0
+            ).selected,
+            "random": random_subset(problem, k, seed=0).selected,
+            "k-center": k_center(
+                problem, k, cifar_ds.embeddings, seed=0
+            ).selected,
+        }
+        rows = []
+        metrics = {}
+        for label, selected in selections.items():
+            m = evaluate_selection(
+                problem, selected,
+                labels=cifar_ds.labels, embeddings=cifar_ds.embeddings,
+            )
+            metrics[label] = m
+            rows.append([
+                label,
+                float(m.objective),
+                float(m.class_coverage * 100),
+                float(m.class_balance_entropy * 100),
+                float(m.coverage_radius),
+                float(m.redundancy_per_point),
+            ])
+        return rows, metrics
+
+    rows, metrics = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    greedy_m = metrics["centralized greedy"]
+    random_m = metrics["random"]
+    kcenter_m = metrics["k-center"]
+    assert greedy_m.objective > random_m.objective
+    assert greedy_m.objective > kcenter_m.objective
+    assert greedy_m.redundancy_per_point <= random_m.redundancy_per_point + 0.05
+    # k-center optimizes the radius; it should win or tie there.
+    assert kcenter_m.coverage_radius <= greedy_m.coverage_radius * 1.3
+    dist_m = metrics["distributed (m=16,r=8,adaptive)"]
+    assert dist_m.objective >= 0.8 * greedy_m.objective
+
+    body = format_rows(
+        ["selector", "objective", "class cov %", "balance %",
+         "radius", "redundancy/pt"],
+        rows,
+    )
+    report("Extension E21 — downstream quality metrics", body)

@@ -1,0 +1,54 @@
+"""E5 — Figure 13: partitions × rounds grid on ImageNet-like data,
+non-adaptive partitioning.
+
+Paper anchors (alpha = 0.9, 10 % subset): (m=2, r=1) = 86, (m=2, r=32) = 98,
+(m=32, r=1) = 0, (m=32, r=32) = 58.
+"""
+
+import pytest
+
+from common import (
+    centralized_score,
+    format_heatmap,
+    normalize_grid,
+    report,
+    run_partition_round_grid,
+)
+from conftest import PARTITIONS, ROUNDS, SUBSET_FRACTIONS
+from repro.core.problem import SubsetProblem
+
+
+@pytest.mark.parametrize("alpha", (0.9, 0.1))
+def test_fig13_imagenet_nonadaptive(benchmark, imagenet_ds, alpha):
+    problem = SubsetProblem.with_alpha(
+        imagenet_ds.utilities, imagenet_ds.graph, alpha
+    )
+
+    def compute():
+        sections = []
+        for fraction in SUBSET_FRACTIONS:
+            k = int(problem.n * fraction)
+            raw = run_partition_round_grid(
+                problem, k, partitions=PARTITIONS, rounds=ROUNDS, seed=1
+            )
+            norm = normalize_grid(raw, centralized_score(problem, k))
+            sections.append((fraction, norm))
+        return sections
+
+    sections = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for fraction, norm in sections:
+        assert norm[(2, 32)] > norm[(32, 1)]
+        assert norm[(32, 32)] > norm[(32, 1)]
+        body = format_heatmap(
+            f"alpha={alpha}, subset={int(fraction * 100)} % "
+            "(paper Fig. 13 anchors for alpha=0.9/10 %: "
+            "m2r1=86, m2r32=98, m32r1=0, m32r32=58)",
+            norm,
+            PARTITIONS,
+            ROUNDS,
+        )
+        report(
+            f"Figure 13 — ImageNet-like non-adaptive grid "
+            f"(alpha={alpha}, {int(fraction * 100)}% subset)",
+            body,
+        )

@@ -1,0 +1,53 @@
+"""E7 — Figure 15: adaptive partitioning grid on ImageNet-like data.
+
+Paper anchors (alpha = 0.9, 10 % subset, adaptive): (m=2, r=2) = 100,
+(m=32, r=1) = 0, (m=32, r=32) = 88.
+"""
+
+import pytest
+
+from common import (
+    centralized_score,
+    format_heatmap,
+    normalize_grid,
+    report,
+    run_partition_round_grid,
+)
+from conftest import PARTITIONS, ROUNDS, SUBSET_FRACTIONS
+from repro.core.problem import SubsetProblem
+
+
+def test_fig15_imagenet_adaptive(benchmark, imagenet_ds):
+    problem = SubsetProblem.with_alpha(
+        imagenet_ds.utilities, imagenet_ds.graph, 0.9
+    )
+
+    def compute():
+        sections = []
+        for fraction in SUBSET_FRACTIONS:
+            k = int(problem.n * fraction)
+            raw = run_partition_round_grid(
+                problem, k, partitions=PARTITIONS, rounds=ROUNDS,
+                adaptive=True, seed=1,
+            )
+            norm = normalize_grid(raw, centralized_score(problem, k))
+            sections.append((fraction, norm))
+        return sections
+
+    sections = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for fraction, norm in sections:
+        if fraction <= 0.11:
+            assert norm[(2, 2)] == pytest.approx(100.0, abs=3.0)
+        assert norm[(32, 32)] > norm[(32, 1)]
+        body = format_heatmap(
+            f"alpha=0.9, subset={int(fraction * 100)} %, ADAPTIVE "
+            "(paper Fig. 15 anchors: m2r2=100, m32r1=0, m32r32=88)",
+            norm,
+            PARTITIONS,
+            ROUNDS,
+        )
+        report(
+            f"Figure 15 — ImageNet-like adaptive grid "
+            f"(alpha=0.9, {int(fraction * 100)}% subset)",
+            body,
+        )

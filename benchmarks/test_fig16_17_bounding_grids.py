@@ -1,0 +1,77 @@
+"""E14 — Appendix G (Figures 16/17): bounding + adaptive distributed grids.
+
+For each bounding configuration (regular = none, uniform/weighted × 30/70 %)
+run the full pipeline over an adaptive partitions × rounds grid.  Paper
+shapes: bounding rows dominate or match the regular rows cell-wise at the
+10 % subset (bounding shrinks the problem, so fewer partitions are needed);
+when bounding solves the instance outright the whole grid is constant.
+"""
+
+import pytest
+
+from common import centralized_score, format_heatmap, normalize_grid, report
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.problem import SubsetProblem
+
+PARTITIONS = (1, 4, 16, 32)
+ROUNDS = (1, 4, 16, 32)
+CONFIGS = [
+    ("regular", None, "uniform", 1.0),
+    ("uniform 30%", "approximate", "uniform", 0.3),
+    ("uniform 70%", "approximate", "uniform", 0.7),
+    ("weighted 30%", "approximate", "weighted", 0.3),
+    ("weighted 70%", "approximate", "weighted", 0.7),
+]
+
+
+def test_fig16_bounding_grids(benchmark, cifar_problem_09):
+    problem = cifar_problem_09
+    k = problem.n // 10
+
+    def compute():
+        central = centralized_score(problem, k)
+        grids = {}
+        for label, bounding, sampler, p in CONFIGS:
+            raw = {}
+            for m in PARTITIONS:
+                for r in ROUNDS:
+                    cfg = SelectorConfig(
+                        bounding=bounding,
+                        sampler=sampler,
+                        sampling_fraction=p,
+                        machines=m,
+                        rounds=r,
+                        adaptive=True,
+                    )
+                    rep = DistributedSelector(problem, cfg).select(k, seed=0)
+                    raw[(m, r)] = rep.objective
+            grids[label] = raw
+        lowest = min(min(g.values()) for g in grids.values())
+        lowest = min(lowest, central)
+        span = central - lowest
+        return {
+            label: {
+                cell: ((v - lowest) / span * 100.0 if span > 0 else 100.0)
+                for cell, v in raw.items()
+            }
+            for label, raw in grids.items()
+        }, central
+
+    grids, _central = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    regular = grids["regular"]
+    for label in ("uniform 30%", "weighted 30%"):
+        bounded = grids[label]
+        mean_regular = sum(regular.values()) / len(regular)
+        mean_bounded = sum(bounded.values()) / len(bounded)
+        # Bounding shrinks the problem; grids improve or roughly match.
+        assert mean_bounded >= mean_regular - 5.0
+
+    for label, grid in grids.items():
+        body = format_heatmap(
+            f"{label} (alpha=0.9, 10 % subset, adaptive; paper Fig. 16)",
+            grid,
+            PARTITIONS,
+            ROUNDS,
+        )
+        report(f"Figure 16/17 — bounding grid ({label})", body)

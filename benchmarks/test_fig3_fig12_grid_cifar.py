@@ -1,0 +1,60 @@
+"""E4 — Figures 3 and 12: partitions × rounds grids on CIFAR-like data,
+non-adaptive partitioning.
+
+Paper shape to reproduce (Fig. 3, 10 % subset): scores fall as partitions
+grow, rise as rounds grow; m=1 row is pinned at 100.  Reference anchors from
+the paper (alpha = 0.9): (m=2, r=1) = 80, (m=2, r=32) = 98, (m=32, r=1) = 2,
+(m=32, r=32) = 61.
+"""
+
+import pytest
+
+from common import (
+    centralized_score,
+    format_heatmap,
+    normalize_grid,
+    report,
+    run_partition_round_grid,
+)
+from conftest import ALPHAS, PARTITIONS, ROUNDS, SUBSET_FRACTIONS
+from repro.core.problem import SubsetProblem
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_fig3_cifar_nonadaptive(benchmark, cifar_ds, alpha):
+    problem = SubsetProblem.with_alpha(cifar_ds.utilities, cifar_ds.graph, alpha)
+
+    def compute():
+        sections = []
+        for fraction in SUBSET_FRACTIONS:
+            k = int(problem.n * fraction)
+            raw = run_partition_round_grid(
+                problem, k, partitions=PARTITIONS, rounds=ROUNDS, seed=0
+            )
+            central = centralized_score(problem, k)
+            norm = normalize_grid(raw, central)
+            sections.append((fraction, norm))
+        return sections
+
+    sections = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for fraction, norm in sections:
+        # m=1 is the centralized algorithm at any round count.
+        for r in ROUNDS:
+            assert norm[(1, r)] == pytest.approx(100.0, abs=1e-6)
+        # Monotone trends at the corners (noise-tolerant interior).
+        assert norm[(2, 32)] > norm[(32, 1)]
+        assert norm[(2, 1)] > norm[(32, 1)]
+        assert norm[(32, 32)] > norm[(32, 1)]
+        body = format_heatmap(
+            f"alpha={alpha}, subset={int(fraction * 100)} % "
+            f"(paper Fig. 3/12; anchors for alpha=0.9/10 %: "
+            "m2r1=80, m2r32=98, m32r1=2, m32r32=61)",
+            norm,
+            PARTITIONS,
+            ROUNDS,
+        )
+        report(
+            f"Figure 3/12 — CIFAR-like non-adaptive grid "
+            f"(alpha={alpha}, {int(fraction * 100)}% subset)",
+            body,
+        )

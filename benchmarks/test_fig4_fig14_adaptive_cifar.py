@@ -1,0 +1,67 @@
+"""E6 — Figures 4 and 14: adaptive partitioning on CIFAR-like data.
+
+Paper shape: adaptive dominates non-adaptive cell-wise; with few partitions
+and ≥2 rounds the adaptive runs collapse to one partition and reach ~100
+(e.g. alpha=0.9, m=2, r=2 → 100 adaptive vs 84 non-adaptive).
+"""
+
+import pytest
+
+from common import (
+    centralized_score,
+    format_heatmap,
+    normalize_grid,
+    report,
+    run_partition_round_grid,
+)
+from conftest import ALPHAS, PARTITIONS, ROUNDS, SUBSET_FRACTIONS
+from repro.core.problem import SubsetProblem
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_fig4_cifar_adaptive(benchmark, cifar_ds, alpha):
+    problem = SubsetProblem.with_alpha(cifar_ds.utilities, cifar_ds.graph, alpha)
+
+    def compute():
+        sections = []
+        for fraction in SUBSET_FRACTIONS:
+            k = int(problem.n * fraction)
+            central = centralized_score(problem, k)
+            raw_plain = run_partition_round_grid(
+                problem, k, partitions=PARTITIONS, rounds=ROUNDS, seed=0
+            )
+            raw_adaptive = run_partition_round_grid(
+                problem, k, partitions=PARTITIONS, rounds=ROUNDS,
+                adaptive=True, seed=0,
+            )
+            sections.append(
+                (
+                    fraction,
+                    normalize_grid(raw_plain, central),
+                    normalize_grid(raw_adaptive, central),
+                )
+            )
+        return sections
+
+    sections = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for fraction, plain, adaptive in sections:
+        if fraction <= 0.11:
+            # Fig. 14's signature: m=2, r>=2 collapses to centralized.
+            assert adaptive[(2, 2)] == pytest.approx(100.0, abs=3.0)
+        # Adaptive ~dominates non-adaptive on aggregate.
+        mean_plain = sum(plain.values()) / len(plain)
+        mean_adaptive = sum(adaptive.values()) / len(adaptive)
+        assert mean_adaptive >= mean_plain - 1.0
+        body = format_heatmap(
+            f"alpha={alpha}, subset={int(fraction * 100)} %, ADAPTIVE "
+            "(paper Fig. 4/14 anchors for alpha=0.9/10 %: m2r2=100, "
+            "m32r1=2, m32r32=89)",
+            adaptive,
+            PARTITIONS,
+            ROUNDS,
+        )
+        report(
+            f"Figure 4/14 — CIFAR-like adaptive grid "
+            f"(alpha={alpha}, {int(fraction * 100)}% subset)",
+            body,
+        )

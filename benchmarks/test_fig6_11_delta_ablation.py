@@ -1,0 +1,82 @@
+"""E13 — Appendix E (Figures 6–11): ablation on the Δ-schedule factor γ.
+
+Difference of normalized scores for γ ∈ {1.0, 0.5, 0.25} against the default
+γ = 0.75, on CIFAR-like (Figs. 6–8) and ImageNet-like (Figs. 9–11) data.
+
+Paper shapes: γ = 1.0 is mostly flat-to-slightly-worse; γ = 0.5 helps at
+alpha = 0.9 with many partitions (smaller intermediate sets force earlier
+decisions) and hurts at alpha = 0.1; γ = 0.25 amplifies both effects.
+"""
+
+import pytest
+
+from common import (
+    centralized_score,
+    format_heatmap,
+    normalize_grid,
+    report,
+    run_partition_round_grid,
+)
+from repro.core.problem import SubsetProblem
+
+PARTITIONS = (1, 4, 16, 32)
+ROUNDS = (1, 4, 16, 32)
+GAMMAS = (1.0, 0.5, 0.25)
+
+
+@pytest.mark.parametrize("dataset_name", ["cifar", "imagenet"])
+def test_delta_ablation(benchmark, cifar_ds, imagenet_ds, dataset_name):
+    ds = cifar_ds if dataset_name == "cifar" else imagenet_ds
+    figure = "Figs. 6-8" if dataset_name == "cifar" else "Figs. 9-11"
+
+    def compute():
+        out = {}
+        for alpha in (0.9, 0.1):
+            problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, alpha)
+            k = problem.n // 10
+            central = centralized_score(problem, k)
+            base = normalize_grid(
+                run_partition_round_grid(
+                    problem, k, partitions=PARTITIONS, rounds=ROUNDS,
+                    gamma=0.75, seed=0,
+                ),
+                central,
+            )
+            for gamma in GAMMAS:
+                alt = normalize_grid(
+                    run_partition_round_grid(
+                        problem, k, partitions=PARTITIONS, rounds=ROUNDS,
+                        gamma=gamma, seed=0,
+                    ),
+                    central,
+                )
+                out[(alpha, gamma)] = {
+                    cell: alt[cell] - base[cell] for cell in base
+                }
+        return out
+
+    diffs = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for (alpha, gamma), grid in diffs.items():
+        # m=1 rows are pinned at 100 for any gamma: difference ~0.
+        for r in ROUNDS:
+            assert abs(grid[(1, r)]) < 1e-6
+        body = format_heatmap(
+            f"normalized-score difference, gamma={gamma} minus gamma=0.75 "
+            f"(alpha={alpha}, 10 % subset, paper {figure})",
+            grid,
+            PARTITIONS,
+            ROUNDS,
+            value_format="{:7.1f}",
+        )
+        report(
+            f"Appendix E — delta ablation {dataset_name} "
+            f"(alpha={alpha}, gamma={gamma})",
+            body,
+        )
+
+    # Aggregate paper shape on CIFAR-like/alpha=0.9: gamma=0.5 helps the
+    # many-partition cells more than it helps the 1-partition ones.
+    grid = diffs[(0.9, 0.5)]
+    many = sum(grid[(m, r)] for m in (16, 32) for r in (16, 32)) / 4
+    assert many >= -5.0

@@ -1,0 +1,32 @@
+"""E11 — Table 4: runtime analysis at the 13 B operating point (Appendix D).
+
+Regenerated from the calibrated analytic cost model (the paper itself warns
+its single-run cluster timings are unreliable).  Reproduction targets:
+ordering (more rounds cost more; bounding-first beats greedy-only) and
+magnitude (every row within 2x of the paper's hours).
+"""
+
+from common import format_rows, report
+from repro.cluster.costmodel import table4_rows
+
+
+def test_table4_runtime_model(benchmark):
+    rows = benchmark(table4_rows)
+    by_label = {r.label: r.hours for r in rows}
+
+    assert by_label["greedy r=1 (10%)"] < by_label["greedy r=2 (10%)"] \
+        < by_label["greedy r=8 (10%)"]
+    assert by_label["greedy r=1 (50%)"] < by_label["greedy r=8 (50%)"]
+    assert (
+        by_label["greedy r=8 after uniform bounding"]
+        < by_label["greedy r=8 (10%)"]
+    )
+    for row in rows:
+        assert 0.5 <= row.ratio <= 2.0, f"{row.label}: {row.ratio:.2f}"
+
+    body = format_rows(
+        ["algorithm", "model hours", "paper hours", "ratio"],
+        [[r.label, float(r.hours), float(r.paper_hours), float(r.ratio)]
+         for r in rows],
+    )
+    report("Table 4 — 13 B runtime analysis (cost model vs paper)", body)

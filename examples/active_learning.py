@@ -1,0 +1,67 @@
+"""Downstream payoff: train on a selected subset vs a random subset.
+
+The paper's motivation (Sec. 1) is that a well-selected subset trains a
+better model than a random subset of the same size.  This example closes the
+loop offline: train the coarse classifier on (a) the submodular-selected
+10 % subset and (b) a random 10 % subset, then compare held-out accuracy.
+The selected subset favors uncertain-but-diverse points and should match or
+beat random selection.
+
+Usage::
+
+    python examples/active_learning.py [n_points]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SubsetProblem, load_dataset
+from repro.data.classifier import CoarseClassifier
+
+
+def accuracy(model: CoarseClassifier, x: np.ndarray, y: np.ndarray) -> float:
+    return float((model.predict_proba(x).argmax(axis=1) == y).mean())
+
+
+def main() -> None:
+    n_points = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    ds = load_dataset("cifar100_like", n_points=n_points, seed=0)
+    rng = np.random.default_rng(0)
+
+    holdout = rng.choice(ds.n, size=ds.n // 5, replace=False)
+    pool = np.setdiff1d(np.arange(ds.n), holdout)
+    k = pool.size // 10
+
+    problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, alpha=0.9)
+    # Restrict selection to the training pool via the candidates argument
+    # (the same mechanism the pipeline uses for bounding survivors).
+    from repro.core.distributed import distributed_greedy
+
+    selected = distributed_greedy(
+        problem, k, m=8, rounds=8, adaptive=True,
+        candidates=pool, seed=0,
+    ).selected
+
+    random_subset = rng.choice(pool, size=k, replace=False)
+
+    x_hold, y_hold = ds.embeddings[holdout], ds.labels[holdout]
+    model_selected = CoarseClassifier().fit(
+        ds.embeddings[selected], ds.labels[selected]
+    )
+    model_random = CoarseClassifier().fit(
+        ds.embeddings[random_subset], ds.labels[random_subset]
+    )
+    acc_selected = accuracy(model_selected, x_hold, y_hold)
+    acc_random = accuracy(model_random, x_hold, y_hold)
+
+    print(f"pool {pool.size}, budget {k}, holdout {holdout.size}")
+    print(f"classes covered  selected: "
+          f"{np.unique(ds.labels[selected]).size}, "
+          f"random: {np.unique(ds.labels[random_subset]).size}")
+    print(f"holdout accuracy selected: {acc_selected:.4f}")
+    print(f"holdout accuracy random:   {acc_random:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Data-selection study: how partitions, rounds, and adaptivity trade off.
+
+Reproduces the reading of Figures 3 and 4 on a laptop: a small grid of
+(partitions, rounds) configurations, with and without adaptive partitioning,
+normalized against centralized greedy.  The printout mirrors the paper's
+heatmaps.
+
+Usage::
+
+    python examples/data_selection_cifar.py [n_points] [alpha]
+"""
+
+import sys
+
+from repro import SubsetProblem, distributed_greedy, load_dataset, normalize_scores
+from repro.core.greedy import greedy_heap
+from repro.core.objective import PairwiseObjective
+
+
+def main() -> None:
+    n_points = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    alpha = float(sys.argv[2]) if len(sys.argv) > 2 else 0.9
+    ds = load_dataset("cifar100_like", n_points=n_points, seed=0)
+    problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, alpha)
+    objective = PairwiseObjective(problem)
+    k = ds.n // 10
+
+    centralized = objective.value(greedy_heap(problem, k).selected)
+    partitions = (2, 8, 32)
+    rounds = (1, 8, 32)
+
+    for adaptive in (False, True):
+        label = "adaptive" if adaptive else "non-adaptive"
+        raw = {}
+        for m in partitions:
+            for r in rounds:
+                selected = distributed_greedy(
+                    problem, k, m=m, rounds=r, adaptive=adaptive, seed=0
+                ).selected
+                raw[f"m={m},r={r}"] = objective.value(selected)
+        scores = normalize_scores(raw, centralized)
+        print(f"\nalpha={alpha}, 10 % subset, {label} "
+              "(100 = centralized, 0 = worst observed)")
+        header = "partitions\\rounds" + "".join(f"{r:>8d}" for r in rounds)
+        print(header)
+        for m in partitions:
+            row = "".join(f"{scores[f'm={m},r={r}']:8.0f}" for r in rounds)
+            print(f"m={m:<16d}{row}")
+
+
+if __name__ == "__main__":
+    main()

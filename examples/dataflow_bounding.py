@@ -1,0 +1,53 @@
+"""Section 5 walkthrough: bounding and scoring as dataflow joins.
+
+Runs the Beam-style join implementation of bounding and scoring and prints
+the engine's memory metrics, demonstrating that no logical worker ever held
+more than ~1/num_shards of the data — the property that lets the real system
+run on Apache Beam at 13 B points.
+
+Usage::
+
+    python examples/dataflow_bounding.py [n_points] [num_shards]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SubsetProblem, load_dataset
+from repro.core.bounding import bound
+from repro.dataflow import beam_bound, beam_score
+
+
+def main() -> None:
+    n_points = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    num_shards = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    ds = load_dataset("cifar100_tiny", n_points=n_points, seed=0)
+    problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+    k = ds.n // 10
+    total_records = problem.n + problem.graph.num_directed_edges
+
+    result, metrics = beam_bound(
+        problem, k, mode="exact", num_shards=num_shards
+    )
+    print(f"dataflow exact bounding over {num_shards} shards:")
+    print(f"  included {result.n_included}, excluded {result.n_excluded}")
+    print(f"  peak shard records: {metrics.peak_shard_records:,} "
+          f"(total records in flight: {total_records:,})")
+    print(f"  records shuffled: {metrics.shuffled_records:,}")
+
+    reference = bound(problem, k, mode="exact")
+    match = np.array_equal(reference.solution, result.solution) and \
+        np.array_equal(reference.remaining, result.remaining)
+    print(f"  matches in-memory reference bit-for-bit: {match}")
+
+    subset = np.sort(
+        np.concatenate([result.solution, result.remaining[: k - result.n_included]])
+    )
+    score, score_metrics = beam_score(problem, subset, num_shards=num_shards)
+    print(f"dataflow scoring: f(S) = {score:.3f}, "
+          f"peak shard records {score_metrics.peak_shard_records:,}")
+
+
+if __name__ == "__main__":
+    main()

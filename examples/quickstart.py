@@ -1,0 +1,68 @@
+"""Quickstart: select a 10 % subset of a CIFAR-like dataset.
+
+Runs the paper's full pipeline — approximate bounding followed by
+multi-round adaptive distributed greedy — and compares the result to the
+centralized greedy reference.
+
+Usage::
+
+    python examples/quickstart.py [n_points]
+"""
+
+import sys
+
+from repro import (
+    DistributedSelector,
+    SelectorConfig,
+    SubsetProblem,
+    centralized_reference,
+    load_dataset,
+)
+
+
+def main() -> None:
+    n_points = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    print(f"loading cifar100_like with {n_points} points ...")
+    ds = load_dataset("cifar100_like", n_points=n_points, seed=0)
+    print(
+        f"dataset: n={ds.n}, dim={ds.dim}, "
+        f"avg kNN degree={ds.graph.average_degree():.1f}"
+    )
+
+    problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, alpha=0.9)
+    k = ds.n // 10
+
+    reference = centralized_reference(problem, k)
+    print(f"centralized greedy objective: {reference.objective:.2f}")
+
+    selector = DistributedSelector(
+        problem,
+        SelectorConfig(
+            bounding="approximate",
+            sampler="uniform",
+            sampling_fraction=0.3,
+            machines=16,
+            rounds=8,
+            adaptive=True,
+        ),
+    )
+    report = selector.select(k, seed=0)
+
+    b = report.bounding
+    print(
+        f"bounding: included {b.n_included}, excluded {b.n_excluded} "
+        f"({b.grow_rounds} grow / {b.shrink_rounds} shrink rounds)"
+    )
+    if report.greedy is not None:
+        print(
+            f"distributed greedy: {len(report.greedy.rounds)} rounds, "
+            f"max {report.greedy.max_partitions_used} partitions"
+        )
+    print(
+        f"selected {len(report)} points, objective {report.objective:.2f} "
+        f"({report.objective / reference.objective * 100:.2f} % of centralized)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `python setup.py develop` works without it."""
+from setuptools import setup
+
+setup()

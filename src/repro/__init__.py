@@ -1,0 +1,67 @@
+"""repro — distributed larger-than-memory subset selection.
+
+Reproduction of Böther et al., *On Distributed Larger-Than-Memory Subset
+Selection With Pairwise Submodular Functions* (MLSys 2025).
+
+Quickstart
+----------
+>>> from repro import load_dataset, SubsetProblem, DistributedSelector, SelectorConfig
+>>> ds = load_dataset("cifar100_tiny", seed=0)
+>>> problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, alpha=0.9)
+>>> selector = DistributedSelector(
+...     problem,
+...     SelectorConfig(bounding="approximate", sampling_fraction=0.3,
+...                    machines=4, rounds=8, adaptive=True),
+... )
+>>> report = selector.select(k=ds.n // 10, seed=0)
+>>> len(report) == ds.n // 10
+True
+"""
+
+from repro.core import (
+    BoundingResult,
+    DistributedResult,
+    DistributedSelector,
+    LinearDeltaSchedule,
+    PairwiseObjective,
+    SelectionReport,
+    SelectionResult,
+    SelectorConfig,
+    SubsetProblem,
+    bound,
+    centralized_reference,
+    distributed_greedy,
+    greedy_heap,
+    greedy_naive,
+    normalize_scores,
+    worst_case_partitioner,
+)
+from repro.data import PerturbedDataset, SelectionDataset, load_dataset
+from repro.graph import NeighborGraph, build_knn_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SubsetProblem",
+    "PairwiseObjective",
+    "SelectionResult",
+    "greedy_naive",
+    "greedy_heap",
+    "bound",
+    "BoundingResult",
+    "distributed_greedy",
+    "DistributedResult",
+    "LinearDeltaSchedule",
+    "worst_case_partitioner",
+    "DistributedSelector",
+    "SelectorConfig",
+    "SelectionReport",
+    "centralized_reference",
+    "normalize_scores",
+    "NeighborGraph",
+    "build_knn_graph",
+    "load_dataset",
+    "SelectionDataset",
+    "PerturbedDataset",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Baseline selection algorithms from the related work (Sec. 2).
+
+Implemented for the comparison benches:
+
+- :func:`~repro.baselines.greedi.greedi` — GreeDi (Mirzasoleiman et al.,
+  2016): arbitrary partitions, per-partition greedy of ``k``, final
+  centralized greedy on the union (which *requires a machine holding m·k
+  points* — the constraint the paper removes).
+- :func:`~repro.baselines.greedi.rand_greedi` — RandGreeDi (Barbosa et al.,
+  2015): same with random partitioning.
+- :func:`~repro.baselines.sample_prune.sample_and_prune` — Sample&Prune
+  (Kumar et al., 2015).
+- :func:`~repro.baselines.random_subset.random_subset` — uniform baseline.
+- :func:`~repro.baselines.kcenter.k_center` — farthest-first traversal, the
+  clustering-flavored alternative.
+
+Every baseline reports the central-machine memory it would need
+(``central_memory_points``) so the benches can show the paper's point: at
+billion scale only the bounding + multi-round approach stays bounded.
+"""
+
+from repro.baselines.greedi import BaselineResult, greedi, rand_greedi
+from repro.baselines.kcenter import k_center
+from repro.baselines.random_subset import random_subset
+from repro.baselines.sample_prune import sample_and_prune
+from repro.baselines.sieve import sieve_streaming
+
+__all__ = [
+    "BaselineResult",
+    "greedi",
+    "rand_greedi",
+    "sample_and_prune",
+    "random_subset",
+    "k_center",
+    "sieve_streaming",
+]

@@ -1,0 +1,54 @@
+"""Greedy k-center (farthest-first traversal) baseline.
+
+The related work (Sec. 2) contrasts submodular selection with k-center
+clustering approaches (Ramalingam et al., 2023, and the parallel k-center
+line of work).  Farthest-first gives the classic 2-approximation for the
+k-center objective and serves as the diversity-only baseline: it ignores
+utilities entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.greedi import BaselineResult
+from repro.core.objective import PairwiseObjective
+from repro.core.problem import SubsetProblem
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_cardinality
+
+
+def k_center(
+    problem: SubsetProblem,
+    k: int,
+    embeddings: np.ndarray,
+    *,
+    seed: SeedLike = None,
+) -> BaselineResult:
+    """Farthest-first traversal over ``embeddings`` (Euclidean distance).
+
+    The first center is random; each subsequent center is the point farthest
+    from all chosen centers.  Scored with the submodular objective so it is
+    comparable to the other selectors.
+    """
+    k = check_cardinality(k, problem.n)
+    x = np.asarray(embeddings, dtype=np.float64)
+    if x.shape[0] != problem.n:
+        raise ValueError("embeddings must align with the problem's ground set")
+    rng = as_generator(seed)
+    if k == 0:
+        selected = np.empty(0, dtype=np.int64)
+    else:
+        first = int(rng.integers(problem.n))
+        centers = [first]
+        dist = np.linalg.norm(x - x[first], axis=1)
+        for _ in range(k - 1):
+            nxt = int(np.argmax(dist))
+            centers.append(nxt)
+            np.minimum(dist, np.linalg.norm(x - x[nxt], axis=1), out=dist)
+        selected = np.sort(np.array(centers, dtype=np.int64))
+    return BaselineResult(
+        selected=selected,
+        objective=float(PairwiseObjective(problem).value(selected)),
+        central_memory_points=problem.n,  # needs all embeddings resident
+    )

@@ -1,0 +1,25 @@
+"""Uniform random selection — the floor every method should beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.greedi import BaselineResult
+from repro.core.objective import PairwiseObjective
+from repro.core.problem import SubsetProblem
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_cardinality
+
+
+def random_subset(
+    problem: SubsetProblem, k: int, *, seed: SeedLike = None
+) -> BaselineResult:
+    """Select ``k`` points uniformly at random."""
+    k = check_cardinality(k, problem.n)
+    rng = as_generator(seed)
+    selected = np.sort(rng.choice(problem.n, size=k, replace=False).astype(np.int64))
+    return BaselineResult(
+        selected=selected,
+        objective=float(PairwiseObjective(problem).value(selected)),
+        central_memory_points=0,
+    )

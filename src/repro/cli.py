@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``select``
+    Run the full pipeline on embeddings (+ optional utilities) from ``.npy``
+    files, or on a named synthetic preset, and write the selected ids (and
+    optionally a JSON report).
+``score``
+    Evaluate the pairwise submodular objective of a given subset.
+``info``
+    Print dataset / graph statistics.
+
+Examples
+--------
+::
+
+    python -m repro select --preset cifar100_tiny --k 200 --out ids.npy
+    python -m repro select --embeddings x.npy --utilities u.npy --k 100 \
+        --bounding approximate --sampling-fraction 0.3 --machines 8 \
+        --rounds 8 --adaptive --report report.json --out ids.npy
+    python -m repro score --preset cifar100_tiny --subset ids.npy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.core.objective import PairwiseObjective
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.problem import SubsetProblem
+from repro.data.classifier import margin_utilities
+from repro.data.registry import load_dataset
+from repro.graph.symmetrize import build_knn_graph
+
+
+def _build_problem(args: argparse.Namespace) -> tuple:
+    """Resolve (problem, embeddings) from --preset or --embeddings."""
+    if args.preset:
+        ds = load_dataset(args.preset, n_points=args.n_points, seed=args.seed)
+        utilities, graph, embeddings = ds.utilities, ds.graph, ds.embeddings
+    elif args.embeddings:
+        embeddings = np.load(args.embeddings)
+        graph, _, _ = build_knn_graph(
+            embeddings, args.knn_k, method=args.knn_method, seed=args.seed
+        )
+        if args.utilities:
+            utilities = np.load(args.utilities)
+        elif args.labels:
+            utilities = margin_utilities(
+                embeddings, np.load(args.labels), seed=args.seed
+            )
+        else:
+            utilities = np.ones(embeddings.shape[0])
+    else:
+        raise SystemExit("one of --preset or --embeddings is required")
+    problem = SubsetProblem.with_alpha(utilities, graph, args.alpha)
+    return problem, embeddings
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", help="named synthetic dataset preset")
+    parser.add_argument("--n-points", type=int, default=None,
+                        help="override preset size")
+    parser.add_argument("--embeddings", help=".npy file of embeddings")
+    parser.add_argument("--utilities", help=".npy file of per-point utilities")
+    parser.add_argument("--labels", help=".npy labels (margin utilities)")
+    parser.add_argument("--knn-k", type=int, default=10)
+    parser.add_argument("--knn-method", choices=("exact", "ann"), default="exact")
+    parser.add_argument("--alpha", type=float, default=0.9,
+                        help="utility weight (beta = 1 - alpha)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_select(args: argparse.Namespace) -> int:
+    problem, _ = _build_problem(args)
+    k = args.k if args.k is not None else max(1, int(problem.n * args.fraction))
+    config = SelectorConfig(
+        bounding=None if args.bounding == "none" else args.bounding,
+        sampler=args.sampler,
+        sampling_fraction=args.sampling_fraction,
+        machines=args.machines,
+        rounds=args.rounds,
+        adaptive=args.adaptive,
+        gamma=args.gamma,
+    )
+    report = DistributedSelector(problem, config).select(k, seed=args.seed)
+    if args.out:
+        np.save(args.out, report.selected)
+    if args.report:
+        from repro.io import save_report
+
+        save_report(report, args.report)
+    print(f"selected {len(report)} of {problem.n} points, "
+          f"objective {report.objective:.6f}")
+    if report.bounding is not None:
+        b = report.bounding
+        print(f"bounding: +{b.n_included} / -{b.n_excluded} "
+              f"({b.grow_rounds} grow, {b.shrink_rounds} shrink)")
+    if not args.out:
+        print(" ".join(map(str, report.selected[:20].tolist()))
+              + (" ..." if len(report) > 20 else ""))
+    return 0
+
+
+def cmd_score(args: argparse.Namespace) -> int:
+    problem, _ = _build_problem(args)
+    subset = np.load(args.subset)
+    value = PairwiseObjective(problem).value(subset)
+    print(f"f(S) = {value:.6f} (|S| = {subset.size}, n = {problem.n})")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    problem, embeddings = _build_problem(args)
+    g = problem.graph
+    obj = PairwiseObjective(problem)
+    print(f"points: {problem.n}")
+    print(f"embedding dim: {embeddings.shape[1]}")
+    print(f"edges (undirected): {g.num_edges}")
+    print(f"degree: min {g.min_degree()}, avg {g.average_degree():.2f}")
+    print(f"utility: min {problem.utilities.min():.4f}, "
+          f"mean {problem.utilities.mean():.4f}, "
+          f"max {problem.utilities.max():.4f}")
+    print(f"alpha/beta: {problem.alpha}/{problem.beta}")
+    print(f"monotone certificate: {obj.is_monotone_certificate()}")
+    print(f"monotonicity offset delta: {obj.monotonicity_offset():.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="distributed larger-than-memory subset selection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_select = sub.add_parser("select", help="run the selection pipeline")
+    _add_common(p_select)
+    p_select.add_argument("--k", type=int, default=None, help="subset size")
+    p_select.add_argument("--fraction", type=float, default=0.1,
+                          help="subset fraction if --k is absent")
+    p_select.add_argument("--bounding",
+                          choices=("none", "exact", "approximate"),
+                          default="none")
+    p_select.add_argument("--sampler", choices=("uniform", "weighted"),
+                          default="uniform")
+    p_select.add_argument("--sampling-fraction", type=float, default=1.0)
+    p_select.add_argument("--machines", type=int, default=1)
+    p_select.add_argument("--rounds", type=int, default=1)
+    p_select.add_argument("--adaptive", action="store_true")
+    p_select.add_argument("--gamma", type=float, default=0.75)
+    p_select.add_argument("--out", help="write selected ids to .npy")
+    p_select.add_argument("--report", help="write JSON report")
+    p_select.set_defaults(func=cmd_select)
+
+    p_score = sub.add_parser("score", help="score a subset")
+    _add_common(p_score)
+    p_score.add_argument("--subset", required=True, help=".npy of ids")
+    p_score.set_defaults(func=cmd_score)
+
+    p_info = sub.add_parser("info", help="dataset statistics")
+    _add_common(p_info)
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

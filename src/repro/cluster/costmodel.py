@@ -1,0 +1,194 @@
+"""Analytic runtime model calibrated to Table 4 (Appendix D).
+
+The paper's complexity analysis (Sec. 4.4):
+
+- centralized greedy on a partition of size ``n_p`` with ``k_p`` picks and
+  degree ``kg``: ``O(n_p log n_p + k_p kg log n_p)``,
+- distributed, over ``m`` machines and ``r`` rounds:
+  ``O(r (|V|/m) log(|V|/m) + r (k/m) kg log(|V|/m))``.
+
+Our model refines the leading term with the actual per-round sizes produced
+by the Δ-schedule, and adds (a) shuffle time proportional to records moved
+per repartition, (b) a fixed per-round scheduling overhead, and (c) a
+straggler factor on per-round makespan — the three effects that dominate
+wall-clock on a shared heterogeneous cluster.  Constants are calibrated so
+the 13 B / 16-partition / α = 0.9 operating point lands in Table 4's range
+(hours to ~2 days); the reproduction target is the *shape*: runtime grows
+with rounds, bounding-first beats greedy-only at equal rounds, and 50 %
+subsets cost more than 10 % ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+from repro.core.distributed import LinearDeltaSchedule
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Throughput and overhead constants of the modeled cluster."""
+
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    bytes_per_record: int = 176  # one point: key/value + 10 neighbors
+    per_round_overhead_sec: float = 3600.0  # scheduling + spin-up per round
+    straggler_factor: float = 1.6  # heterogeneous shared cluster
+    bounding_pass_sec_per_record: float = 6.0e-7  # one join pass per record
+    # Relative cost of one pop-with-neighbor-updates vs one queue insert.
+    # Pops touch hot cached entries; profiled implementations see them an
+    # order of magnitude cheaper than the build, hence the small factor.
+    pop_cost_factor: float = 0.05
+
+    # -- building blocks ---------------------------------------------------
+
+    def greedy_partition_seconds(self, n_p: int, k_p: int, kg: float) -> float:
+        """Centralized greedy on one partition (Sec. 4.4 complexity)."""
+        if n_p <= 1:
+            return 0.0
+        log_n = np.log2(max(n_p, 2))
+        ops = n_p * log_n + self.pop_cost_factor * k_p * kg * log_n
+        return float(ops / self.machine.greedy_points_per_sec)
+
+    def shuffle_seconds(self, n_records: int, m: int) -> float:
+        """Repartitioning ``n_records`` across ``m`` machines in parallel."""
+        volume = n_records * self.bytes_per_record
+        return float(volume / (self.machine.shuffle_bytes_per_sec * max(m, 1)))
+
+    # -- end-to-end estimates ----------------------------------------------
+
+    def distributed_greedy_hours(
+        self,
+        n: int,
+        k: int,
+        m: int,
+        rounds: int,
+        *,
+        kg: float = 10.0,
+        gamma: float = 0.75,
+        adaptive: bool = False,
+    ) -> float:
+        """Wall-clock estimate for Algorithm 6."""
+        schedule = LinearDeltaSchedule(gamma)
+        cap = int(np.ceil(n / m))
+        survivors = n
+        total = 0.0
+        for round_idx in range(1, rounds + 1):
+            n_round = min(schedule(n, rounds, round_idx, k), survivors)
+            m_round = (
+                int(np.ceil(survivors / cap)) if adaptive else m
+            )
+            m_round = max(1, min(m_round, survivors))
+            n_p = int(np.ceil(survivors / m_round))
+            k_p = int(np.ceil(n_round / m_round))
+            round_compute = self.greedy_partition_seconds(n_p, k_p, kg)
+            round_shuffle = self.shuffle_seconds(survivors, m_round)
+            total += (
+                self.straggler_factor * round_compute
+                + round_shuffle
+                + self.per_round_overhead_sec
+            )
+            survivors = n_round
+        return total / 3600.0
+
+    def bounding_hours(
+        self, n: int, *, kg: float = 10.0, join_rounds: int = 12, m: int = 16
+    ) -> float:
+        """Wall-clock estimate for the dataflow bounding stage.
+
+        Each grow/shrink round is a constant number of joins over the fanned
+        edge set (``~n * kg`` records) plus the point set, processed by ``m``
+        workers in parallel.
+        """
+        records_per_round = n * (1 + kg)
+        per_round = (
+            records_per_round * self.bounding_pass_sec_per_record / max(m, 1)
+        )
+        total = join_rounds * (per_round + self.per_round_overhead_sec / 4)
+        return total / 3600.0
+
+
+@dataclass
+class Table4Scenario:
+    """One row of Table 4, regenerated from the cost model."""
+
+    label: str
+    hours: float
+    paper_hours: float
+
+    @property
+    def ratio(self) -> float:
+        return self.hours / self.paper_hours if self.paper_hours else float("nan")
+
+
+def table4_rows(
+    *,
+    n: int = 13_000_000_000,
+    m: int = 16,
+    kg: float = 10.0,
+    model: CostModel | None = None,
+) -> List[Table4Scenario]:
+    """Regenerate Appendix D's Table 4 with the analytic model.
+
+    Bounding rows use the paper's observation that approximate bounding with
+    a 30 % neighborhood excludes ~60 % of the 13 B points (Sec. 6.3), which
+    shrinks the greedy stage's input accordingly.
+    """
+    model = model or CostModel()
+    k10 = n // 10
+    k50 = n // 2
+    paper = {
+        "bounding(uniform)": 19.61,
+        "bounding(weighted)": 21.31,
+        "greedy r=8 after uniform bounding": 33.46,
+        "greedy r=8 after weighted bounding": 27.2,
+        "greedy r=8 (10%)": 40.72,
+        "greedy r=2 (10%)": 20.45,
+        "greedy r=1 (10%)": 9.86,
+        "greedy r=8 (50%)": 48.22,
+        "greedy r=2 (50%)": 16.32,
+        "greedy r=1 (50%)": 12.7,
+    }
+    bounding_h = model.bounding_hours(n, kg=kg, join_rounds=13, m=m)
+    # After approximate bounding: ~60 % excluded, ~0.7 % included (Sec. 6.3).
+    n_after = int(n * 0.4)
+    k_after = int(k10 - 0.007 * n)
+    rows = [
+        Table4Scenario("bounding(uniform)", bounding_h, paper["bounding(uniform)"]),
+        Table4Scenario(
+            "bounding(weighted)",
+            model.bounding_hours(n, kg=kg, join_rounds=14, m=m),
+            paper["bounding(weighted)"],
+        ),
+        Table4Scenario(
+            "greedy r=8 after uniform bounding",
+            bounding_h
+            + model.distributed_greedy_hours(n_after, k_after, m, 8, kg=kg),
+            paper["greedy r=8 after uniform bounding"],
+        ),
+        Table4Scenario(
+            "greedy r=8 after weighted bounding",
+            bounding_h
+            + model.distributed_greedy_hours(n_after, k_after, m, 8, kg=kg),
+            paper["greedy r=8 after weighted bounding"],
+        ),
+    ]
+    for label, k, rounds in (
+        ("greedy r=8 (10%)", k10, 8),
+        ("greedy r=2 (10%)", k10, 2),
+        ("greedy r=1 (10%)", k10, 1),
+        ("greedy r=8 (50%)", k50, 8),
+        ("greedy r=2 (50%)", k50, 2),
+        ("greedy r=1 (50%)", k50, 1),
+    ):
+        rows.append(
+            Table4Scenario(
+                label,
+                model.distributed_greedy_hours(n, k, m, rounds, kg=kg),
+                paper[label],
+            )
+        )
+    return rows

@@ -1,0 +1,140 @@
+"""Round-level cluster simulator for the distributed greedy algorithm.
+
+Couples the *actual* selection algorithm (Alg. 6) to the machine model:
+every round's partitions are checked against the machines' DRAM, per-round
+makespan is the slowest machine's simulated task time, and the run fails
+fast if any partition could not fit — the failure mode that motivates the
+whole paper (prior methods' final centralized merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.machine import MachineSpec, greedy_state_bytes
+from repro.core.distributed import (
+    DistributedResult,
+    LinearDeltaSchedule,
+    distributed_greedy,
+)
+from repro.core.problem import SubsetProblem
+from repro.utils.rng import SeedLike
+
+
+class PartitionTooLargeError(RuntimeError):
+    """A partition's greedy state exceeds the machine's DRAM."""
+
+
+@dataclass
+class SimulatedRun:
+    """A distributed-greedy run plus its simulated cluster telemetry."""
+
+    result: DistributedResult
+    makespan_hours: float
+    per_round_hours: List[float] = field(default_factory=list)
+    peak_partition_bytes: int = 0
+    preemptions: int = 0
+
+
+class ClusterSimulator:
+    """Executes Alg. 6 while accounting a modeled cluster's time and memory.
+
+    ``preemption_rate`` injects the failure mode of shared heterogeneous
+    clusters (the paper's Appendix D complains about exactly this): each
+    machine-round is preempted independently with that probability, and a
+    preempted partition's greedy task is re-run from scratch — the selection
+    outcome is unchanged (the per-partition greedy is deterministic), only
+    wall-clock suffers.
+    """
+
+    def __init__(
+        self,
+        machine: Optional[MachineSpec] = None,
+        cost_model: Optional[CostModel] = None,
+        *,
+        neighbors_per_point: int = 10,
+        preemption_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= preemption_rate < 1.0:
+            raise ValueError(
+                f"preemption_rate must be in [0, 1), got {preemption_rate}"
+            )
+        self.machine = machine or MachineSpec()
+        self.cost_model = cost_model or CostModel(machine=self.machine)
+        self.neighbors_per_point = neighbors_per_point
+        self.preemption_rate = float(preemption_rate)
+
+    def run(
+        self,
+        problem: SubsetProblem,
+        k: int,
+        *,
+        m: int,
+        rounds: int = 1,
+        adaptive: bool = False,
+        gamma: float = 0.75,
+        seed: SeedLike = None,
+    ) -> SimulatedRun:
+        """Run the real algorithm; bill time/memory against the model."""
+        from repro.utils.rng import as_generator
+
+        rng = as_generator(seed)
+        result = distributed_greedy(
+            problem,
+            k,
+            m=m,
+            rounds=rounds,
+            adaptive=adaptive,
+            schedule=LinearDeltaSchedule(gamma),
+            seed=rng,
+        )
+        kg = problem.graph.average_degree()
+        per_round_hours: List[float] = []
+        peak_bytes = 0
+        preemptions = 0
+        for stats in result.rounds:
+            partition_size = int(np.ceil(stats.input_size / stats.m_round))
+            state = greedy_state_bytes(
+                partition_size, neighbors_per_point=self.neighbors_per_point
+            )
+            peak_bytes = max(peak_bytes, state)
+            if state > self.machine.dram_bytes:
+                raise PartitionTooLargeError(
+                    f"round {stats.round_idx}: partition of {partition_size} "
+                    f"points needs {state} B > {self.machine.dram_bytes} B DRAM"
+                )
+            compute = self.cost_model.greedy_partition_seconds(
+                partition_size, stats.per_partition_target, kg
+            )
+            shuffle = self.cost_model.shuffle_seconds(
+                stats.input_size, stats.m_round
+            )
+            # Preemption: the round's makespan is set by its slowest machine;
+            # every preempted machine retries, so each failure adds one full
+            # task time to that machine's clock (geometric retries).
+            retries = 0
+            if self.preemption_rate > 0.0:
+                attempts = rng.geometric(
+                    1.0 - self.preemption_rate, size=stats.m_round
+                )
+                retries = int(attempts.max() - 1)
+                preemptions += int((attempts - 1).sum())
+            per_round_hours.append(
+                (
+                    self.cost_model.straggler_factor * compute * (1 + retries)
+                    + shuffle
+                    + self.cost_model.per_round_overhead_sec
+                )
+                / 3600.0
+            )
+        return SimulatedRun(
+            result=result,
+            makespan_hours=float(sum(per_round_hours)),
+            per_round_hours=per_round_hours,
+            peak_partition_bytes=peak_bytes,
+            preemptions=preemptions,
+        )

@@ -1,0 +1,273 @@
+"""Multi-round partition-based distributed greedy (Sec. 4.4, Algorithm 6).
+
+Unlike GreeDi/RandGreeDi, there is **no** final centralized greedy over the
+union of per-partition results — the per-round size targets (the Δ-schedule)
+shrink the surviving set toward ``k`` so the union of the last round *is*
+the subset, and no machine ever needs DRAM for all of it.
+
+Round structure (with ``m`` machines, ``r`` rounds, budget ``k``):
+
+1. ``partition_cap = ceil(|V| / m)`` — fixed machine capacity.
+2. Each round: the survivors are randomly partitioned; each partition runs
+   the centralized heap greedy (Alg. 2) on its own subgraph (cross-partition
+   edges discarded) with target ``ceil(n_round / m_round)``; results union.
+3. *Adaptive partitioning* sets ``m_round = ceil(|V_{round-1}| /
+   partition_cap)`` — the minimum number of machines that fit the surviving
+   set — so later rounds approach the centralized algorithm.  (This is the
+   reading of Alg. 6 consistent with Fig. 14: with 2 partitions and 2 rounds
+   the second round collapses to a single partition and recovers 100 % of the
+   centralized score, while round 1 matches the non-adaptive score.)
+   Non-adaptive mode keeps ``m_round = m``.
+4. After the last round the union may exceed ``k`` by up to ``m_r`` points
+   due to per-partition rounding; uniform subsampling trims it.
+
+The Δ-schedule defaults to the paper's linear interpolation with factor
+γ=0.75: ``Δ(|V|, r, round, k) = ceil(γ (r - round) (|V| - k) / r) + k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.greedy import greedy_heap
+from repro.core.problem import SubsetProblem
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_cardinality
+
+# A partitioner maps (round_index [1-based], ids, m_round, rng) to a list of
+# disjoint id arrays covering `ids`.
+Partitioner = Callable[[int, np.ndarray, int, np.random.Generator], List[np.ndarray]]
+
+
+@dataclass(frozen=True)
+class LinearDeltaSchedule:
+    """Linear Δ-schedule (Sec. 6.1 / Appendix E).
+
+    ``delta(n0, r, round, k) = ceil(gamma * (r - round) * (n0 - k) / r) + k``
+
+    Satisfies the only hard constraint Δ(., r, r, k) = k.  ``gamma`` < 1
+    shrinks intermediate sets faster (forcing earlier decisions), > 1 would
+    keep more; the paper evaluates γ ∈ {0.25, 0.5, 0.75, 1.0} (App. E).
+    """
+
+    gamma: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise ValueError(f"gamma must be > 0, got {self.gamma}")
+
+    def __call__(self, n0: int, r: int, round_idx: int, k: int) -> int:
+        if not 1 <= round_idx <= r:
+            raise ValueError(f"round must be in [1, {r}], got {round_idx}")
+        raw = int(np.ceil(self.gamma * (r - round_idx) * (n0 - k) / r)) + k
+        # Intermediate targets may exceed n0 for gamma > 1; clamp into range.
+        return int(min(max(raw, k), n0))
+
+
+def random_partitioner(
+    round_idx: int, ids: np.ndarray, m_round: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Uniform random balanced partition (the paper's only partitioner)."""
+    perm = rng.permutation(ids)
+    return [part for part in np.array_split(perm, m_round) if part.size]
+
+
+def stratified_partitioner(strata: np.ndarray) -> Partitioner:
+    """Stratified random partitioning (extension; the paper uses uniform only).
+
+    Spreads each stratum (e.g. class label, or a clustering of the
+    embedding space) evenly across partitions, so per-partition greedy sees
+    a miniature of the global utility/diversity structure.  The Appendix-E
+    discussion suggests partition composition matters; the stratified
+    ablation bench quantifies it.
+
+    Parameters
+    ----------
+    strata:
+        Integer stratum id per ground-set point.
+    """
+    strata = np.asarray(strata, dtype=np.int64)
+
+    def partition(
+        round_idx: int, ids: np.ndarray, m_round: int, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        if m_round == 1:
+            return [rng.permutation(ids)]
+        buckets: List[List[np.ndarray]] = [[] for _ in range(m_round)]
+        # Deal each stratum round-robin (randomized order within stratum,
+        # random starting bucket so strata don't all pile into bucket 0).
+        for stratum in np.unique(strata[ids]):
+            members = rng.permutation(ids[strata[ids] == stratum])
+            offset = int(rng.integers(m_round))
+            for j, chunk in enumerate(np.array_split(members, m_round)):
+                if chunk.size:
+                    buckets[(j + offset) % m_round].append(chunk)
+        return [
+            np.concatenate(bucket) if bucket else np.empty(0, dtype=np.int64)
+            for bucket in buckets
+            if bucket
+        ]
+
+    return partition
+
+
+def worst_case_partitioner(
+    reference_solution: np.ndarray,
+    fallback: Partitioner = random_partitioner,
+) -> Partitioner:
+    """Sec. 6.4's adversarial first-round assignment.
+
+    Round 1 stuffs the entire ``reference_solution`` (e.g. the centralized
+    greedy subset) into one partition; the rest of the points are split
+    randomly over the remaining partitions.  Later rounds fall back to the
+    random partitioner.
+    """
+    reference = np.asarray(reference_solution, dtype=np.int64)
+
+    def partition(
+        round_idx: int, ids: np.ndarray, m_round: int, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        if round_idx != 1 or m_round < 2:
+            return fallback(round_idx, ids, m_round, rng)
+        in_ref = np.isin(ids, reference)
+        ref_part = ids[in_ref]
+        others = rng.permutation(ids[~in_ref])
+        parts = [p for p in np.array_split(others, m_round - 1) if p.size]
+        return [ref_part] + parts
+
+    return partition
+
+
+@dataclass
+class RoundStats:
+    """Telemetry for one round of Algorithm 6."""
+
+    round_idx: int
+    input_size: int
+    target_size: int
+    m_round: int
+    per_partition_target: int
+    output_size: int
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of the multi-round distributed greedy."""
+
+    selected: np.ndarray
+    rounds: List[RoundStats] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return int(self.selected.size)
+
+    @property
+    def max_partitions_used(self) -> int:
+        return max((s.m_round for s in self.rounds), default=0)
+
+
+def distributed_greedy(
+    problem: SubsetProblem,
+    k: int,
+    *,
+    m: int,
+    rounds: int = 1,
+    adaptive: bool = False,
+    schedule: Optional[Callable[[int, int, int, int], int]] = None,
+    partitioner: Partitioner = random_partitioner,
+    candidates: Optional[np.ndarray] = None,
+    base_penalty: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> DistributedResult:
+    """Algorithm 6: adaptive-partitioning multi-round distributed greedy.
+
+    Parameters
+    ----------
+    m:
+        Number of machines available at the start (sets ``partition_cap``).
+    rounds:
+        Number of rounds ``r``.
+    adaptive:
+        Scale partitions down each round to the minimum that fit the
+        surviving set (see module docstring).
+    schedule:
+        Δ function; defaults to :class:`LinearDeltaSchedule` (γ=0.75).
+    candidates:
+        Restrict the ground set to these ids (the remaining set ``V`` after
+        bounding).  Defaults to all points.
+    base_penalty:
+        Per-point penalty ``beta * Σ_{nb ∈ S'} s(v, nb)`` from an existing
+        partial solution (bounding output); passed into every per-partition
+        greedy so marginal gains account for already-selected neighbors.
+    seed:
+        Seeds both partitioning and subsampling.
+
+    Returns
+    -------
+    DistributedResult
+        ``selected`` are global ids, ``len == k`` (unless fewer candidates
+        exist).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if schedule is None:
+        schedule = LinearDeltaSchedule()
+    rng = as_generator(seed)
+    if candidates is None:
+        survivors = np.arange(problem.n, dtype=np.int64)
+    else:
+        survivors = np.unique(np.asarray(candidates, dtype=np.int64))
+        if survivors.size and (survivors[0] < 0 or survivors[-1] >= problem.n):
+            raise ValueError("candidate ids out of range")
+    n0 = int(survivors.size)
+    k = check_cardinality(k, n0) if n0 else 0
+    if k == 0:
+        return DistributedResult(np.empty(0, dtype=np.int64))
+    partition_cap = int(np.ceil(n0 / m))
+    stats: List[RoundStats] = []
+
+    for round_idx in range(1, rounds + 1):
+        n_round = schedule(n0, rounds, round_idx, k)
+        n_round = min(n_round, survivors.size)
+        if adaptive:
+            m_round = int(np.ceil(survivors.size / partition_cap))
+        else:
+            m_round = m
+        m_round = max(1, min(m_round, survivors.size))
+        per_target = int(np.ceil(n_round / m_round))
+        parts = partitioner(round_idx, survivors, m_round, rng)
+        if sum(p.size for p in parts) != survivors.size:
+            raise ValueError("partitioner must cover all surviving points")
+        selected_parts: List[np.ndarray] = []
+        for part in parts:
+            local_k = min(per_target, part.size)
+            sub = problem.restrict(part)
+            local_penalty = (
+                base_penalty[part] if base_penalty is not None else None
+            )
+            result = greedy_heap(sub, local_k, base_penalty=local_penalty)
+            selected_parts.append(part[result.selected])
+        new_survivors = (
+            np.sort(np.concatenate(selected_parts))
+            if selected_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        stats.append(
+            RoundStats(
+                round_idx=round_idx,
+                input_size=int(survivors.size),
+                target_size=int(n_round),
+                m_round=m_round,
+                per_partition_target=per_target,
+                output_size=int(new_survivors.size),
+            )
+        )
+        survivors = new_survivors
+
+    if survivors.size > k:
+        survivors = np.sort(rng.choice(survivors, size=k, replace=False))
+    return DistributedResult(selected=survivors, rounds=stats)

@@ -1,0 +1,85 @@
+"""Problem container: ground set, utilities, similarity graph, balance.
+
+A :class:`SubsetProblem` bundles everything the objective
+
+    f(S) = alpha * sum_{v in S} u(v)
+         - beta  * sum_{(v1,v2) in E, v1,v2 in S} s(v1, v2)
+
+needs.  The paper parameterizes ``beta = 1 - alpha`` and reports only
+``alpha`` (Sec. 6); :meth:`SubsetProblem.with_alpha` follows that convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.graph.csr import NeighborGraph
+from repro.utils.validation import check_alpha_beta
+
+
+@dataclass(frozen=True)
+class SubsetProblem:
+    """An instance of pairwise submodular subset selection.
+
+    Attributes
+    ----------
+    utilities:
+        ``(n,)`` per-point utilities ``u(v)`` (e.g. margin uncertainty).
+    graph:
+        Symmetric similarity graph; absent edges mean ``s = 0``.
+    alpha, beta:
+        Balance between utility and diversity terms.
+    """
+
+    utilities: np.ndarray
+    graph: NeighborGraph
+    alpha: float = 0.9
+    beta: float = 0.1
+
+    def __post_init__(self) -> None:
+        utilities = np.ascontiguousarray(self.utilities, dtype=np.float64)
+        object.__setattr__(self, "utilities", utilities)
+        if utilities.ndim != 1:
+            raise ValueError(f"utilities must be 1-D, got shape {utilities.shape}")
+        if utilities.size and not np.isfinite(utilities).all():
+            raise ValueError("utilities contain NaN or infinite values")
+        if utilities.shape[0] != self.graph.n:
+            raise ValueError(
+                f"utilities ({utilities.shape[0]}) and graph ({self.graph.n}) "
+                "must have the same number of points"
+            )
+        check_alpha_beta(self.alpha, self.beta)
+
+    @property
+    def n(self) -> int:
+        """Ground-set size."""
+        return self.graph.n
+
+    @property
+    def beta_over_alpha(self) -> float:
+        """``beta / alpha`` — the scale of Alg. 2's priority decrements."""
+        if self.alpha == 0:
+            raise ZeroDivisionError(
+                "beta/alpha undefined for alpha == 0; use unscaled priorities"
+            )
+        return self.beta / self.alpha
+
+    @classmethod
+    def with_alpha(
+        cls, utilities: np.ndarray, graph: NeighborGraph, alpha: float
+    ) -> "SubsetProblem":
+        """Paper convention: ``beta = 1 - alpha`` (Sec. 6)."""
+        if not 0 <= alpha <= 1:
+            raise ValueError(f"alpha must be in [0, 1] for beta=1-alpha, got {alpha}")
+        return cls(utilities, graph, alpha=alpha, beta=1.0 - alpha)
+
+    def restrict(self, vertices: np.ndarray) -> "SubsetProblem":
+        """Problem restricted to ``vertices`` (cross-partition edges dropped).
+
+        Used by the per-partition greedy of Alg. 6.  Local ids are
+        ``0..len(vertices)-1`` in the order given.
+        """
+        sub, mapping = self.graph.subgraph(vertices)
+        return replace(self, utilities=self.utilities[mapping], graph=sub)

@@ -1,0 +1,111 @@
+"""Chunked embedding stores: access embeddings without materializing them.
+
+At 13 B points even the *subset* does not fit in DRAM (the paper's core
+constraint).  The stores below expose a chunk-at-a-time iteration protocol
+that the perturbed dataset, dataflow sources, and the cluster simulator build
+on.  ``InMemoryEmbeddingStore`` wraps a plain array (small datasets);
+``ChunkedEmbeddingStore`` composes a generator function that produces each
+chunk deterministically on demand, so a "13 B-point" store occupies O(chunk)
+memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+import numpy as np
+
+
+class EmbeddingStore:
+    """Abstract chunk-oriented embedding container."""
+
+    @property
+    def n(self) -> int:
+        """Total number of points."""
+        raise NotImplementedError
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        raise NotImplementedError
+
+    def get(self, ids: np.ndarray) -> np.ndarray:
+        """Gather embeddings for the given global ids."""
+        raise NotImplementedError
+
+    def iter_chunks(self, chunk_size: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(ids, embeddings)`` pairs covering the store in order."""
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, self.n, chunk_size):
+            ids = np.arange(start, min(start + chunk_size, self.n), dtype=np.int64)
+            yield ids, self.get(ids)
+
+
+class InMemoryEmbeddingStore(EmbeddingStore):
+    """Store backed by a dense in-memory array."""
+
+    def __init__(self, embeddings: np.ndarray) -> None:
+        arr = np.asarray(embeddings, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"embeddings must be 2-D, got shape {arr.shape}")
+        self._arr = arr
+
+    @property
+    def n(self) -> int:
+        return self._arr.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._arr.shape[1]
+
+    def get(self, ids: np.ndarray) -> np.ndarray:
+        return self._arr[np.asarray(ids, dtype=np.int64)]
+
+
+class ChunkedEmbeddingStore(EmbeddingStore):
+    """Store whose chunks are synthesized on demand by a pure function.
+
+    Parameters
+    ----------
+    n, dim:
+        Logical shape of the (virtual) matrix.
+    generate:
+        ``generate(ids) -> (len(ids), dim)`` array.  Must be deterministic in
+        ``ids`` — the same ids always produce the same rows — so repeated
+        passes over the data (multi-round algorithms!) see a consistent
+        dataset.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        dim: int,
+        generate: Callable[[np.ndarray], np.ndarray],
+    ) -> None:
+        if n < 0 or dim < 1:
+            raise ValueError(f"invalid virtual shape ({n}, {dim})")
+        self._n = int(n)
+        self._dim = int(dim)
+        self._generate = generate
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    def get(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self._n):
+            raise IndexError("id out of range for virtual store")
+        out = self._generate(ids)
+        out = np.asarray(out, dtype=np.float64)
+        if out.shape != (ids.size, self._dim):
+            raise ValueError(
+                f"generator returned shape {out.shape}, "
+                f"expected {(ids.size, self._dim)}"
+            )
+        return out

@@ -1,0 +1,44 @@
+"""A Beam-like dataflow engine (the paper's Apache Beam substrate).
+
+Section 5 implements bounding and scoring against the Beam programming
+model: immutable ``PCollection`` s manipulated by ``Map`` / ``FlatMap`` /
+``GroupByKey`` / ``CoGroupByKey`` transforms, "without worrying about how the
+system processes the data".  This package provides that model with an
+executor that:
+
+- hash-shards every keyed operation across ``num_shards`` logical workers,
+- processes one shard at a time and meters the peak number of records any
+  single shard ever held (:class:`~repro.dataflow.metrics.PipelineMetrics`),
+  which is the reproduction's stand-in for per-machine DRAM,
+- counts shuffled records across stage boundaries.
+
+The benches use those metrics to verify the paper's core claim: neither
+bounding nor scoring ever requires one worker to hold the ground set or the
+subset (``peak_shard_records ≪ n``).
+"""
+
+from repro.dataflow.metrics import PipelineMetrics
+from repro.dataflow.pcollection import PCollection, Pipeline
+from repro.dataflow.transforms import (
+    cogroup,
+    distributed_kth_largest,
+    flatten,
+)
+from repro.dataflow.bounding_beam import BeamBoundingDriver, beam_bound
+from repro.dataflow.greedy_beam import beam_distributed_greedy
+from repro.dataflow.knn_beam import beam_knn_graph
+from repro.dataflow.scoring_beam import beam_score
+
+__all__ = [
+    "Pipeline",
+    "PCollection",
+    "PipelineMetrics",
+    "cogroup",
+    "flatten",
+    "distributed_kth_largest",
+    "beam_bound",
+    "BeamBoundingDriver",
+    "beam_score",
+    "beam_distributed_greedy",
+    "beam_knn_graph",
+]

@@ -1,0 +1,328 @@
+"""Distributed bounding via dataflow joins — Section 5, faithfully.
+
+The difficulty the paper highlights: when iterating over a point's neighbors
+there is no O(1) "is the neighbor in the subset?" check, because the subset
+is not in memory.  The implementation therefore works entirely through
+joins:
+
+1. *Fan out* the neighbor graph: ``(a, [(b, s)])`` → triples keyed by the
+   neighbor, ``(b → key a, value (b, s))`` — "the neighbor id becomes the
+   triple key".
+2. *Three-way cogroup* of the fanned graph, the partial solution, and the
+   unassigned set, keyed by ``a``: if ``a`` is neither in the solution nor
+   unassigned the edge dies (``a`` was shrunk away); otherwise re-emit the
+   original edges as 4-tuples ``(b, a, s(a,b), a_in_solution)`` keyed by
+   ``b``.
+3. *Cogroup* the 4-tuples with the unassigned set and the utilities, keyed
+   by ``b``: drop if ``b`` is assigned/discarded; otherwise (optionally
+   sampling the unassigned neighbors — approximate bounding) produce
+   ``(b, (lower, Umax))`` where ``lower`` is ``Umin`` or ``Uexp``.
+4. Thresholds ``U^k`` come from :func:`distributed_kth_largest` (bisection
+   with distributed counts, O(1) driver state per probe).
+
+The grow/shrink/convergence driver then mirrors Algorithm 5 exactly, and
+``tests/test_dataflow_bounding.py`` asserts bit-equal decisions against the
+in-memory reference (exact mode).
+
+Sampling here is *hash-based* (counter-based Bernoulli per edge per round)
+rather than generator-based: a distributed runner has no global RNG stream,
+and deterministic per-edge hashing is how one gets reproducible sampling in
+Beam.  Statistical behaviour matches the in-memory sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bounding import BoundingResult
+from repro.core.problem import SubsetProblem
+from repro.dataflow.metrics import PipelineMetrics
+from repro.dataflow.pcollection import PCollection, Pipeline
+from repro.dataflow.transforms import cogroup, distributed_kth_largest, flatten
+from repro.utils.rng import SeedLike, as_generator
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _edge_hash01(b: int, a: int, round_salt: int, seed_salt: int) -> float:
+    """Deterministic float in [0, 1) per (edge, round) — distributed-safe.
+
+    SplitMix64-style mixing over plain Python ints (wrap-around masked).
+    """
+    x = (b * 0x9E3779B97F4A7C15) & _MASK64
+    x = (x + a * 0xBF58476D1CE4E5B9) & _MASK64
+    x = (x + round_salt * 2654435761 + seed_salt) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
+
+
+@dataclass
+class BeamBoundingConfig:
+    """Knobs for the dataflow bounding driver."""
+
+    mode: str = "exact"
+    sampler: str = "uniform"
+    p: float = 1.0
+    num_shards: int = 8
+    max_rounds: int = 10_000
+    spill_to_disk: bool = False
+
+
+class BeamBoundingDriver:
+    """Runs Algorithm 5 with all per-point state in PCollections.
+
+    Driver-resident state is limited to scalars (``k_remaining``, round
+    counters, convergence flags); point sets live sharded in the pipeline.
+    """
+
+    def __init__(
+        self,
+        problem: SubsetProblem,
+        config: Optional[BeamBoundingConfig] = None,
+        *,
+        seed: SeedLike = None,
+    ) -> None:
+        if problem.alpha <= 0:
+            raise ValueError("bounding requires alpha > 0")
+        self.problem = problem
+        self.config = config or BeamBoundingConfig()
+        self.pipeline = Pipeline(
+            self.config.num_shards, spill_to_disk=self.config.spill_to_disk
+        )
+        self._seed_salt = int(as_generator(seed).integers(0, 2**31 - 1))
+        self._round_counter = 0
+        g = problem.graph
+        self.neighbors = self.pipeline.create_keyed(
+            (
+                (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
+                             g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
+                for v in range(g.n)
+            ),
+            name="source/neighbors",
+        )
+        self.utilities = self.pipeline.create_keyed(
+            ((v, float(problem.utilities[v])) for v in range(problem.n)),
+            name="source/utilities",
+        )
+
+    # -- the Section 5 join plan -----------------------------------------
+
+    def _compute_bounds(
+        self, solution: PCollection, remaining: PCollection
+    ) -> PCollection:
+        """Keyed ``(node, (lower, umax))`` over the remaining set."""
+        cfg = self.config
+        ratio = self.problem.beta_over_alpha
+        self._round_counter += 1
+        round_salt = self._round_counter
+
+        # (1) fan out: key by the *neighbor* id a; value (b, s) keeps the
+        # original source so edges can be inverted later.
+        fanned = self.neighbors.flat_map(
+            lambda kv: [(b, (kv[0], s)) for b, s in kv[1]],
+            name="bound/fan_out",
+        ).as_keyed(name="bound/fan_out_key")
+
+        # (2) three-way join keyed by a: filter dead edges, tag solution
+        # membership, invert back to key b.
+        def invert(kv) -> Iterable[Tuple[int, Tuple[int, float, bool]]]:
+            a, (edges, in_solution, in_remaining) = kv
+            if not edges:
+                return []
+            if in_solution:
+                flag = True
+            elif in_remaining:
+                flag = False
+            else:
+                return []  # a was discarded by a shrink step
+            return [(b, (a, s, flag)) for b, s in edges]
+
+        edges4 = cogroup(
+            [fanned, solution, remaining], name="bound/threeway_join"
+        ).flat_map(invert, name="bound/invert").as_keyed(name="bound/invert_key")
+
+        # (3) join with remaining + utilities keyed by b; sample and reduce.
+        sampler = cfg.sampler
+        p = cfg.p
+        approximate = cfg.mode == "approximate" and p < 1.0
+        seed_salt = self._seed_salt
+
+        def reduce_bounds(kv):
+            b, (partners, in_remaining, utility) = kv
+            if not in_remaining or not utility:
+                return []
+            u = utility[0]
+            mass_solution = 0.0
+            unassigned: List[Tuple[int, float]] = []
+            for a, s, a_in_solution in partners:
+                if a_in_solution:
+                    mass_solution += s
+                else:
+                    unassigned.append((a, s))
+            if approximate and unassigned:
+                if sampler == "weighted":
+                    mean_s = sum(s for _, s in unassigned) / len(unassigned)
+                else:
+                    mean_s = 0.0
+                mass_sampled = 0.0
+                for a, s in unassigned:
+                    if sampler == "weighted" and mean_s > 0:
+                        keep_p = min(1.0, p * s / mean_s)
+                    else:
+                        keep_p = p
+                    if _edge_hash01(b, a, round_salt, seed_salt) < keep_p:
+                        mass_sampled += s
+            else:
+                mass_sampled = sum(s for _, s in unassigned)
+            umax = u - ratio * mass_solution
+            lower = u - ratio * (mass_solution + mass_sampled)
+            return [(b, (lower, umax))]
+
+        return cogroup(
+            [edges4, remaining, self.utilities], name="bound/bounds_join"
+        ).flat_map(reduce_bounds, name="bound/reduce").as_keyed(
+            name="bound/reduce_key"
+        )
+
+    # -- grow / shrink -----------------------------------------------------
+
+    @staticmethod
+    def _minus(remaining: PCollection, removed: PCollection) -> PCollection:
+        """Set difference via cogroup (no membership lookups)."""
+        return cogroup([remaining, removed], name="bound/minus").flat_map(
+            lambda kv: [(kv[0], True)] if kv[1][0] and not kv[1][1] else [],
+            name="bound/minus_emit",
+        ).as_keyed(name="bound/minus_key")
+
+    def run(self, k: int) -> Tuple[BoundingResult, PipelineMetrics]:
+        """Execute Alg. 5; returns the result and the pipeline metrics."""
+        if not 0 <= k <= self.problem.n:
+            raise ValueError(f"need 0 <= k <= {self.problem.n}, got {k}")
+        cfg = self.config
+        solution = self.pipeline.create_keyed([], name="state/solution")
+        remaining = self.pipeline.create_keyed(
+            ((v, True) for v in range(self.problem.n)), name="state/remaining"
+        )
+        k_remaining = k
+        grow_rounds = 0
+        shrink_rounds = 0
+        total = 0
+
+        def shrink_once() -> int:
+            nonlocal remaining
+            rem_count = remaining.count()
+            if k_remaining <= 0 or rem_count <= k_remaining:
+                return 0
+            bounds = self._compute_bounds(solution, remaining)
+            lower_values = bounds.map(lambda kv: kv[1][0], name="shrink/lower")
+            threshold = distributed_kth_largest(lower_values, k_remaining)
+            survivors = bounds.filter(
+                lambda kv, t=threshold: kv[1][1] >= t, name="shrink/keep"
+            ).map_values(lambda _: True, name="shrink/mark")
+            new_count = survivors.count()
+            remaining = survivors
+            return rem_count - new_count
+
+        def grow_once() -> int:
+            nonlocal remaining, solution, k_remaining
+            rem_count = remaining.count()
+            if k_remaining <= 0 or rem_count == 0:
+                return 0
+            if rem_count <= k_remaining:
+                solution = flatten([solution, remaining], name="grow/take_all")
+                remaining = self.pipeline.create_keyed([], name="grow/empty")
+                k_remaining -= rem_count
+                return rem_count
+            bounds = self._compute_bounds(solution, remaining)
+            umax_values = bounds.map(lambda kv: kv[1][1], name="grow/umax")
+            threshold = distributed_kth_largest(umax_values, k_remaining)
+            grown = bounds.filter(
+                lambda kv, t=threshold: kv[1][0] > t, name="grow/include"
+            ).map_values(lambda _: True, name="grow/mark")
+            n_grown = grown.count()
+            if n_grown:
+                solution = flatten([solution, grown], name="grow/union")
+                remaining = self._minus(remaining, grown)
+                k_remaining -= n_grown
+            return n_grown
+
+        while total < cfg.max_rounds:
+            changed_outer = 0
+            while total < cfg.max_rounds:
+                shrink_rounds += 1
+                total += 1
+                changed = shrink_once()
+                changed_outer += changed
+                if changed == 0:
+                    break
+            while total < cfg.max_rounds:
+                grow_rounds += 1
+                total += 1
+                changed = grow_once()
+                changed_outer += changed
+                if changed == 0:
+                    break
+            if changed_outer == 0 or k_remaining <= 0:
+                break
+
+        solution_ids = np.sort(
+            np.array([key for key, _ in solution.to_list()], dtype=np.int64)
+        )
+        overshoot = max(0, solution_ids.size - k)
+        if overshoot:
+            rng = as_generator(self._seed_salt)
+            solution_ids = np.sort(rng.choice(solution_ids, size=k, replace=False))
+            k_remaining = 0
+        remaining_ids = np.sort(
+            np.array([key for key, _ in remaining.to_list()], dtype=np.int64)
+        )
+        n_excluded = self.problem.n - (solution_ids.size + overshoot) - remaining_ids.size
+        result = BoundingResult(
+            solution=solution_ids,
+            remaining=remaining_ids,
+            n_excluded=int(n_excluded),
+            k_remaining=int(max(k_remaining, 0)),
+            grow_rounds=grow_rounds,
+            shrink_rounds=shrink_rounds,
+            complete=k_remaining <= 0,
+            overshoot=overshoot,
+        )
+        return result, self.pipeline.metrics
+
+
+def beam_bound(
+    problem: SubsetProblem,
+    k: int,
+    *,
+    mode: str = "exact",
+    sampler: str = "uniform",
+    p: float = 1.0,
+    num_shards: int = 8,
+    spill_to_disk: bool = False,
+    seed: SeedLike = None,
+) -> Tuple[BoundingResult, PipelineMetrics]:
+    """One-call wrapper over :class:`BeamBoundingDriver`.
+
+    ``spill_to_disk=True`` keeps every shard on disk — the literal
+    larger-than-memory mode (one shard resident at a time).
+    """
+    driver = BeamBoundingDriver(
+        problem,
+        BeamBoundingConfig(
+            mode=mode, sampler=sampler, p=p, num_shards=num_shards,
+            spill_to_disk=spill_to_disk,
+        ),
+        seed=seed,
+    )
+    try:
+        return driver.run(k)
+    finally:
+        driver.pipeline.close()

@@ -1,0 +1,50 @@
+"""Execution metrics for the dataflow engine.
+
+``peak_shard_records`` is the largest number of records a single logical
+worker (shard) held at any stage — the engine's proxy for per-machine DRAM.
+``shuffled_records`` counts records crossing a shuffle boundary
+(GroupByKey / CoGroupByKey / rebalance), the dominant cost in Beam jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PipelineMetrics:
+    """Mutable counters threaded through a :class:`Pipeline`."""
+
+    peak_shard_records: int = 0
+    shuffled_records: int = 0
+    materialized_records: int = 0
+    stage_counts: Dict[str, int] = field(default_factory=dict)
+
+    def observe_shard(self, n_records: int) -> None:
+        if n_records > self.peak_shard_records:
+            self.peak_shard_records = n_records
+
+    def observe_shuffle(self, n_records: int) -> None:
+        self.shuffled_records += n_records
+
+    def observe_materialize(self, n_records: int) -> None:
+        self.materialized_records += n_records
+
+    def count_stage(self, name: str) -> None:
+        self.stage_counts[name] = self.stage_counts.get(name, 0) + 1
+
+    def reset(self) -> None:
+        self.peak_shard_records = 0
+        self.shuffled_records = 0
+        self.materialized_records = 0
+        self.stage_counts.clear()
+
+    def snapshot(self) -> "PipelineMetrics":
+        """Copy for before/after comparisons in tests."""
+        return PipelineMetrics(
+            peak_shard_records=self.peak_shard_records,
+            shuffled_records=self.shuffled_records,
+            materialized_records=self.materialized_records,
+            stage_counts=dict(self.stage_counts),
+        )

@@ -1,0 +1,339 @@
+"""PCollection and Pipeline: the core of the Beam-like engine.
+
+A :class:`PCollection` is an immutable, sharded bag of elements.  Keyed
+elements are ``(key, value)`` tuples; shuffles route by ``hash(key) %
+num_shards`` so all engine semantics match Beam's (per-key grouping is total,
+cross-key ordering is unspecified).
+
+The executor is deliberately simple — shards are plain lists processed one
+at a time — but every operation is written shard-locally, so the
+``peak_shard_records`` metric faithfully reports what a real distributed
+runner would have to hold per worker.  There is intentionally no operation
+that hands a whole PCollection to user code; :meth:`PCollection.to_list` is
+the explicit test-only escape hatch and records itself in the metrics.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import shutil
+import tempfile
+import uuid
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.dataflow.metrics import PipelineMetrics
+
+
+class _DiskShard:
+    """A shard spilled to disk; loaded lazily, one shard in memory at a time.
+
+    Supports ``len`` without loading (count cached at write time).
+    """
+
+    __slots__ = ("path", "_count")
+
+    def __init__(self, path: str, records: list) -> None:
+        self.path = path
+        self._count = len(records)
+        with open(path, "wb") as fh:
+            pickle.dump(records, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def load(self) -> list:
+        with open(self.path, "rb") as fh:
+            return pickle.load(fh)
+
+    def __len__(self) -> int:
+        return self._count
+
+
+def _stable_shard(key: Any, num_shards: int) -> int:
+    """Deterministic shard assignment (Python hash is salted for str only)."""
+    if isinstance(key, (int,)):
+        return int(key) % num_shards
+    if isinstance(key, tuple):
+        acc = 0
+        for part in key:
+            acc = (acc * 1_000_003 + _stable_shard(part, 2**61 - 1)) % (2**61 - 1)
+        return acc % num_shards
+    # Fall back to a stable string hash (FNV-1a).
+    data = str(key).encode()
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h = ((h ^ byte) * 0x100000001B3) % (1 << 64)
+    return h % num_shards
+
+
+class Pipeline:
+    """Factory and metrics scope for PCollections.
+
+    Parameters
+    ----------
+    num_shards:
+        Logical worker count.  Memory metering reports the max records any
+        one shard held, so more shards = smaller per-worker footprint.
+    """
+
+    def __init__(
+        self, num_shards: int = 8, *, spill_to_disk: bool = False
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        self.metrics = PipelineMetrics()
+        self.spill_to_disk = bool(spill_to_disk)
+        self._spill_dir: Optional[str] = None
+        if spill_to_disk:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-dataflow-")
+
+    def _store_shard(self, records: list):
+        """Keep a shard in memory, or spill it to disk when enabled."""
+        if not self.spill_to_disk:
+            return records
+        path = os.path.join(self._spill_dir, f"{uuid.uuid4().hex}.pkl")
+        return _DiskShard(path, records)
+
+    def close(self) -> None:
+        """Delete any spilled shard files."""
+        if self._spill_dir and os.path.isdir(self._spill_dir):
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- sources -----------------------------------------------------------
+
+    def create(self, elements: Iterable[Any], *, name: str = "create") -> "PCollection":
+        """Materialize an iterable as a round-robin-sharded PCollection."""
+        shards: List[List[Any]] = [[] for _ in range(self.num_shards)]
+        for i, element in enumerate(elements):
+            shards[i % self.num_shards].append(element)
+        self.metrics.count_stage(name)
+        return PCollection(self, shards, keyed=False)
+
+    def create_keyed(
+        self, pairs: Iterable[Tuple[Any, Any]], *, name: str = "create_keyed"
+    ) -> "PCollection":
+        """Materialize ``(key, value)`` pairs, sharded by key."""
+        shards: List[List[Any]] = [[] for _ in range(self.num_shards)]
+        for key, value in pairs:
+            shards[_stable_shard(key, self.num_shards)].append((key, value))
+        self.metrics.count_stage(name)
+        return PCollection(self, shards, keyed=True)
+
+
+class PCollection:
+    """Immutable sharded bag; all transforms return new PCollections."""
+
+    def __init__(
+        self, pipeline: Pipeline, shards: List[List[Any]], *, keyed: bool
+    ) -> None:
+        self.pipeline = pipeline
+        self._shards = [pipeline._store_shard(shard) for shard in shards]
+        self.keyed = keyed
+        for shard in self._shards:
+            pipeline.metrics.observe_shard(len(shard))
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def count(self) -> int:
+        """Total element count (a distributed aggregate, O(1) driver state)."""
+        return sum(len(shard) for shard in self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self._shards]
+
+    def to_list(self) -> List[Any]:
+        """Materialize everything on the driver — test/debug escape hatch.
+
+        Metered via ``materialized_records`` so benches can assert the
+        production path never calls it on large collections.
+        """
+        out = list(itertools.chain.from_iterable(self.iter_shards()))
+        self.pipeline.metrics.observe_materialize(len(out))
+        return out
+
+    def iter_shards(self) -> Iterator[List[Any]]:
+        """Yield each shard's records (loading spilled shards one at a time)."""
+        for shard in self._shards:
+            yield shard.load() if isinstance(shard, _DiskShard) else shard
+
+    # -- element-wise transforms (no shuffle) --------------------------------
+
+    def map(self, fn: Callable[[Any], Any], *, name: str = "map") -> "PCollection":
+        """Apply ``fn`` per element."""
+        self.pipeline.metrics.count_stage(name)
+        return PCollection(
+            self.pipeline,
+            [[fn(x) for x in shard] for shard in self.iter_shards()],
+            keyed=False,
+        )
+
+    def flat_map(
+        self, fn: Callable[[Any], Iterable[Any]], *, name: str = "flat_map"
+    ) -> "PCollection":
+        """Apply ``fn`` per element, flattening the returned iterables."""
+        self.pipeline.metrics.count_stage(name)
+        return PCollection(
+            self.pipeline,
+            [
+                [y for x in shard for y in fn(x)]
+                for shard in self.iter_shards()
+            ],
+            keyed=False,
+        )
+
+    def filter(
+        self, predicate: Callable[[Any], bool], *, name: str = "filter"
+    ) -> "PCollection":
+        """Keep elements where ``predicate`` holds; keyed-ness is preserved."""
+        self.pipeline.metrics.count_stage(name)
+        return PCollection(
+            self.pipeline,
+            [[x for x in shard if predicate(x)] for shard in self.iter_shards()],
+            keyed=self.keyed,
+        )
+
+    def key_by(self, fn: Callable[[Any], Any], *, name: str = "key_by") -> "PCollection":
+        """Emit ``(fn(x), x)`` and shuffle by the new key."""
+        return self.map(lambda x: (fn(x), x), name=name)._reshard_by_key(name)
+
+    def map_values(
+        self, fn: Callable[[Any], Any], *, name: str = "map_values"
+    ) -> "PCollection":
+        """Apply ``fn`` to values of a keyed collection (keys untouched)."""
+        self._require_keyed("map_values")
+        self.pipeline.metrics.count_stage(name)
+        return PCollection(
+            self.pipeline,
+            [[(k, fn(v)) for k, v in shard] for shard in self.iter_shards()],
+            keyed=True,
+        )
+
+    def as_keyed(self, *, name: str = "as_keyed") -> "PCollection":
+        """Interpret ``(key, value)`` elements as keyed and shuffle by key."""
+        self.pipeline.metrics.count_stage(name)
+        return self._reshard_by_key(name)
+
+    # -- shuffling transforms --------------------------------------------
+
+    def _reshard_by_key(self, name: str) -> "PCollection":
+        num = self.pipeline.num_shards
+        shards: List[List[Any]] = [[] for _ in range(num)]
+        moved = 0
+        for shard in self.iter_shards():
+            for element in shard:
+                key = element[0]
+                shards[_stable_shard(key, num)].append(element)
+                moved += 1
+        self.pipeline.metrics.observe_shuffle(moved)
+        return PCollection(self.pipeline, shards, keyed=True)
+
+    def group_by_key(self, *, name: str = "group_by_key") -> "PCollection":
+        """Beam's GroupByKey: ``(key, value)*`` → ``(key, [values])``.
+
+        Requires keyed input.  Output is keyed (one element per key).
+        """
+        self._require_keyed("group_by_key")
+        self.pipeline.metrics.count_stage(name)
+        resharded = self._reshard_by_key(name)
+        out_shards: List[List[Any]] = []
+        for shard in resharded.iter_shards():
+            groups: dict = {}
+            for key, value in shard:
+                groups.setdefault(key, []).append(value)
+            out_shards.append(list(groups.items()))
+        return PCollection(self.pipeline, out_shards, keyed=True)
+
+    def combine_per_key(
+        self,
+        zero: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        merge: Callable[[Any, Any], Any],
+        *,
+        name: str = "combine_per_key",
+    ) -> "PCollection":
+        """Beam CombinePerKey with combiner lifting.
+
+        Each input shard pre-combines locally (``zero``/``add``), then only
+        per-key accumulators shuffle (``merge``) — the same record-volume
+        optimization Beam's combiner lifting performs.
+        """
+        self._require_keyed("combine_per_key")
+        self.pipeline.metrics.count_stage(name)
+        num = self.pipeline.num_shards
+        partials: List[List[Any]] = [[] for _ in range(num)]
+        moved = 0
+        for shard in self.iter_shards():
+            local: dict = {}
+            for key, value in shard:
+                acc = local.get(key)
+                local[key] = add(zero() if acc is None else acc, value)
+            for key, acc in local.items():
+                partials[_stable_shard(key, num)].append((key, acc))
+                moved += 1
+        self.pipeline.metrics.observe_shuffle(moved)
+        out_shards: List[List[Any]] = []
+        for shard in partials:
+            merged: dict = {}
+            for key, acc in shard:
+                prev = merged.get(key)
+                merged[key] = acc if prev is None else merge(prev, acc)
+            out_shards.append(list(merged.items()))
+        return PCollection(self.pipeline, out_shards, keyed=True)
+
+    def combine_globally(
+        self,
+        zero: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        merge: Callable[[Any, Any], Any],
+        *,
+        name: str = "combine_globally",
+    ) -> Any:
+        """Global combine: per-shard accumulate, then merge on the driver.
+
+        Driver state is one accumulator per shard — O(num_shards), never
+        O(n) — matching Beam's CombineGlobally contract.
+        """
+        self.pipeline.metrics.count_stage(name)
+        accumulators = []
+        for shard in self.iter_shards():
+            acc = zero()
+            for element in shard:
+                acc = add(acc, element)
+            accumulators.append(acc)
+        result = zero()
+        for acc in accumulators:
+            result = merge(result, acc)
+        return result
+
+    def reshuffle(self, *, name: str = "reshuffle") -> "PCollection":
+        """Round-robin rebalance (breaks fusion / fixes skew)."""
+        self.pipeline.metrics.count_stage(name)
+        num = self.pipeline.num_shards
+        shards: List[List[Any]] = [[] for _ in range(num)]
+        moved = 0
+        for shard in self.iter_shards():
+            for element in shard:
+                shards[moved % num].append(element)
+                moved += 1
+        self.pipeline.metrics.observe_shuffle(moved)
+        return PCollection(self.pipeline, shards, keyed=False)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _require_keyed(self, op: str) -> None:
+        if not self.keyed:
+            raise TypeError(
+                f"{op} requires a keyed PCollection of (key, value) pairs; "
+                "call as_keyed()/key_by() first"
+            )

@@ -1,0 +1,122 @@
+"""Selection-quality evaluation metrics.
+
+The paper evaluates purely on the submodular objective ("without training
+models, to limit the parameter space"); downstream users usually want a
+broader view.  This module provides the standard subset-quality metrics the
+benches and examples report alongside `f(S)`:
+
+- class coverage / balance (entropy of the selected label histogram),
+- coverage radius (max distance from any ground-set point to the subset —
+  the k-center objective),
+- facility-location value (sum over points of max similarity into S),
+- mean within-subset redundancy (the diversity term, per point),
+- utility capture (fraction of total utility mass selected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.objective import PairwiseObjective
+from repro.core.problem import SubsetProblem
+from repro.graph.knn import l2_normalize
+
+
+@dataclass(frozen=True)
+class SelectionMetrics:
+    """Bundle of quality metrics for one selected subset."""
+
+    objective: float
+    utility_capture: float
+    redundancy_per_point: float
+    class_coverage: Optional[float] = None
+    class_balance_entropy: Optional[float] = None
+    coverage_radius: Optional[float] = None
+    facility_location: Optional[float] = None
+
+
+def evaluate_selection(
+    problem: SubsetProblem,
+    selected: np.ndarray,
+    *,
+    labels: Optional[np.ndarray] = None,
+    embeddings: Optional[np.ndarray] = None,
+    embedding_block: int = 2048,
+) -> SelectionMetrics:
+    """Compute :class:`SelectionMetrics` for ``selected``.
+
+    ``labels`` enables the class metrics; ``embeddings`` enables coverage
+    radius and facility location (computed blocked, O(block × |S|) memory).
+    """
+    selected = np.asarray(selected, dtype=np.int64)
+    if selected.size and (selected.min() < 0 or selected.max() >= problem.n):
+        raise ValueError("selected ids out of range")
+    objective = PairwiseObjective(problem)
+    f_value = objective.value(selected)
+    total_utility = float(problem.utilities.sum())
+    capture = (
+        float(problem.utilities[selected].sum()) / total_utility
+        if total_utility > 0
+        else 0.0
+    )
+    redundancy = (
+        objective.pairwise(selected) / selected.size if selected.size else 0.0
+    )
+
+    class_coverage = balance_entropy = None
+    if labels is not None:
+        labels = np.asarray(labels)
+        n_classes = np.unique(labels).size
+        hist = np.bincount(
+            np.searchsorted(np.unique(labels), labels[selected]),
+            minlength=n_classes,
+        ).astype(float)
+        class_coverage = float((hist > 0).sum() / n_classes)
+        p = hist / hist.sum() if hist.sum() else hist
+        nz = p[p > 0]
+        raw_entropy = float(-(nz * np.log(nz)).sum()) if nz.size else 0.0
+        balance_entropy = (
+            raw_entropy / np.log(n_classes) if n_classes > 1 else 1.0
+        )
+
+    radius = facility = None
+    if embeddings is not None and selected.size:
+        x = np.asarray(embeddings, dtype=np.float64)
+        if x.shape[0] != problem.n:
+            raise ValueError("embeddings must align with the ground set")
+        xs = x[selected]
+        xn = l2_normalize(x)
+        xsn = l2_normalize(xs)
+        max_sim = np.empty(problem.n)
+        min_dist = np.empty(problem.n)
+        for start in range(0, problem.n, embedding_block):
+            stop = min(start + embedding_block, problem.n)
+            sims = xn[start:stop] @ xsn.T
+            max_sim[start:stop] = sims.max(axis=1)
+            d = np.linalg.norm(
+                x[start:stop, None, :] - xs[None, :, :], axis=-1
+            ) if xs.shape[0] * (stop - start) <= 4_000_000 else None
+            if d is not None:
+                min_dist[start:stop] = d.min(axis=1)
+            else:  # memory-safe fallback via expansion identity
+                sq = (
+                    (x[start:stop] ** 2).sum(axis=1)[:, None]
+                    - 2.0 * x[start:stop] @ xs.T
+                    + (xs**2).sum(axis=1)[None, :]
+                )
+                min_dist[start:stop] = np.sqrt(np.maximum(sq.min(axis=1), 0.0))
+        radius = float(min_dist.max())
+        facility = float(max_sim.sum())
+
+    return SelectionMetrics(
+        objective=f_value,
+        utility_capture=capture,
+        redundancy_per_point=float(redundancy),
+        class_coverage=class_coverage,
+        class_balance_entropy=balance_entropy,
+        coverage_radius=radius,
+        facility_location=facility,
+    )

@@ -1,0 +1,28 @@
+"""Nearest-neighbor graph substrate.
+
+The pairwise submodular objective is defined over a sparse similarity graph
+``E`` (Sec. 3).  The paper builds a 10-nearest-neighbor graph in embedding
+space with ScaNN and symmetrizes it (Sec. 6).  This package provides:
+
+- :class:`~repro.graph.csr.NeighborGraph` — an immutable CSR adjacency
+  structure with subgraph restriction (needed by partition-based greedy),
+- exact blocked brute-force kNN (:mod:`repro.graph.knn`),
+- an IVF-style clustered approximate index (:mod:`repro.graph.ann`) standing
+  in for ScaNN,
+- symmetrization utilities (:mod:`repro.graph.symmetrize`).
+"""
+
+from repro.graph.ann import IVFIndex, approximate_knn
+from repro.graph.csr import NeighborGraph
+from repro.graph.knn import cosine_similarity_matrix, exact_knn
+from repro.graph.symmetrize import build_knn_graph, symmetrize_knn
+
+__all__ = [
+    "NeighborGraph",
+    "exact_knn",
+    "cosine_similarity_matrix",
+    "IVFIndex",
+    "approximate_knn",
+    "symmetrize_knn",
+    "build_knn_graph",
+]

@@ -1,0 +1,299 @@
+"""Immutable CSR neighbor graph with the operations the selectors need.
+
+Design notes
+------------
+The graph is *symmetric*: every undirected edge ``{a, b}`` is stored twice,
+once in each endpoint's adjacency list.  Scoring therefore halves the summed
+pairwise mass (see :mod:`repro.core.objective`), while the greedy update
+applies the full penalty exactly once — when the first endpoint is selected
+(Alg. 2).
+
+Partition-based distributed greedy (Alg. 6) discards "any neighborhood
+relation across partitions"; :meth:`NeighborGraph.subgraph` implements that
+restriction and returns a relabeled CSR plus the local→global id map.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+class NeighborGraph:
+    """Symmetric sparse similarity graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; row ``v``'s neighbors live in
+        ``indices[indptr[v]:indptr[v+1]]``.
+    indices:
+        ``int64`` array of column indices (neighbor ids).
+    weights:
+        ``float64`` array of similarities, aligned with ``indices``.
+        All similarities must be non-negative — this is what makes the
+        pairwise objective submodular (Sec. 3).
+    check:
+        If true (default), validate CSR structure and symmetry.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "_n")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        check: bool = True,
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self._n = int(self.indptr.size - 1)
+        if check:
+            self._validate()
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        *,
+        symmetrize: bool = True,
+    ) -> "NeighborGraph":
+        """Build a graph from an edge list.
+
+        With ``symmetrize=True`` each input edge ``(a, b, w)`` is mirrored to
+        ``(b, a, w)``; duplicate directed edges keep the maximum weight.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if not (sources.shape == targets.shape == weights.shape):
+            raise ValueError("sources, targets, weights must have equal shapes")
+        if sources.size:
+            if sources.min() < 0 or targets.min() < 0:
+                raise ValueError("edge endpoints must be >= 0")
+            if max(sources.max(), targets.max()) >= n:
+                raise ValueError("edge endpoint exceeds ground set size")
+            if (weights < 0).any():
+                raise ValueError("similarities must be non-negative")
+        if (sources == targets).any():
+            raise ValueError("self-loops are not allowed")
+        if symmetrize:
+            sources, targets, weights = (
+                np.concatenate([sources, targets]),
+                np.concatenate([targets, sources]),
+                np.concatenate([weights, weights]),
+            )
+        # Deduplicate directed pairs, keeping max weight.
+        if sources.size:
+            order = np.lexsort((targets, sources))
+            sources, targets, weights = sources[order], targets[order], weights[order]
+            key_change = np.empty(sources.size, dtype=bool)
+            key_change[0] = True
+            key_change[1:] = (sources[1:] != sources[:-1]) | (targets[1:] != targets[:-1])
+            group_id = np.cumsum(key_change) - 1
+            max_w = np.full(group_id[-1] + 1, -np.inf)
+            np.maximum.at(max_w, group_id, weights)
+            sources = sources[key_change]
+            targets = targets[key_change]
+            weights = max_w
+        counts = np.bincount(sources, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, targets, weights, check=True)
+
+    @classmethod
+    def empty(cls, n: int) -> "NeighborGraph":
+        """Graph on ``n`` vertices with no edges (pure-utility objective)."""
+        return cls(
+            np.zeros(n + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            check=False,
+        )
+
+    # -- basic accessors ------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored (directed) adjacency entries."""
+        return int(self.indices.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self.num_directed_edges // 2
+
+    def degrees(self) -> np.ndarray:
+        """Per-vertex neighbor counts."""
+        return np.diff(self.indptr)
+
+    def min_degree(self) -> int:
+        """Minimum degree ``kg`` (appears in Theorem 4.6's exponent)."""
+        if self._n == 0:
+            return 0
+        return int(self.degrees().min())
+
+    def average_degree(self) -> float:
+        """Mean neighbor count (the paper reports ~15/16 after symmetrize)."""
+        if self._n == 0:
+            return 0.0
+        return float(self.num_directed_edges / self._n)
+
+    def neighbors(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(neighbor_ids, weights)`` views for vertex ``v``."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(min_id, max_id, weight)``."""
+        for v in range(self._n):
+            nbrs, ws = self.neighbors(v)
+            for nb, w in zip(nbrs.tolist(), ws.tolist()):
+                if v < nb:
+                    yield v, int(nb), float(w)
+
+    def neighbor_mass(self, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-vertex sum of weights to neighbors selected by ``mask``.
+
+        ``mask`` is a boolean array over vertices; ``None`` sums over all
+        neighbors.  This single primitive implements both ``Umin`` and
+        ``Umax`` (Defs. 4.1/4.2): mass over ``V ∪ S'`` and mass over ``S'``.
+        Vectorized with ``np.add.reduceat`` so bounding rounds on millions of
+        points stay in C.
+        """
+        if self._n == 0:
+            return np.zeros(0, dtype=np.float64)
+        if mask is None:
+            contrib = self.weights
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (self._n,):
+                raise ValueError(f"mask must have shape ({self._n},), got {mask.shape}")
+            contrib = np.where(mask[self.indices], self.weights, 0.0)
+        out = np.zeros(self._n, dtype=np.float64)
+        nonempty = self.indptr[:-1] < self.indptr[1:]
+        if contrib.size:
+            sums = np.add.reduceat(contrib, self.indptr[:-1][nonempty])
+            out[nonempty] = sums
+        return out
+
+    def max_neighbor_mass(self) -> float:
+        """``max_v Σ_j s(v, j)`` — the monotonicity offset's driver (Eq. 2)."""
+        mass = self.neighbor_mass()
+        return float(mass.max()) if mass.size else 0.0
+
+    # -- interop -----------------------------------------------------------
+
+    def to_scipy_sparse(self):
+        """Export as a ``scipy.sparse.csr_matrix`` (symmetric, zero diag)."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self.weights, self.indices, self.indptr), shape=(self._n, self._n)
+        )
+
+    @classmethod
+    def from_scipy_sparse(cls, matrix) -> "NeighborGraph":
+        """Build from any scipy sparse matrix (symmetrized, diag dropped)."""
+        from scipy.sparse import coo_matrix
+
+        coo = coo_matrix(matrix)
+        keep = coo.row != coo.col
+        return cls.from_edges(
+            coo.shape[0],
+            coo.row[keep].astype(np.int64),
+            coo.col[keep].astype(np.int64),
+            coo.data[keep].astype(np.float64),
+            symmetrize=True,
+        )
+
+    # -- restriction ----------------------------------------------------
+
+    def subgraph(self, vertices: np.ndarray) -> Tuple["NeighborGraph", np.ndarray]:
+        """Restrict to ``vertices``, dropping cross-partition edges.
+
+        Returns ``(graph, local_to_global)`` where the new graph is labeled
+        ``0..len(vertices)-1`` in the order given.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size and (vertices.min() < 0 or vertices.max() >= self._n):
+            raise ValueError("vertices out of range")
+        global_to_local = np.full(self._n, -1, dtype=np.int64)
+        global_to_local[vertices] = np.arange(vertices.size, dtype=np.int64)
+        # Gather each kept vertex's adjacency, keeping only in-partition ends.
+        starts = self.indptr[vertices]
+        stops = self.indptr[vertices + 1]
+        lengths = stops - starts
+        total = int(lengths.sum())
+        if total:
+            # Build a flat index selecting all adjacency entries of `vertices`.
+            flat = np.concatenate(
+                [np.arange(lo, hi) for lo, hi in zip(starts, stops)]
+            ) if vertices.size else np.empty(0, dtype=np.int64)
+            nbr_global = self.indices[flat]
+            w = self.weights[flat]
+            nbr_local = global_to_local[nbr_global]
+            keep = nbr_local >= 0
+            row_local = np.repeat(np.arange(vertices.size, dtype=np.int64), lengths)
+            row_local = row_local[keep]
+            nbr_local = nbr_local[keep]
+            w = w[keep]
+        else:
+            row_local = np.empty(0, dtype=np.int64)
+            nbr_local = np.empty(0, dtype=np.int64)
+            w = np.empty(0, dtype=np.float64)
+        counts = np.bincount(row_local, minlength=vertices.size)
+        indptr = np.zeros(vertices.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # row_local is already sorted because `flat` walks rows in order.
+        sub = NeighborGraph(indptr, nbr_local, w, check=False)
+        return sub, vertices.copy()
+
+    # -- validation -------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or self.indptr.size < 1:
+            raise ValueError("indptr must be 1-D with length n + 1")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if (np.diff(self.indptr) < 0).any():
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.weights.size:
+            raise ValueError("indices and weights must align")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= self._n:
+                raise ValueError("neighbor index out of range")
+            if not np.isfinite(self.weights).all():
+                raise ValueError("similarities contain NaN or infinite values")
+            if (self.weights < 0).any():
+                raise ValueError("similarities must be non-negative")
+            rows = np.repeat(np.arange(self._n), np.diff(self.indptr))
+            if (rows == self.indices).any():
+                raise ValueError("self-loops are not allowed")
+            if not self._is_symmetric():
+                raise ValueError("graph must be symmetric (see symmetrize_knn)")
+
+    def _is_symmetric(self) -> bool:
+        rows = np.repeat(np.arange(self._n), np.diff(self.indptr))
+        fwd = set(zip(rows.tolist(), self.indices.tolist()))
+        return all((b, a) in fwd for a, b in fwd)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NeighborGraph(n={self._n}, undirected_edges={self.num_edges}, "
+            f"avg_degree={self.average_degree():.1f})"
+        )

@@ -1,0 +1,73 @@
+"""Symmetrization of directed kNN tables into NeighborGraph (Sec. 6).
+
+The kNN relation is not symmetric; the paper's distributed bounding/scoring
+requires a symmetric graph, so edges are mirrored: "datapoints have a varying
+amount of, but at least 10 neighbors", yielding an average degree of ~15/16
+on CIFAR/ImageNet.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import NeighborGraph
+from repro.graph.knn import exact_knn
+from repro.utils.rng import SeedLike
+
+
+def symmetrize_knn(
+    neighbors: np.ndarray, similarities: np.ndarray, *, n: int = 0
+) -> NeighborGraph:
+    """Turn a directed ``(n, k)`` kNN table into a symmetric NeighborGraph.
+
+    Each directed edge is mirrored; duplicate pairs keep the maximum
+    similarity.  Every vertex keeps at least its original ``k`` neighbors.
+    """
+    neighbors = np.asarray(neighbors, dtype=np.int64)
+    similarities = np.asarray(similarities, dtype=np.float64)
+    if neighbors.shape != similarities.shape or neighbors.ndim != 2:
+        raise ValueError("neighbors and similarities must be equal-shape 2-D")
+    rows, k = neighbors.shape
+    n = max(n, rows)
+    sources = np.repeat(np.arange(rows, dtype=np.int64), k)
+    targets = neighbors.ravel()
+    weights = similarities.ravel()
+    keep = sources != targets  # defensive: drop accidental self matches
+    return NeighborGraph.from_edges(
+        n, sources[keep], targets[keep], weights[keep], symmetrize=True
+    )
+
+
+def build_knn_graph(
+    embeddings: np.ndarray,
+    k: int = 10,
+    *,
+    method: str = "exact",
+    seed: SeedLike = 0,
+    block_size: int = 1024,
+) -> Tuple[NeighborGraph, np.ndarray, np.ndarray]:
+    """End-to-end graph construction: kNN search + symmetrization.
+
+    Parameters
+    ----------
+    method:
+        ``"exact"`` (blocked brute force) or ``"ann"`` (IVF index, the
+        ScaNN stand-in).
+
+    Returns
+    -------
+    (graph, neighbors, similarities):
+        The symmetric graph plus the raw directed kNN table.
+    """
+    if method == "exact":
+        neighbors, sims = exact_knn(embeddings, k, block_size=block_size)
+    elif method == "ann":
+        from repro.graph.ann import approximate_knn
+
+        neighbors, sims = approximate_knn(embeddings, k, seed=seed)
+    else:
+        raise ValueError(f"unknown method {method!r}; use 'exact' or 'ann'")
+    graph = symmetrize_knn(neighbors, sims)
+    return graph, neighbors, sims

@@ -1,0 +1,18 @@
+"""Shared utilities: addressable heaps, RNG plumbing, validation helpers."""
+
+from repro.utils.heap import AddressableMaxHeap
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_alpha_beta,
+    check_cardinality,
+    check_unique_ids,
+)
+
+__all__ = [
+    "AddressableMaxHeap",
+    "as_generator",
+    "spawn_generators",
+    "check_alpha_beta",
+    "check_cardinality",
+    "check_unique_ids",
+]

@@ -1,0 +1,44 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in the library accepts either an integer seed, a
+``numpy.random.Generator``, or ``None`` and converts it with
+:func:`as_generator`.  Distributed components that need independent
+per-partition streams derive them with :func:`spawn_generators`, which uses
+NumPy's ``SeedSequence.spawn`` so streams are statistically independent and
+reproducible regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent generators from ``seed``.
+
+    When ``seed`` is already a ``Generator`` we draw a fresh entropy value
+    from it, so repeated calls yield distinct (but still deterministic,
+    given the parent) families of streams.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, np.random.Generator):
+        seq = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

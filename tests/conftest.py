@@ -1,0 +1,79 @@
+"""Shared fixtures: small deterministic problem instances."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Derandomize property tests: every run explores the same examples, so a
+# green suite stays green (counterexamples are promoted to explicit tests).
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.differing_executors],
+)
+settings.load_profile("repro")
+
+from repro.core.objective import PairwiseObjective
+from repro.core.problem import SubsetProblem
+from repro.data.registry import load_dataset
+from repro.graph.csr import NeighborGraph
+from repro.utils.rng import as_generator
+
+
+def random_problem(
+    n: int,
+    *,
+    alpha: float = 0.9,
+    avg_degree: int = 4,
+    seed: int = 0,
+    utility_scale: float = 1.0,
+) -> SubsetProblem:
+    """A random symmetric-graph problem with continuous weights (no ties)."""
+    rng = as_generator(seed)
+    n_edges = max(1, n * avg_degree // 2)
+    sources = rng.integers(0, n, size=3 * n_edges)
+    targets = rng.integers(0, n, size=3 * n_edges)
+    keep = sources != targets
+    sources, targets = sources[keep][:n_edges], targets[keep][:n_edges]
+    weights = rng.random(sources.size) * 0.9 + 0.05
+    graph = NeighborGraph.from_edges(n, sources, targets, weights)
+    utilities = rng.random(n) * utility_scale
+    return SubsetProblem.with_alpha(utilities, graph, alpha)
+
+
+def brute_force_best(problem: SubsetProblem, k: int):
+    """Exhaustive optimum over all k-subsets (tiny n only)."""
+    objective = PairwiseObjective(problem)
+    best_value = -np.inf
+    best_sets = []
+    for combo in itertools.combinations(range(problem.n), k):
+        value = objective.value(np.array(combo, dtype=np.int64))
+        if value > best_value + 1e-12:
+            best_value = value
+            best_sets = [frozenset(combo)]
+        elif abs(value - best_value) <= 1e-12:
+            best_sets.append(frozenset(combo))
+    return best_value, best_sets
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """800-point CIFAR-like dataset, shared across the suite."""
+    return load_dataset("cifar100_tiny", n_points=800, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_problem(tiny_dataset):
+    return SubsetProblem.with_alpha(
+        tiny_dataset.utilities, tiny_dataset.graph, 0.9
+    )
+
+
+@pytest.fixture
+def small_problem():
+    """60-point random problem for per-test use."""
+    return random_problem(60, seed=7)

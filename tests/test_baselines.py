@@ -1,0 +1,112 @@
+"""Tests for the baseline selectors (GreeDi family, Sample&Prune, etc.)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    greedi,
+    k_center,
+    rand_greedi,
+    random_subset,
+    sample_and_prune,
+)
+from repro.core.greedy import greedy_heap
+from repro.core.objective import PairwiseObjective
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_dataset, tiny_problem):
+    k = tiny_problem.n // 10
+    central = PairwiseObjective(tiny_problem).value(
+        greedy_heap(tiny_problem, k).selected
+    )
+    return tiny_problem, tiny_dataset, k, central
+
+
+class TestGreediFamily:
+    def test_greedi_selects_k(self, setup):
+        problem, _, k, _ = setup
+        res = greedi(problem, k, m=4)
+        assert len(res) == k
+
+    def test_greedi_near_centralized(self, setup):
+        problem, _, k, central = setup
+        res = greedi(problem, k, m=4)
+        assert res.objective >= 0.95 * central
+
+    def test_rand_greedi_near_centralized(self, setup):
+        problem, _, k, central = setup
+        res = rand_greedi(problem, k, m=4, seed=0)
+        assert res.objective >= 0.95 * central
+
+    def test_central_memory_is_union_size(self, setup):
+        problem, _, k, _ = setup
+        res = rand_greedi(problem, k, m=4, seed=0)
+        # union of 4 partitions' k selections, minus collisions
+        assert k < res.central_memory_points <= 4 * k
+
+    def test_m_one_equals_centralized(self, setup):
+        problem, _, k, central = setup
+        res = greedi(problem, k, m=1)
+        assert res.objective == pytest.approx(central)
+
+    def test_invalid_m(self, setup):
+        problem, _, k, _ = setup
+        with pytest.raises(ValueError):
+            greedi(problem, k, m=0)
+
+
+class TestSamplePrune:
+    def test_selects_k(self, setup):
+        problem, _, k, _ = setup
+        res = sample_and_prune(problem, k, seed=0)
+        assert len(res) == k
+        assert len(set(res.selected.tolist())) == k
+
+    def test_reasonable_quality(self, setup):
+        problem, _, k, central = setup
+        res = sample_and_prune(problem, k, seed=0)
+        assert res.objective >= 0.8 * central
+
+    def test_memory_cap_respected_in_report(self, setup):
+        problem, _, k, _ = setup
+        res = sample_and_prune(problem, k, memory_cap=3 * k, seed=0)
+        assert res.central_memory_points == 3 * k
+
+    def test_deterministic(self, setup):
+        problem, _, k, _ = setup
+        a = sample_and_prune(problem, k, seed=5)
+        b = sample_and_prune(problem, k, seed=5)
+        np.testing.assert_array_equal(a.selected, b.selected)
+
+
+class TestRandomAndKCenter:
+    def test_random_is_floor(self, setup):
+        problem, _, k, central = setup
+        res = random_subset(problem, k, seed=0)
+        assert len(res) == k
+        assert res.objective < central
+
+    def test_kcenter_selects_k(self, setup):
+        problem, dataset, k, _ = setup
+        res = k_center(problem, k, dataset.embeddings, seed=0)
+        assert len(res) == k
+        assert len(set(res.selected.tolist())) == k
+
+    def test_kcenter_beats_random_on_diversity_term(self, setup):
+        problem, dataset, k, _ = setup
+        obj = PairwiseObjective(problem)
+        kc = k_center(problem, k, dataset.embeddings, seed=0)
+        rnd = random_subset(problem, k, seed=0)
+        # farthest-first avoids similar pairs: lower pairwise mass
+        assert obj.pairwise(kc.selected) <= obj.pairwise(rnd.selected)
+
+    def test_kcenter_embedding_mismatch(self, setup):
+        problem, dataset, k, _ = setup
+        with pytest.raises(ValueError):
+            k_center(problem, k, dataset.embeddings[:10], seed=0)
+
+    def test_k_zero(self, setup):
+        problem, dataset, _, _ = setup
+        assert len(random_subset(problem, 0, seed=0)) == 0
+        assert len(k_center(problem, 0, dataset.embeddings, seed=0)) == 0

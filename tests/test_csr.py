@@ -1,0 +1,183 @@
+"""Tests for the CSR NeighborGraph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import NeighborGraph
+
+
+def triangle() -> NeighborGraph:
+    """3-cycle with weights 1, 2, 3."""
+    return NeighborGraph.from_edges(
+        3,
+        np.array([0, 1, 2]),
+        np.array([1, 2, 0]),
+        np.array([1.0, 2.0, 3.0]),
+    )
+
+
+class TestConstruction:
+    def test_from_edges_symmetrizes(self):
+        g = triangle()
+        assert g.n == 3
+        assert g.num_edges == 3
+        assert g.num_directed_edges == 6
+
+    def test_neighbors_of_vertex(self):
+        g = triangle()
+        nbrs, ws = g.neighbors(0)
+        assert sorted(nbrs.tolist()) == [1, 2]
+        lookup = dict(zip(nbrs.tolist(), ws.tolist()))
+        assert lookup[1] == 1.0
+        assert lookup[2] == 3.0
+
+    def test_duplicate_edges_keep_max_weight(self):
+        g = NeighborGraph.from_edges(
+            2,
+            np.array([0, 1, 0]),
+            np.array([1, 0, 1]),
+            np.array([1.0, 5.0, 2.0]),
+        )
+        assert g.num_edges == 1
+        _, ws = g.neighbors(0)
+        assert ws.tolist() == [5.0]
+
+    def test_empty_graph(self):
+        g = NeighborGraph.empty(4)
+        assert g.n == 4
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+        assert g.min_degree() == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            NeighborGraph.from_edges(
+                2, np.array([0]), np.array([0]), np.array([1.0])
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NeighborGraph.from_edges(
+                2, np.array([0]), np.array([1]), np.array([-1.0])
+            )
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            NeighborGraph.from_edges(
+                2, np.array([0]), np.array([5]), np.array([1.0])
+            )
+
+    def test_asymmetric_csr_rejected(self):
+        # Directed-only edge 0->1.
+        with pytest.raises(ValueError, match="symmetric"):
+            NeighborGraph(
+                np.array([0, 1, 1]), np.array([1]), np.array([1.0])
+            )
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = triangle()
+        np.testing.assert_array_equal(g.degrees(), [2, 2, 2])
+        assert g.min_degree() == 2
+        assert g.average_degree() == 2.0
+
+    def test_iter_edges_each_once(self):
+        g = triangle()
+        edges = list(g.iter_edges())
+        assert len(edges) == 3
+        assert all(a < b for a, b, _ in edges)
+        assert {(a, b): w for a, b, w in edges} == {
+            (0, 1): 1.0,
+            (1, 2): 2.0,
+            (0, 2): 3.0,
+        }
+
+    def test_max_neighbor_mass(self):
+        g = triangle()
+        # vertex 2 touches weights 2 and 3.
+        assert g.max_neighbor_mass() == 5.0
+
+
+class TestNeighborMass:
+    def test_full_mass(self):
+        g = triangle()
+        np.testing.assert_allclose(g.neighbor_mass(), [4.0, 3.0, 5.0])
+
+    def test_masked_mass(self):
+        g = triangle()
+        mask = np.array([True, False, True])
+        # vertex 0: neighbor 2 in mask -> 3 ; vertex 1: 0 and 2 -> 1+2 ;
+        # vertex 2: 0 -> 3.
+        np.testing.assert_allclose(g.neighbor_mass(mask), [3.0, 3.0, 3.0])
+
+    def test_empty_mask(self):
+        g = triangle()
+        np.testing.assert_allclose(
+            g.neighbor_mass(np.zeros(3, dtype=bool)), [0.0, 0.0, 0.0]
+        )
+
+    def test_isolated_vertices(self):
+        g = NeighborGraph.from_edges(
+            4, np.array([0]), np.array([1]), np.array([2.0])
+        )
+        np.testing.assert_allclose(g.neighbor_mass(), [2.0, 2.0, 0.0, 0.0])
+
+    def test_mask_shape_check(self):
+        with pytest.raises(ValueError):
+            triangle().neighbor_mass(np.zeros(5, dtype=bool))
+
+
+class TestSubgraph:
+    def test_restriction_drops_cross_edges(self):
+        g = triangle()
+        sub, mapping = g.subgraph(np.array([0, 1]))
+        assert sub.n == 2
+        assert sub.num_edges == 1  # only edge (0,1) survives
+        np.testing.assert_array_equal(mapping, [0, 1])
+
+    def test_relabeling(self):
+        g = triangle()
+        sub, mapping = g.subgraph(np.array([2, 0]))
+        # local 0 = global 2, local 1 = global 0; edge (2,0) w=3 survives.
+        nbrs, ws = sub.neighbors(0)
+        assert nbrs.tolist() == [1]
+        assert ws.tolist() == [3.0]
+        np.testing.assert_array_equal(mapping, [2, 0])
+
+    def test_empty_selection(self):
+        sub, mapping = triangle().subgraph(np.empty(0, dtype=np.int64))
+        assert sub.n == 0
+        assert mapping.size == 0
+
+    def test_singleton(self):
+        sub, _ = triangle().subgraph(np.array([1]))
+        assert sub.n == 1
+        assert sub.num_edges == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            triangle().subgraph(np.array([0, 9]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(2, 20), st.integers(1, 40), st.integers(0, 10_000))
+def test_random_graphs_round_trip(n, n_edges, seed):
+    """from_edges builds a valid symmetric graph; mass matches brute force."""
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, n, size=n_edges)
+    targets = rng.integers(0, n, size=n_edges)
+    keep = sources != targets
+    sources, targets = sources[keep], targets[keep]
+    weights = rng.random(sources.size)
+    g = NeighborGraph.from_edges(n, sources, targets, weights)
+    # Brute-force mass from the deduplicated undirected edge list.
+    dense = np.zeros((n, n))
+    for a, b, w in zip(sources, targets, weights):
+        dense[a, b] = max(dense[a, b], w)
+        dense[b, a] = max(dense[b, a], w)
+    mask = rng.random(n) < 0.5
+    expected = (dense * mask[None, :]).sum(axis=1)
+    np.testing.assert_allclose(g.neighbor_mass(mask), expected, atol=1e-12)

@@ -1,0 +1,153 @@
+"""Tests for synthetic datasets, the coarse classifier, and presets."""
+
+import numpy as np
+import pytest
+
+from repro.data.classifier import CoarseClassifier, margin_utilities
+from repro.data.registry import DATASET_PRESETS, load_dataset
+from repro.data.synthetic import make_class_clusters
+
+
+class TestMakeClassClusters:
+    def test_shapes_and_balance(self):
+        x, y = make_class_clusters(100, 10, 8, seed=0)
+        assert x.shape == (100, 8)
+        assert y.shape == (100,)
+        counts = np.bincount(y, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic(self):
+        a = make_class_clusters(50, 5, 4, seed=3)
+        b = make_class_clusters(50, 5, 4, seed=3)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_class_sep_is_dimension_free(self):
+        """Expected centroid distance ~= class_sep regardless of dim."""
+        for dim in (8, 64, 256):
+            x, y = make_class_clusters(
+                2000, 20, dim, class_sep=5.0, within_std=1.0, seed=1
+            )
+            centroids = np.stack([x[y == c].mean(axis=0) for c in range(20)])
+            dists = np.linalg.norm(
+                centroids[:, None] - centroids[None, :], axis=-1
+            )
+            mean_dist = dists[np.triu_indices(20, 1)].mean()
+            assert 3.0 < mean_dist < 7.0, f"dim={dim}: {mean_dist}"
+
+    def test_clusters_are_separable_at_high_sep(self):
+        x, y = make_class_clusters(200, 4, 16, class_sep=20.0, seed=0)
+        model = CoarseClassifier().fit(x, y)
+        pred = model.predict_proba(x).argmax(axis=1)
+        assert (pred == y).mean() > 0.99
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_points=0, n_classes=1, dim=2),
+            dict(n_points=5, n_classes=6, dim=2),
+            dict(n_points=5, n_classes=1, dim=0),
+        ],
+    )
+    def test_invalid_specs(self, kwargs):
+        with pytest.raises(ValueError):
+            make_class_clusters(**kwargs)
+
+
+class TestCoarseClassifier:
+    def test_proba_rows_sum_to_one(self):
+        x, y = make_class_clusters(100, 5, 6, seed=0)
+        proba = CoarseClassifier().fit(x, y).predict_proba(x)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_margin_in_unit_interval(self):
+        x, y = make_class_clusters(100, 5, 6, seed=0)
+        u = CoarseClassifier().fit(x, y).margin_utility(x)
+        assert (u >= 0).all() and (u <= 1).all()
+
+    def test_boundary_points_have_higher_margin(self):
+        x, y = make_class_clusters(400, 2, 4, class_sep=6.0, seed=1)
+        model = CoarseClassifier().fit(x, y)
+        u = model.margin_utility(x)
+        centroids = model.centroids_
+        d0 = np.linalg.norm(x - centroids[0], axis=1)
+        d1 = np.linalg.norm(x - centroids[1], axis=1)
+        boundary = np.abs(d0 - d1) < np.quantile(np.abs(d0 - d1), 0.1)
+        interior = np.abs(d0 - d1) > np.quantile(np.abs(d0 - d1), 0.9)
+        assert u[boundary].mean() > u[interior].mean()
+
+    def test_single_class_margin_zero(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.zeros(10, dtype=np.int64)
+        u = CoarseClassifier().fit(x, y).margin_utility(x)
+        np.testing.assert_array_equal(u, 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CoarseClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_bad_temperature(self):
+        with pytest.raises(ValueError):
+            CoarseClassifier(temperature=0.0)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            CoarseClassifier().fit(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestMarginUtilities:
+    def test_centered_at_zero(self):
+        x, y = make_class_clusters(300, 10, 8, seed=0)
+        u = margin_utilities(x, y, seed=0)
+        assert u.min() == 0.0
+        assert (u >= 0).all()
+
+    def test_every_class_in_train_split(self):
+        # 100 classes, 10% split of 300 points — naive sampling would
+        # miss classes; the loader must patch them in.
+        x, y = make_class_clusters(300, 100, 8, seed=0)
+        u = margin_utilities(x, y, train_fraction=0.1, seed=0)
+        assert np.isfinite(u).all()
+
+    def test_deterministic(self):
+        x, y = make_class_clusters(200, 5, 8, seed=0)
+        np.testing.assert_array_equal(
+            margin_utilities(x, y, seed=5), margin_utilities(x, y, seed=5)
+        )
+
+    def test_bad_fraction(self):
+        x, y = make_class_clusters(50, 5, 4, seed=0)
+        with pytest.raises(ValueError):
+            margin_utilities(x, y, train_fraction=0.0)
+
+
+class TestRegistry:
+    def test_presets_exist(self):
+        assert {"cifar100_like", "imagenet_like", "cifar100_tiny",
+                "imagenet_tiny"} <= set(DATASET_PRESETS)
+
+    def test_tiny_load(self):
+        ds = load_dataset("cifar100_tiny", n_points=500, seed=0)
+        assert ds.n == 500
+        assert ds.utilities.shape == (500,)
+        assert ds.graph.n == 500
+        assert ds.graph.min_degree() >= 10
+
+    def test_override_knn_k(self):
+        ds = load_dataset("cifar100_tiny", n_points=300, knn_k=4, seed=0)
+        assert ds.graph.min_degree() >= 4
+        assert ds.graph.average_degree() < 10
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_ann_method(self):
+        ds = load_dataset("cifar100_tiny", n_points=300, knn_method="ann", seed=0)
+        assert ds.graph.n == 300
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("cifar100_tiny", n_points=200, seed=9)
+        b = load_dataset("cifar100_tiny", n_points=200, seed=9)
+        np.testing.assert_array_equal(a.embeddings, b.embeddings)
+        np.testing.assert_array_equal(a.utilities, b.utilities)

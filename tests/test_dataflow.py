@@ -1,0 +1,218 @@
+"""Tests for the Beam-like engine: PCollection semantics + metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.pcollection import Pipeline
+from repro.dataflow.transforms import (
+    cogroup,
+    count_where,
+    distributed_kth_largest,
+    flatten,
+    min_max_globally,
+    sum_globally,
+)
+
+
+@pytest.fixture
+def pipeline():
+    return Pipeline(num_shards=4)
+
+
+class TestElementWise:
+    def test_map(self, pipeline):
+        pc = pipeline.create(range(10)).map(lambda x: x * 2)
+        assert sorted(pc.to_list()) == [2 * i for i in range(10)]
+
+    def test_flat_map(self, pipeline):
+        pc = pipeline.create([1, 2, 3]).flat_map(lambda x: [x] * x)
+        assert sorted(pc.to_list()) == [1, 2, 2, 3, 3, 3]
+
+    def test_filter(self, pipeline):
+        pc = pipeline.create(range(10)).filter(lambda x: x % 2 == 0)
+        assert sorted(pc.to_list()) == [0, 2, 4, 6, 8]
+
+    def test_count(self, pipeline):
+        assert pipeline.create(range(17)).count() == 17
+
+    def test_key_by_then_map_values(self, pipeline):
+        pc = pipeline.create(range(6)).key_by(lambda x: x % 2)
+        doubled = pc.map_values(lambda v: v * 10)
+        assert sorted(doubled.to_list()) == [
+            (0, 0), (0, 20), (0, 40), (1, 10), (1, 30), (1, 50)
+        ]
+
+    def test_map_values_requires_keyed(self, pipeline):
+        with pytest.raises(TypeError):
+            pipeline.create(range(3)).map_values(lambda v: v)
+
+
+class TestGroupByKey:
+    def test_groups_complete(self, pipeline):
+        pc = pipeline.create_keyed([(i % 3, i) for i in range(9)])
+        grouped = dict(pc.group_by_key().to_list())
+        assert {k: sorted(v) for k, v in grouped.items()} == {
+            0: [0, 3, 6],
+            1: [1, 4, 7],
+            2: [2, 5, 8],
+        }
+
+    def test_each_key_on_one_shard(self, pipeline):
+        pc = pipeline.create_keyed([(i % 5, i) for i in range(50)])
+        grouped = pc.group_by_key()
+        seen = {}
+        for shard_idx, shard in enumerate(grouped.iter_shards()):
+            for key, _values in shard:
+                assert key not in seen, "key split across shards"
+                seen[key] = shard_idx
+        assert len(seen) == 5
+
+    def test_requires_keyed(self, pipeline):
+        with pytest.raises(TypeError):
+            pipeline.create(range(3)).group_by_key()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers()), max_size=60))
+    def test_matches_reference_semantics(self, pairs):
+        pipeline = Pipeline(num_shards=3)
+        grouped = dict(
+            pipeline.create_keyed(pairs).group_by_key().to_list()
+        )
+        reference: dict = {}
+        for k, v in pairs:
+            reference.setdefault(k, []).append(v)
+        assert {k: sorted(v) for k, v in grouped.items()} == {
+            k: sorted(v) for k, v in reference.items()
+        }
+
+
+class TestCombine:
+    def test_combine_per_key_sums(self, pipeline):
+        pc = pipeline.create_keyed([(i % 2, i) for i in range(10)])
+        combined = dict(
+            pc.combine_per_key(
+                lambda: 0, lambda acc, v: acc + v, lambda a, b: a + b
+            ).to_list()
+        )
+        assert combined == {0: 20, 1: 25}
+
+    def test_combine_globally(self, pipeline):
+        total = pipeline.create(range(100)).combine_globally(
+            lambda: 0, lambda acc, v: acc + v, lambda a, b: a + b
+        )
+        assert total == 4950
+
+    def test_sum_globally(self, pipeline):
+        assert sum_globally(pipeline.create([1.5, 2.5, 3.0])) == 7.0
+
+    def test_count_where(self, pipeline):
+        assert count_where(pipeline.create(range(10)), lambda x: x > 6) == 3
+
+    def test_min_max(self, pipeline):
+        assert min_max_globally(pipeline.create([3.0, -1.0, 7.0])) == (-1.0, 7.0)
+
+
+class TestFlattenCogroup:
+    def test_flatten_union(self, pipeline):
+        a = pipeline.create_keyed([(1, "a")])
+        b = pipeline.create_keyed([(2, "b")])
+        assert sorted(flatten([a, b]).to_list()) == [(1, "a"), (2, "b")]
+
+    def test_flatten_moves_no_records(self, pipeline):
+        a = pipeline.create_keyed([(i, i) for i in range(50)])
+        b = pipeline.create_keyed([(i, -i) for i in range(50)])
+        before = pipeline.metrics.shuffled_records
+        flatten([a, b])
+        assert pipeline.metrics.shuffled_records == before
+
+    def test_cogroup_three_way(self, pipeline):
+        a = pipeline.create_keyed([(1, "a1"), (2, "a2")])
+        b = pipeline.create_keyed([(2, "b2")])
+        c = pipeline.create_keyed([(1, "c1"), (1, "c1x")])
+        joined = dict(cogroup([a, b, c]).to_list())
+        assert joined[1] == (["a1"], [], ["c1", "c1x"])
+        assert joined[2] == (["a2"], ["b2"], [])
+
+    def test_cogroup_requires_same_pipeline(self, pipeline):
+        other = Pipeline(4)
+        a = pipeline.create_keyed([(1, 1)])
+        b = other.create_keyed([(1, 1)])
+        with pytest.raises(ValueError):
+            cogroup([a, b])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            flatten([])
+        with pytest.raises(ValueError):
+            cogroup([])
+
+
+class TestKthLargest:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200),
+        st.data(),
+    )
+    def test_matches_numpy(self, values, data):
+        k = data.draw(st.integers(1, len(values)))
+        pipeline = Pipeline(num_shards=3)
+        pc = pipeline.create(values)
+        expected = float(np.sort(np.asarray(values))[len(values) - k])
+        assert distributed_kth_largest(pc, k) == expected
+
+    def test_small_exact_cap_still_exact(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=5000).tolist()
+        pipeline = Pipeline(num_shards=8)
+        pc = pipeline.create(values)
+        got = distributed_kth_largest(pc, 1234, exact_cap=64)
+        expected = float(np.sort(values)[5000 - 1234])
+        assert got == expected
+
+    def test_all_equal(self):
+        pipeline = Pipeline(2)
+        assert distributed_kth_largest(pipeline.create([2.0] * 10), 5) == 2.0
+
+    def test_k_out_of_range(self):
+        pipeline = Pipeline(2)
+        with pytest.raises(ValueError):
+            distributed_kth_largest(pipeline.create([1.0]), 2)
+
+
+class TestMetrics:
+    def test_peak_shard_well_below_total(self):
+        pipeline = Pipeline(num_shards=16)
+        pc = pipeline.create_keyed([(i, i) for i in range(16_000)])
+        pc.group_by_key()
+        assert pipeline.metrics.peak_shard_records < 16_000 / 4
+
+    def test_shuffle_counted(self):
+        pipeline = Pipeline(num_shards=4)
+        pc = pipeline.create_keyed([(i, i) for i in range(100)])
+        before = pipeline.metrics.shuffled_records
+        pc.group_by_key()
+        assert pipeline.metrics.shuffled_records == before + 100
+
+    def test_materialize_metered(self):
+        pipeline = Pipeline(num_shards=4)
+        pipeline.create(range(42)).to_list()
+        assert pipeline.metrics.materialized_records == 42
+
+    def test_combiner_lifting_reduces_shuffle(self):
+        """CombinePerKey must shuffle only per-key partials, not all records."""
+        pipeline = Pipeline(num_shards=4)
+        pc = pipeline.create_keyed([(i % 3, i) for i in range(3000)])
+        before = pipeline.metrics.shuffled_records
+        pc.combine_per_key(lambda: 0, lambda a, v: a + v, lambda a, b: a + b)
+        shuffled = pipeline.metrics.shuffled_records - before
+        assert shuffled <= 3 * 4  # keys × shards upper bound
+
+    def test_snapshot_and_reset(self):
+        pipeline = Pipeline(2)
+        pipeline.create(range(10))
+        snap = pipeline.metrics.snapshot()
+        pipeline.metrics.reset()
+        assert snap.peak_shard_records > 0
+        assert pipeline.metrics.peak_shard_records == 0

@@ -1,0 +1,96 @@
+"""Equivalence of the Section-5 join-based bounding/scoring vs in-memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounding import bound
+from repro.core.objective import PairwiseObjective
+from repro.core.problem import SubsetProblem
+from repro.dataflow import beam_bound, beam_score
+from tests.conftest import random_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.data.registry import load_dataset
+
+    ds = load_dataset("cifar100_tiny", n_points=400, seed=0)
+    return SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+
+
+class TestBeamBoundingEquivalence:
+    @pytest.mark.parametrize("k_fraction", [0.1, 0.5, 0.8])
+    def test_exact_mode_matches_memory(self, problem, k_fraction):
+        k = int(problem.n * k_fraction)
+        mem = bound(problem, k, mode="exact")
+        beam, _ = beam_bound(problem, k, mode="exact", num_shards=4)
+        np.testing.assert_array_equal(mem.solution, beam.solution)
+        np.testing.assert_array_equal(mem.remaining, beam.remaining)
+        assert mem.grow_rounds == beam.grow_rounds
+        assert mem.shrink_rounds == beam.shrink_rounds
+        assert mem.k_remaining == beam.k_remaining
+
+    def test_exact_mode_random_instances(self):
+        for seed in range(3):
+            p = random_problem(80, seed=seed, avg_degree=5)
+            k = 12
+            mem = bound(p, k, mode="exact")
+            beam, _ = beam_bound(p, k, mode="exact", num_shards=3)
+            np.testing.assert_array_equal(mem.solution, beam.solution)
+            np.testing.assert_array_equal(mem.remaining, beam.remaining)
+
+    def test_approximate_mode_statistics(self, problem):
+        """Hash-sampled beam bounding behaves like the RNG-sampled one."""
+        k = problem.n // 10
+        mem = bound(problem, k, mode="approximate", p=0.3, seed=0)
+        beam, _ = beam_bound(
+            problem, k, mode="approximate", p=0.3, num_shards=4, seed=0
+        )
+        # Different sampling streams, same qualitative outcome: both decide
+        # far more than exact bounding does.
+        exact = bound(problem, k, mode="exact")
+        for result in (mem, beam):
+            assert (
+                result.n_included + result.n_excluded
+                >= exact.n_included + exact.n_excluded
+            )
+        assert beam.n_included + beam.k_remaining == k
+
+    def test_weighted_sampler_runs(self, problem):
+        k = problem.n // 10
+        beam, _ = beam_bound(
+            problem, k, mode="approximate", sampler="weighted", p=0.3,
+            num_shards=4, seed=1,
+        )
+        assert beam.n_included + beam.k_remaining == k
+
+    def test_memory_bound_claim(self, problem):
+        """No shard ever holds anything near the whole ground set + edges."""
+        total_records = problem.n + problem.graph.num_directed_edges
+        _, metrics = beam_bound(problem, problem.n // 10, num_shards=8)
+        assert metrics.peak_shard_records < total_records / 2
+        assert metrics.shuffled_records > 0
+
+    def test_invalid_k(self, problem):
+        with pytest.raises(ValueError):
+            beam_bound(problem, problem.n + 1)
+
+
+class TestBeamScoring:
+    def test_matches_objective_on_random_subsets(self, problem):
+        obj = PairwiseObjective(problem)
+        rng = np.random.default_rng(0)
+        for k in (0, 1, 25, 200):
+            ids = np.sort(rng.choice(problem.n, size=k, replace=False))
+            beam_value, _ = beam_score(problem, ids, num_shards=4)
+            assert beam_value == pytest.approx(obj.value(ids), abs=1e-9)
+
+    def test_memory_bound(self, problem):
+        ids = np.arange(0, problem.n, 2)
+        _, metrics = beam_score(problem, ids, num_shards=8)
+        total = problem.n + problem.graph.num_directed_edges
+        assert metrics.peak_shard_records < total / 2
+
+    def test_out_of_range_subset(self, problem):
+        with pytest.raises(ValueError):
+            beam_score(problem, np.array([problem.n]))

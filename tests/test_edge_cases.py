@@ -1,0 +1,133 @@
+"""Edge-case and robustness tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounding import bound
+from repro.core.distributed import distributed_greedy
+from repro.core.greedy import greedy_heap, greedy_naive
+from repro.core.objective import PairwiseObjective
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.problem import SubsetProblem
+from repro.graph.csr import NeighborGraph
+from tests.conftest import random_problem
+
+
+class TestDegenerateInstances:
+    def test_single_point_ground_set(self):
+        p = SubsetProblem(np.array([1.0]), NeighborGraph.empty(1))
+        assert greedy_heap(p, 1).selected.tolist() == [0]
+        result = bound(p, 1)
+        assert result.complete and result.solution.tolist() == [0]
+
+    def test_all_zero_utilities(self):
+        p = random_problem(30, seed=0, utility_scale=0.0)
+        res = greedy_heap(p, 10)
+        assert len(res) == 10
+        # With zero utilities greedy picks the least-connected points first;
+        # objective is non-positive.
+        assert res.objective <= 1e-12
+
+    def test_zero_beta_pure_utility(self):
+        rng = np.random.default_rng(0)
+        utilities = rng.random(50)
+        g = random_problem(50, seed=1).graph
+        p = SubsetProblem(utilities, g, alpha=1.0, beta=0.0)
+        res = greedy_naive(p, 5)
+        expected = set(np.argsort(-utilities)[:5].tolist())
+        assert set(res.selected.tolist()) == expected
+
+    def test_complete_graph_strong_diversity(self):
+        """beta large: greedy must avoid adjacent picks when possible."""
+        n = 8
+        src, dst = np.triu_indices(n, 1)
+        g = NeighborGraph.from_edges(n, src, dst, np.full(src.size, 1.0))
+        p = SubsetProblem(np.full(n, 1.0), g, alpha=1.0, beta=10.0)
+        res = greedy_heap(p, 3)
+        # First pick gains 1.0, every later pick pays 10 per selected
+        # neighbor; objective reflects that exactly.
+        assert res.objective == pytest.approx(3 * 1.0 - 10.0 * 3)
+
+    def test_disconnected_components(self):
+        g = NeighborGraph.from_edges(
+            6, np.array([0, 3]), np.array([1, 4]), np.array([0.5, 0.5])
+        )
+        p = SubsetProblem(np.array([5.0, 4.0, 3.0, 2.0, 1.0, 0.5]), g,
+                          alpha=1.0, beta=1.0)
+        result = distributed_greedy(p, 3, m=2, rounds=2, seed=0)
+        assert len(result) == 3
+
+    def test_k_equals_n_distributed(self, small_problem):
+        result = distributed_greedy(
+            small_problem, small_problem.n, m=4, rounds=3, seed=0
+        )
+        assert len(result) == small_problem.n
+
+
+class TestBoundingRobustness:
+    def test_max_rounds_cutoff_returns_valid_state(self, tiny_problem):
+        result = bound(
+            tiny_problem, tiny_problem.n // 2, mode="approximate", p=0.3,
+            seed=0, max_rounds=2,
+        )
+        assert result.grow_rounds + result.shrink_rounds <= 2
+        assert result.n_included + result.k_remaining == tiny_problem.n // 2
+        assert result.remaining.size >= result.k_remaining
+
+    def test_pipeline_with_truncated_bounding_still_returns_k(self, tiny_problem):
+        # SelectorConfig doesn't expose max_rounds; emulate by combining a
+        # truncated bound with distributed greedy manually.
+        k = tiny_problem.n // 10
+        result = bound(tiny_problem, k, mode="approximate", p=0.3,
+                       seed=0, max_rounds=3)
+        mask = np.zeros(tiny_problem.n, dtype=bool)
+        mask[result.solution] = True
+        penalty = tiny_problem.beta * tiny_problem.graph.neighbor_mass(mask)
+        selected = distributed_greedy(
+            tiny_problem, result.k_remaining, m=4, rounds=2,
+            candidates=result.remaining, base_penalty=penalty, seed=0,
+        ).selected
+        final = np.concatenate([result.solution, selected])
+        assert np.unique(final).size == k
+
+    def test_bounding_with_isolated_vertices(self):
+        """Vertices with no edges have Umin == Umax == u."""
+        g = NeighborGraph.empty(20)
+        rng = np.random.default_rng(0)
+        p = SubsetProblem(rng.random(20), g, alpha=0.9, beta=0.1)
+        result = bound(p, 5, mode="exact")
+        # With no pairwise terms bounding solves the problem outright: the
+        # top-5 by utility are provably optimal.
+        assert result.complete
+        expected = set(np.argsort(-p.utilities)[:5].tolist())
+        assert set(result.solution.tolist()) == expected
+
+
+class TestSelectorRobustness:
+    def test_tiny_k_one(self, tiny_problem):
+        report = DistributedSelector(
+            tiny_problem,
+            SelectorConfig(bounding="approximate", sampling_fraction=0.3,
+                           machines=4, rounds=2),
+        ).select(1, seed=0)
+        assert len(report) == 1
+
+    def test_k_equals_n(self, small_problem):
+        report = DistributedSelector(
+            small_problem, SelectorConfig(bounding="exact", machines=2)
+        ).select(small_problem.n, seed=0)
+        assert len(report) == small_problem.n
+
+    def test_many_more_machines_than_points(self):
+        p = random_problem(10, seed=0)
+        report = DistributedSelector(
+            p, SelectorConfig(machines=64, rounds=2)
+        ).select(3, seed=0)
+        assert len(report) == 3
+
+    def test_objective_reported_matches_recomputation(self, tiny_problem):
+        report = DistributedSelector(
+            tiny_problem, SelectorConfig(machines=4, rounds=2)
+        ).select(40, seed=0)
+        obj = PairwiseObjective(tiny_problem)
+        assert report.objective == pytest.approx(obj.value(report.selected))

@@ -1,0 +1,83 @@
+"""Tests for the selection-quality metrics module."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_heap
+from repro.eval import evaluate_selection
+from repro.baselines.random_subset import random_subset
+
+
+class TestEvaluateSelection:
+    def test_basic_metrics(self, tiny_dataset, tiny_problem):
+        selected = greedy_heap(tiny_problem, 80).selected
+        metrics = evaluate_selection(
+            tiny_problem, selected,
+            labels=tiny_dataset.labels, embeddings=tiny_dataset.embeddings,
+        )
+        assert np.isfinite(metrics.objective)
+        assert 0 < metrics.utility_capture < 1
+        assert metrics.redundancy_per_point >= 0
+        assert 0 < metrics.class_coverage <= 1
+        assert 0 <= metrics.class_balance_entropy <= 1
+        assert metrics.coverage_radius > 0
+        assert metrics.facility_location > 0
+
+    def test_without_optional_inputs(self, tiny_problem):
+        selected = np.arange(10)
+        metrics = evaluate_selection(tiny_problem, selected)
+        assert metrics.class_coverage is None
+        assert metrics.coverage_radius is None
+
+    def test_empty_selection(self, tiny_problem):
+        metrics = evaluate_selection(tiny_problem, np.empty(0, dtype=np.int64))
+        assert metrics.objective == 0.0
+        assert metrics.utility_capture == 0.0
+        assert metrics.redundancy_per_point == 0.0
+
+    def test_full_selection_captures_everything(self, tiny_problem):
+        metrics = evaluate_selection(
+            tiny_problem, np.arange(tiny_problem.n)
+        )
+        assert metrics.utility_capture == pytest.approx(1.0)
+
+    def test_greedy_beats_random_on_objective_and_radius(
+        self, tiny_dataset, tiny_problem
+    ):
+        k = tiny_problem.n // 10
+        greedy_sel = greedy_heap(tiny_problem, k).selected
+        random_sel = random_subset(tiny_problem, k, seed=0).selected
+        m_greedy = evaluate_selection(
+            tiny_problem, greedy_sel, embeddings=tiny_dataset.embeddings
+        )
+        m_random = evaluate_selection(
+            tiny_problem, random_sel, embeddings=tiny_dataset.embeddings
+        )
+        assert m_greedy.objective > m_random.objective
+        # Greedy avoids redundant picks.
+        assert m_greedy.redundancy_per_point <= m_random.redundancy_per_point + 0.05
+
+    def test_out_of_range_rejected(self, tiny_problem):
+        with pytest.raises(ValueError):
+            evaluate_selection(tiny_problem, np.array([tiny_problem.n]))
+
+    def test_embedding_mismatch_rejected(self, tiny_dataset, tiny_problem):
+        with pytest.raises(ValueError):
+            evaluate_selection(
+                tiny_problem, np.arange(5),
+                embeddings=tiny_dataset.embeddings[:10],
+            )
+
+    def test_blocked_distance_path(self, tiny_dataset, tiny_problem):
+        """Small embedding_block exercises the memory-safe fallback."""
+        selected = np.arange(0, tiny_problem.n, 13)
+        a = evaluate_selection(
+            tiny_problem, selected, embeddings=tiny_dataset.embeddings,
+            embedding_block=64,
+        )
+        b = evaluate_selection(
+            tiny_problem, selected, embeddings=tiny_dataset.embeddings,
+            embedding_block=4096,
+        )
+        assert a.coverage_radius == pytest.approx(b.coverage_radius, abs=1e-9)
+        assert a.facility_location == pytest.approx(b.facility_location, rel=1e-9)

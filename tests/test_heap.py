@@ -1,0 +1,140 @@
+"""Unit + property tests for the addressable max-heap."""
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import AddressableMaxHeap
+
+
+class TestBasics:
+    def test_empty_heap(self):
+        heap = AddressableMaxHeap()
+        assert len(heap) == 0
+        assert not heap
+        with pytest.raises(IndexError):
+            heap.popmax()
+        with pytest.raises(IndexError):
+            heap.peekmax()
+
+    def test_push_pop_order(self):
+        heap = AddressableMaxHeap()
+        heap.push(1, 3.0)
+        heap.push(2, 5.0)
+        heap.push(3, 4.0)
+        assert heap.popmax() == (2, 5.0)
+        assert heap.popmax() == (3, 4.0)
+        assert heap.popmax() == (1, 3.0)
+
+    def test_init_from_items(self):
+        heap = AddressableMaxHeap([(0, 1.0), (1, 2.0), (2, 0.5)])
+        assert len(heap) == 3
+        assert heap.popmax() == (1, 2.0)
+
+    def test_tie_breaks_smaller_key(self):
+        heap = AddressableMaxHeap([(5, 1.0), (2, 1.0), (9, 1.0)])
+        assert heap.popmax()[0] == 2
+        assert heap.popmax()[0] == 5
+        assert heap.popmax()[0] == 9
+
+    def test_contains_and_priority(self):
+        heap = AddressableMaxHeap([(1, 2.0)])
+        assert 1 in heap
+        assert 7 not in heap
+        assert heap.priority(1) == 2.0
+        with pytest.raises(KeyError):
+            heap.priority(7)
+
+    def test_decrease_weight_by(self):
+        heap = AddressableMaxHeap([(1, 10.0), (2, 8.0)])
+        heap.decrease_weight_by(1, 5.0)
+        assert heap.popmax() == (2, 8.0)
+        assert heap.popmax() == (1, 5.0)
+
+    def test_decrease_negative_delta_rejected(self):
+        heap = AddressableMaxHeap([(1, 1.0)])
+        with pytest.raises(ValueError):
+            heap.decrease_weight_by(1, -0.5)
+
+    def test_repeated_decreases_accumulate(self):
+        heap = AddressableMaxHeap([(1, 10.0)])
+        for _ in range(4):
+            heap.decrease_weight_by(1, 1.0)
+        assert heap.popmax() == (1, 6.0)
+
+    def test_push_overwrites_priority(self):
+        heap = AddressableMaxHeap([(1, 1.0)])
+        heap.push(1, 9.0)
+        assert len(heap) == 1
+        assert heap.popmax() == (1, 9.0)
+
+    def test_push_after_pop_reinserts(self):
+        heap = AddressableMaxHeap([(1, 1.0)])
+        heap.popmax()
+        heap.push(1, 2.0)
+        assert heap.popmax() == (1, 2.0)
+
+    def test_discard(self):
+        heap = AddressableMaxHeap([(1, 5.0), (2, 1.0)])
+        assert heap.discard(1)
+        assert not heap.discard(1)
+        assert heap.popmax() == (2, 1.0)
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableMaxHeap([(1, 5.0)])
+        assert heap.peekmax() == (1, 5.0)
+        assert len(heap) == 1
+
+    def test_items_iterates_live_entries(self):
+        heap = AddressableMaxHeap([(1, 5.0), (2, 3.0)])
+        heap.decrease_weight_by(1, 4.0)
+        assert dict(heap.items()) == {1: 1.0, 2: 3.0}
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.floats(-100, 100, allow_nan=False)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_pop_sequence_matches_sorted_reference(entries):
+    """Last write wins per key; pops come out in descending priority."""
+    final = {}
+    for key, pri in entries:
+        final[key] = pri
+    heap = AddressableMaxHeap()
+    for key, pri in entries:
+        heap.push(key, pri)
+    popped = [heap.popmax() for _ in range(len(final))]
+    expected = sorted(final.items(), key=lambda kv: (-kv[1], kv[0]))
+    assert [(k, pytest.approx(p)) for k, p in popped] == [
+        (k, pytest.approx(p)) for k, p in expected
+    ]
+    assert len(heap) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=40),
+    st.data(),
+)
+def test_random_decreases_keep_heap_consistent(priorities, data):
+    heap = AddressableMaxHeap(enumerate(priorities))
+    shadow = dict(enumerate(priorities))
+    n_ops = data.draw(st.integers(0, 30))
+    for _ in range(n_ops):
+        key = data.draw(st.sampled_from(sorted(shadow)))
+        delta = data.draw(st.floats(0, 10, allow_nan=False))
+        heap.decrease_weight_by(key, delta)
+        shadow[key] -= delta
+    out = [heap.popmax() for _ in range(len(shadow))]
+    expected = sorted(shadow.items(), key=lambda kv: (-kv[1], kv[0]))
+    assert [k for k, _ in out] == [k for k, _ in expected]
+    np.testing.assert_allclose(
+        [p for _, p in out], [p for _, p in expected], rtol=0, atol=1e-9
+    )

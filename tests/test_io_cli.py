@@ -1,0 +1,153 @@
+"""Tests for serialization (repro.io) and the command-line interface."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.data.registry import load_dataset
+from repro.graph.csr import NeighborGraph
+from repro.io import (
+    load_dataset_file,
+    load_graph,
+    load_report,
+    report_to_dict,
+    save_dataset,
+    save_graph,
+    save_report,
+)
+from repro.core.problem import SubsetProblem
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("cifar100_tiny", n_points=300, seed=0)
+
+
+class TestGraphIO:
+    def test_round_trip(self, ds, tmp_path):
+        path = str(tmp_path / "graph.npz")
+        save_graph(ds.graph, path)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.indptr, ds.graph.indptr)
+        np.testing.assert_array_equal(loaded.indices, ds.graph.indices)
+        np.testing.assert_array_equal(loaded.weights, ds.graph.weights)
+
+    def test_wrong_kind_rejected(self, ds, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(ds, path)
+        with pytest.raises(ValueError, match="not a neighbor_graph"):
+            load_graph(path)
+
+
+class TestDatasetIO:
+    def test_round_trip(self, ds, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        save_dataset(ds, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == ds.name
+        np.testing.assert_array_equal(loaded.embeddings, ds.embeddings)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+        np.testing.assert_array_equal(loaded.utilities, ds.utilities)
+        np.testing.assert_array_equal(loaded.neighbors, ds.neighbors)
+        assert loaded.graph.num_edges == ds.graph.num_edges
+
+
+class TestReportIO:
+    def test_round_trip(self, ds, tmp_path):
+        problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+        report = DistributedSelector(
+            problem,
+            SelectorConfig(bounding="exact", machines=2, rounds=2),
+        ).select(30, seed=0)
+        path = str(tmp_path / "report.json")
+        save_report(report, path)
+        loaded = load_report(path)
+        assert loaded["selected"] == report.selected.tolist()
+        assert loaded["objective"] == pytest.approx(report.objective)
+        assert loaded["bounding"]["grow_rounds"] >= 1
+        assert loaded["config"]["machines"] == 2
+
+    def test_dict_has_greedy_rounds(self, ds):
+        problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+        report = DistributedSelector(
+            problem, SelectorConfig(machines=2, rounds=3)
+        ).select(30, seed=0)
+        data = report_to_dict(report)
+        assert len(data["greedy_rounds"]) == 3
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"version": 99}, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_report(path)
+
+
+class TestCLI:
+    def test_select_preset(self, tmp_path, capsys):
+        out = str(tmp_path / "ids.npy")
+        code = main([
+            "select", "--preset", "cifar100_tiny", "--n-points", "300",
+            "--k", "30", "--out", out, "--seed", "0",
+        ])
+        assert code == 0
+        ids = np.load(out)
+        assert ids.size == 30
+        assert "selected 30 of 300" in capsys.readouterr().out
+
+    def test_select_with_bounding_and_report(self, tmp_path, capsys):
+        out = str(tmp_path / "ids.npy")
+        rep = str(tmp_path / "rep.json")
+        code = main([
+            "select", "--preset", "cifar100_tiny", "--n-points", "300",
+            "--fraction", "0.1", "--bounding", "approximate",
+            "--sampling-fraction", "0.3", "--machines", "4", "--rounds", "4",
+            "--adaptive", "--out", out, "--report", rep,
+        ])
+        assert code == 0
+        assert np.load(out).size == 30
+        assert os.path.exists(rep)
+        assert "bounding:" in capsys.readouterr().out
+
+    def test_select_from_npy_files(self, ds, tmp_path, capsys):
+        emb = str(tmp_path / "x.npy")
+        lab = str(tmp_path / "y.npy")
+        np.save(emb, ds.embeddings)
+        np.save(lab, ds.labels)
+        code = main([
+            "select", "--embeddings", emb, "--labels", lab,
+            "--k", "20", "--knn-k", "5",
+        ])
+        assert code == 0
+        assert "selected 20" in capsys.readouterr().out
+
+    def test_score(self, tmp_path, capsys):
+        ids = str(tmp_path / "ids.npy")
+        np.save(ids, np.arange(25))
+        code = main([
+            "score", "--preset", "cifar100_tiny", "--n-points", "300",
+            "--subset", ids,
+        ])
+        assert code == 0
+        assert "f(S) =" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        code = main(["info", "--preset", "cifar100_tiny", "--n-points", "300"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "points: 300" in out
+        assert "monotone certificate" in out
+
+    def test_missing_source_errors(self):
+        with pytest.raises(SystemExit):
+            main(["select", "--k", "10"])
+
+    def test_default_uniform_utilities(self, ds, tmp_path, capsys):
+        emb = str(tmp_path / "x.npy")
+        np.save(emb, ds.embeddings[:100])
+        code = main(["select", "--embeddings", emb, "--k", "5", "--knn-k", "3"])
+        assert code == 0

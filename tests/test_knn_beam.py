@@ -1,0 +1,81 @@
+"""Tests for the distributed kNN-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.knn_beam import beam_knn_graph
+from repro.graph.knn import exact_knn
+from tests.test_knn import clustered_points
+
+
+class TestBeamKnnGraph:
+    def test_output_shapes(self):
+        x, _ = clustered_points(n=150)
+        graph, neighbors, sims, _ = beam_knn_graph(x, 5, seed=0)
+        assert graph.n == 150
+        assert neighbors.shape == (150, 5)
+        assert sims.shape == (150, 5)
+        assert graph.min_degree() >= 5
+
+    def test_valid_neighbor_tables(self):
+        x, _ = clustered_points(n=100)
+        _, neighbors, sims, _ = beam_knn_graph(x, 4, seed=1)
+        for v in range(100):
+            row = neighbors[v]
+            assert v not in row
+            assert len(set(row.tolist())) == 4
+            assert (row >= 0).all() and (row < 100).all()
+        assert (sims >= 0).all()
+
+    def test_recall_vs_exact(self):
+        x, _ = clustered_points(n=300, n_clusters=5)
+        exact_nbrs, _ = exact_knn(x, 5)
+        _, beam_nbrs, _, _ = beam_knn_graph(
+            x, 5, n_clusters=10, nprobe=3, seed=0
+        )
+        recall = np.mean([
+            len(set(exact_nbrs[i]) & set(beam_nbrs[i])) / 5
+            for i in range(300)
+        ])
+        assert recall > 0.8, recall
+
+    def test_memory_bounded(self):
+        x, _ = clustered_points(n=400, n_clusters=8)
+        _, _, _, metrics = beam_knn_graph(
+            x, 5, n_clusters=16, nprobe=2, num_shards=8, seed=0
+        )
+        # Workers hold per-cell groups, never the corpus.
+        assert metrics.peak_shard_records < 400
+        assert metrics.shuffled_records > 0
+
+    def test_deterministic(self):
+        x, _ = clustered_points(n=120)
+        a = beam_knn_graph(x, 4, seed=5)[1]
+        b = beam_knn_graph(x, 4, seed=5)[1]
+        np.testing.assert_array_equal(a, b)
+
+    def test_k_validation(self):
+        x, _ = clustered_points(n=20)
+        with pytest.raises(ValueError):
+            beam_knn_graph(x, 20)
+        with pytest.raises(ValueError):
+            beam_knn_graph(x, 0)
+
+    def test_selection_quality_on_beam_graph(self):
+        """End-to-end: graph built by dataflow feeds the selector."""
+        from repro.core.greedy import greedy_heap
+        from repro.core.objective import PairwiseObjective
+        from repro.core.problem import SubsetProblem
+        from repro.graph.symmetrize import build_knn_graph
+
+        x, _ = clustered_points(n=200, n_clusters=4)
+        rng = np.random.default_rng(0)
+        utilities = rng.random(200)
+        exact_graph, _, _ = build_knn_graph(x, 5, method="exact")
+        beam_graph, _, _, _ = beam_knn_graph(x, 5, seed=0)
+        scores = []
+        for graph in (exact_graph, beam_graph):
+            problem = SubsetProblem.with_alpha(utilities, graph, 0.9)
+            sel = greedy_heap(problem, 20).selected
+            scores.append(PairwiseObjective(problem).value(sel))
+        assert scores[1] >= 0.9 * scores[0]

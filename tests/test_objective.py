@@ -1,0 +1,163 @@
+"""Tests for SubsetProblem and PairwiseObjective (Sec. 3, App. A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import PairwiseObjective
+from repro.core.problem import SubsetProblem
+from repro.graph.csr import NeighborGraph
+from tests.conftest import random_problem
+
+
+def path_problem() -> SubsetProblem:
+    """0-1-2 path: edges (0,1) w=2, (1,2) w=4; utilities 5, 6, 7."""
+    graph = NeighborGraph.from_edges(
+        3, np.array([0, 1]), np.array([1, 2]), np.array([2.0, 4.0])
+    )
+    return SubsetProblem(np.array([5.0, 6.0, 7.0]), graph, alpha=1.0, beta=1.0)
+
+
+class TestProblem:
+    def test_mismatched_sizes_rejected(self):
+        graph = NeighborGraph.empty(3)
+        with pytest.raises(ValueError):
+            SubsetProblem(np.zeros(4), graph)
+
+    def test_with_alpha_sets_beta(self):
+        p = SubsetProblem.with_alpha(np.zeros(2), NeighborGraph.empty(2), 0.9)
+        assert p.beta == pytest.approx(0.1)
+
+    def test_with_alpha_out_of_range(self):
+        with pytest.raises(ValueError):
+            SubsetProblem.with_alpha(np.zeros(2), NeighborGraph.empty(2), 1.5)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetProblem(np.zeros(2), NeighborGraph.empty(2), alpha=1.0, beta=-0.1)
+
+    def test_beta_over_alpha(self):
+        p = path_problem()
+        assert p.beta_over_alpha == 1.0
+        with pytest.raises(ZeroDivisionError):
+            SubsetProblem(np.zeros(2), NeighborGraph.empty(2), 0.0, 0.0).beta_over_alpha  # noqa: B018
+
+    def test_restrict(self):
+        p = path_problem()
+        sub = p.restrict(np.array([1, 2]))
+        assert sub.n == 2
+        np.testing.assert_array_equal(sub.utilities, [6.0, 7.0])
+        assert sub.graph.num_edges == 1
+
+
+class TestValue:
+    def test_empty_set(self):
+        assert PairwiseObjective(path_problem()).value([]) == 0.0
+
+    def test_singletons(self):
+        obj = PairwiseObjective(path_problem())
+        assert obj.value([0]) == 5.0
+        assert obj.value([2]) == 7.0
+
+    def test_pair_counts_edge_once(self):
+        obj = PairwiseObjective(path_problem())
+        assert obj.value([0, 1]) == 5.0 + 6.0 - 2.0
+
+    def test_full_set(self):
+        obj = PairwiseObjective(path_problem())
+        assert obj.value([0, 1, 2]) == 18.0 - 6.0
+
+    def test_alpha_beta_scaling(self):
+        p = path_problem()
+        scaled = SubsetProblem(p.utilities, p.graph, alpha=0.5, beta=2.0)
+        obj = PairwiseObjective(scaled)
+        assert obj.value([0, 1]) == 0.5 * 11.0 - 2.0 * 2.0
+
+    def test_mask_and_ids_agree(self):
+        obj = PairwiseObjective(path_problem())
+        mask = np.array([True, False, True])
+        assert obj.value(mask) == obj.value([0, 2]) == obj.value({0, 2})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseObjective(path_problem()).value([0, 0])
+
+    def test_unary_pairwise_decomposition(self):
+        p = random_problem(30, seed=1)
+        obj = PairwiseObjective(p)
+        subset = np.array([1, 4, 9, 20])
+        assert obj.value(subset) == pytest.approx(
+            p.alpha * obj.unary(subset) - p.beta * obj.pairwise(subset)
+        )
+
+
+class TestMarginalGain:
+    def test_matches_value_difference(self):
+        p = random_problem(25, seed=2)
+        obj = PairwiseObjective(p)
+        subset = [0, 5, 10]
+        for v in (1, 7, 24):
+            expected = obj.value(subset + [v]) - obj.value(subset)
+            assert obj.marginal_gain(v, subset) == pytest.approx(expected)
+
+    def test_member_rejected(self):
+        obj = PairwiseObjective(path_problem())
+        with pytest.raises(ValueError):
+            obj.marginal_gain(0, [0])
+
+    def test_gains_all_consistent(self):
+        p = random_problem(20, seed=3)
+        obj = PairwiseObjective(p)
+        subset = [2, 3]
+        gains = obj.marginal_gains_all(subset)
+        for v in range(p.n):
+            if v in subset:
+                continue
+            assert gains[v] == pytest.approx(obj.marginal_gain(v, subset))
+
+
+class TestSubmodularityAndMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_diminishing_returns(self, seed):
+        """f(A∪e)-f(A) <= f(B∪e)-f(B) for random nested B ⊆ A (Def. 3.1)."""
+        rng = np.random.default_rng(seed)
+        p = random_problem(12, seed=seed % 1000, alpha=float(rng.uniform(0.05, 0.95)))
+        obj = PairwiseObjective(p)
+        a_ids = rng.choice(12, size=rng.integers(1, 9), replace=False)
+        b_size = rng.integers(0, a_ids.size + 1)
+        b_ids = a_ids[:b_size]
+        outside = np.setdiff1d(np.arange(12), a_ids)
+        if outside.size == 0:
+            return
+        e = int(rng.choice(outside))
+        gain_a = obj.marginal_gain(e, a_ids)
+        gain_b = obj.marginal_gain(e, b_ids)
+        assert gain_a <= gain_b + 1e-9
+
+    def test_monotonicity_offset_formula(self):
+        p = path_problem()
+        obj = PairwiseObjective(p)
+        # max neighbor mass is at vertex 1: 2 + 4 = 6; beta/alpha = 1.
+        assert obj.monotonicity_offset() == 6.0
+
+    def test_offset_zero_when_beta_zero(self):
+        p = SubsetProblem(np.ones(3), path_problem().graph, alpha=1.0, beta=0.0)
+        assert PairwiseObjective(p).monotonicity_offset() == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_offset_makes_function_monotone(self, seed):
+        """After the Appendix-A shift, f(B) <= f(A) for nested B ⊆ A."""
+        rng = np.random.default_rng(seed)
+        p = random_problem(10, seed=seed % 997, alpha=0.2)
+        shifted = PairwiseObjective(p).with_monotone_offset()
+        assert shifted.is_monotone_certificate()
+        a_ids = rng.choice(10, size=rng.integers(1, 11), replace=False)
+        b_ids = a_ids[: rng.integers(0, a_ids.size + 1)]
+        assert shifted.value(b_ids) <= shifted.value(a_ids) + 1e-9
+
+    def test_certificate_true_for_utility_dominated(self):
+        p = random_problem(30, seed=4, alpha=0.9, utility_scale=100.0)
+        assert PairwiseObjective(p).is_monotone_certificate()

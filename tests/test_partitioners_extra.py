@@ -1,0 +1,80 @@
+"""Tests for the stratified partitioner and simulator failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSimulator, MachineSpec
+from repro.core.distributed import distributed_greedy, stratified_partitioner
+from repro.core.objective import PairwiseObjective
+from repro.utils.rng import as_generator
+
+
+class TestStratifiedPartitioner:
+    def test_covers_all_ids(self):
+        strata = np.arange(100) % 5
+        partitioner = stratified_partitioner(strata)
+        parts = partitioner(1, np.arange(100), 4, as_generator(0))
+        joined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(joined, np.arange(100))
+
+    def test_spreads_each_stratum(self):
+        strata = np.arange(400) % 4
+        partitioner = stratified_partitioner(strata)
+        parts = partitioner(1, np.arange(400), 4, as_generator(0))
+        for part in parts:
+            counts = np.bincount(strata[part], minlength=4)
+            # 100 members per stratum over 4 partitions -> ~25 each.
+            assert counts.min() >= 15, counts
+
+    def test_single_partition(self):
+        strata = np.zeros(10, dtype=np.int64)
+        partitioner = stratified_partitioner(strata)
+        parts = partitioner(1, np.arange(10), 1, as_generator(0))
+        assert len(parts) == 1 and parts[0].size == 10
+
+    def test_usable_in_distributed_greedy(self, tiny_dataset, tiny_problem):
+        partitioner = stratified_partitioner(tiny_dataset.labels)
+        result = distributed_greedy(
+            tiny_problem, 60, m=4, rounds=2, partitioner=partitioner, seed=0
+        )
+        assert len(result) == 60
+
+    def test_not_worse_than_random(self, tiny_dataset, tiny_problem):
+        """Stratification preserves global structure per partition."""
+        obj = PairwiseObjective(tiny_problem)
+        k = tiny_problem.n // 10
+        random_score = obj.value(
+            distributed_greedy(tiny_problem, k, m=8, rounds=1, seed=0).selected
+        )
+        strat_score = obj.value(
+            distributed_greedy(
+                tiny_problem, k, m=8, rounds=1,
+                partitioner=stratified_partitioner(tiny_dataset.labels),
+                seed=0,
+            ).selected
+        )
+        assert strat_score >= 0.8 * random_score
+
+
+class TestFailureInjection:
+    def test_preemptions_slow_but_do_not_change_result(self, tiny_problem):
+        base = ClusterSimulator(MachineSpec(dram_bytes=10**15))
+        flaky = ClusterSimulator(
+            MachineSpec(dram_bytes=10**15), preemption_rate=0.5
+        )
+        run_base = base.run(tiny_problem, 60, m=4, rounds=4, seed=0)
+        run_flaky = flaky.run(tiny_problem, 60, m=4, rounds=4, seed=0)
+        np.testing.assert_array_equal(
+            run_base.result.selected, run_flaky.result.selected
+        )
+        assert run_flaky.preemptions > 0
+        assert run_flaky.makespan_hours >= run_base.makespan_hours
+
+    def test_zero_rate_no_preemptions(self, tiny_problem):
+        sim = ClusterSimulator(MachineSpec(dram_bytes=10**15))
+        run = sim.run(tiny_problem, 30, m=2, rounds=2, seed=0)
+        assert run.preemptions == 0
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(preemption_rate=1.0)

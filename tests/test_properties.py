@@ -1,0 +1,179 @@
+"""Cross-cutting property-based tests (hypothesis) on library invariants."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounding import bound, compute_utilities
+from repro.core.distributed import LinearDeltaSchedule, distributed_greedy
+from repro.core.greedy import greedy_heap
+from repro.core.normalization import normalize_scores
+from repro.core.objective import PairwiseObjective
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.sampling import uniform_edge_sample
+from tests.conftest import random_problem
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.data())
+def test_pipeline_always_returns_exactly_k(seed, data):
+    """For any config, the selector returns exactly k distinct ids."""
+    p = random_problem(60, seed=seed % 99_991, avg_degree=4)
+    k = data.draw(st.integers(1, 30))
+    config = SelectorConfig(
+        bounding=data.draw(st.sampled_from([None, "exact", "approximate"])),
+        sampling_fraction=data.draw(st.sampled_from([0.3, 0.7, 1.0])),
+        machines=data.draw(st.integers(1, 6)),
+        rounds=data.draw(st.integers(1, 4)),
+        adaptive=data.draw(st.booleans()),
+    )
+    report = DistributedSelector(p, config).select(k, seed=seed)
+    assert len(report) == k
+    assert np.unique(report.selected).size == k
+    assert report.selected.min() >= 0
+    assert report.selected.max() < p.n
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_greedy_objective_never_below_random(seed):
+    p = random_problem(50, seed=seed % 99_991)
+    obj = PairwiseObjective(p)
+    rng = np.random.default_rng(seed)
+    k = 10
+    greedy_val = obj.value(greedy_heap(p, k).selected)
+    random_val = obj.value(rng.choice(p.n, size=k, replace=False))
+    assert greedy_val >= random_val - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.floats(0.1, 0.9))
+def test_bounding_state_partition(seed, p_fraction):
+    """solution/remaining/excluded always partition the ground set."""
+    problem = random_problem(40, seed=seed % 99_991)
+    result = bound(
+        problem, 10, mode="approximate", p=p_fraction, seed=seed
+    )
+    included = set(result.solution.tolist())
+    remaining = set(result.remaining.tolist())
+    assert not included & remaining
+    assert (
+        len(included) + len(remaining) + result.n_excluded + result.overshoot
+        == problem.n
+    )
+    assert result.n_included + result.k_remaining == 10
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_umax_decreases_umin_increases_as_bounding_progresses(seed):
+    """Monotone evolution of the bounds under grow/shrink (Sec. 4.1)."""
+    problem = random_problem(40, seed=seed % 99_991)
+    remaining = np.ones(40, dtype=bool)
+    solution = np.zeros(40, dtype=bool)
+    lower0, umax0 = compute_utilities(problem, remaining, solution)
+    rng = np.random.default_rng(seed)
+    # Discard 10 random points (a shrink-like step): Umin can only rise.
+    drop = rng.choice(40, size=10, replace=False)
+    remaining[drop] = False
+    lower1, umax1 = compute_utilities(problem, remaining, solution)
+    alive = np.flatnonzero(remaining)
+    assert (lower1[alive] >= lower0[alive] - 1e-12).all()
+    np.testing.assert_allclose(umax1[alive], umax0[alive])
+    # Promote 5 survivors to the solution (a grow step): Umax can only drop.
+    grow = alive[:5]
+    solution[grow] = True
+    remaining[grow] = False
+    lower2, umax2 = compute_utilities(problem, remaining, solution)
+    still = np.flatnonzero(remaining)
+    assert (umax2[still] <= umax1[still] + 1e-12).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 200), st.integers(1, 12), st.floats(0.3, 1.2))
+def test_delta_schedule_total_work_bounded(n, r, gamma):
+    """Sum of round targets never exceeds r * n (sanity for cost model)."""
+    schedule = LinearDeltaSchedule(gamma)
+    k = max(1, n // 10)
+    total = sum(schedule(n, r, i, k) for i in range(1, r + 1))
+    assert k <= total <= r * n
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=30),
+    st.floats(-1e6, 1e6, allow_nan=False),
+)
+def test_normalization_is_affine_invariant(raw, centralized):
+    """Order of configurations is preserved by normalization."""
+    scores = {str(i): v for i, v in enumerate(raw)}
+    normalized = normalize_scores(scores, centralized)
+    order_raw = sorted(scores, key=scores.get)
+    order_norm = sorted(normalized, key=normalized.get)
+    # Ties may reorder arbitrarily; compare via values.
+    raw_vals = [scores[key] for key in order_raw]
+    norm_vals = [normalized[key] for key in order_norm]
+    assert all(a <= b + 1e-9 for a, b in zip(norm_vals, norm_vals[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(raw_vals, raw_vals[1:]))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_appendix_b_hoeffding_simulation(seed):
+    """Appendix B's core step: the sampled neighbor mass X concentrates.
+
+    For each vertex, X = Σ y_i s(v, v_i) with y_i ~ Bernoulli(p) has mean
+    p·S.  The proof lower-bounds X ≥ p²·S with probability controlled by
+    Hoeffding; empirically, the fraction of vertices violating X ≥ p²S over
+    many resamples must not exceed the union-bound estimate (loosely)."""
+    problem = random_problem(60, seed=seed % 99_991, avg_degree=8)
+    g = problem.graph
+    p = 0.7
+    violations = 0
+    trials = 30
+    rng = np.random.default_rng(seed)
+    full_mass = g.neighbor_mass()
+    for t in range(trials):
+        keep = uniform_edge_sample(g, p, rng=rng)
+        contrib = np.where(keep, g.weights, 0.0)
+        sampled = np.zeros(g.n)
+        nonempty = g.indptr[:-1] < g.indptr[1:]
+        if contrib.size:
+            sampled[nonempty] = np.add.reduceat(
+                contrib, g.indptr[:-1][nonempty]
+            )
+        violations += int((sampled < p * p * full_mass - 1e-12).sum())
+    violation_rate = violations / (trials * g.n)
+    # p² = 0.49 vs mean p = 0.7: being below p²·S requires a large
+    # deviation; empirically this is rare (clearly under 20 %).
+    assert violation_rate < 0.2, violation_rate
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_restriction_preserves_objective_on_inside_sets(seed):
+    """f restricted to a partition equals f on subsets inside it."""
+    p = random_problem(30, seed=seed % 99_991, avg_degree=5)
+    rng = np.random.default_rng(seed)
+    part = np.sort(rng.choice(30, size=15, replace=False))
+    sub = p.restrict(part)
+    obj_full = PairwiseObjective(p)
+    obj_sub = PairwiseObjective(sub)
+    local_ids = rng.choice(15, size=5, replace=False)
+    global_ids = part[local_ids]
+    # The restricted objective drops cross-partition edges, so it can only
+    # overestimate f (pairwise term shrinks).
+    assert obj_sub.value(local_ids) >= obj_full.value(global_ids) - 1e-9
+    # And equals f exactly when the subset has no out-of-partition edges.
+    mask = np.zeros(30, dtype=bool)
+    mask[global_ids] = True
+    out_mass = (
+        p.graph.neighbor_mass(~mask & np.isin(np.arange(30), part, invert=True))
+    )
+    if out_mass[global_ids].sum() == 0:
+        assert obj_sub.value(local_ids) == pytest.approx(
+            obj_full.value(global_ids)
+        )

@@ -1,0 +1,84 @@
+"""Tests for the approximate-bounding edge samplers (Def. 4.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    EDGE_SAMPLERS,
+    uniform_edge_sample,
+    weighted_edge_sample,
+)
+from tests.conftest import random_problem
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_problem(400, seed=0, avg_degree=8).graph
+
+
+class TestUniformSampler:
+    def test_p_one_keeps_everything(self, graph):
+        keep = uniform_edge_sample(graph, 1.0, rng=0)
+        assert keep.all()
+        assert keep.size == graph.num_directed_edges
+
+    @pytest.mark.parametrize("p", [0.3, 0.7])
+    def test_kept_fraction_near_p(self, graph, p):
+        keep = uniform_edge_sample(graph, p, rng=0)
+        assert abs(keep.mean() - p) < 0.05
+
+    def test_invalid_p(self, graph):
+        for p in (0.0, 1.5, -0.1):
+            with pytest.raises(ValueError):
+                uniform_edge_sample(graph, p)
+
+    def test_deterministic_given_rng(self, graph):
+        a = uniform_edge_sample(graph, 0.5, rng=3)
+        b = uniform_edge_sample(graph, 0.5, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestWeightedSampler:
+    def test_p_one_keeps_everything(self, graph):
+        assert weighted_edge_sample(graph, 1.0, rng=0).all()
+
+    @pytest.mark.parametrize("p", [0.3, 0.7])
+    def test_expected_kept_fraction_near_p(self, graph, p):
+        keeps = [weighted_edge_sample(graph, p, rng=s) for s in range(5)]
+        mean_kept = np.mean([k.mean() for k in keeps])
+        assert abs(mean_kept - p) < 0.08
+
+    def test_bias_toward_heavy_edges(self, graph):
+        """Per paper: sampling probability proportional to similarity."""
+        keeps = np.mean(
+            [weighted_edge_sample(graph, 0.3, rng=s) for s in range(30)],
+            axis=0,
+        )
+        heavy = graph.weights > np.quantile(graph.weights, 0.8)
+        light = graph.weights < np.quantile(graph.weights, 0.2)
+        assert keeps[heavy].mean() > keeps[light].mean() + 0.1
+
+    def test_empty_graph(self):
+        from repro.graph.csr import NeighborGraph
+
+        empty = NeighborGraph.empty(5)
+        assert weighted_edge_sample(empty, 0.5, rng=0).size == 0
+
+    def test_invalid_p(self, graph):
+        with pytest.raises(ValueError):
+            weighted_edge_sample(graph, 0.0)
+
+
+class TestRegistry:
+    def test_both_registered(self):
+        assert set(EDGE_SAMPLERS) == {"uniform", "weighted"}
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(["uniform", "weighted"]), st.floats(0.05, 1.0))
+    def test_output_shape_invariant(self, name, p):
+        g = random_problem(50, seed=1, avg_degree=4).graph
+        keep = EDGE_SAMPLERS[name](g, p, rng=0)
+        assert keep.shape == (g.num_directed_edges,)
+        assert keep.dtype == bool

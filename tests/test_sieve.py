@@ -1,0 +1,50 @@
+"""Tests for the sieve-streaming baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sieve import sieve_streaming
+from repro.core.greedy import greedy_heap
+from repro.core.objective import PairwiseObjective
+from tests.conftest import random_problem
+
+
+class TestSieveStreaming:
+    def test_selects_k_distinct(self, tiny_problem):
+        k = tiny_problem.n // 10
+        res = sieve_streaming(tiny_problem, k, seed=0)
+        assert len(res) == k
+        assert len(set(res.selected.tolist())) == k
+
+    def test_half_guarantee_on_monotone_instances(self):
+        """Sieve guarantees (1/2 - eps) OPT >= (1/2 - eps) greedy."""
+        for seed in range(3):
+            p = random_problem(150, seed=seed, alpha=0.9, utility_scale=20.0)
+            k = 15
+            greedy = greedy_heap(p, k)
+            sieve = sieve_streaming(p, k, epsilon=0.1, seed=seed)
+            assert sieve.objective >= (0.5 - 0.1) * greedy.objective
+
+    def test_deterministic_given_seed(self, small_problem):
+        a = sieve_streaming(small_problem, 8, seed=7)
+        b = sieve_streaming(small_problem, 8, seed=7)
+        np.testing.assert_array_equal(a.selected, b.selected)
+
+    def test_memory_report_positive(self, tiny_problem):
+        res = sieve_streaming(tiny_problem, 40, seed=0)
+        assert res.central_memory_points > 0
+
+    def test_k_zero(self, small_problem):
+        assert len(sieve_streaming(small_problem, 0, seed=0)) == 0
+
+    def test_epsilon_validated(self, small_problem):
+        with pytest.raises(ValueError):
+            sieve_streaming(small_problem, 3, epsilon=0.0)
+
+    def test_beats_random_on_dataset(self, tiny_problem):
+        from repro.baselines.random_subset import random_subset
+
+        k = tiny_problem.n // 10
+        sieve = sieve_streaming(tiny_problem, k, seed=0)
+        rnd = random_subset(tiny_problem, k, seed=0)
+        assert sieve.objective > rnd.objective

@@ -1,0 +1,136 @@
+"""Tests for embedding stores and the virtual perturbed dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.perturbed import PerturbedDataset
+from repro.data.store import ChunkedEmbeddingStore, InMemoryEmbeddingStore
+from repro.graph.knn import exact_knn
+
+
+def make_perturbed(n_base=20, factor=5, seed=0, k=3):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n_base, 6))
+    utilities = rng.random(n_base)
+    nbrs, sims = exact_knn(base, k)
+    return PerturbedDataset(
+        base, utilities, nbrs, sims, factor=factor, seed=seed
+    )
+
+
+class TestInMemoryStore:
+    def test_shape(self):
+        store = InMemoryEmbeddingStore(np.zeros((7, 3)))
+        assert store.n == 7 and store.dim == 3
+
+    def test_get(self):
+        arr = np.arange(12, dtype=float).reshape(4, 3)
+        store = InMemoryEmbeddingStore(arr)
+        np.testing.assert_array_equal(store.get(np.array([2, 0])), arr[[2, 0]])
+
+    def test_iter_chunks_covers_all(self):
+        arr = np.arange(10, dtype=float).reshape(5, 2)
+        store = InMemoryEmbeddingStore(arr)
+        seen = []
+        for ids, chunk in store.iter_chunks(2):
+            assert chunk.shape[0] == ids.size
+            seen.extend(ids.tolist())
+        assert seen == list(range(5))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError):
+            InMemoryEmbeddingStore(np.zeros(5))
+
+    def test_bad_chunk_size(self):
+        store = InMemoryEmbeddingStore(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            list(store.iter_chunks(0))
+
+
+class TestChunkedStore:
+    def test_virtual_generation(self):
+        store = ChunkedEmbeddingStore(
+            100, 4, lambda ids: np.tile(ids[:, None].astype(float), (1, 4))
+        )
+        out = store.get(np.array([3, 50]))
+        np.testing.assert_array_equal(out[:, 0], [3.0, 50.0])
+
+    def test_out_of_range(self):
+        store = ChunkedEmbeddingStore(10, 2, lambda ids: np.zeros((ids.size, 2)))
+        with pytest.raises(IndexError):
+            store.get(np.array([10]))
+
+    def test_shape_mismatch_detected(self):
+        store = ChunkedEmbeddingStore(10, 2, lambda ids: np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            store.get(np.array([0, 1]))
+
+
+class TestPerturbedDataset:
+    def test_virtual_size(self):
+        ds = make_perturbed(n_base=20, factor=5)
+        assert ds.n == 100
+        assert ds.n_base == 20
+
+    def test_split_ids(self):
+        ds = make_perturbed(n_base=10, factor=4)
+        base, copy = ds.split_ids(np.array([0, 3, 4, 39]))
+        np.testing.assert_array_equal(base, [0, 0, 1, 9])
+        np.testing.assert_array_equal(copy, [0, 3, 0, 3])
+
+    def test_copy_zero_is_base_point(self):
+        ds = make_perturbed(n_base=10, factor=4)
+        ids = np.arange(0, 40, 4)  # copy 0 of every base point
+        np.testing.assert_array_equal(ds.embeddings(ids), ds.base_embeddings)
+        np.testing.assert_array_equal(ds.utilities(ids), ds.base_utilities)
+
+    def test_embeddings_deterministic_and_order_free(self):
+        ds = make_perturbed()
+        a = ds.embeddings(np.array([7, 13, 42]))
+        b = ds.embeddings(np.array([42, 7, 13]))
+        np.testing.assert_array_equal(a[0], b[1])
+        np.testing.assert_array_equal(a[1], b[2])
+        np.testing.assert_array_equal(a[2], b[0])
+
+    def test_perturbation_is_bounded(self):
+        ds = make_perturbed(factor=8)
+        ids = np.arange(ds.n)
+        base, _ = ds.split_ids(ids)
+        drift = np.abs(ds.embeddings(ids) - ds.base_embeddings[base])
+        assert drift.max() <= ds.noise_std + 1e-12
+
+    def test_utilities_nonnegative(self):
+        ds = make_perturbed(factor=8)
+        assert (ds.utilities(np.arange(ds.n)) >= 0).all()
+
+    def test_neighbors_symmetry_of_ring(self):
+        ds = make_perturbed(n_base=6, factor=4)
+        adjacency = {}
+        for g, nbrs, sims in ds.neighbors(np.arange(ds.n)):
+            adjacency[g] = set(nbrs.tolist())
+        for g, nbrs in adjacency.items():
+            for nb in nbrs:
+                assert g in adjacency[nb], f"edge {g}->{nb} not mirrored"
+
+    def test_factor_one_has_no_ring(self):
+        ds = make_perturbed(n_base=10, factor=1, k=3)
+        for g, nbrs, sims in ds.neighbors(np.arange(ds.n)):
+            # Only lifted (symmetrized) kNN edges — at least k, no self.
+            assert nbrs.size >= 3
+            assert g not in nbrs.tolist()
+
+    def test_as_store_roundtrip(self):
+        ds = make_perturbed()
+        store = ds.as_store()
+        assert store.n == ds.n and store.dim == ds.dim
+        ids = np.array([1, 5, 9])
+        np.testing.assert_array_equal(store.get(ids), ds.embeddings(ids))
+
+    def test_invalid_factor(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            PerturbedDataset(
+                base, rng.random(5), np.zeros((5, 1), dtype=int),
+                np.zeros((5, 1)), factor=0,
+            )
