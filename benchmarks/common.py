@@ -8,6 +8,7 @@ Each table is also persisted under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,18 @@ def report(title: str, body: str) -> None:
     slug = "".join(c if c.isalnum() else "_" for c in title.lower())[:80]
     with open(os.path.join(_RESULTS_DIR, f"{slug}.txt"), "w") as fh:
         fh.write(f"{title}\n{body}\n")
+
+
+def report_json(name: str, record: dict) -> str:
+    """Persist a machine-readable benchmark record as ``BENCH_<name>.json``.
+
+    Returns the path written, for logging.
+    """
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+    return path
 
 from repro.core.distributed import (
     LinearDeltaSchedule,

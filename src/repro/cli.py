@@ -19,6 +19,8 @@ Examples
     python -m repro select --embeddings x.npy --utilities u.npy --k 100 \
         --bounding approximate --sampling-fraction 0.3 --machines 8 \
         --rounds 8 --adaptive --report report.json --out ids.npy
+    python -m repro select --preset cifar100_tiny --k 200 \
+        --engine dataflow --executor multiprocess --num-shards 16
     python -m repro score --preset cifar100_tiny --subset ids.npy
 """
 
@@ -87,6 +89,10 @@ def cmd_select(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         adaptive=args.adaptive,
         gamma=args.gamma,
+        engine=args.engine,
+        executor=args.executor,
+        num_shards=args.num_shards,
+        spill_to_disk=args.spill_to_disk,
     )
     report = DistributedSelector(problem, config).select(k, seed=args.seed)
     if args.out:
@@ -101,6 +107,14 @@ def cmd_select(args: argparse.Namespace) -> int:
         b = report.bounding
         print(f"bounding: +{b.n_included} / -{b.n_excluded} "
               f"({b.grow_rounds} grow, {b.shrink_rounds} shrink)")
+    for label in ("bounding_metrics", "greedy_metrics"):
+        metrics = report.extra.get(label)
+        if metrics is not None:
+            stage = label.split("_")[0]
+            print(f"{stage} engine: peak shard {metrics.peak_shard_records} "
+                  f"records, shuffled {metrics.shuffled_records}, "
+                  f"{metrics.executed_stages} stages "
+                  f"({metrics.fused_stages} fused)")
     if not args.out:
         print(" ".join(map(str, report.selected[:20].tolist()))
               + (" ..." if len(report) > 20 else ""))
@@ -154,6 +168,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_select.add_argument("--rounds", type=int, default=1)
     p_select.add_argument("--adaptive", action="store_true")
     p_select.add_argument("--gamma", type=float, default=0.75)
+    p_select.add_argument("--engine", choices=("memory", "dataflow"),
+                          default="memory",
+                          help="run stages in-memory or on the dataflow engine")
+    p_select.add_argument("--executor",
+                          choices=("sequential", "multiprocess"),
+                          default="sequential",
+                          help="dataflow engine backend (--engine dataflow)")
+    p_select.add_argument("--num-shards", type=int, default=8,
+                          help="dataflow logical worker count")
+    p_select.add_argument("--spill-to-disk", action="store_true",
+                          help="keep dataflow shards on disk "
+                               "(larger-than-memory mode)")
     p_select.add_argument("--out", help="write selected ids to .npy")
     p_select.add_argument("--report", help="write JSON report")
     p_select.set_defaults(func=cmd_select)

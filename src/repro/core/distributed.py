@@ -67,6 +67,25 @@ class LinearDeltaSchedule:
         return int(min(max(raw, k), n0))
 
 
+def resolve_ground(
+    n: int, candidates: Optional[np.ndarray], k: int
+) -> "tuple[np.ndarray, int]":
+    """Resolve the candidate ground set and validate ``k`` against it.
+
+    Shared by the in-memory and dataflow greedy drivers so candidate
+    semantics (dedup, range check, empty-set policy) cannot diverge.
+    Returns ``(ground_ids, k)``; ``k == 0`` signals nothing to select.
+    """
+    if candidates is None:
+        ground = np.arange(n, dtype=np.int64)
+    else:
+        ground = np.unique(np.asarray(candidates, dtype=np.int64))
+        if ground.size and (ground[0] < 0 or ground[-1] >= n):
+            raise ValueError("candidate ids out of range")
+    n0 = int(ground.size)
+    return ground, (check_cardinality(k, n0) if n0 else 0)
+
+
 def random_partitioner(
     round_idx: int, ids: np.ndarray, m_round: int, rng: np.random.Generator
 ) -> List[np.ndarray]:
@@ -217,14 +236,8 @@ def distributed_greedy(
     if schedule is None:
         schedule = LinearDeltaSchedule()
     rng = as_generator(seed)
-    if candidates is None:
-        survivors = np.arange(problem.n, dtype=np.int64)
-    else:
-        survivors = np.unique(np.asarray(candidates, dtype=np.int64))
-        if survivors.size and (survivors[0] < 0 or survivors[-1] >= problem.n):
-            raise ValueError("candidate ids out of range")
+    survivors, k = resolve_ground(problem.n, candidates, k)
     n0 = int(survivors.size)
-    k = check_cardinality(k, n0) if n0 else 0
     if k == 0:
         return DistributedResult(np.empty(0, dtype=np.int64))
     partition_cap = int(np.ceil(n0 / m))

@@ -10,8 +10,11 @@
 
 The selector never requires the subset in one place: bounding is expressible
 in dataflow joins (:mod:`repro.dataflow.bounding_beam`) and the greedy stage
-only ever loads one partition per machine.  This in-memory driver mirrors
-that execution faithfully at laptop scale.
+only ever loads one partition per machine.  ``SelectorConfig(engine=
+"memory")`` runs the in-memory reference implementations, which mirror that
+execution faithfully at laptop scale; ``engine="dataflow"`` runs both stages
+as jobs on the Beam-like engine (lazy DAG + pluggable executor), with
+per-shard memory metering in the report's ``extra``.
 """
 
 from __future__ import annotations
@@ -48,6 +51,14 @@ class SelectorConfig:
         uniform/weighted × 30 %/70 %).
     machines / rounds / adaptive / gamma:
         Distributed greedy parameters (Figs. 3/4, 12–15).
+    engine:
+        ``"memory"`` runs the in-memory reference implementations;
+        ``"dataflow"`` runs both stages as jobs on the Beam-like engine
+        (:mod:`repro.dataflow`), with per-shard memory metering.
+    executor / num_shards / spill_to_disk:
+        Dataflow-engine knobs (ignored by the memory engine):
+        ``"sequential"`` or ``"multiprocess"`` backend, logical worker
+        count, and disk-resident shards.
     """
 
     bounding: Optional[str] = None
@@ -57,6 +68,10 @@ class SelectorConfig:
     rounds: int = 1
     adaptive: bool = False
     gamma: float = 0.75
+    engine: str = "memory"
+    executor: str = "sequential"
+    num_shards: int = 8
+    spill_to_disk: bool = False
 
     def __post_init__(self) -> None:
         if self.bounding not in (None, "exact", "approximate"):
@@ -67,6 +82,17 @@ class SelectorConfig:
             raise ValueError(f"machines must be >= 1, got {self.machines}")
         if self.rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if self.engine not in ("memory", "dataflow"):
+            raise ValueError(
+                f"engine must be 'memory' or 'dataflow', got {self.engine!r}"
+            )
+        if self.executor not in ("sequential", "multiprocess"):
+            raise ValueError(
+                "executor must be 'sequential' or 'multiprocess', "
+                f"got {self.executor!r}"
+            )
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
 
 
 @dataclass
@@ -99,24 +125,49 @@ class DistributedSelector:
         seed: SeedLike = None,
         partitioner: Partitioner = random_partitioner,
     ) -> SelectionReport:
-        """Run the full pipeline for a budget of ``k`` points."""
+        """Run the full pipeline for a budget of ``k`` points.
+
+        With ``config.engine == "dataflow"`` both stages run as jobs on the
+        Beam-like engine (``partitioner`` is a memory-engine knob and is
+        ignored; the dataflow greedy draws its own hash-based partitions),
+        and the per-stage :class:`~repro.dataflow.metrics.PipelineMetrics`
+        land in ``report.extra["bounding_metrics"/"greedy_metrics"]``.
+        """
         k = check_cardinality(k, self.problem.n)
         rng = as_generator(seed)
         cfg = self.config
+        dataflow = cfg.engine == "dataflow"
+        extra: dict = {}
         bounding_result: Optional[BoundingResult] = None
         solution = np.empty(0, dtype=np.int64)
         candidates: Optional[np.ndarray] = None
         k_remaining = k
 
         if cfg.bounding is not None:
-            bounding_result = bound(
-                self.problem,
-                k,
-                mode=cfg.bounding,
-                sampler=cfg.sampler,
-                p=cfg.sampling_fraction,
-                seed=rng,
-            )
+            if dataflow:
+                from repro.dataflow import beam_bound
+
+                bounding_result, bound_metrics = beam_bound(
+                    self.problem,
+                    k,
+                    mode=cfg.bounding,
+                    sampler=cfg.sampler,
+                    p=cfg.sampling_fraction,
+                    num_shards=cfg.num_shards,
+                    spill_to_disk=cfg.spill_to_disk,
+                    executor=cfg.executor,
+                    seed=rng,
+                )
+                extra["bounding_metrics"] = bound_metrics
+            else:
+                bounding_result = bound(
+                    self.problem,
+                    k,
+                    mode=cfg.bounding,
+                    sampler=cfg.sampler,
+                    p=cfg.sampling_fraction,
+                    seed=rng,
+                )
             solution = bounding_result.solution
             candidates = bounding_result.remaining
             k_remaining = bounding_result.k_remaining
@@ -129,18 +180,37 @@ class DistributedSelector:
                     "this indicates a bug (shrink must keep >= k points)"
                 )
             base_penalty = self._solution_penalty(solution)
-            greedy_result = distributed_greedy(
-                self.problem,
-                k_remaining,
-                m=cfg.machines,
-                rounds=cfg.rounds,
-                adaptive=cfg.adaptive,
-                schedule=LinearDeltaSchedule(cfg.gamma),
-                partitioner=partitioner,
-                candidates=candidates,
-                base_penalty=base_penalty,
-                seed=rng,
-            )
+            if dataflow:
+                from repro.dataflow import beam_distributed_greedy
+
+                greedy_result, greedy_metrics = beam_distributed_greedy(
+                    self.problem,
+                    k_remaining,
+                    m=cfg.machines,
+                    rounds=cfg.rounds,
+                    adaptive=cfg.adaptive,
+                    gamma=cfg.gamma,
+                    num_shards=cfg.num_shards,
+                    executor=cfg.executor,
+                    spill_to_disk=cfg.spill_to_disk,
+                    candidates=candidates,
+                    base_penalty=base_penalty,
+                    seed=rng,
+                )
+                extra["greedy_metrics"] = greedy_metrics
+            else:
+                greedy_result = distributed_greedy(
+                    self.problem,
+                    k_remaining,
+                    m=cfg.machines,
+                    rounds=cfg.rounds,
+                    adaptive=cfg.adaptive,
+                    schedule=LinearDeltaSchedule(cfg.gamma),
+                    partitioner=partitioner,
+                    candidates=candidates,
+                    base_penalty=base_penalty,
+                    seed=rng,
+                )
             selected = np.sort(np.concatenate([solution, greedy_result.selected]))
         else:
             selected = np.sort(solution)
@@ -153,6 +223,7 @@ class DistributedSelector:
             config=cfg,
             bounding=bounding_result,
             greedy=greedy_result,
+            extra=extra,
         )
 
     def _solution_penalty(self, solution: np.ndarray) -> Optional[np.ndarray]:

@@ -3,20 +3,34 @@
 Section 5 implements bounding and scoring against the Beam programming
 model: immutable ``PCollection`` s manipulated by ``Map`` / ``FlatMap`` /
 ``GroupByKey`` / ``CoGroupByKey`` transforms, "without worrying about how the
-system processes the data".  This package provides that model with an
-executor that:
+system processes the data".  This package provides that model with a **lazy
+operator DAG** and a pluggable executor:
 
+- transforms build nodes; execution happens at sinks (``count``,
+  ``to_list``, ``combine_globally``, explicit ``run()``/``cache()``),
+- adjacent element-wise stages fuse into one pass per shard (Beam's
+  producer–consumer fusion; ``metrics.fused_stages`` counts the savings),
 - hash-shards every keyed operation across ``num_shards`` logical workers,
-- processes one shard at a time and meters the peak number of records any
-  single shard ever held (:class:`~repro.dataflow.metrics.PipelineMetrics`),
-  which is the reproduction's stand-in for per-machine DRAM,
-- counts shuffled records across stage boundaries.
+- runs per-shard stage work on a :class:`~repro.dataflow.executor.Executor`
+  — :class:`~repro.dataflow.executor.SequentialExecutor` (default) or the
+  shard-parallel :class:`~repro.dataflow.executor.MultiprocessExecutor` —
+  with identical results and metrics on either backend,
+- meters the peak number of records any single shard ever held
+  (:class:`~repro.dataflow.metrics.PipelineMetrics`), which is the
+  reproduction's stand-in for per-machine DRAM, and counts shuffled
+  records across stage boundaries.
 
 The benches use those metrics to verify the paper's core claim: neither
 bounding nor scoring ever requires one worker to hold the ground set or the
 subset (``peak_shard_records ≪ n``).
 """
 
+from repro.dataflow.executor import (
+    Executor,
+    MultiprocessExecutor,
+    SequentialExecutor,
+    resolve_executor,
+)
 from repro.dataflow.metrics import PipelineMetrics
 from repro.dataflow.pcollection import PCollection, Pipeline
 from repro.dataflow.transforms import (
@@ -33,6 +47,10 @@ __all__ = [
     "Pipeline",
     "PCollection",
     "PipelineMetrics",
+    "Executor",
+    "SequentialExecutor",
+    "MultiprocessExecutor",
+    "resolve_executor",
     "cogroup",
     "flatten",
     "distributed_kth_largest",

@@ -74,6 +74,7 @@ class BeamBoundingConfig:
     num_shards: int = 8
     max_rounds: int = 10_000
     spill_to_disk: bool = False
+    executor: str = "sequential"
 
 
 class BeamBoundingDriver:
@@ -95,7 +96,9 @@ class BeamBoundingDriver:
         self.problem = problem
         self.config = config or BeamBoundingConfig()
         self.pipeline = Pipeline(
-            self.config.num_shards, spill_to_disk=self.config.spill_to_disk
+            self.config.num_shards,
+            spill_to_disk=self.config.spill_to_disk,
+            executor=self.config.executor,
         )
         self._seed_salt = int(as_generator(seed).integers(0, 2**31 - 1))
         self._round_counter = 0
@@ -307,18 +310,21 @@ def beam_bound(
     p: float = 1.0,
     num_shards: int = 8,
     spill_to_disk: bool = False,
+    executor: str = "sequential",
     seed: SeedLike = None,
 ) -> Tuple[BoundingResult, PipelineMetrics]:
     """One-call wrapper over :class:`BeamBoundingDriver`.
 
-    ``spill_to_disk=True`` keeps every shard on disk — the literal
-    larger-than-memory mode (one shard resident at a time).
+    ``spill_to_disk=True`` keeps every materialized shard on disk — the
+    literal larger-than-memory mode (one shard resident at a time).
+    ``executor`` selects the engine backend; decisions are identical on
+    both for a fixed seed.
     """
     driver = BeamBoundingDriver(
         problem,
         BeamBoundingConfig(
             mode=mode, sampler=sampler, p=p, num_shards=num_shards,
-            spill_to_disk=spill_to_disk,
+            spill_to_disk=spill_to_disk, executor=executor,
         ),
         seed=seed,
     )

@@ -21,13 +21,17 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.distributed import DistributedResult, LinearDeltaSchedule, RoundStats
+from repro.core.distributed import (
+    DistributedResult,
+    LinearDeltaSchedule,
+    RoundStats,
+    resolve_ground,
+)
 from repro.core.greedy import greedy_heap
 from repro.core.problem import SubsetProblem
 from repro.dataflow.metrics import PipelineMetrics
 from repro.dataflow.pcollection import Pipeline
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_cardinality
 
 
 def beam_distributed_greedy(
@@ -39,74 +43,96 @@ def beam_distributed_greedy(
     adaptive: bool = False,
     gamma: float = 0.75,
     num_shards: int = 8,
+    executor: str = "sequential",
+    spill_to_disk: bool = False,
+    candidates: Optional[np.ndarray] = None,
+    base_penalty: Optional[np.ndarray] = None,
     seed: SeedLike = None,
 ) -> Tuple[DistributedResult, PipelineMetrics]:
     """Algorithm 6 as a dataflow job; returns (result, engine metrics).
 
     The per-group greedy runs on the problem restricted to the group — the
     same subgraph restriction (cross-partition edges dropped) as the
-    in-memory implementation.
+    in-memory implementation.  ``candidates`` restricts the ground set (the
+    remaining set after bounding) and ``base_penalty`` warm-starts each
+    per-partition greedy with the penalty from an existing partial solution,
+    mirroring :func:`repro.core.distributed.distributed_greedy`.
     """
     if m < 1 or rounds < 1:
         raise ValueError("m and rounds must be >= 1")
-    k = check_cardinality(k, problem.n)
     rng = as_generator(seed)
-    pipeline = Pipeline(num_shards)
+    pipeline = Pipeline(
+        num_shards, executor=executor, spill_to_disk=spill_to_disk
+    )
     schedule = LinearDeltaSchedule(gamma)
 
-    survivors = pipeline.create(range(problem.n), name="greedy/source")
-    n0 = problem.n
-    partition_cap = int(np.ceil(n0 / m))
-    stats: List[RoundStats] = []
-
-    for round_idx in range(1, rounds + 1):
-        input_size = survivors.count()
-        if input_size == 0:
-            break
-        n_round = min(schedule(n0, rounds, round_idx, k), input_size)
-        if adaptive:
-            m_round = int(np.ceil(input_size / partition_cap))
-        else:
-            m_round = m
-        m_round = max(1, min(m_round, input_size))
-        per_target = int(np.ceil(n_round / m_round))
-
-        # Random partition assignment: a per-round random permutation-free
-        # draw (iid uniform partition ids; expected balance is fine for the
-        # shapes we reproduce and it is the natural dataflow formulation).
-        assignment_seed = int(rng.integers(0, 2**31 - 1))
-
-        def assign(v: int, s=assignment_seed, mr=m_round) -> int:
-            local = np.random.default_rng((s, v))
-            return int(local.integers(mr))
-
-        grouped = survivors.key_by(assign, name="greedy/partition").group_by_key(
-            name="greedy/group"
-        )
-
-        def select_in_partition(kv, target=per_target):
-            _pid, members = kv
-            part = np.array(sorted(members), dtype=np.int64)
-            sub = problem.restrict(part)
-            local = greedy_heap(sub, min(target, part.size))
-            return part[local.selected].tolist()
-
-        survivors = grouped.flat_map(select_in_partition, name="greedy/select")
-        stats.append(
-            RoundStats(
-                round_idx=round_idx,
-                input_size=int(input_size),
-                target_size=int(n_round),
-                m_round=m_round,
-                per_partition_target=per_target,
-                output_size=int(survivors.count()),
+    try:
+        ground, k = resolve_ground(problem.n, candidates, k)
+        n0 = int(ground.size)
+        if k == 0:
+            return (
+                DistributedResult(np.empty(0, dtype=np.int64)),
+                pipeline.metrics,
             )
-        )
+        survivors = pipeline.create(ground.tolist(), name="greedy/source")
+        partition_cap = int(np.ceil(n0 / m))
+        stats: List[RoundStats] = []
 
-    final = np.array(sorted(survivors.to_list()), dtype=np.int64)
-    if final.size > k:
-        final = np.sort(rng.choice(final, size=k, replace=False))
-    return (
-        DistributedResult(selected=final, rounds=stats),
-        pipeline.metrics,
-    )
+        for round_idx in range(1, rounds + 1):
+            input_size = survivors.count()
+            if input_size == 0:
+                break
+            n_round = min(schedule(n0, rounds, round_idx, k), input_size)
+            if adaptive:
+                m_round = int(np.ceil(input_size / partition_cap))
+            else:
+                m_round = m
+            m_round = max(1, min(m_round, input_size))
+            per_target = int(np.ceil(n_round / m_round))
+
+            # Random partition assignment: a per-round random permutation-free
+            # draw (iid uniform partition ids; expected balance is fine for the
+            # shapes we reproduce and it is the natural dataflow formulation).
+            assignment_seed = int(rng.integers(0, 2**31 - 1))
+
+            def assign(v: int, s=assignment_seed, mr=m_round) -> int:
+                local = np.random.default_rng((s, v))
+                return int(local.integers(mr))
+
+            grouped = survivors.key_by(assign, name="greedy/partition").group_by_key(
+                name="greedy/group"
+            )
+
+            def select_in_partition(kv, target=per_target):
+                _pid, members = kv
+                part = np.array(sorted(members), dtype=np.int64)
+                sub = problem.restrict(part)
+                local_penalty = (
+                    base_penalty[part] if base_penalty is not None else None
+                )
+                local = greedy_heap(
+                    sub, min(target, part.size), base_penalty=local_penalty
+                )
+                return part[local.selected].tolist()
+
+            survivors = grouped.flat_map(select_in_partition, name="greedy/select")
+            stats.append(
+                RoundStats(
+                    round_idx=round_idx,
+                    input_size=int(input_size),
+                    target_size=int(n_round),
+                    m_round=m_round,
+                    per_partition_target=per_target,
+                    output_size=int(survivors.count()),
+                )
+            )
+
+        final = np.array(sorted(survivors.to_list()), dtype=np.int64)
+        if final.size > k:
+            final = np.sort(rng.choice(final, size=k, replace=False))
+        return (
+            DistributedResult(selected=final, rounds=stats),
+            pipeline.metrics,
+        )
+    finally:
+        pipeline.close()

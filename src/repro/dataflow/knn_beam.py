@@ -58,6 +58,8 @@ def beam_knn_graph(
     nprobe: int = 3,
     num_shards: int = 8,
     n_iter: int = 8,
+    executor: str = "sequential",
+    spill_to_disk: bool = False,
     seed: SeedLike = 0,
 ) -> Tuple[NeighborGraph, np.ndarray, np.ndarray, PipelineMetrics]:
     """Construct a symmetric kNN graph with the dataflow engine.
@@ -65,6 +67,9 @@ def beam_knn_graph(
     Returns ``(graph, neighbors, similarities, metrics)`` matching
     :func:`repro.graph.symmetrize.build_knn_graph`'s outputs, plus the
     engine metrics that witness the bounded per-worker footprint.
+    ``executor`` picks the engine backend (``"sequential"`` /
+    ``"multiprocess"`` or an Executor instance); outputs are identical
+    either way for a fixed seed.
     """
     x = l2_normalize(embeddings)
     n = x.shape[0]
@@ -76,7 +81,9 @@ def beam_knn_graph(
     centroids = _fit_centroids(x, n_clusters, n_iter, rng)
     nprobe = min(max(1, nprobe), centroids.shape[0])
 
-    pipeline = Pipeline(num_shards)
+    pipeline = Pipeline(
+        num_shards, executor=executor, spill_to_disk=spill_to_disk
+    )
     points = pipeline.create(range(n), name="knn/source")
 
     # (2) multi-probe assignment: (cell, (point, is_home)).  Only the home
@@ -149,12 +156,16 @@ def beam_knn_graph(
 
     neighbors = np.full((n, k), -1, dtype=np.int64)
     sims_out = np.full((n, k), -np.inf)
-    for point, acc in (pair for shard in merged.iter_shards() for pair in shard):
-        items = sorted(acc.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
-        pad = x.shape[0]  # fallback fill below
-        for j, (host, sim) in enumerate(items):
-            neighbors[point, j] = host
-            sims_out[point, j] = sim
+    try:
+        for point, acc in (
+            pair for shard in merged.iter_shards() for pair in shard
+        ):
+            items = sorted(acc.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+            for j, (host, sim) in enumerate(items):
+                neighbors[point, j] = host
+                sims_out[point, j] = sim
+    finally:
+        pipeline.close()
     # Points whose probed cells had < k hosts: pad with random distinct ids.
     for v in range(n):
         missing = neighbors[v] < 0

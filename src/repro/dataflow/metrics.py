@@ -4,6 +4,12 @@
 worker (shard) held at any stage — the engine's proxy for per-machine DRAM.
 ``shuffled_records`` counts records crossing a shuffle boundary
 (GroupByKey / CoGroupByKey / rebalance), the dominant cost in Beam jobs.
+
+``stage_counts`` tallies logical transforms as pipelines are *built*;
+``executed_stages`` counts physical per-shard passes the executor actually
+ran, and ``fused_stages`` counts logical element-wise stages that the fusion
+pass folded into a downstream pass instead of running standalone — so
+``executed_stages`` shrinks (and ``fused_stages`` grows) as fusion bites.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ class PipelineMetrics:
     peak_shard_records: int = 0
     shuffled_records: int = 0
     materialized_records: int = 0
+    executed_stages: int = 0
+    fused_stages: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
 
     def observe_shard(self, n_records: int) -> None:
@@ -31,6 +39,11 @@ class PipelineMetrics:
     def observe_materialize(self, n_records: int) -> None:
         self.materialized_records += n_records
 
+    def observe_stage_execution(self, *, fused: int = 0) -> None:
+        """One physical stage ran; ``fused`` logical stages were folded in."""
+        self.executed_stages += 1
+        self.fused_stages += fused
+
     def count_stage(self, name: str) -> None:
         self.stage_counts[name] = self.stage_counts.get(name, 0) + 1
 
@@ -38,6 +51,8 @@ class PipelineMetrics:
         self.peak_shard_records = 0
         self.shuffled_records = 0
         self.materialized_records = 0
+        self.executed_stages = 0
+        self.fused_stages = 0
         self.stage_counts.clear()
 
     def snapshot(self) -> "PipelineMetrics":
@@ -46,5 +61,7 @@ class PipelineMetrics:
             peak_shard_records=self.peak_shard_records,
             shuffled_records=self.shuffled_records,
             materialized_records=self.materialized_records,
+            executed_stages=self.executed_stages,
+            fused_stages=self.fused_stages,
             stage_counts=dict(self.stage_counts),
         )

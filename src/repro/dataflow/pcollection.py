@@ -1,29 +1,78 @@
 """PCollection and Pipeline: the core of the Beam-like engine.
 
 A :class:`PCollection` is an immutable, sharded bag of elements.  Keyed
-elements are ``(key, value)`` tuples; shuffles route by ``hash(key) %
-num_shards`` so all engine semantics match Beam's (per-key grouping is total,
+elements are ``(key, value)`` tuples; shuffles route by a stable hash of the
+key so all engine semantics match Beam's (per-key grouping is total,
 cross-key ordering is unspecified).
 
-The executor is deliberately simple — shards are plain lists processed one
-at a time — but every operation is written shard-locally, so the
-``peak_shard_records`` metric faithfully reports what a real distributed
-runner would have to hold per worker.  There is intentionally no operation
-that hands a whole PCollection to user code; :meth:`PCollection.to_list` is
-the explicit test-only escape hatch and records itself in the metrics.
+Execution model
+---------------
+Transforms are **lazy**: ``map``/``flat_map``/``filter``/``key_by``/
+``group_by_key``/``combine_per_key``/``reshuffle`` build nodes in an operator
+DAG instead of executing.  Work happens only at *sinks* — :meth:`PCollection.
+count`, :meth:`~PCollection.to_list`, :meth:`~PCollection.iter_shards`,
+:meth:`~PCollection.combine_globally`, and the explicit :meth:`~PCollection.
+run`/:meth:`~PCollection.cache`.  At a sink the engine:
+
+1. walks the DAG up to materialized ancestors,
+2. *fuses* adjacent element-wise stages (and element-wise producers of a
+   shuffle write) into a single generator pass over each shard
+   (``metrics.fused_stages`` counts the stages eliminated),
+3. hands each physical stage's per-shard work to the pipeline's
+   :class:`~repro.dataflow.executor.Executor` (sequential or
+   shard-parallel multiprocess),
+4. caches the materialized shards on the node and truncates its lineage, so
+   dropped intermediates are freed exactly like the old eager engine.
+
+Sharing: materialized nodes execute once, and fusion stops at any
+element-wise node that already has multiple consumers, materializing it
+instead.  The one lazy-engine caveat (same as Spark's uncached-RDD
+semantics): an element-wise intermediate that was fused through — because
+it had a single consumer at the time — is not cached, so a *new* consumer
+derived after that sink re-runs its chain.  DoFns are pure throughout this
+codebase, so results never change; call :meth:`PCollection.cache` on an
+intermediate you will fan out from later to pin it.
+
+Spilling (``spill_to_disk=True``) happens only at materialization
+boundaries: fused intermediates never touch storage, and one shard is
+resident at a time under the sequential backend (one per worker under the
+multiprocess backend).
+
+Metrics semantics: ``stage_counts`` are recorded when transforms are
+*built* (identical to the eager engine), ``shuffled_records`` /
+``materialized_records`` when they execute.  With ``fuse=False`` and the
+sequential executor, all counters — including ``peak_shard_records`` —
+are byte-identical to the historical eager engine; fusion can only lower
+``peak_shard_records`` because fused intermediates never exist as shards.
+
+There is intentionally no operation that hands a whole PCollection to user
+code; :meth:`PCollection.to_list` is the explicit test-only escape hatch and
+records itself in the metrics.
 """
 
 from __future__ import annotations
 
 import itertools
+import numbers
 import os
 import pickle
 import shutil
 import tempfile
 import uuid
-from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+import weakref
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.dataflow.executor import Executor, _resolve, resolve_executor
 from repro.dataflow.metrics import PipelineMetrics
+
+
+class _PipelineState:
+    """Shared liveness flag, visible to spilled shards (even across fork)."""
+
+    __slots__ = ("closed",)
+
+    def __init__(self) -> None:
+        self.closed = False
 
 
 class _DiskShard:
@@ -32,15 +81,18 @@ class _DiskShard:
     Supports ``len`` without loading (count cached at write time).
     """
 
-    __slots__ = ("path", "_count")
+    __slots__ = ("path", "_count", "_state")
 
-    def __init__(self, path: str, records: list) -> None:
+    def __init__(self, path: str, records: list, state: _PipelineState) -> None:
         self.path = path
         self._count = len(records)
+        self._state = state
         with open(path, "wb") as fh:
             pickle.dump(records, fh, protocol=pickle.HIGHEST_PROTOCOL)
 
     def load(self) -> list:
+        if self._state.closed:
+            raise RuntimeError("pipeline closed")
         with open(self.path, "rb") as fh:
             return pickle.load(fh)
 
@@ -49,8 +101,12 @@ class _DiskShard:
 
 
 def _stable_shard(key: Any, num_shards: int) -> int:
-    """Deterministic shard assignment (Python hash is salted for str only)."""
-    if isinstance(key, (int,)):
+    """Deterministic shard assignment (Python hash is salted for str only).
+
+    Integral keys — Python ``int`` and NumPy integer scalars alike — shard
+    by value, so ``5`` and ``np.int64(5)`` always land on the same shard.
+    """
+    if isinstance(key, numbers.Integral):
         return int(key) % num_shards
     if isinstance(key, tuple):
         acc = 0
@@ -65,24 +121,212 @@ def _stable_shard(key: Any, num_shards: int) -> int:
     return h % num_shards
 
 
+# -- operator DAG ----------------------------------------------------------
+
+#: Node kinds that are element-wise (shard-local, fusable).
+_ELEMENTWISE = frozenset({"map", "flat_map", "filter", "map_values"})
+
+
+class _Node:
+    """One operator in the lazy DAG.
+
+    ``cached`` holds the materialized (possibly spilled) shards once the
+    node has executed; materialization also truncates ``deps`` so upstream
+    intermediates become collectable, mirroring the eager engine's memory
+    profile.  ``consumers`` counts downstream nodes built on this one:
+    fusion never reaches through a node that has more than one consumer at
+    materialization time — it materializes instead, so subgraphs shared by
+    the already-built consumers execute once.  (A consumer derived *after*
+    the node was fused through recomputes the chain; ``cache()`` pins.)
+    """
+
+    __slots__ = (
+        "kind", "deps", "fn", "extra", "cached", "consumers", "__weakref__"
+    )
+
+    def __init__(self, kind: str, deps: tuple = (), fn=None, extra=None) -> None:
+        self.kind = kind
+        self.deps = deps
+        self.fn = fn
+        self.extra = extra
+        self.cached: Optional[list] = None
+        self.consumers = 0
+
+
+def _iter_map(it, fn):
+    return map(fn, it)
+
+
+def _iter_flat_map(it, fn):
+    return itertools.chain.from_iterable(map(fn, it))
+
+
+def _iter_filter(it, fn):
+    return filter(fn, it)
+
+
+def _iter_map_values(it, fn):
+    return ((k, fn(v)) for k, v in it)
+
+
+_OP_ITER = {
+    "map": _iter_map,
+    "flat_map": _iter_flat_map,
+    "filter": _iter_filter,
+    "map_values": _iter_map_values,
+}
+
+
+def _chain_iter(records: list, ops: tuple):
+    """Lazily thread one shard through a fused element-wise chain."""
+    it: Iterable[Any] = records
+    for kind, fn in ops:
+        it = _OP_ITER[kind](it, fn)
+    return it
+
+
+def _make_chain_fn(ops):
+    """Stage: fused element-wise chain, one pass per shard."""
+    ops = tuple(ops)
+
+    def run_chain(records, _ops=ops):
+        return list(_chain_iter(records, _ops))
+
+    return run_chain
+
+
+def _make_keyed_bucketer(ops, num_shards):
+    """Stage: shuffle write — fuse the producing chain into key routing."""
+    ops = tuple(ops)
+
+    def route(records, _ops=ops, _num=num_shards):
+        buckets: List[list] = [[] for _ in range(_num)]
+        for element in _chain_iter(records, _ops):
+            buckets[_stable_shard(element[0], _num)].append(element)
+        return buckets
+
+    return route
+
+
+def _make_precombiner(ops, zero, add, num_shards):
+    """Stage: combiner lifting — local pre-combine, then bucket partials."""
+    ops = tuple(ops)
+
+    def precombine(records, _ops=ops, _zero=zero, _add=add, _num=num_shards):
+        local: dict = {}
+        for key, value in _chain_iter(records, _ops):
+            acc = local.get(key)
+            local[key] = _add(_zero() if acc is None else acc, value)
+        buckets: List[list] = [[] for _ in range(_num)]
+        for key, acc in local.items():
+            buckets[_stable_shard(key, _num)].append((key, acc))
+        return buckets
+
+    return precombine
+
+
+def _make_combiner_merger(merge):
+    """Stage: merge routed per-key accumulators on the destination shard."""
+
+    def merge_shard(records, _merge=merge):
+        merged: dict = {}
+        for key, acc in records:
+            prev = merged.get(key)
+            merged[key] = acc if prev is None else _merge(prev, acc)
+        return list(merged.items())
+
+    return merge_shard
+
+
+def _group_shard(records):
+    """Stage: GroupByKey's per-shard grouping (input already key-routed)."""
+    groups: dict = {}
+    for key, value in records:
+        groups.setdefault(key, []).append(value)
+    return list(groups.items())
+
+
+def _make_cogroup_bucketer(tag, num_shards):
+    """Stage: tagged shuffle write for CoGroupByKey."""
+
+    def route(records, _tag=tag, _num=num_shards):
+        buckets: List[list] = [[] for _ in range(_num)]
+        for key, value in records:
+            buckets[_stable_shard(key, _num)].append((key, _tag, value))
+        return buckets
+
+    return route
+
+
+def _make_cogroup_grouper(n_inputs):
+    """Stage: build the per-key tuple-of-value-lists for CoGroupByKey."""
+
+    def group(records, _n=n_inputs):
+        groups: dict = {}
+        for key, tag, value in records:
+            entry = groups.get(key)
+            if entry is None:
+                entry = tuple([] for _ in range(_n))
+                groups[key] = entry
+            entry[tag].append(value)
+        return list(groups.items())
+
+    return group
+
+
+def _make_folder(zero, add):
+    """Stage: CombineGlobally's per-shard accumulation."""
+
+    def fold(records, _zero=zero, _add=add):
+        acc = _zero()
+        for element in records:
+            acc = _add(acc, element)
+        return [acc]
+
+    return fold
+
+
 class Pipeline:
-    """Factory and metrics scope for PCollections.
+    """Factory, scheduler, and metrics scope for PCollections.
 
     Parameters
     ----------
     num_shards:
         Logical worker count.  Memory metering reports the max records any
         one shard held, so more shards = smaller per-worker footprint.
+    spill_to_disk:
+        Store materialized shards on disk (one resident at a time under the
+        sequential executor) — the literal larger-than-memory mode.
+    executor:
+        ``"sequential"`` (default), ``"multiprocess"``, or an
+        :class:`~repro.dataflow.executor.Executor` instance.  Backends are
+        result- and metrics-equivalent; multiprocess runs shards of a stage
+        in parallel worker processes.
+    fuse:
+        Collapse adjacent element-wise stages (and element-wise producers
+        of shuffle writes) into one pass per shard.  ``False`` reproduces
+        the eager engine's stage-by-stage execution byte-for-byte,
+        including ``peak_shard_records``.
     """
 
     def __init__(
-        self, num_shards: int = 8, *, spill_to_disk: bool = False
+        self,
+        num_shards: int = 8,
+        *,
+        spill_to_disk: bool = False,
+        executor: "str | Executor" = "sequential",
+        fuse: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = int(num_shards)
         self.metrics = PipelineMetrics()
         self.spill_to_disk = bool(spill_to_disk)
+        self.fuse = bool(fuse)
+        self.executor = resolve_executor(executor)
+        self._owns_executor = not isinstance(executor, Executor)
+        self._state = _PipelineState()
+        self._nodes: "weakref.WeakSet[_Node]" = weakref.WeakSet()
         self._spill_dir: Optional[str] = None
         if spill_to_disk:
             self._spill_dir = tempfile.mkdtemp(prefix="repro-dataflow-")
@@ -92,13 +336,25 @@ class Pipeline:
         if not self.spill_to_disk:
             return records
         path = os.path.join(self._spill_dir, f"{uuid.uuid4().hex}.pkl")
-        return _DiskShard(path, records)
+        return _DiskShard(path, records, self._state)
 
     def close(self) -> None:
-        """Delete any spilled shard files."""
+        """Tear the pipeline down: drop every node's shards, delete spills.
+
+        Any later materialization — or load of an already-handed-out spilled
+        shard — raises ``RuntimeError("pipeline closed")``.
+        """
+        self._state.closed = True
+        for node in list(self._nodes):
+            node.cached = None
+            node.deps = ()
+            node.fn = None
+            node.extra = None
         if self._spill_dir and os.path.isdir(self._spill_dir):
             shutil.rmtree(self._spill_dir, ignore_errors=True)
             self._spill_dir = None
+        if self._owns_executor:
+            self.executor.close()
 
     def __enter__(self) -> "Pipeline":
         return self
@@ -114,7 +370,7 @@ class Pipeline:
         for i, element in enumerate(elements):
             shards[i % self.num_shards].append(element)
         self.metrics.count_stage(name)
-        return PCollection(self, shards, keyed=False)
+        return self._from_materialized(shards, keyed=False)
 
     def create_keyed(
         self, pairs: Iterable[Tuple[Any, Any]], *, name: str = "create_keyed"
@@ -124,26 +380,208 @@ class Pipeline:
         for key, value in pairs:
             shards[_stable_shard(key, self.num_shards)].append((key, value))
         self.metrics.count_stage(name)
-        return PCollection(self, shards, keyed=True)
+        return self._from_materialized(shards, keyed=True)
+
+    # -- DAG construction --------------------------------------------------
+
+    def _new_node(self, kind: str, deps: tuple = (), fn=None, extra=None) -> _Node:
+        node = _Node(kind, deps, fn, extra)
+        for dep in deps:
+            dep.consumers += 1
+        self._nodes.add(node)
+        return node
+
+    def _from_materialized(self, shards: List[list], *, keyed: bool) -> "PCollection":
+        node = self._new_node("source")
+        self._finish_node(node, shards)
+        return PCollection(self, node, keyed=keyed)
+
+    def _finish_node(self, node: _Node, raw_shards: List[list]) -> List[Any]:
+        """Store + meter a node's output shards, then truncate its lineage."""
+        stored = [self._store_shard(shard) for shard in raw_shards]
+        for shard in stored:
+            self.metrics.observe_shard(len(shard))
+        node.cached = stored
+        node.deps = ()
+        node.fn = None
+        node.extra = None
+        return stored
+
+    # -- execution ---------------------------------------------------------
+
+    def _materialize_node(self, node: _Node) -> List[Any]:
+        """Execute the DAG below ``node`` (cached subgraphs run once)."""
+        if node.cached is not None:
+            return node.cached
+        if self._state.closed:
+            raise RuntimeError("pipeline closed")
+        kind = node.kind
+        if kind == "source":
+            # Sources are cached at creation; losing the cache means close()
+            # dropped it.
+            raise RuntimeError("pipeline closed")
+        if kind in _ELEMENTWISE:
+            raw = self._exec_elementwise(node)
+        elif kind == "reshard":
+            raw = self._shuffle_by_key(node.deps[0])
+        elif kind == "group":
+            raw = self._exec_group(node)
+        elif kind == "combine_per_key":
+            raw = self._exec_combine_per_key(node)
+        elif kind == "reshuffle":
+            raw = self._exec_reshuffle(node)
+        elif kind == "flatten":
+            raw = self._exec_flatten(node)
+        elif kind == "cogroup":
+            raw = self._exec_cogroup(node)
+        else:  # pragma: no cover - construction bug
+            raise AssertionError(f"unknown node kind {kind!r}")
+        return self._finish_node(node, raw)
+
+    def _run_stage(self, fn, shards, *, fused: int = 0) -> List[Any]:
+        out = self.executor.run_stage(fn, shards)
+        self.metrics.observe_stage_execution(fused=fused)
+        return out
+
+    def _upstream_chain(self, dep: _Node):
+        """Collect the fusable element-wise chain above (and including) ``dep``.
+
+        Returns ``(ops, base)`` where ``ops`` are ``(kind, fn)`` pairs in
+        execution order and ``base`` is the first non-fusable (or already
+        materialized) ancestor.  Fusion stops at nodes with multiple
+        consumers — they materialize so the shared work runs once.  With
+        ``fuse=False`` the chain is always empty, so every node
+        materializes individually.
+        """
+        chain: List[_Node] = []
+        cur = dep
+        while (
+            self.fuse
+            and cur.kind in _ELEMENTWISE
+            and cur.cached is None
+            and cur.consumers <= 1
+        ):
+            chain.append(cur)
+            cur = cur.deps[0]
+        chain.reverse()
+        return [(n.kind, n.fn) for n in chain], cur
+
+    def _exec_elementwise(self, node: _Node) -> List[list]:
+        ops, base = self._upstream_chain(node.deps[0])
+        ops.append((node.kind, node.fn))
+        base_shards = self._materialize_node(base)
+        return self._run_stage(
+            _make_chain_fn(ops), base_shards, fused=len(ops) - 1
+        )
+
+    def _shuffle_by_key(self, dep: _Node) -> List[list]:
+        """Shuffle write + driver-side merge; fuses the producing chain."""
+        ops, base = self._upstream_chain(dep)
+        base_shards = self._materialize_node(base)
+        num = self.num_shards
+        bucket_lists = self._run_stage(
+            _make_keyed_bucketer(ops, num), base_shards, fused=len(ops)
+        )
+        shards: List[list] = [[] for _ in range(num)]
+        moved = 0
+        for buckets in bucket_lists:
+            for i, bucket in enumerate(buckets):
+                shards[i].extend(bucket)
+                moved += len(bucket)
+        self.metrics.observe_shuffle(moved)
+        return shards
+
+    def _exec_group(self, node: _Node) -> List[list]:
+        resharded = self._shuffle_by_key(node.deps[0])
+        # The key-routed intermediate is a real per-worker footprint (the
+        # eager engine materialized it); meter it even though it is never
+        # stored.
+        for shard in resharded:
+            self.metrics.observe_shard(len(shard))
+        return self._run_stage(_group_shard, resharded)
+
+    def _exec_combine_per_key(self, node: _Node) -> List[list]:
+        zero, add, merge = node.extra
+        ops, base = self._upstream_chain(node.deps[0])
+        base_shards = self._materialize_node(base)
+        num = self.num_shards
+        bucket_lists = self._run_stage(
+            _make_precombiner(ops, zero, add, num), base_shards, fused=len(ops)
+        )
+        partials: List[list] = [[] for _ in range(num)]
+        moved = 0
+        for buckets in bucket_lists:
+            for i, bucket in enumerate(buckets):
+                partials[i].extend(bucket)
+                moved += len(bucket)
+        self.metrics.observe_shuffle(moved)
+        return self._run_stage(_make_combiner_merger(merge), partials)
+
+    def _exec_reshuffle(self, node: _Node) -> List[list]:
+        ops, base = self._upstream_chain(node.deps[0])
+        base_shards = self._materialize_node(base)
+        transformed = self._run_stage(
+            _make_chain_fn(ops), base_shards, fused=len(ops)
+        )
+        num = self.num_shards
+        shards: List[list] = [[] for _ in range(num)]
+        moved = 0
+        for records in transformed:
+            for element in records:
+                shards[moved % num].append(element)
+                moved += 1
+        self.metrics.observe_shuffle(moved)
+        return shards
+
+    def _exec_flatten(self, node: _Node) -> List[list]:
+        out: List[list] = [[] for _ in range(self.num_shards)]
+        for dep in node.deps:
+            stored = self._materialize_node(dep)
+            for i, shard in enumerate(stored):
+                out[i].extend(_resolve(shard))
+        return out
+
+    def _exec_cogroup(self, node: _Node) -> List[list]:
+        n_inputs = node.extra
+        num = self.num_shards
+        routed: List[list] = [[] for _ in range(num)]
+        moved = 0
+        for tag, dep in enumerate(node.deps):
+            stored = self._materialize_node(dep)
+            bucket_lists = self._run_stage(
+                _make_cogroup_bucketer(tag, num), stored
+            )
+            for buckets in bucket_lists:
+                for i, bucket in enumerate(buckets):
+                    routed[i].extend(bucket)
+                    moved += len(bucket)
+        self.metrics.observe_shuffle(moved)
+        return self._run_stage(_make_cogroup_grouper(n_inputs), routed)
 
 
 class PCollection:
-    """Immutable sharded bag; all transforms return new PCollections."""
+    """Immutable sharded bag; transforms build DAG nodes, sinks execute."""
 
-    def __init__(
-        self, pipeline: Pipeline, shards: List[List[Any]], *, keyed: bool
-    ) -> None:
+    def __init__(self, pipeline: Pipeline, node: _Node, *, keyed: bool) -> None:
         self.pipeline = pipeline
-        self._shards = [pipeline._store_shard(shard) for shard in shards]
+        self._node = node
         self.keyed = keyed
-        for shard in self._shards:
-            pipeline.metrics.observe_shard(len(shard))
 
     # -- inspection ---------------------------------------------------------
 
     @property
     def num_shards(self) -> int:
-        return len(self._shards)
+        return self.pipeline.num_shards
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once this collection's shards have been computed."""
+        return self._node.cached is not None
+
+    @property
+    def _shards(self) -> List[Any]:
+        """The stored shards, materializing on first access."""
+        return self.pipeline._materialize_node(self._node)
 
     def count(self) -> int:
         """Total element count (a distributed aggregate, O(1) driver state)."""
@@ -165,47 +603,47 @@ class PCollection:
     def iter_shards(self) -> Iterator[List[Any]]:
         """Yield each shard's records (loading spilled shards one at a time)."""
         for shard in self._shards:
-            yield shard.load() if isinstance(shard, _DiskShard) else shard
+            yield _resolve(shard)
+
+    def run(self) -> "PCollection":
+        """Force execution of this collection's DAG; returns self."""
+        self.pipeline._materialize_node(self._node)
+        return self
+
+    def cache(self) -> "PCollection":
+        """Materialize and pin this collection's shards (alias of run())."""
+        return self.run()
 
     # -- element-wise transforms (no shuffle) --------------------------------
+
+    def _derive(self, kind: str, fn, *, keyed: bool, extra=None) -> "PCollection":
+        node = self.pipeline._new_node(kind, (self._node,), fn, extra)
+        return PCollection(self.pipeline, node, keyed=keyed)
 
     def map(self, fn: Callable[[Any], Any], *, name: str = "map") -> "PCollection":
         """Apply ``fn`` per element."""
         self.pipeline.metrics.count_stage(name)
-        return PCollection(
-            self.pipeline,
-            [[fn(x) for x in shard] for shard in self.iter_shards()],
-            keyed=False,
-        )
+        return self._derive("map", fn, keyed=False)
 
     def flat_map(
         self, fn: Callable[[Any], Iterable[Any]], *, name: str = "flat_map"
     ) -> "PCollection":
         """Apply ``fn`` per element, flattening the returned iterables."""
         self.pipeline.metrics.count_stage(name)
-        return PCollection(
-            self.pipeline,
-            [
-                [y for x in shard for y in fn(x)]
-                for shard in self.iter_shards()
-            ],
-            keyed=False,
-        )
+        return self._derive("flat_map", fn, keyed=False)
 
     def filter(
         self, predicate: Callable[[Any], bool], *, name: str = "filter"
     ) -> "PCollection":
         """Keep elements where ``predicate`` holds; keyed-ness is preserved."""
         self.pipeline.metrics.count_stage(name)
-        return PCollection(
-            self.pipeline,
-            [[x for x in shard if predicate(x)] for shard in self.iter_shards()],
-            keyed=self.keyed,
-        )
+        return self._derive("filter", predicate, keyed=self.keyed)
 
     def key_by(self, fn: Callable[[Any], Any], *, name: str = "key_by") -> "PCollection":
         """Emit ``(fn(x), x)`` and shuffle by the new key."""
-        return self.map(lambda x: (fn(x), x), name=name)._reshard_by_key(name)
+        self.pipeline.metrics.count_stage(name)
+        keyed = self._derive("map", lambda x, _fn=fn: (_fn(x), x), keyed=False)
+        return keyed._derive("reshard", None, keyed=True)
 
     def map_values(
         self, fn: Callable[[Any], Any], *, name: str = "map_values"
@@ -213,30 +651,14 @@ class PCollection:
         """Apply ``fn`` to values of a keyed collection (keys untouched)."""
         self._require_keyed("map_values")
         self.pipeline.metrics.count_stage(name)
-        return PCollection(
-            self.pipeline,
-            [[(k, fn(v)) for k, v in shard] for shard in self.iter_shards()],
-            keyed=True,
-        )
+        return self._derive("map_values", fn, keyed=True)
 
     def as_keyed(self, *, name: str = "as_keyed") -> "PCollection":
         """Interpret ``(key, value)`` elements as keyed and shuffle by key."""
         self.pipeline.metrics.count_stage(name)
-        return self._reshard_by_key(name)
+        return self._derive("reshard", None, keyed=True)
 
     # -- shuffling transforms --------------------------------------------
-
-    def _reshard_by_key(self, name: str) -> "PCollection":
-        num = self.pipeline.num_shards
-        shards: List[List[Any]] = [[] for _ in range(num)]
-        moved = 0
-        for shard in self.iter_shards():
-            for element in shard:
-                key = element[0]
-                shards[_stable_shard(key, num)].append(element)
-                moved += 1
-        self.pipeline.metrics.observe_shuffle(moved)
-        return PCollection(self.pipeline, shards, keyed=True)
 
     def group_by_key(self, *, name: str = "group_by_key") -> "PCollection":
         """Beam's GroupByKey: ``(key, value)*`` → ``(key, [values])``.
@@ -245,14 +667,7 @@ class PCollection:
         """
         self._require_keyed("group_by_key")
         self.pipeline.metrics.count_stage(name)
-        resharded = self._reshard_by_key(name)
-        out_shards: List[List[Any]] = []
-        for shard in resharded.iter_shards():
-            groups: dict = {}
-            for key, value in shard:
-                groups.setdefault(key, []).append(value)
-            out_shards.append(list(groups.items()))
-        return PCollection(self.pipeline, out_shards, keyed=True)
+        return self._derive("group", None, keyed=True)
 
     def combine_per_key(
         self,
@@ -270,26 +685,9 @@ class PCollection:
         """
         self._require_keyed("combine_per_key")
         self.pipeline.metrics.count_stage(name)
-        num = self.pipeline.num_shards
-        partials: List[List[Any]] = [[] for _ in range(num)]
-        moved = 0
-        for shard in self.iter_shards():
-            local: dict = {}
-            for key, value in shard:
-                acc = local.get(key)
-                local[key] = add(zero() if acc is None else acc, value)
-            for key, acc in local.items():
-                partials[_stable_shard(key, num)].append((key, acc))
-                moved += 1
-        self.pipeline.metrics.observe_shuffle(moved)
-        out_shards: List[List[Any]] = []
-        for shard in partials:
-            merged: dict = {}
-            for key, acc in shard:
-                prev = merged.get(key)
-                merged[key] = acc if prev is None else merge(prev, acc)
-            out_shards.append(list(merged.items()))
-        return PCollection(self.pipeline, out_shards, keyed=True)
+        return self._derive(
+            "combine_per_key", None, keyed=True, extra=(zero, add, merge)
+        )
 
     def combine_globally(
         self,
@@ -301,33 +699,22 @@ class PCollection:
     ) -> Any:
         """Global combine: per-shard accumulate, then merge on the driver.
 
-        Driver state is one accumulator per shard — O(num_shards), never
-        O(n) — matching Beam's CombineGlobally contract.
+        A sink: materializes this collection, then folds each shard
+        (executor-parallel) and merges the per-shard accumulators —
+        O(num_shards) driver state, matching Beam's CombineGlobally contract.
         """
         self.pipeline.metrics.count_stage(name)
-        accumulators = []
-        for shard in self.iter_shards():
-            acc = zero()
-            for element in shard:
-                acc = add(acc, element)
-            accumulators.append(acc)
+        shards = self._shards
+        accumulators = self.pipeline._run_stage(_make_folder(zero, add), shards)
         result = zero()
-        for acc in accumulators:
+        for (acc,) in accumulators:
             result = merge(result, acc)
         return result
 
     def reshuffle(self, *, name: str = "reshuffle") -> "PCollection":
         """Round-robin rebalance (breaks fusion / fixes skew)."""
         self.pipeline.metrics.count_stage(name)
-        num = self.pipeline.num_shards
-        shards: List[List[Any]] = [[] for _ in range(num)]
-        moved = 0
-        for shard in self.iter_shards():
-            for element in shard:
-                shards[moved % num].append(element)
-                moved += 1
-        self.pipeline.metrics.observe_shuffle(moved)
-        return PCollection(self.pipeline, shards, keyed=False)
+        return self._derive("reshuffle", None, keyed=False)
 
     # -- helpers ----------------------------------------------------------
 

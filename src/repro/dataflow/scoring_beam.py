@@ -24,6 +24,8 @@ def beam_score(
     subset_ids: np.ndarray,
     *,
     num_shards: int = 8,
+    executor: str = "sequential",
+    spill_to_disk: bool = False,
 ) -> Tuple[float, PipelineMetrics]:
     """Distributed evaluation of the pairwise submodular objective.
 
@@ -35,58 +37,63 @@ def beam_score(
         subset_ids.min() < 0 or subset_ids.max() >= problem.n
     ):
         raise ValueError("subset ids out of range")
-    pipeline = Pipeline(num_shards)
+    pipeline = Pipeline(
+        num_shards, executor=executor, spill_to_disk=spill_to_disk
+    )
     g = problem.graph
-    neighbors = pipeline.create_keyed(
-        (
-            (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
-                         g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
-            for v in range(g.n)
-        ),
-        name="score/neighbors",
-    )
-    utilities = pipeline.create_keyed(
-        ((v, float(problem.utilities[v])) for v in range(problem.n)),
-        name="score/utilities",
-    )
-    solution = pipeline.create_keyed(
-        ((int(v), True) for v in subset_ids), name="score/solution"
-    )
+    try:
+        neighbors = pipeline.create_keyed(
+            (
+                (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
+                             g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
+                for v in range(g.n)
+            ),
+            name="score/neighbors",
+        )
+        utilities = pipeline.create_keyed(
+            ((v, float(problem.utilities[v])) for v in range(problem.n)),
+            name="score/utilities",
+        )
+        solution = pipeline.create_keyed(
+            ((int(v), True) for v in subset_ids), name="score/solution"
+        )
 
-    # Unary term: utilities of selected points.
-    unary = cogroup([utilities, solution], name="score/unary_join").flat_map(
-        lambda kv: [kv[1][0][0]] if kv[1][1] else [], name="score/unary"
-    )
-    unary_sum = sum_globally(unary)
+        # Unary term: utilities of selected points.
+        unary = cogroup([utilities, solution], name="score/unary_join").flat_map(
+            lambda kv: [kv[1][0][0]] if kv[1][1] else [], name="score/unary"
+        )
+        unary_sum = sum_globally(unary)
 
-    # Pairwise term.  Fan out keyed by the neighbor endpoint, keep edges
-    # whose neighbor is selected, invert, keep edges whose source is
-    # selected; each surviving (a, b, s) has both endpoints in S.
-    fanned = neighbors.flat_map(
-        lambda kv: [(b, (kv[0], s)) for b, s in kv[1]], name="score/fan_out"
-    ).as_keyed(name="score/fan_out_key")
+        # Pairwise term.  Fan out keyed by the neighbor endpoint, keep edges
+        # whose neighbor is selected, invert, keep edges whose source is
+        # selected; each surviving (a, b, s) has both endpoints in S.
+        fanned = neighbors.flat_map(
+            lambda kv: [(b, (kv[0], s)) for b, s in kv[1]], name="score/fan_out"
+        ).as_keyed(name="score/fan_out_key")
 
-    def keep_selected_neighbor(kv) -> Iterable[Tuple[int, float]]:
-        a, (edges, in_solution) = kv
-        if not in_solution:
-            return []
-        return [(b, s) for b, s in edges]
+        def keep_selected_neighbor(kv) -> Iterable[Tuple[int, float]]:
+            a, (edges, in_solution) = kv
+            if not in_solution:
+                return []
+            return [(b, s) for b, s in edges]
 
-    half_edges = cogroup([fanned, solution], name="score/neighbor_join").flat_map(
-        keep_selected_neighbor, name="score/invert"
-    ).as_keyed(name="score/invert_key")
+        half_edges = cogroup([fanned, solution], name="score/neighbor_join").flat_map(
+            keep_selected_neighbor, name="score/invert"
+        ).as_keyed(name="score/invert_key")
 
-    def per_point_mass(kv) -> Iterable[float]:
-        b, (sims, in_solution) = kv
-        if not in_solution:
-            return []
-        return [float(sum(sims))]
+        def per_point_mass(kv) -> Iterable[float]:
+            b, (sims, in_solution) = kv
+            if not in_solution:
+                return []
+            return [float(sum(sims))]
 
-    pair_mass = cogroup([half_edges, solution], name="score/source_join").flat_map(
-        per_point_mass, name="score/per_point"
-    )
-    # Symmetric CSR double-counts each undirected edge.
-    pairwise_sum = sum_globally(pair_mass) / 2.0
+        pair_mass = cogroup([half_edges, solution], name="score/source_join").flat_map(
+            per_point_mass, name="score/per_point"
+        )
+        # Symmetric CSR double-counts each undirected edge.
+        pairwise_sum = sum_globally(pair_mass) / 2.0
 
-    score = problem.alpha * unary_sum - problem.beta * pairwise_sum
-    return float(score), pipeline.metrics
+        score = problem.alpha * unary_sum - problem.beta * pairwise_sum
+        return float(score), pipeline.metrics
+    finally:
+        pipeline.close()

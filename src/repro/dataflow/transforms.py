@@ -13,15 +13,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Sequence, Tuple
 
-from repro.dataflow.pcollection import PCollection, Pipeline, _stable_shard
+from repro.dataflow.pcollection import PCollection, Pipeline
 
 
 def flatten(collections: Sequence[PCollection], *, name: str = "flatten") -> PCollection:
     """Beam Flatten: union of PCollections without central materialization.
 
-    Shard lists are concatenated index-wise — no data moves, mirroring how
-    "a union can be implemented without materializing all data in memory"
-    (Sec. 4.4).
+    Builds a lazy multi-input node; at materialization shard lists are
+    concatenated index-wise — no data moves, mirroring how "a union can be
+    implemented without materializing all data in memory" (Sec. 4.4).
     """
     if not collections:
         raise ValueError("flatten requires at least one collection")
@@ -31,11 +31,8 @@ def flatten(collections: Sequence[PCollection], *, name: str = "flatten") -> PCo
             raise ValueError("all collections must share one pipeline")
     pipeline.metrics.count_stage(name)
     keyed = all(c.keyed for c in collections)
-    shards: List[List[Any]] = [[] for _ in range(pipeline.num_shards)]
-    for coll in collections:
-        for i, shard in enumerate(coll.iter_shards()):
-            shards[i].extend(shard)
-    return PCollection(pipeline, shards, keyed=keyed)
+    node = pipeline._new_node("flatten", tuple(c._node for c in collections))
+    return PCollection(pipeline, node, keyed=keyed)
 
 
 def cogroup(
@@ -49,33 +46,17 @@ def cogroup(
     if not collections:
         raise ValueError("cogroup requires at least one collection")
     pipeline = collections[0].pipeline
-    n_inputs = len(collections)
     for coll in collections:
         if coll.pipeline is not pipeline:
             raise ValueError("all collections must share one pipeline")
         coll._require_keyed("cogroup")
     pipeline.metrics.count_stage(name)
-    num = pipeline.num_shards
-    # Tagged shuffle: route (key, (tag, value)) by key.
-    routed: List[List[Any]] = [[] for _ in range(num)]
-    moved = 0
-    for tag, coll in enumerate(collections):
-        for shard in coll.iter_shards():
-            for key, value in shard:
-                routed[_stable_shard(key, num)].append((key, tag, value))
-                moved += 1
-    pipeline.metrics.observe_shuffle(moved)
-    out_shards: List[List[Any]] = []
-    for shard in routed:
-        groups: dict = {}
-        for key, tag, value in shard:
-            entry = groups.get(key)
-            if entry is None:
-                entry = tuple([] for _ in range(n_inputs))
-                groups[key] = entry
-            entry[tag].append(value)
-        out_shards.append(list(groups.items()))
-    return PCollection(pipeline, out_shards, keyed=True)
+    node = pipeline._new_node(
+        "cogroup",
+        tuple(c._node for c in collections),
+        extra=len(collections),
+    )
+    return PCollection(pipeline, node, keyed=True)
 
 
 def sum_globally(values: PCollection) -> float:

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.pipeline import SelectionReport
 from repro.data.registry import SelectionDataset
+from repro.dataflow.metrics import PipelineMetrics
 from repro.graph.csr import NeighborGraph
 
 _FORMAT_VERSION = 1
@@ -103,6 +104,13 @@ def report_to_dict(report: SelectionReport) -> Dict[str, Any]:
         }
     if report.greedy is not None:
         out["greedy_rounds"] = [asdict(s) for s in report.greedy.rounds]
+    engine_metrics = {
+        key: asdict(value)
+        for key, value in report.extra.items()
+        if isinstance(value, PipelineMetrics)
+    }
+    if engine_metrics:
+        out["engine_metrics"] = engine_metrics
     return out
 
 

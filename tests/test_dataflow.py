@@ -185,14 +185,14 @@ class TestMetrics:
     def test_peak_shard_well_below_total(self):
         pipeline = Pipeline(num_shards=16)
         pc = pipeline.create_keyed([(i, i) for i in range(16_000)])
-        pc.group_by_key()
+        pc.group_by_key().run()
         assert pipeline.metrics.peak_shard_records < 16_000 / 4
 
     def test_shuffle_counted(self):
         pipeline = Pipeline(num_shards=4)
         pc = pipeline.create_keyed([(i, i) for i in range(100)])
         before = pipeline.metrics.shuffled_records
-        pc.group_by_key()
+        pc.group_by_key().run()
         assert pipeline.metrics.shuffled_records == before + 100
 
     def test_materialize_metered(self):
@@ -205,7 +205,9 @@ class TestMetrics:
         pipeline = Pipeline(num_shards=4)
         pc = pipeline.create_keyed([(i % 3, i) for i in range(3000)])
         before = pipeline.metrics.shuffled_records
-        pc.combine_per_key(lambda: 0, lambda a, v: a + v, lambda a, b: a + b)
+        pc.combine_per_key(
+            lambda: 0, lambda a, v: a + v, lambda a, b: a + b
+        ).run()
         shuffled = pipeline.metrics.shuffled_records - before
         assert shuffled <= 3 * 4  # keys × shards upper bound
 

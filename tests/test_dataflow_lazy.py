@@ -1,0 +1,293 @@
+"""Tests for the lazy operator DAG: deferred execution, fusion, executors."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.executor import (
+    MultiprocessExecutor,
+    SequentialExecutor,
+    resolve_executor,
+)
+from repro.dataflow.pcollection import Pipeline, _stable_shard
+from repro.dataflow.transforms import cogroup, flatten
+
+
+class TestLaziness:
+    def test_transforms_defer_execution(self):
+        pipeline = Pipeline(num_shards=4)
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x * 2
+
+        pc = pipeline.create(range(10)).map(spy)
+        assert not calls
+        assert not pc.is_materialized
+        assert pipeline.metrics.executed_stages == 0
+        assert sorted(pc.to_list()) == [2 * i for i in range(10)]
+        assert len(calls) == 10
+        assert pc.is_materialized
+
+    def test_shuffle_deferred_until_sink(self):
+        pipeline = Pipeline(num_shards=4)
+        pc = pipeline.create_keyed([(i, i) for i in range(50)])
+        grouped = pc.group_by_key()
+        assert pipeline.metrics.shuffled_records == 0
+        grouped.run()
+        assert pipeline.metrics.shuffled_records == 50
+
+    def test_stage_counts_recorded_at_build_time(self):
+        pipeline = Pipeline(num_shards=2)
+        pipeline.create(range(5)).map(lambda x: x, name="my_map")
+        assert pipeline.metrics.stage_counts["my_map"] == 1
+
+    def test_run_and_cache_return_self(self):
+        pipeline = Pipeline(num_shards=2)
+        pc = pipeline.create(range(5)).map(lambda x: x + 1)
+        assert pc.run() is pc
+        assert pc.cache() is pc
+        assert sorted(pc.to_list()) == list(range(1, 6))
+
+    def test_cached_node_executes_once(self):
+        pipeline = Pipeline(num_shards=4)
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        base = pipeline.create(range(20)).map(spy).cache()
+        assert len(calls) == 20
+        assert base.count() == 20
+        assert sorted(base.filter(lambda x: x % 2 == 0).to_list()) == list(
+            range(0, 20, 2)
+        )
+        # Both downstream sinks read the cached shards; spy never re-runs.
+        assert len(calls) == 20
+
+    def test_shared_stage_with_two_consumers_runs_once(self):
+        pipeline = Pipeline(num_shards=3)
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x * 10
+
+        base = pipeline.create(range(12)).map(spy)
+        a = base.filter(lambda x: x >= 60)
+        b = base.filter(lambda x: x < 60)
+        assert a.count() + b.count() == 12
+        # base has two consumers: fusion stops there, so it materializes
+        # exactly once instead of re-running per consumer.
+        assert len(calls) == 12
+
+    def test_late_consumer_recomputes_unless_cached(self):
+        """Spark-style lineage semantics: fused-through intermediates are
+        uncached, so a consumer derived after the sink re-runs the chain;
+        cache() pins them."""
+        pipeline = Pipeline(num_shards=2)
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return x
+
+        base = pipeline.create(range(6)).map(spy)
+        base.map(lambda x: x + 1).run()   # base fused through, not cached
+        base.map(lambda x: x + 2).run()   # late consumer: chain re-runs
+        assert len(calls) == 12
+        calls.clear()
+        pinned = pipeline.create(range(6)).map(spy).cache()
+        pinned.map(lambda x: x + 1).run()
+        pinned.map(lambda x: x + 2).run()
+        assert len(calls) == 6
+
+    def test_count_does_not_rerun_stages(self):
+        pipeline = Pipeline(num_shards=2)
+        pc = pipeline.create(range(10)).map(lambda x: x).run()
+        executed = pipeline.metrics.executed_stages
+        assert pc.count() == 10
+        assert pc.count() == 10
+        assert pipeline.metrics.executed_stages == executed
+
+
+class TestFusion:
+    def test_elementwise_chain_fuses(self):
+        pipeline = Pipeline(num_shards=4)
+        out = (
+            pipeline.create(range(100))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .flat_map(lambda x: [x, x])
+            .run()
+        )
+        metrics = pipeline.metrics
+        assert metrics.fused_stages == 2
+        # One fused physical pass for the three logical stages.
+        assert metrics.executed_stages == 1
+        assert sorted(out.to_list()) == sorted(
+            y for x in range(100) if (x + 1) % 2 == 0 for y in [x + 1, x + 1]
+        )
+
+    def test_fusion_into_shuffle_write(self):
+        pipeline = Pipeline(num_shards=4)
+        pipeline.create(range(40)).flat_map(
+            lambda x: [(x % 5, x)]
+        ).as_keyed().run()
+        assert pipeline.metrics.fused_stages == 1
+        assert pipeline.metrics.shuffled_records == 40
+
+    def test_fusion_reduces_peak_shard_records(self):
+        def build(fuse):
+            pipeline = Pipeline(num_shards=2, fuse=fuse)
+            pipeline.create(range(100)).flat_map(
+                lambda x: [x] * 10
+            ).filter(lambda x: False).run()
+            return pipeline.metrics
+
+        fused, unfused = build(True), build(False)
+        # Unfused materializes the 10x-expanded intermediate; fused streams
+        # through it.
+        assert unfused.peak_shard_records == 500
+        assert fused.peak_shard_records == 50  # the source shards
+        assert unfused.fused_stages == 0
+        assert fused.fused_stages == 1
+
+    def test_fuse_false_matches_results(self):
+        data = [(i % 7, i) for i in range(200)]
+
+        def run(fuse):
+            pipeline = Pipeline(num_shards=4, fuse=fuse)
+            return sorted(
+                pipeline.create_keyed(data)
+                .map_values(lambda v: v + 1)
+                .filter(lambda kv: kv[1] % 3 != 0)
+                .group_by_key()
+                .map_values(sorted)
+                .to_list()
+            )
+
+        assert run(True) == run(False)
+
+
+class TestStableShardIntegral:
+    def test_numpy_integers_shard_like_python_ints(self):
+        for value in (0, 1, 5, 123456789):
+            for num in (2, 7, 64):
+                assert _stable_shard(np.int64(value), num) == _stable_shard(
+                    value, num
+                )
+                assert _stable_shard(np.int32(value), num) == _stable_shard(
+                    value, num
+                )
+
+    def test_mixed_int_and_numpy_keys_group_together(self):
+        """Regression: np.int64(5) used to hash down the string path."""
+        pipeline = Pipeline(num_shards=8)
+        pairs = [(np.int64(i % 5), i) for i in range(50)] + [
+            (i % 5, i + 100) for i in range(50)
+        ]
+        grouped = dict(pipeline.create_keyed(pairs).group_by_key().to_list())
+        assert len(grouped) == 5
+        for key, values in grouped.items():
+            assert len(values) == 20, f"key {key!r} split across shards"
+
+    def test_tuple_keys_with_numpy_parts(self):
+        assert _stable_shard((np.int64(3), "a"), 16) == _stable_shard(
+            (3, "a"), 16
+        )
+
+
+class TestClosedPipeline:
+    def test_sink_after_close_raises(self):
+        pipeline = Pipeline(2, spill_to_disk=True)
+        pc = pipeline.create(range(10))
+        pipeline.close()
+        with pytest.raises(RuntimeError, match="pipeline closed"):
+            pc.to_list()
+
+    def test_disk_shard_load_after_close_raises(self):
+        pipeline = Pipeline(2, spill_to_disk=True)
+        pc = pipeline.create(range(10))
+        shard = pc._shards[0]
+        pipeline.close()
+        with pytest.raises(RuntimeError, match="pipeline closed"):
+            shard.load()
+
+    def test_pending_transform_after_close_raises(self):
+        pipeline = Pipeline(2)
+        mapped = pipeline.create(range(10)).map(lambda x: x + 1)
+        pipeline.close()
+        with pytest.raises(RuntimeError, match="pipeline closed"):
+            mapped.count()
+
+    def test_close_drops_shard_references(self):
+        pipeline = Pipeline(2, spill_to_disk=True)
+        pc = pipeline.create(range(10)).run()
+        pipeline.close()
+        assert pc._node.cached is None
+
+    def test_close_idempotent(self):
+        pipeline = Pipeline(2, spill_to_disk=True)
+        pipeline.create(range(4))
+        pipeline.close()
+        pipeline.close()
+
+
+class TestExecutors:
+    def test_resolve_executor(self):
+        assert isinstance(resolve_executor("sequential"), SequentialExecutor)
+        assert isinstance(resolve_executor("multiprocess"), MultiprocessExecutor)
+        assert isinstance(resolve_executor(None), SequentialExecutor)
+        inst = SequentialExecutor()
+        assert resolve_executor(inst) is inst
+        with pytest.raises(ValueError):
+            resolve_executor("threads")
+
+    def test_pipeline_rejects_unknown_executor(self):
+        with pytest.raises(ValueError):
+            Pipeline(2, executor="bogus")
+
+    def test_multiprocess_matches_sequential_on_engine_ops(self):
+        data = [(i % 9, i) for i in range(300)]
+
+        def run(executor):
+            pipeline = Pipeline(num_shards=4, executor=executor)
+            keyed = pipeline.create_keyed(data)
+            combined = sorted(
+                keyed.combine_per_key(
+                    lambda: 0, lambda a, v: a + v, lambda a, b: a + b
+                ).to_list()
+            )
+            grouped = sorted(
+                (k, sorted(v))
+                for k, v in keyed.group_by_key().to_list()
+            )
+            total = keyed.map(lambda kv: kv[1]).combine_globally(
+                lambda: 0, lambda a, v: a + v, lambda a, b: a + b
+            )
+            return combined, grouped, total, (
+                pipeline.metrics.peak_shard_records,
+                pipeline.metrics.shuffled_records,
+            )
+
+        seq = run("sequential")
+        mp = run(MultiprocessExecutor(min_parallel_records=0))
+        assert seq == mp
+
+    def test_multiprocess_with_spill(self):
+        executor = MultiprocessExecutor(min_parallel_records=0)
+        with Pipeline(4, spill_to_disk=True, executor=executor) as pipeline:
+            pc = pipeline.create(range(500)).map(lambda x: x * 3)
+            assert sorted(pc.to_list()) == [3 * i for i in range(500)]
+
+    def test_cogroup_and_flatten_lazy(self):
+        pipeline = Pipeline(3)
+        a = pipeline.create_keyed([(1, "a"), (2, "a2")])
+        b = pipeline.create_keyed([(1, "b")])
+        joined = cogroup([a, b])
+        union = flatten([a, b])
+        assert pipeline.metrics.shuffled_records == 0
+        assert dict(joined.to_list())[1] == (["a"], ["b"])
+        assert union.count() == 3

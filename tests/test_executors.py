@@ -1,0 +1,141 @@
+"""Executor/spill equivalence on the real beams.
+
+The engine contract: storage mode (in-memory vs spill-to-disk) and executor
+backend (sequential vs multiprocess) may change *where and when* work runs,
+but never the results or the semantic metrics (``peak_shard_records``,
+``shuffled_records``).  These tests pin that contract on the kNN and
+bounding beams, plus the end-to-end selector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.problem import SubsetProblem
+from repro.dataflow import beam_bound, beam_distributed_greedy, beam_knn_graph
+from repro.dataflow.executor import MultiprocessExecutor
+from tests.test_knn import clustered_points
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.data.registry import load_dataset
+
+    ds = load_dataset("cifar100_tiny", n_points=200, seed=0)
+    return SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+
+
+def _semantic(metrics):
+    return (metrics.peak_shard_records, metrics.shuffled_records)
+
+
+class TestKnnBeamInvariance:
+    def test_metrics_and_output_invariant(self):
+        x, _ = clustered_points(n=250, n_clusters=5)
+        runs = {}
+        for spill in (False, True):
+            for executor in (
+                "sequential",
+                MultiprocessExecutor(min_parallel_records=0),
+            ):
+                name = getattr(executor, "name", executor)
+                _, nbrs, sims, metrics = beam_knn_graph(
+                    x, 5, num_shards=4, seed=0,
+                    executor=executor, spill_to_disk=spill,
+                )
+                runs[(spill, name)] = (nbrs, sims, _semantic(metrics))
+        baseline = runs[(False, "sequential")]
+        for key, (nbrs, sims, semantic) in runs.items():
+            np.testing.assert_array_equal(nbrs, baseline[0], err_msg=str(key))
+            np.testing.assert_array_equal(sims, baseline[1], err_msg=str(key))
+            assert semantic == baseline[2], key
+
+
+class TestBoundingBeamInvariance:
+    def test_metrics_and_decisions_invariant(self, problem):
+        k = problem.n // 10
+        runs = {}
+        for spill in (False, True):
+            for executor in ("sequential", "multiprocess"):
+                result, metrics = beam_bound(
+                    problem, k, mode="exact", num_shards=4,
+                    spill_to_disk=spill, executor=executor, seed=0,
+                )
+                runs[(spill, executor)] = (
+                    result.solution, result.remaining, _semantic(metrics)
+                )
+        baseline = runs[(False, "sequential")]
+        for key, (solution, remaining, semantic) in runs.items():
+            np.testing.assert_array_equal(solution, baseline[0], err_msg=str(key))
+            np.testing.assert_array_equal(remaining, baseline[1], err_msg=str(key))
+            assert semantic == baseline[2], key
+
+    def test_fusion_reports_on_bounding(self, problem):
+        _, metrics = beam_bound(problem, problem.n // 10, num_shards=4)
+        assert metrics.fused_stages > 0
+
+
+class TestGreedyBeamInvariance:
+    def test_selected_identical_across_executors(self, problem):
+        results = [
+            beam_distributed_greedy(
+                problem, 20, m=4, rounds=2, num_shards=4,
+                executor=executor, seed=7,
+            )[0].selected
+            for executor in ("sequential", "multiprocess")
+        ]
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_empty_candidates_returns_empty(self, problem):
+        """Mirrors distributed_greedy: empty ground set → empty result."""
+        result, _ = beam_distributed_greedy(
+            problem, 5, m=2, candidates=np.empty(0, dtype=np.int64), seed=0
+        )
+        assert len(result) == 0
+
+    def test_warm_start_restricts_to_candidates(self, problem):
+        candidates = np.arange(0, problem.n, 2, dtype=np.int64)
+        penalty = np.zeros(problem.n)
+        result, _ = beam_distributed_greedy(
+            problem, 15, m=2, rounds=2, num_shards=4,
+            candidates=candidates, base_penalty=penalty, seed=3,
+        )
+        assert len(result) == 15
+        assert np.isin(result.selected, candidates).all()
+
+
+class TestSelectorDataflowEngine:
+    def test_dataflow_engine_matches_itself_across_executors(self, problem):
+        reports = []
+        for executor in ("sequential", "multiprocess"):
+            config = SelectorConfig(
+                bounding="exact", machines=4, rounds=2,
+                engine="dataflow", executor=executor, num_shards=4,
+            )
+            reports.append(
+                DistributedSelector(problem, config).select(20, seed=0)
+            )
+        np.testing.assert_array_equal(
+            reports[0].selected, reports[1].selected
+        )
+        assert reports[0].objective == reports[1].objective
+        assert "bounding_metrics" in reports[0].extra
+
+    def test_dataflow_engine_selects_valid_subset(self, problem):
+        config = SelectorConfig(
+            bounding="exact", machines=2, rounds=2,
+            engine="dataflow", num_shards=4, spill_to_disk=True,
+        )
+        report = DistributedSelector(problem, config).select(25, seed=1)
+        assert len(report) == 25
+        assert len(set(report.selected.tolist())) == 25
+        assert report.selected.min() >= 0
+        assert report.selected.max() < problem.n
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SelectorConfig(engine="spark")
+        with pytest.raises(ValueError):
+            SelectorConfig(executor="threads")
+        with pytest.raises(ValueError):
+            SelectorConfig(num_shards=0)
