@@ -1,0 +1,60 @@
+"""CI gate: fail when the multiprocess backend regresses vs sequential.
+
+Reads the ``BENCH_dataflow.json`` record written by
+``test_dataflow_engine.py`` and exits non-zero when the candidate mode's
+wall time exceeds the baseline mode's by more than ``--max-ratio``.  The
+default comparison (knn_multiprocess vs knn_sequential, 2x) is the guard
+that keeps the persistent worker pool from sliding back to the
+fork-per-stage overheads that once made parallelism a net slowdown.
+
+Usage::
+
+    python benchmarks/check_dataflow_regression.py \
+        benchmarks/results/BENCH_dataflow.json --max-ratio 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("record", help="path to BENCH_dataflow.json")
+    parser.add_argument("--baseline", default="knn_sequential",
+                        help="mode key used as the reference wall time")
+    parser.add_argument("--candidate", default="knn_multiprocess",
+                        help="mode key that must not regress")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when candidate/baseline exceeds this")
+    args = parser.parse_args(argv)
+
+    with open(args.record) as fh:
+        modes = json.load(fh)["modes"]
+    try:
+        baseline = float(modes[args.baseline]["wall_ms"])
+        candidate = float(modes[args.candidate]["wall_ms"])
+    except KeyError as missing:
+        print(f"mode {missing} not found in {args.record}", file=sys.stderr)
+        return 2
+    ratio = candidate / baseline if baseline > 0 else float("inf")
+    print(
+        f"{args.candidate}: {candidate:.1f} ms, "
+        f"{args.baseline}: {baseline:.1f} ms, "
+        f"ratio {ratio:.2f} (max allowed {args.max_ratio:.2f})"
+    )
+    if ratio > args.max_ratio:
+        print(
+            f"FAIL: {args.candidate} is {ratio:.2f}x {args.baseline} "
+            f"(> {args.max_ratio:.2f}x) — executor-layer regression",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: parallel backend within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

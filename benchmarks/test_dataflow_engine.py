@@ -1,17 +1,21 @@
-"""E21 — dataflow engine: sequential vs fused vs multiprocess.
+"""E21 — dataflow engine: fusion, executor backends, pool persistence.
 
-Benchmarks the engine refactor along its two new axes on a synthetic
-preset-sized workload:
+Benchmarks the engine along three axes on a synthetic preset-sized
+workload:
 
 - *fusion*: an element-wise-heavy pipeline (``flat_map`` fan-out → two
   ``map`` s → ``filter`` → shuffle) with fusion off vs on — fewer physical
   stages, smaller peak shard footprint, one pass per shard;
 - *executor*: the distributed kNN build (the heaviest per-shard compute in
-  the repo) on the sequential vs multiprocess backend — identical output,
-  shard-parallel wall time.
+  the repo) on the sequential vs thread vs multiprocess backend —
+  identical output, shard-parallel wall time;
+- *pool persistence*: a many-small-stages pipeline (each stage forced onto
+  the pool) that isolates worker-pool startup overhead — the workload that
+  made the old fork-per-stage multiprocess backend a net slowdown.
 
 Emits ``BENCH_dataflow.json`` under ``benchmarks/results/`` via
-:func:`common.report_json` alongside the human-readable table.
+:func:`common.report_json` alongside the human-readable table;
+``check_dataflow_regression.py`` gates CI on the knn numbers.
 """
 
 import time
@@ -19,7 +23,12 @@ import time
 import numpy as np
 
 from common import format_rows, report, report_json
-from repro.dataflow import MultiprocessExecutor, Pipeline, beam_knn_graph
+from repro.dataflow import (
+    MultiprocessExecutor,
+    Pipeline,
+    ThreadExecutor,
+    beam_knn_graph,
+)
 from conftest import BENCH_SCALE
 
 
@@ -38,16 +47,57 @@ def _elementwise_pipeline(n: int, *, fuse: bool, executor="sequential"):
         .count()
     )
     elapsed = time.perf_counter() - start
+    pipeline.close()
     return result, elapsed, pipeline.metrics
+
+
+def _executor_matrix(min_parallel_records=None):
+    """(label, factory) for the three backends.
+
+    With ``min_parallel_records=None`` each backend keeps its production
+    default (small stages run in-process); pass 0 to force every stage
+    onto the pool (the pool-startup-overhead probe).
+    """
+    kwargs = {} if min_parallel_records is None else {
+        "min_parallel_records": min_parallel_records
+    }
+    return (
+        ("sequential", lambda: "sequential"),
+        ("thread", lambda: ThreadExecutor(**kwargs)),
+        ("multiprocess", lambda: MultiprocessExecutor(**kwargs)),
+    )
+
+
+def _many_small_stages(executor, *, n_stages: int, n: int):
+    """One tiny physical stage per iteration: isolates per-stage pool
+    overhead (the old backend forked a fresh pool for every stage)."""
+    pipeline = Pipeline(num_shards=4, executor=executor)
+    col = pipeline.create(range(n))
+    start = time.perf_counter()
+    for i in range(n_stages):
+        col = col.map(lambda x, _i=i: x + _i).run()
+    checksum = sum(col.to_list())
+    elapsed = time.perf_counter() - start
+    pipeline.close()
+    return checksum, elapsed, pipeline.metrics
 
 
 def test_e21_dataflow_engine():
     n = max(2_000, int(50_000 * BENCH_SCALE))
     rng = np.random.default_rng(0)
-    x = rng.normal(size=(max(1_000, n // 5), 32))
+    # kNN floor of 2000 points keeps per-shard compute dominant over IPC,
+    # so the CI wall-time gate measures the executor architecture rather
+    # than the serialization floor of a toy workload.
+    x = rng.normal(size=(max(2_000, n // 5), 32))
+    n_stages = 24
 
     rows = []
-    record = {"workload_n": n, "knn_n": int(x.shape[0]), "modes": {}}
+    record = {
+        "workload_n": n,
+        "knn_n": int(x.shape[0]),
+        "small_stages_n_stages": n_stages,
+        "modes": {},
+    }
 
     # -- fusion axis ------------------------------------------------------
     baseline = None
@@ -69,21 +119,31 @@ def test_e21_dataflow_engine():
         }
 
     # -- executor axis ----------------------------------------------------
+    # Best-of-3 per backend (fresh executor each repetition, so pool
+    # startup is always included) keeps the CI wall-time gate off the
+    # noise floor.
     knn_baseline = None
-    executors = (
-        ("sequential", "sequential"),
-        ("multiprocess", MultiprocessExecutor(min_parallel_records=0)),
-    )
-    for label, executor in executors:
-        start = time.perf_counter()
-        _, nbrs, _, metrics = beam_knn_graph(
-            x, 10, n_clusters=16, nprobe=4, num_shards=8,
-            executor=executor, seed=0,
-        )
-        elapsed = time.perf_counter() - start
-        if knn_baseline is None:
-            knn_baseline = nbrs
-        np.testing.assert_array_equal(nbrs, knn_baseline)
+    for label, factory in _executor_matrix():
+        elapsed = None
+        for _rep in range(3):
+            executor = factory()
+            try:
+                # Time the build only (pool startup happens inside, at the
+                # first parallel stage); teardown is excluded for every
+                # backend alike so the CI ratio compares like with like.
+                start = time.perf_counter()
+                _, nbrs, _, metrics = beam_knn_graph(
+                    x, 10, n_clusters=16, nprobe=4, num_shards=8,
+                    executor=executor, seed=0,
+                )
+                rep_elapsed = time.perf_counter() - start
+            finally:
+                if not isinstance(executor, str):
+                    executor.close()
+            elapsed = rep_elapsed if elapsed is None else min(elapsed, rep_elapsed)
+            if knn_baseline is None:
+                knn_baseline = nbrs
+            np.testing.assert_array_equal(nbrs, knn_baseline)
         rows.append((
             f"knn build {label}", elapsed * 1e3,
             metrics.executed_stages, metrics.fused_stages,
@@ -96,8 +156,40 @@ def test_e21_dataflow_engine():
             "peak_shard_records": metrics.peak_shard_records,
         }
 
-    # The refactor's two checkable claims: fusion cuts physical stages and
-    # peak footprint; backends agree bit-for-bit (asserted above).
+    # -- pool-persistence axis: many small stages -------------------------
+    # min_parallel_records=0 forces even tiny stages onto the pool; the
+    # point is per-stage pool overhead, not compute.
+    small_baseline = None
+    for label, factory in _executor_matrix(min_parallel_records=0):
+        executor = factory()
+        try:
+            checksum, elapsed, metrics = _many_small_stages(
+                executor, n_stages=n_stages, n=max(512, n // 10)
+            )
+            if not isinstance(executor, str):
+                # The tentpole claim: one pool for the whole pipeline, not
+                # one per stage.
+                assert executor.pools_created <= 1
+        finally:
+            if not isinstance(executor, str):
+                executor.close()
+        if small_baseline is None:
+            small_baseline = checksum
+        assert checksum == small_baseline, "backend changed results"
+        rows.append((
+            f"small stages x{n_stages} {label}", elapsed * 1e3,
+            metrics.executed_stages, metrics.fused_stages,
+            metrics.peak_shard_records,
+        ))
+        record["modes"][f"small_stages_{label}"] = {
+            "wall_ms": elapsed * 1e3,
+            "executed_stages": metrics.executed_stages,
+            "fused_stages": metrics.fused_stages,
+            "peak_shard_records": metrics.peak_shard_records,
+        }
+
+    # The engine's checkable claims: fusion cuts physical stages and peak
+    # footprint; backends agree bit-for-bit (asserted above).
     unfused = record["modes"]["elementwise_sequential_unfused"]
     fused = record["modes"]["elementwise_sequential_fused"]
     assert fused["executed_stages"] < unfused["executed_stages"]
@@ -106,7 +198,7 @@ def test_e21_dataflow_engine():
 
     path = report_json("dataflow", record)
     report(
-        "E21: dataflow engine — fusion and executor backends",
+        "E21: dataflow engine — fusion, executor backends, pool persistence",
         format_rows(
             ("mode", "wall ms", "stages", "fused", "peak shard"), rows
         ) + f"\n(record: {path})",

@@ -1,0 +1,18 @@
+"""Repo-level pytest options, shared by ``tests/`` and ``benchmarks/``.
+
+``--executor`` selects the dataflow backend that executor-matrix tests run
+against (CI runs the tier-1 suite once per backend — see
+``.github/workflows/ci.yml``).  The invariance tests always compare all
+backends pairwise regardless; this knob drives the end-to-end selector
+path with a single chosen backend.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--executor",
+        action="store",
+        default="sequential",
+        choices=("sequential", "thread", "multiprocess"),
+        help="dataflow executor backend for executor-matrix tests",
+    )

@@ -172,9 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
                           default="memory",
                           help="run stages in-memory or on the dataflow engine")
     p_select.add_argument("--executor",
-                          choices=("sequential", "multiprocess"),
+                          choices=("sequential", "thread", "multiprocess"),
                           default="sequential",
-                          help="dataflow engine backend (--engine dataflow)")
+                          help="dataflow engine backend (--engine dataflow): "
+                               "sequential, persistent thread pool, or "
+                               "persistent worker-process pool")
     p_select.add_argument("--num-shards", type=int, default=8,
                           help="dataflow logical worker count")
     p_select.add_argument("--spill-to-disk", action="store_true",

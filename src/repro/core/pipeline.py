@@ -57,8 +57,11 @@ class SelectorConfig:
         (:mod:`repro.dataflow`), with per-shard memory metering.
     executor / num_shards / spill_to_disk:
         Dataflow-engine knobs (ignored by the memory engine):
-        ``"sequential"`` or ``"multiprocess"`` backend, logical worker
-        count, and disk-resident shards.
+        ``"sequential"``, ``"thread"``, or ``"multiprocess"`` backend,
+        logical worker count, and disk-resident shards.  The selector
+        creates one executor for the whole run — the bounding and greedy
+        stages share its (persistent) worker pool — and closes it when
+        the run finishes.
     """
 
     bounding: Optional[str] = None
@@ -86,10 +89,10 @@ class SelectorConfig:
             raise ValueError(
                 f"engine must be 'memory' or 'dataflow', got {self.engine!r}"
             )
-        if self.executor not in ("sequential", "multiprocess"):
+        if self.executor not in ("sequential", "thread", "multiprocess"):
             raise ValueError(
-                "executor must be 'sequential' or 'multiprocess', "
-                f"got {self.executor!r}"
+                "executor must be 'sequential', 'thread', or "
+                f"'multiprocess', got {self.executor!r}"
             )
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
@@ -137,6 +140,32 @@ class DistributedSelector:
         rng = as_generator(seed)
         cfg = self.config
         dataflow = cfg.engine == "dataflow"
+        executor = None
+        if dataflow:
+            # One executor for the whole run: the bounding and greedy
+            # pipelines share its persistent worker pool (pipelines never
+            # close a passed-in instance; the finally below does).
+            from repro.dataflow import resolve_executor
+
+            executor = resolve_executor(cfg.executor)
+        try:
+            return self._select(
+                k, rng=rng, partitioner=partitioner, executor=executor
+            )
+        finally:
+            if executor is not None:
+                executor.close()
+
+    def _select(
+        self,
+        k: int,
+        *,
+        rng: np.random.Generator,
+        partitioner: Partitioner,
+        executor,
+    ) -> SelectionReport:
+        cfg = self.config
+        dataflow = cfg.engine == "dataflow"
         extra: dict = {}
         bounding_result: Optional[BoundingResult] = None
         solution = np.empty(0, dtype=np.int64)
@@ -155,7 +184,7 @@ class DistributedSelector:
                     p=cfg.sampling_fraction,
                     num_shards=cfg.num_shards,
                     spill_to_disk=cfg.spill_to_disk,
-                    executor=cfg.executor,
+                    executor=executor,
                     seed=rng,
                 )
                 extra["bounding_metrics"] = bound_metrics
@@ -191,7 +220,7 @@ class DistributedSelector:
                     adaptive=cfg.adaptive,
                     gamma=cfg.gamma,
                     num_shards=cfg.num_shards,
-                    executor=cfg.executor,
+                    executor=executor,
                     spill_to_disk=cfg.spill_to_disk,
                     candidates=candidates,
                     base_penalty=base_penalty,

@@ -12,9 +12,11 @@ operator DAG** and a pluggable executor:
   producer–consumer fusion; ``metrics.fused_stages`` counts the savings),
 - hash-shards every keyed operation across ``num_shards`` logical workers,
 - runs per-shard stage work on a :class:`~repro.dataflow.executor.Executor`
-  — :class:`~repro.dataflow.executor.SequentialExecutor` (default) or the
-  shard-parallel :class:`~repro.dataflow.executor.MultiprocessExecutor` —
-  with identical results and metrics on either backend,
+  — :class:`~repro.dataflow.executor.SequentialExecutor` (default), the
+  thread-pool :class:`~repro.dataflow.executor.ThreadExecutor`, or the
+  persistent-process-pool
+  :class:`~repro.dataflow.executor.MultiprocessExecutor` — with identical
+  results and metrics on every backend,
 - meters the peak number of records any single shard ever held
   (:class:`~repro.dataflow.metrics.PipelineMetrics`), which is the
   reproduction's stand-in for per-machine DRAM, and counts shuffled
@@ -29,6 +31,7 @@ from repro.dataflow.executor import (
     Executor,
     MultiprocessExecutor,
     SequentialExecutor,
+    ThreadExecutor,
     resolve_executor,
 )
 from repro.dataflow.metrics import PipelineMetrics
@@ -49,6 +52,7 @@ __all__ = [
     "PipelineMetrics",
     "Executor",
     "SequentialExecutor",
+    "ThreadExecutor",
     "MultiprocessExecutor",
     "resolve_executor",
     "cogroup",

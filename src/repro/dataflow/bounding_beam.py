@@ -74,7 +74,7 @@ class BeamBoundingConfig:
     num_shards: int = 8
     max_rounds: int = 10_000
     spill_to_disk: bool = False
-    executor: str = "sequential"
+    executor: "str | object" = "sequential"  # name or Executor instance
 
 
 class BeamBoundingDriver:
@@ -310,15 +310,15 @@ def beam_bound(
     p: float = 1.0,
     num_shards: int = 8,
     spill_to_disk: bool = False,
-    executor: str = "sequential",
+    executor="sequential",
     seed: SeedLike = None,
 ) -> Tuple[BoundingResult, PipelineMetrics]:
     """One-call wrapper over :class:`BeamBoundingDriver`.
 
     ``spill_to_disk=True`` keeps every materialized shard on disk — the
     literal larger-than-memory mode (one shard resident at a time).
-    ``executor`` selects the engine backend; decisions are identical on
-    both for a fixed seed.
+    ``executor`` selects the engine backend (name or Executor instance);
+    decisions are identical on every backend for a fixed seed.
     """
     driver = BeamBoundingDriver(
         problem,

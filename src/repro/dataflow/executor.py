@@ -3,34 +3,57 @@
 The engine compiles a lazy operator DAG into *stages*: per-shard functions
 that take one shard's records and return either transformed records or
 routing buckets.  An :class:`Executor` decides how those per-shard calls
-run.  Two backends ship:
+run.  Three backends ship:
 
 :class:`SequentialExecutor`
     One shard at a time on the driver — the reference backend.  Metrics and
     results are byte-identical to the historical eager engine.
 
-:class:`MultiprocessExecutor`
-    Shard-parallel execution via :mod:`concurrent.futures`.  On platforms
-    with ``fork`` (Linux), DoFns do **not** need to be picklable: the stage
-    payload is published in a module global before the worker pool forks, so
-    children inherit it and only the shard index travels over the pipe.
-    Shard *results* must still pickle (they are plain lists of Python /
-    NumPy scalars everywhere in this codebase).  Without ``fork`` support
-    the backend degrades to in-process execution, so results never change
-    across platforms.
+:class:`ThreadExecutor`
+    Shard-parallel execution on a persistent thread pool.  No fork, no
+    pickling: best for DoFns dominated by GIL-releasing NumPy kernels, and
+    the parallel backend of choice on platforms without ``fork``.
 
-Both backends process each shard with the same per-shard function in the
-same order, so outputs — and therefore every engine metric — are identical
-regardless of the backend.  Spilled shards (:class:`~repro.dataflow.
-pcollection._DiskShard`) are loaded inside the worker, never on the driver.
+:class:`MultiprocessExecutor`
+    Shard-parallel execution over a **persistent** pool of forked worker
+    processes (fork-server style).  The pool is created once, lazily, on the
+    first stage big enough to parallelize, and reused for every later stage
+    until :meth:`~Executor.close` — fork-per-stage pool startup no longer
+    dominates pipelines with many small stages.  Each stage's payload (the
+    stage function plus the shards assigned to a worker) travels over a
+    per-worker pipe, serialized with :mod:`cloudpickle` when available
+    (closures and lambdas — every DoFn in this codebase — are not
+    serializable with the stdlib pickler).  Without ``fork`` support or a
+    working payload serializer the backend degrades to in-process
+    execution, so results never change across platforms.
+
+All backends process each shard with the same per-shard function and return
+results in shard order, so outputs — and therefore every engine metric —
+are identical regardless of the backend.  Spilled shards (:class:`~repro.
+dataflow.pcollection._DiskShard`) are loaded inside the worker, never on
+the driver.
+
+Executors are reusable across pipelines: a :class:`~repro.dataflow.
+pcollection.Pipeline` only closes an executor it created itself (from a
+string name), so one instance can serve several pipelines back to back —
+e.g. the bounding and greedy stages of a selection run share one worker
+pool.  ``run_stage`` is not re-entrant from multiple driver threads.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import multiprocessing.connection
 import os
-from typing import Any, Callable, List, Sequence
+import pickle
+import traceback
+from typing import Any, Callable, List, Sequence, Tuple
+
+try:  # Closure-capable serializer for the per-stage payload channel.
+    import cloudpickle as _cloudpickle
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    _cloudpickle = None
 
 #: A stage function: one shard's records in, transformed records (or routing
 #: buckets) out.
@@ -42,15 +65,100 @@ def _resolve(shard: Any) -> list:
     return shard if isinstance(shard, list) else shard.load()
 
 
-# Payload for fork-based dispatch.  Set immediately before the worker pool is
-# created and cleared right after the stage completes; forked children inherit
-# the value as of pool creation, so only the shard index needs pickling.
-_FORK_PAYLOAD: Any = None
+def _run_resolved(fn: StageFn, shard: Any) -> Any:
+    return fn(_resolve(shard))
 
 
-def _run_forked_shard(index: int):
-    fn, shards = _FORK_PAYLOAD
-    return fn(_resolve(shards[index]))
+def _default_max_workers() -> int:
+    """``min(8, cpu_count)``, floored at 2 so parallel backends still run
+    real workers on single-core machines (results are identical either way;
+    only wall-time differs)."""
+    cpu = os.cpu_count() or 1
+    return max(2, min(8, cpu))
+
+
+def _validate_max_workers(max_workers: "int | None") -> int:
+    """Validate *before* defaulting: ``0`` must raise, not silently fall
+    back to the default pool size (the old truthiness check made the
+    ``< 1`` error unreachable for 0)."""
+    if max_workers is None:
+        return _default_max_workers()
+    max_workers = int(max_workers)
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    return max_workers
+
+
+def _dumps_payload(obj: Any) -> bytes:
+    """Serialize a stage payload for the worker channel.
+
+    cloudpickle when available (stage functions are closures over DoFns and
+    shard state, which the stdlib pickler rejects); otherwise the stdlib
+    pickler — callers treat a raised error as "run this stage in-process".
+    """
+    if _cloudpickle is not None:
+        return _cloudpickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# Worker-channel message tags.
+_MSG_FN = 0
+_MSG_TASK = 1
+_MSG_EXIT = 2
+_MSG_OK = 3
+_MSG_ERR = 4
+
+
+def _persistent_worker_main(conn) -> None:
+    """Long-lived worker loop: cache the stage fn, compute tasks one by one.
+
+    Per stage the driver sends one ``_MSG_FN`` (the stage function) and
+    then feeds ``_MSG_TASK`` messages — one shard each, exactly one reply
+    per task, so tasks can be dispatched dynamically to whichever worker
+    frees up first (skewed shards don't serialize behind one worker).  The
+    worker stays alive across stages (and across pipelines sharing the
+    executor) until an exit message or a closed channel; task exceptions
+    are caught and shipped back so the worker survives failed stages.
+    """
+    fn = None
+    fn_error: "str | None" = None
+    while True:
+        try:
+            msg = pickle.loads(conn.recv_bytes())
+        except (EOFError, OSError):
+            return
+        tag = msg[0]
+        if tag == _MSG_EXIT:
+            return
+        if tag == _MSG_FN:
+            try:
+                fn = pickle.loads(msg[1])
+                fn_error = None
+            except BaseException:
+                fn, fn_error = None, traceback.format_exc()
+            continue
+        index, shard = msg[1], msg[2]
+        try:
+            if fn_error is not None:
+                raise RuntimeError(f"stage fn failed to deserialize:\n{fn_error}")
+            reply = (_MSG_OK, index, fn(_resolve(shard)))
+            reply_bytes = pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as exc:
+            tb = traceback.format_exc()
+            try:
+                reply_bytes = pickle.dumps(
+                    (_MSG_ERR, index, exc, tb),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            except Exception:  # exception itself unpicklable
+                reply_bytes = pickle.dumps(
+                    (_MSG_ERR, index, None, tb),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        try:
+            conn.send_bytes(reply_bytes)
+        except (BrokenPipeError, OSError):
+            return
 
 
 class Executor:
@@ -63,7 +171,13 @@ class Executor:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial
-        """Release any worker resources (pools, processes)."""
+        """Release any worker resources (pools, processes).  Idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class SequentialExecutor(Executor):
@@ -75,8 +189,78 @@ class SequentialExecutor(Executor):
         return [fn(_resolve(shard)) for shard in shards]
 
 
+class ThreadExecutor(Executor):
+    """Shard-parallel stages on a persistent thread pool.
+
+    No fork and no payload serialization, so it works on every platform and
+    with every DoFn.  Real speedups require per-shard work that releases
+    the GIL (NumPy kernels, I/O — e.g. loading spilled shards); pure-Python
+    DoFns serialize on the GIL but still produce identical results.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread count; defaults to ``min(8, cpu_count)``, floored at 2.
+    min_parallel_records:
+        Stages whose total input is smaller than this run inline on the
+        driver.  Threads are cheap, so the default is 0 (always pool).
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        max_workers: "int | None" = None,
+        *,
+        min_parallel_records: int = 0,
+    ) -> None:
+        self.max_workers = _validate_max_workers(max_workers)
+        self.min_parallel_records = int(min_parallel_records)
+        self.pools_created = 0
+        self._pool: "concurrent.futures.ThreadPoolExecutor | None" = None
+        self._closed = False
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="repro-dataflow",
+            )
+            self.pools_created += 1
+        return self._pool
+
+    def run_stage(self, fn: StageFn, shards: Sequence[Any]) -> List[Any]:
+        if self._closed:
+            raise RuntimeError("executor closed")
+        shards = list(shards)
+        total = sum(len(shard) for shard in shards)
+        if len(shards) < 2 or total < self.min_parallel_records:
+            return [fn(_resolve(shard)) for shard in shards]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_resolved, fn, shard) for shard in shards]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
 class MultiprocessExecutor(Executor):
-    """Shard-parallel stage execution over a process pool.
+    """Shard-parallel stage execution over a persistent process pool.
+
+    Fork-server style: up to ``max_workers`` processes (capped at the first
+    parallel stage's shard count, the pipeline's declared parallelism) are
+    forked once — lazily, on the first stage large enough to parallelize —
+    and reused for every later stage until :meth:`close`.  Per stage, each worker receives the stage
+    function once (cloudpickle over a per-worker pipe — DoFns may be
+    closures or lambdas); shards are then dispatched dynamically, one task
+    at a time, to whichever worker frees up first, so skewed shards load-
+    balance like the old ``ProcessPoolExecutor.map`` did.  Shard *results*
+    must pickle (they are plain lists of Python / NumPy scalars everywhere
+    in this codebase); spilled shards are loaded inside the worker, never
+    on the driver.
 
     Parameters
     ----------
@@ -84,9 +268,10 @@ class MultiprocessExecutor(Executor):
         Worker process count; defaults to ``min(8, cpu_count)``, floored at
         2 so the backend still runs real worker processes on single-core
         machines (results are identical either way; only wall-time differs).
+        Must be >= 1 when given explicitly.
     min_parallel_records:
         Stages whose total input is smaller than this run in-process — the
-        fork/IPC overhead would dominate.  Set to 0 to force the pool on
+        IPC overhead would dominate.  Set to 0 to force the pool on
         (useful in tests asserting backend equivalence on tiny data).
     """
 
@@ -94,44 +279,161 @@ class MultiprocessExecutor(Executor):
 
     def __init__(
         self,
-        max_workers: int | None = None,
+        max_workers: "int | None" = None,
         *,
         min_parallel_records: int = 2048,
     ) -> None:
-        cpu = os.cpu_count() or 1
-        self.max_workers = (
-            int(max_workers) if max_workers else max(2, min(8, cpu))
-        )
-        if self.max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = _validate_max_workers(max_workers)
         self.min_parallel_records = int(min_parallel_records)
+        self.pools_created = 0
         self._can_fork = "fork" in multiprocessing.get_all_start_methods()
+        self._workers: List[Tuple[Any, Any]] = []  # (process, conn) pairs
+        self._closed = False
+
+    def _ensure_pool(self, want: int) -> List[Tuple[Any, Any]]:
+        """Fork the worker pool on first use (at most once per lifetime).
+
+        Sized ``min(max_workers, want)`` where ``want`` is the triggering
+        stage's total shard count (the pipeline's declared parallelism,
+        stable across stages even when keys are skewed) — matching demand
+        without holding permanently idle forked processes.
+        """
+        if not self._workers:
+            ctx = multiprocessing.get_context("fork")
+            for _ in range(max(2, min(self.max_workers, want))):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_persistent_worker_main,
+                    args=(child_conn,),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append((process, parent_conn))
+            self.pools_created += 1
+        return self._workers
 
     def run_stage(self, fn: StageFn, shards: Sequence[Any]) -> List[Any]:
-        global _FORK_PAYLOAD
+        if self._closed:
+            raise RuntimeError("executor closed")
         shards = list(shards)
-        nonempty = sum(1 for s in shards if len(s))
-        total = sum(len(s) for s in shards)
-        workers = min(self.max_workers, max(nonempty, 1))
+        nonempty = sum(1 for shard in shards if len(shard))
+        total = sum(len(shard) for shard in shards)
         if (
             not self._can_fork
-            or workers < 2
+            or min(self.max_workers, max(nonempty, 1)) < 2
             or total < self.min_parallel_records
         ):
             return [fn(_resolve(shard)) for shard in shards]
-        _FORK_PAYLOAD = (fn, shards)
         try:
-            ctx = multiprocessing.get_context("fork")
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers, mp_context=ctx
-            ) as pool:
-                return list(pool.map(_run_forked_shard, range(len(shards))))
-        finally:
-            _FORK_PAYLOAD = None
+            fn_bytes = _dumps_payload(fn)
+        except Exception:
+            # No closure-capable serializer available for this stage
+            # function: degrade to in-process execution (identical results).
+            return [fn(_resolve(shard)) for shard in shards]
+        workers = self._ensure_pool(len(shards))
+        try:
+            fn_blob = pickle.dumps(
+                (_MSG_FN, fn_bytes), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:  # pragma: no cover - fn_bytes is already bytes
+            return [fn(_resolve(shard)) for shard in shards]
+        results: List[Any] = [None] * len(shards)
+        failure: "tuple | None" = None
+        indices = iter(range(len(shards)))
+
+        def next_task_blob() -> "bytes | None":
+            """Serialize the next pending task at dispatch time (one blob
+            in flight per worker, never the whole stage input at once).  A
+            shard whose records don't stdlib-pickle runs in-process right
+            here — nothing is sent for it, so the channels stay clean."""
+            for index in indices:
+                try:
+                    return pickle.dumps(
+                        (_MSG_TASK, index, shards[index]),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                except Exception:
+                    results[index] = fn(_resolve(shards[index]))
+            return None
+
+        try:
+            # Dynamic dispatch: prime every worker with the stage fn and
+            # one task, then feed the next pending task to whichever worker
+            # replies first — skewed shards spread instead of serializing
+            # behind a static assignment.  Exactly one reply per dispatched
+            # task keeps the channels in lockstep even through failed tasks.
+            conns = {conn: process for process, conn in workers}
+            outstanding = {conn: 0 for conn in conns}
+            for conn in conns:
+                blob = next_task_blob()
+                if blob is None:
+                    break
+                conn.send_bytes(fn_blob)
+                conn.send_bytes(blob)
+                outstanding[conn] += 1
+            while any(outstanding.values()):
+                ready = multiprocessing.connection.wait(
+                    [conn for conn, n in outstanding.items() if n]
+                )
+                for conn in ready:
+                    try:
+                        reply = pickle.loads(conn.recv_bytes())
+                    except (EOFError, OSError):
+                        raise RuntimeError(
+                            "multiprocess worker died mid-stage; "
+                            "executor closed"
+                        ) from None
+                    outstanding[conn] -= 1
+                    if reply[0] == _MSG_ERR:
+                        # Drain outstanding replies (lockstep) but stop
+                        # dispatching new work — the stage is failing; the
+                        # pool survives for the next one.
+                        failure = reply
+                    else:
+                        results[reply[1]] = reply[2]
+                    if failure is None:
+                        blob = next_task_blob()
+                        if blob is not None:
+                            conn.send_bytes(blob)
+                            outstanding[conn] += 1
+        except BaseException:
+            # Any driver-side failure mid-protocol (worker death, a reply
+            # that fails to deserialize, an interrupt) leaves the
+            # per-worker channels desynced; close the pool rather than let
+            # stale replies corrupt a later stage.
+            self.close()
+            raise
+        if failure is not None:
+            _tag, _index, exc, tb = failure
+            if exc is not None:
+                raise exc from RuntimeError(f"worker traceback:\n{tb}")
+            raise RuntimeError(f"stage failed in worker:\n{tb}")
+        return results
+
+    def close(self) -> None:
+        self._closed = True
+        exit_bytes = pickle.dumps((_MSG_EXIT,), protocol=pickle.HIGHEST_PROTOCOL)
+        for _process, conn in self._workers:
+            try:
+                conn.send_bytes(exit_bytes)
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in self._workers:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        self._workers = []
 
 
 _EXECUTORS = {
     "sequential": SequentialExecutor,
+    "thread": ThreadExecutor,
     "multiprocess": MultiprocessExecutor,
 }
 

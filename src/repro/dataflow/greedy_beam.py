@@ -43,7 +43,7 @@ def beam_distributed_greedy(
     adaptive: bool = False,
     gamma: float = 0.75,
     num_shards: int = 8,
-    executor: str = "sequential",
+    executor="sequential",
     spill_to_disk: bool = False,
     candidates: Optional[np.ndarray] = None,
     base_penalty: Optional[np.ndarray] = None,

@@ -58,7 +58,7 @@ def beam_knn_graph(
     nprobe: int = 3,
     num_shards: int = 8,
     n_iter: int = 8,
-    executor: str = "sequential",
+    executor="sequential",
     spill_to_disk: bool = False,
     seed: SeedLike = 0,
 ) -> Tuple[NeighborGraph, np.ndarray, np.ndarray, PipelineMetrics]:
@@ -67,9 +67,9 @@ def beam_knn_graph(
     Returns ``(graph, neighbors, similarities, metrics)`` matching
     :func:`repro.graph.symmetrize.build_knn_graph`'s outputs, plus the
     engine metrics that witness the bounded per-worker footprint.
-    ``executor`` picks the engine backend (``"sequential"`` /
-    ``"multiprocess"`` or an Executor instance); outputs are identical
-    either way for a fixed seed.
+    ``executor`` picks the engine backend (``"sequential"`` / ``"thread"``
+    / ``"multiprocess"`` or an Executor instance); outputs are identical
+    on every backend for a fixed seed.
     """
     x = l2_normalize(embeddings)
     n = x.shape[0]

@@ -19,8 +19,8 @@ run`/:meth:`~PCollection.cache`.  At a sink the engine:
    shuffle write) into a single generator pass over each shard
    (``metrics.fused_stages`` counts the stages eliminated),
 3. hands each physical stage's per-shard work to the pipeline's
-   :class:`~repro.dataflow.executor.Executor` (sequential or
-   shard-parallel multiprocess),
+   :class:`~repro.dataflow.executor.Executor` (sequential, shard-parallel
+   threads, or a persistent pool of worker processes),
 4. caches the materialized shards on the node and truncates its lineage, so
    dropped intermediates are freed exactly like the old eager engine.
 
@@ -100,6 +100,30 @@ class _DiskShard:
         return self._count
 
 
+class _ShardGroup:
+    """Aligned shards of a Flatten's inputs, presented as one virtual shard.
+
+    Implements the shard protocol (``len`` without loading; ``load``
+    resolves each part), so Flatten runs through the executor like every
+    other stage and spilled parts are loaded inside the worker, never on
+    the driver.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[Any]) -> None:
+        self.parts = parts
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self.parts)
+
+    def load(self) -> list:
+        out: list = []
+        for part in self.parts:
+            out.extend(_resolve(part))
+        return out
+
+
 def _stable_shard(key: Any, num_shards: int) -> int:
     """Deterministic shard assignment (Python hash is salted for str only).
 
@@ -136,12 +160,16 @@ class _Node:
     profile.  ``consumers`` counts downstream nodes built on this one:
     fusion never reaches through a node that has more than one consumer at
     materialization time — it materializes instead, so subgraphs shared by
-    the already-built consumers execute once.  (A consumer derived *after*
-    the node was fused through recomputes the chain; ``cache()`` pins.)
+    the already-built consumers execute once.  A consumer releases its
+    claim when it materializes (lineage truncation decrements its deps'
+    counts), so only *live* consumers block fusion.  (A consumer derived
+    *after* the node was fused through recomputes the chain; ``cache()``
+    pins.)
     """
 
     __slots__ = (
-        "kind", "deps", "fn", "extra", "cached", "consumers", "__weakref__"
+        "kind", "deps", "fn", "extra", "cached", "consumers",
+        "claims_released", "__weakref__"
     )
 
     def __init__(self, kind: str, deps: tuple = (), fn=None, extra=None) -> None:
@@ -151,6 +179,21 @@ class _Node:
         self.extra = extra
         self.cached: Optional[list] = None
         self.consumers = 0
+        self.claims_released = False
+
+    def release_claims(self) -> None:
+        """Drop this node's claim on its deps' ``consumers`` counts.
+
+        Called once — when the node materializes (lineage truncation) or
+        when it is fused through into an executing stage.  The flag guards
+        against double release: a fused-through node may still materialize
+        directly later (late-consumer recompute), and decrementing twice
+        would let fusion reach through deps with live consumers.
+        """
+        if not self.claims_released:
+            self.claims_released = True
+            for dep in self.deps:
+                dep.consumers -= 1
 
 
 def _iter_map(it, fn):
@@ -238,6 +281,12 @@ def _make_combiner_merger(merge):
     return merge_shard
 
 
+def _flatten_shard(records):
+    """Stage: Flatten — the concatenation happened in ``_ShardGroup.load``
+    (inside the executor); the stage itself is the identity."""
+    return records
+
+
 def _group_shard(records):
     """Stage: GroupByKey's per-shard grouping (input already key-routed)."""
     groups: dict = {}
@@ -298,10 +347,13 @@ class Pipeline:
         Store materialized shards on disk (one resident at a time under the
         sequential executor) — the literal larger-than-memory mode.
     executor:
-        ``"sequential"`` (default), ``"multiprocess"``, or an
+        ``"sequential"`` (default), ``"thread"``, ``"multiprocess"``, or an
         :class:`~repro.dataflow.executor.Executor` instance.  Backends are
-        result- and metrics-equivalent; multiprocess runs shards of a stage
-        in parallel worker processes.
+        result- and metrics-equivalent; thread runs shards of a stage on a
+        persistent thread pool, multiprocess on a persistent pool of forked
+        worker processes.  An executor created here (from a string) is
+        closed by :meth:`close`; a passed-in instance is not — it can be
+        shared across pipelines and outlives each of them.
     fuse:
         Collapse adjacent element-wise stages (and element-wise producers
         of shuffle writes) into one pass per shard.  ``False`` reproduces
@@ -397,11 +449,18 @@ class Pipeline:
         return PCollection(self, node, keyed=keyed)
 
     def _finish_node(self, node: _Node, raw_shards: List[list]) -> List[Any]:
-        """Store + meter a node's output shards, then truncate its lineage."""
+        """Store + meter a node's output shards, then truncate its lineage.
+
+        Truncation releases the node's claim on its deps: their
+        ``consumers`` counts drop so a chain derived from a dep *after*
+        this sink still fuses (``_upstream_chain`` stops at nodes with
+        multiple live consumers; a stale count would block fusion forever).
+        """
         stored = [self._store_shard(shard) for shard in raw_shards]
         for shard in stored:
             self.metrics.observe_shard(len(shard))
         node.cached = stored
+        node.release_claims()
         node.deps = ()
         node.fn = None
         node.extra = None
@@ -464,6 +523,13 @@ class Pipeline:
             chain.append(cur)
             cur = cur.deps[0]
         chain.reverse()
+        # The chain is about to be consumed by the executing stage: release
+        # each fused-through node's claim on its dep (after the walk, so the
+        # stop decisions above used the pre-release counts).  Without this,
+        # a chain of length >= 2 leaves stale claims on its interior nodes
+        # and anything derived from them after the sink can never fuse.
+        for fused_node in chain:
+            fused_node.release_claims()
         return [(n.kind, n.fn) for n in chain], cur
 
     def _exec_elementwise(self, node: _Node) -> List[list]:
@@ -534,12 +600,12 @@ class Pipeline:
         return shards
 
     def _exec_flatten(self, node: _Node) -> List[list]:
-        out: List[list] = [[] for _ in range(self.num_shards)]
-        for dep in node.deps:
-            stored = self._materialize_node(dep)
-            for i, shard in enumerate(stored):
-                out[i].extend(_resolve(shard))
-        return out
+        dep_shards = [self._materialize_node(dep) for dep in node.deps]
+        groups = [
+            _ShardGroup([stored[i] for stored in dep_shards])
+            for i in range(self.num_shards)
+        ]
+        return self._run_stage(_flatten_shard, groups)
 
     def _exec_cogroup(self, node: _Node) -> List[list]:
         n_inputs = node.extra

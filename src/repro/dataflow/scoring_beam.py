@@ -24,7 +24,7 @@ def beam_score(
     subset_ids: np.ndarray,
     *,
     num_shards: int = 8,
-    executor: str = "sequential",
+    executor="sequential",
     spill_to_disk: bool = False,
 ) -> Tuple[float, PipelineMetrics]:
     """Distributed evaluation of the pairwise submodular objective.

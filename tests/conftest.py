@@ -77,3 +77,9 @@ def tiny_problem(tiny_dataset):
 def small_problem():
     """60-point random problem for per-test use."""
     return random_problem(60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def matrix_executor(request):
+    """Dataflow backend selected via ``--executor`` (the CI matrix knob)."""
+    return request.config.getoption("--executor")

@@ -6,6 +6,7 @@ import pytest
 from repro.dataflow.executor import (
     MultiprocessExecutor,
     SequentialExecutor,
+    ThreadExecutor,
     resolve_executor,
 )
 from repro.dataflow.pcollection import Pipeline, _stable_shard
@@ -154,6 +155,35 @@ class TestFusion:
         assert unfused.fused_stages == 0
         assert fused.fused_stages == 1
 
+    def test_post_sink_chain_still_fuses(self):
+        """Regression: materialization used to truncate ``deps`` without
+        decrementing the deps' ``consumers`` counts, so a chain derived
+        from an intermediate *after* a sink could never fuse again."""
+        pipeline = Pipeline(num_shards=2)
+        base = pipeline.create(range(50))
+        mid = base.map(lambda x: x + 1)
+        mid.map(lambda x: x * 2).run()          # sink: mid fused through
+        fused_before = pipeline.metrics.fused_stages
+        late = mid.map(lambda x: x * 3)          # chain derived post-sink
+        late.run()
+        assert pipeline.metrics.fused_stages == fused_before + 1
+        assert sorted(late.to_list()) == [3 * (x + 1) for x in range(50)]
+
+    def test_post_sink_derivation_from_mid_chain_fuses(self):
+        """Regression: in a fused chain of length >= 2, interior nodes kept
+        stale claims on their deps, so deriving from the *middle* of an
+        already-executed chain could never fuse."""
+        pipeline = Pipeline(num_shards=2)
+        base = pipeline.create(range(40))
+        a = base.map(lambda x: x + 1)
+        b = a.map(lambda x: x * 2)
+        b.map(lambda x: x - 3).run()      # sink fuses a and b through
+        fused_before = pipeline.metrics.fused_stages
+        late = a.map(lambda x: x * 10)    # derived from mid-chain post-sink
+        late.run()
+        assert pipeline.metrics.fused_stages == fused_before + 1
+        assert sorted(late.to_list()) == [10 * (x + 1) for x in range(40)]
+
     def test_fuse_false_matches_results(self):
         data = [(i % 7, i) for i in range(200)]
 
@@ -238,6 +268,7 @@ class TestClosedPipeline:
 class TestExecutors:
     def test_resolve_executor(self):
         assert isinstance(resolve_executor("sequential"), SequentialExecutor)
+        assert isinstance(resolve_executor("thread"), ThreadExecutor)
         assert isinstance(resolve_executor("multiprocess"), MultiprocessExecutor)
         assert isinstance(resolve_executor(None), SequentialExecutor)
         inst = SequentialExecutor()

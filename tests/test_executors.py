@@ -1,11 +1,16 @@
-"""Executor/spill equivalence on the real beams.
+"""Executor/spill equivalence on the real beams, plus pool lifecycle.
 
 The engine contract: storage mode (in-memory vs spill-to-disk) and executor
-backend (sequential vs multiprocess) may change *where and when* work runs,
-but never the results or the semantic metrics (``peak_shard_records``,
-``shuffled_records``).  These tests pin that contract on the kNN and
-bounding beams, plus the end-to-end selector.
+backend (sequential vs thread vs multiprocess) may change *where and when*
+work runs, but never the results or the semantic metrics
+(``peak_shard_records``, ``shuffled_records``, ``executed_stages``).  These
+tests pin that contract on the kNN, bounding, cogroup, and flatten paths,
+plus the end-to-end selector — and pin the persistent-pool lifecycle:
+one worker pool per executor lifetime, shared across pipelines, surviving
+failed stages and ``Pipeline.close()``.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -13,8 +18,26 @@ import pytest
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
 from repro.dataflow import beam_bound, beam_distributed_greedy, beam_knn_graph
-from repro.dataflow.executor import MultiprocessExecutor
+from repro.dataflow.executor import (
+    MultiprocessExecutor,
+    SequentialExecutor,
+    ThreadExecutor,
+)
+from repro.dataflow.pcollection import Pipeline, _DiskShard
+from repro.dataflow.transforms import cogroup, flatten
 from tests.test_knn import clustered_points
+
+EXECUTOR_NAMES = ("sequential", "thread", "multiprocess")
+
+
+def _fresh_executor(name):
+    """A new instance per run, pools forced on so tiny test data still
+    exercises the parallel paths."""
+    if name == "sequential":
+        return SequentialExecutor()
+    if name == "thread":
+        return ThreadExecutor(min_parallel_records=0)
+    return MultiprocessExecutor(min_parallel_records=0)
 
 
 @pytest.fixture(scope="module")
@@ -26,7 +49,11 @@ def problem():
 
 
 def _semantic(metrics):
-    return (metrics.peak_shard_records, metrics.shuffled_records)
+    return (
+        metrics.peak_shard_records,
+        metrics.shuffled_records,
+        metrics.executed_stages,
+    )
 
 
 class TestKnnBeamInvariance:
@@ -34,15 +61,15 @@ class TestKnnBeamInvariance:
         x, _ = clustered_points(n=250, n_clusters=5)
         runs = {}
         for spill in (False, True):
-            for executor in (
-                "sequential",
-                MultiprocessExecutor(min_parallel_records=0),
-            ):
-                name = getattr(executor, "name", executor)
-                _, nbrs, sims, metrics = beam_knn_graph(
-                    x, 5, num_shards=4, seed=0,
-                    executor=executor, spill_to_disk=spill,
-                )
+            for name in EXECUTOR_NAMES:
+                executor = _fresh_executor(name)
+                try:
+                    _, nbrs, sims, metrics = beam_knn_graph(
+                        x, 5, num_shards=4, seed=0,
+                        executor=executor, spill_to_disk=spill,
+                    )
+                finally:
+                    executor.close()
                 runs[(spill, name)] = (nbrs, sims, _semantic(metrics))
         baseline = runs[(False, "sequential")]
         for key, (nbrs, sims, semantic) in runs.items():
@@ -56,7 +83,7 @@ class TestBoundingBeamInvariance:
         k = problem.n // 10
         runs = {}
         for spill in (False, True):
-            for executor in ("sequential", "multiprocess"):
+            for executor in EXECUTOR_NAMES:
                 result, metrics = beam_bound(
                     problem, k, mode="exact", num_shards=4,
                     spill_to_disk=spill, executor=executor, seed=0,
@@ -75,6 +102,80 @@ class TestBoundingBeamInvariance:
         assert metrics.fused_stages > 0
 
 
+class TestCogroupFlattenInvariance:
+    """The multi-input paths (CoGroupByKey, Flatten) under the full
+    backend × spill matrix."""
+
+    @staticmethod
+    def _run(executor, spill):
+        pipeline = Pipeline(num_shards=4, executor=executor, spill_to_disk=spill)
+        try:
+            a = pipeline.create_keyed([(i % 11, i) for i in range(400)])
+            b = pipeline.create_keyed([(i % 7, -i) for i in range(300)])
+            joined = sorted(
+                (k, sorted(va), sorted(vb))
+                for k, (va, vb) in cogroup([a, b]).to_list()
+            )
+            union = flatten([a, b])
+            union_groups = sorted(
+                (k, sorted(v))
+                for k, v in union.group_by_key().to_list()
+            )
+            return joined, union.count(), union_groups, _semantic(pipeline.metrics)
+        finally:
+            pipeline.close()
+
+    def test_results_and_metrics_invariant(self):
+        runs = {}
+        for spill in (False, True):
+            for name in EXECUTOR_NAMES:
+                executor = _fresh_executor(name)
+                try:
+                    runs[(spill, name)] = self._run(executor, spill)
+                finally:
+                    executor.close()
+        baseline = runs[(False, "sequential")]
+        for key, run in runs.items():
+            assert run == baseline, key
+
+    def test_flatten_executes_as_a_stage(self):
+        """Regression: flatten used to bypass the executor, so it never
+        counted in ``executed_stages``."""
+        pipeline = Pipeline(num_shards=3)
+        a = pipeline.create(range(30))
+        b = pipeline.create(range(30, 60))
+        union = flatten([a, b])
+        before = pipeline.metrics.executed_stages
+        union.run()
+        assert pipeline.metrics.executed_stages == before + 1
+        assert union.count() == 60
+
+    def test_flatten_loads_spilled_shards_off_driver(self, monkeypatch):
+        """Regression: flatten used to load spilled shards on the driver.
+        With the multiprocess backend the loads must happen in the forked
+        workers, so a driver-side spy sees none."""
+        driver_loads = []
+        original = _DiskShard.load
+
+        def spying_load(self):
+            driver_loads.append(os.getpid())
+            return original(self)
+
+        monkeypatch.setattr(_DiskShard, "load", spying_load)
+        executor = MultiprocessExecutor(min_parallel_records=0)
+        try:
+            pipeline = Pipeline(2, spill_to_disk=True, executor=executor)
+            a = pipeline.create(range(300))
+            b = pipeline.create(range(300, 600))
+            flatten([a, b]).run()
+            pipeline.close()
+        finally:
+            executor.close()
+        # Workers inherit the spy but append to their own copy of the list;
+        # any append visible here happened in the driver process.
+        assert driver_loads == []
+
+
 class TestGreedyBeamInvariance:
     def test_selected_identical_across_executors(self, problem):
         results = [
@@ -82,9 +183,10 @@ class TestGreedyBeamInvariance:
                 problem, 20, m=4, rounds=2, num_shards=4,
                 executor=executor, seed=7,
             )[0].selected
-            for executor in ("sequential", "multiprocess")
+            for executor in EXECUTOR_NAMES
         ]
         np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
 
     def test_empty_candidates_returns_empty(self, problem):
         """Mirrors distributed_greedy: empty ground set → empty result."""
@@ -104,10 +206,139 @@ class TestGreedyBeamInvariance:
         assert np.isin(result.selected, candidates).all()
 
 
+class TestExecutorLifecycle:
+    """Persistent-pool semantics of the parallel backends."""
+
+    def test_multiprocess_creates_one_pool_for_many_stages(self):
+        executor = MultiprocessExecutor(max_workers=2, min_parallel_records=0)
+        try:
+            pipeline = Pipeline(2, executor=executor)
+            col = pipeline.create(range(64))
+            for i in range(5):
+                col = col.map(lambda x, _i=i: x + _i).run()
+            assert executor.pools_created == 1
+            assert sorted(col.to_list()) == [x + 10 for x in range(64)]
+            pipeline.close()
+        finally:
+            executor.close()
+
+    def test_shared_executor_survives_pipeline_close(self):
+        """A passed-in executor instance is not owned by the pipeline:
+        closing one pipeline leaves it usable by the next, on the same
+        worker pool."""
+        executor = MultiprocessExecutor(min_parallel_records=0)
+        try:
+            first = Pipeline(2, executor=executor)
+            assert sorted(
+                first.create(range(100)).map(lambda x: x + 1).to_list()
+            ) == list(range(1, 101))
+            first.close()
+            second = Pipeline(2, executor=executor)
+            assert sorted(
+                second.create(range(100)).map(lambda x: x * 2).to_list()
+            ) == [2 * x for x in range(100)]
+            second.close()
+            assert executor.pools_created == 1
+        finally:
+            executor.close()
+
+    def test_interleaved_pipelines_share_one_executor(self):
+        """Regression: the old module-global payload channel made a shared
+        executor non-reentrant across pipelines with interleaved stages."""
+        executor = MultiprocessExecutor(min_parallel_records=0)
+        try:
+            first = Pipeline(2, executor=executor)
+            second = Pipeline(2, executor=executor)
+            a = first.create(range(100)).map(lambda x: x + 1)
+            b = second.create(range(100)).map(lambda x: x - 1)
+            assert sorted(a.to_list()) == list(range(1, 101))
+            assert sorted(b.to_list()) == list(range(-1, 99))
+            first.close()
+            second.close()
+        finally:
+            executor.close()
+
+    def test_skewed_shards_spread_across_workers(self):
+        """Tasks dispatch dynamically: with more shards than workers, every
+        worker processes some shards (a static split could serialize skewed
+        shards behind one worker)."""
+        executor = MultiprocessExecutor(max_workers=2, min_parallel_records=0)
+        try:
+            pids = executor.run_stage(
+                lambda records: os.getpid(), [[i] for i in range(16)]
+            )
+            assert len(set(pids)) == 2
+            assert os.getpid() not in pids
+        finally:
+            executor.close()
+
+    def test_unpicklable_shard_records_degrade_in_process(self):
+        """Regression: a driver-side task-pickling failure must happen
+        before anything is sent, leaving the worker channels clean — the
+        stage runs in-process and the pool still works afterwards."""
+        executor = MultiprocessExecutor(min_parallel_records=0)
+        try:
+            pipeline = Pipeline(2, executor=executor)
+            funcs = pipeline.create([(lambda i=i: i) for i in range(20)])
+            assert sorted(funcs.map(lambda f: f()).to_list()) == list(range(20))
+            assert sorted(
+                pipeline.create(range(50)).map(lambda x: x + 1).to_list()
+            ) == list(range(1, 51))
+            pipeline.close()
+        finally:
+            executor.close()
+
+    def test_pool_survives_failed_stage(self):
+        executor = MultiprocessExecutor(min_parallel_records=0)
+        try:
+            pipeline = Pipeline(2, executor=executor)
+            with pytest.raises(ZeroDivisionError):
+                pipeline.create(range(100)).map(lambda x: 1 // 0).run()
+            assert sorted(
+                pipeline.create(range(50)).map(lambda x: x + 1).to_list()
+            ) == list(range(1, 51))
+            assert executor.pools_created == 1
+            pipeline.close()
+        finally:
+            executor.close()
+
+    @pytest.mark.parametrize("name", ("thread", "multiprocess"))
+    def test_run_stage_after_close_raises(self, name):
+        executor = _fresh_executor(name)
+        executor.close()
+        with pytest.raises(RuntimeError, match="executor closed"):
+            executor.run_stage(lambda records: records, [[1, 2], [3]])
+
+    def test_close_idempotent(self):
+        for name in ("thread", "multiprocess"):
+            executor = _fresh_executor(name)
+            executor.run_stage(lambda records: len(records), [[1], [2, 3]])
+            executor.close()
+            executor.close()
+
+    def test_max_workers_zero_rejected(self):
+        """Regression: ``max_workers=0`` used to fall through the truthiness
+        check to the default pool size instead of raising."""
+        for cls in (MultiprocessExecutor, ThreadExecutor):
+            with pytest.raises(ValueError, match="max_workers"):
+                cls(max_workers=0)
+            with pytest.raises(ValueError, match="max_workers"):
+                cls(max_workers=-3)
+            assert cls(max_workers=1).max_workers == 1
+            assert cls(max_workers=None).max_workers >= 2
+
+    def test_executor_context_manager(self):
+        with ThreadExecutor(min_parallel_records=0) as executor:
+            out = executor.run_stage(sum, [[1, 2], [3, 4]])
+        assert out == [3, 7]
+        with pytest.raises(RuntimeError, match="executor closed"):
+            executor.run_stage(sum, [[1], [2]])
+
+
 class TestSelectorDataflowEngine:
     def test_dataflow_engine_matches_itself_across_executors(self, problem):
         reports = []
-        for executor in ("sequential", "multiprocess"):
+        for executor in EXECUTOR_NAMES:
             config = SelectorConfig(
                 bounding="exact", machines=4, rounds=2,
                 engine="dataflow", executor=executor, num_shards=4,
@@ -115,11 +346,24 @@ class TestSelectorDataflowEngine:
             reports.append(
                 DistributedSelector(problem, config).select(20, seed=0)
             )
-        np.testing.assert_array_equal(
-            reports[0].selected, reports[1].selected
-        )
-        assert reports[0].objective == reports[1].objective
+        for other in reports[1:]:
+            np.testing.assert_array_equal(reports[0].selected, other.selected)
+            assert reports[0].objective == other.objective
         assert "bounding_metrics" in reports[0].extra
+
+    def test_matrix_backend_end_to_end(self, problem, matrix_executor):
+        """The backend chosen by ``--executor`` (the CI matrix knob) drives
+        the full selector and matches the sequential reference."""
+        def run(executor):
+            config = SelectorConfig(
+                bounding="exact", machines=2, rounds=2,
+                engine="dataflow", executor=executor, num_shards=4,
+            )
+            return DistributedSelector(problem, config).select(15, seed=2)
+
+        chosen, reference = run(matrix_executor), run("sequential")
+        np.testing.assert_array_equal(chosen.selected, reference.selected)
+        assert chosen.objective == reference.objective
 
     def test_dataflow_engine_selects_valid_subset(self, problem):
         config = SelectorConfig(
@@ -139,3 +383,4 @@ class TestSelectorDataflowEngine:
             SelectorConfig(executor="threads")
         with pytest.raises(ValueError):
             SelectorConfig(num_shards=0)
+        SelectorConfig(executor="thread")  # new backend accepted
