@@ -1,16 +1,31 @@
-"""CI gate: fail when the multiprocess backend regresses vs sequential.
+"""CI gates over the ``BENCH_dataflow.json`` record.
 
-Reads the ``BENCH_dataflow.json`` record written by
-``test_dataflow_engine.py`` and exits non-zero when the candidate mode's
-wall time exceeds the baseline mode's by more than ``--max-ratio``.  The
-default comparison (knn_multiprocess vs knn_sequential, 2x) is the guard
-that keeps the persistent worker pool from sliding back to the
-fork-per-stage overheads that once made parallelism a net slowdown.
+Two checks, both read from the record ``test_dataflow_engine.py`` emits:
+
+1. **Pool-persistence probe** (default: ``small_stages_multiprocess`` vs
+   ``small_stages_sequential``): the many-small-stages workload isolates
+   per-stage worker-pool overhead — the cost the persistent pool exists to
+   bound.  The gate is on *per-stage overhead*,
+   ``(candidate_wall - baseline_wall) / n_stages``: steady-state IPC costs
+   well under 1 ms/stage, while a fork-per-stage regression costs
+   10–30 ms/stage, so the default 5 ms ceiling has an order of magnitude
+   of slack on both sides.  This replaced the old
+   ``knn_multiprocess <= 2x knn_sequential`` gate — kNN wall time is
+   compute-dominated and proved noisy on shared CI runners, and a ratio
+   against the ~1 ms sequential small-stages baseline would be noisier
+   still; absolute per-stage overhead measures the executor architecture
+   directly.
+
+2. **Optimizer shuffle-volume gate** (``--shuffle-candidate`` vs
+   ``--shuffle-baseline``, default ``knn_sequential`` vs
+   ``knn_sequential_noopt``): the plan optimizer must *strictly* shrink
+   the kNN beam's ``shuffled_records``; combiner lifting or reshard
+   elision silently not firing fails CI even when results stay correct.
 
 Usage::
 
     python benchmarks/check_dataflow_regression.py \
-        benchmarks/results/BENCH_dataflow.json --max-ratio 2.0
+        benchmarks/results/BENCH_dataflow.json --max-stage-overhead-ms 5.0
 """
 
 from __future__ import annotations
@@ -23,36 +38,78 @@ import sys
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("record", help="path to BENCH_dataflow.json")
-    parser.add_argument("--baseline", default="knn_sequential",
-                        help="mode key used as the reference wall time")
-    parser.add_argument("--candidate", default="knn_multiprocess",
-                        help="mode key that must not regress")
-    parser.add_argument("--max-ratio", type=float, default=2.0,
-                        help="fail when candidate/baseline exceeds this")
+    parser.add_argument("--baseline", default="small_stages_sequential",
+                        help="probe mode used as the zero-overhead reference")
+    parser.add_argument("--candidate", default="small_stages_multiprocess",
+                        help="probe mode whose per-stage overhead is gated")
+    parser.add_argument("--max-stage-overhead-ms", type=float, default=5.0,
+                        help="fail when (candidate - baseline) / n_stages "
+                             "exceeds this many milliseconds")
+    parser.add_argument("--shuffle-baseline", default="knn_sequential_noopt",
+                        help="mode whose shuffled_records the optimizer "
+                             "must beat (empty string skips the gate)")
+    parser.add_argument("--shuffle-candidate", default="knn_sequential",
+                        help="optimized mode whose shuffled_records must be "
+                             "strictly lower")
     args = parser.parse_args(argv)
 
     with open(args.record) as fh:
-        modes = json.load(fh)["modes"]
+        record = json.load(fh)
+    modes = record["modes"]
+
     try:
+        n_stages = int(record["small_stages_n_stages"])
         baseline = float(modes[args.baseline]["wall_ms"])
         candidate = float(modes[args.candidate]["wall_ms"])
     except KeyError as missing:
-        print(f"mode {missing} not found in {args.record}", file=sys.stderr)
+        print(f"key {missing} not found in {args.record}", file=sys.stderr)
         return 2
-    ratio = candidate / baseline if baseline > 0 else float("inf")
+    per_stage = max(0.0, candidate - baseline) / max(1, n_stages)
     print(
         f"{args.candidate}: {candidate:.1f} ms, "
-        f"{args.baseline}: {baseline:.1f} ms, "
-        f"ratio {ratio:.2f} (max allowed {args.max_ratio:.2f})"
+        f"{args.baseline}: {baseline:.1f} ms over {n_stages} stages — "
+        f"{per_stage:.2f} ms/stage pool overhead "
+        f"(max allowed {args.max_stage_overhead_ms:.2f})"
     )
-    if ratio > args.max_ratio:
+    if per_stage > args.max_stage_overhead_ms:
         print(
-            f"FAIL: {args.candidate} is {ratio:.2f}x {args.baseline} "
-            f"(> {args.max_ratio:.2f}x) — executor-layer regression",
+            f"FAIL: {per_stage:.2f} ms/stage pool overhead "
+            f"(> {args.max_stage_overhead_ms:.2f}) — executor-layer "
+            "regression (persistent pool no longer amortizing per-stage "
+            "startup?)",
             file=sys.stderr,
         )
         return 1
-    print("OK: parallel backend within budget")
+    print("OK: persistent pool overhead within budget")
+
+    if args.shuffle_baseline:
+        try:
+            shuffled_naive = int(
+                modes[args.shuffle_baseline]["shuffled_records"]
+            )
+            shuffled_opt = int(
+                modes[args.shuffle_candidate]["shuffled_records"]
+            )
+        except KeyError as missing:
+            print(
+                f"shuffle-gate mode/field {missing} not found in "
+                f"{args.record}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"{args.shuffle_candidate}: {shuffled_opt} shuffled records, "
+            f"{args.shuffle_baseline}: {shuffled_naive}"
+        )
+        if shuffled_opt >= shuffled_naive:
+            print(
+                f"FAIL: optimizer did not shrink shuffle volume "
+                f"({shuffled_opt} >= {shuffled_naive}) — combiner lifting "
+                "or reshard elision regressed",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: optimizer shrinks shuffle volume")
     return 0
 
 

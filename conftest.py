@@ -5,6 +5,12 @@ against (CI runs the tier-1 suite once per backend — see
 ``.github/workflows/ci.yml``).  The invariance tests always compare all
 backends pairwise regardless; this knob drives the end-to-end selector
 path with a single chosen backend.
+
+``--no-optimize`` flips the dataflow engine's *module default* for the
+plan optimizer, so every test whose pipelines leave ``optimize`` unset
+runs against the naive plan (CI runs a matrix entry with this on).  Tests
+that assert optimizer behavior pass ``optimize=True`` explicitly and are
+unaffected; the differential harness always exercises both plans.
 """
 
 
@@ -16,3 +22,17 @@ def pytest_addoption(parser):
         choices=("sequential", "thread", "multiprocess"),
         help="dataflow executor backend for executor-matrix tests",
     )
+    parser.addoption(
+        "--no-optimize",
+        action="store_true",
+        default=False,
+        help="run the whole suite against the naive (unoptimized) "
+             "dataflow plan",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--no-optimize"):
+        from repro.dataflow import pcollection
+
+        pcollection.DEFAULT_OPTIMIZE = False

@@ -21,6 +21,8 @@ Examples
         --rounds 8 --adaptive --report report.json --out ids.npy
     python -m repro select --preset cifar100_tiny --k 200 \
         --engine dataflow --executor multiprocess --num-shards 16
+    python -m repro select --preset cifar100_tiny --k 200 \
+        --engine dataflow --stream-source --no-optimize
     python -m repro score --preset cifar100_tiny --subset ids.npy
 """
 
@@ -93,6 +95,8 @@ def cmd_select(args: argparse.Namespace) -> int:
         executor=args.executor,
         num_shards=args.num_shards,
         spill_to_disk=args.spill_to_disk,
+        optimize=args.optimize,
+        stream_source=args.stream_source,
     )
     report = DistributedSelector(problem, config).select(k, seed=args.seed)
     if args.out:
@@ -112,9 +116,12 @@ def cmd_select(args: argparse.Namespace) -> int:
         if metrics is not None:
             stage = label.split("_")[0]
             print(f"{stage} engine: peak shard {metrics.peak_shard_records} "
-                  f"records, shuffled {metrics.shuffled_records}, "
+                  f"records, shuffled {metrics.shuffled_records} "
+                  f"(of {metrics.pre_shuffle_records} pre-shuffle), "
                   f"{metrics.executed_stages} stages "
-                  f"({metrics.fused_stages} fused)")
+                  f"({metrics.fused_stages} fused, "
+                  f"{metrics.lifted_combiners} lifted combiners, "
+                  f"{metrics.elided_shuffles} elided shuffles)")
     if not args.out:
         print(" ".join(map(str, report.selected[:20].tolist()))
               + (" ..." if len(report) > 20 else ""))
@@ -182,6 +189,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_select.add_argument("--spill-to-disk", action="store_true",
                           help="keep dataflow shards on disk "
                                "(larger-than-memory mode)")
+    p_select.add_argument("--no-optimize", dest="optimize",
+                          action="store_false", default=None,
+                          help="disable the dataflow plan optimizer "
+                               "(combiner lifting, redundant-shuffle "
+                               "elision, post-shuffle fusion) and run the "
+                               "naive plan")
+    p_select.add_argument("--stream-source", dest="stream_source",
+                          action="store_true", default=None,
+                          help="ingest every dataflow source through "
+                               "chunked streaming (the driver never "
+                               "materializes the ground set); by default "
+                               "the bounding stage streams and the greedy "
+                               "stage ingests eagerly")
+    p_select.add_argument("--no-stream-source", dest="stream_source",
+                          action="store_false",
+                          help="force eager ingest everywhere (disables "
+                               "the bounding stage's default streaming)")
     p_select.add_argument("--out", help="write selected ids to .npy")
     p_select.add_argument("--report", help="write JSON report")
     p_select.set_defaults(func=cmd_select)

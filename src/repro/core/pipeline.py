@@ -62,6 +62,19 @@ class SelectorConfig:
         creates one executor for the whole run — the bounding and greedy
         stages share its (persistent) worker pool — and closes it when
         the run finishes.
+    optimize / stream_source:
+        More dataflow-engine knobs: ``optimize=False`` (the CLI's
+        ``--no-optimize``) disables the plan optimizer (combiner lifting,
+        redundant-shuffle elision, post-shuffle fusion) so the naive plan
+        runs — ``None`` defers to the engine default, which the test
+        harness flips suite-wide via ``pytest --no-optimize``;
+        ``stream_source=True`` (``--stream-source``) ingests the ground
+        set through the engine's chunked streaming sources so the driver
+        never materializes it, ``False`` forces eager ingest everywhere,
+        and ``None`` (the default) keeps each beam's own default — the
+        bounding stage streams its graph/utility generators, the greedy
+        stage ingests its (array-backed) ground set eagerly.  Results are
+        identical either way.
     """
 
     bounding: Optional[str] = None
@@ -75,6 +88,8 @@ class SelectorConfig:
     executor: str = "sequential"
     num_shards: int = 8
     spill_to_disk: bool = False
+    optimize: Optional[bool] = None
+    stream_source: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.bounding not in (None, "exact", "approximate"):
@@ -185,6 +200,11 @@ class DistributedSelector:
                     num_shards=cfg.num_shards,
                     spill_to_disk=cfg.spill_to_disk,
                     executor=executor,
+                    optimize=cfg.optimize,
+                    stream_source=(
+                        True if cfg.stream_source is None
+                        else cfg.stream_source
+                    ),
                     seed=rng,
                 )
                 extra["bounding_metrics"] = bound_metrics
@@ -222,6 +242,8 @@ class DistributedSelector:
                     num_shards=cfg.num_shards,
                     executor=executor,
                     spill_to_disk=cfg.spill_to_disk,
+                    optimize=cfg.optimize,
+                    stream_source=bool(cfg.stream_source),
                     candidates=candidates,
                     base_penalty=base_penalty,
                     seed=rng,

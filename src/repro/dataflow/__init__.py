@@ -8,8 +8,15 @@ operator DAG** and a pluggable executor:
 
 - transforms build nodes; execution happens at sinks (``count``,
   ``to_list``, ``combine_globally``, explicit ``run()``/``cache()``),
+- a plan optimizer runs between DAG construction and execution: combiner
+  lifting (``group_by_key().map_values(Fold)`` → ``combine_per_key`` with
+  pre-shuffle partial aggregation), redundant-shuffle elision, and
+  post-shuffle fusion — ``optimize=False`` keeps the naive plan reachable
+  and ``PCollection.explain()`` renders the physical plan,
 - adjacent element-wise stages fuse into one pass per shard (Beam's
   producer–consumer fusion; ``metrics.fused_stages`` counts the savings),
+- sources stream: ``create()``/``create_keyed()`` shard generators lazily
+  in bounded chunks, so the driver never materializes the ground set,
 - hash-shards every keyed operation across ``num_shards`` logical workers,
 - runs per-shard stage work on a :class:`~repro.dataflow.executor.Executor`
   — :class:`~repro.dataflow.executor.SequentialExecutor` (default), the
@@ -35,7 +42,7 @@ from repro.dataflow.executor import (
     resolve_executor,
 )
 from repro.dataflow.metrics import PipelineMetrics
-from repro.dataflow.pcollection import PCollection, Pipeline
+from repro.dataflow.pcollection import Fold, PCollection, Pipeline
 from repro.dataflow.transforms import (
     cogroup,
     distributed_kth_largest,
@@ -49,6 +56,7 @@ from repro.dataflow.scoring_beam import beam_score
 __all__ = [
     "Pipeline",
     "PCollection",
+    "Fold",
     "PipelineMetrics",
     "Executor",
     "SequentialExecutor",

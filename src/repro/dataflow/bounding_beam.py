@@ -66,7 +66,14 @@ def _edge_hash01(b: int, a: int, round_salt: int, seed_salt: int) -> float:
 
 @dataclass
 class BeamBoundingConfig:
-    """Knobs for the dataflow bounding driver."""
+    """Knobs for the dataflow bounding driver.
+
+    ``optimize=None`` resolves to the engine default (the plan optimizer:
+    cogroup write-side fusion, redundant-reshard elision, post-shuffle
+    fusion); ``False`` runs the naive plan.  ``stream_source=True`` (the
+    default) ingests the graph and utility sources through the chunked
+    streaming path so the driver never holds them whole.
+    """
 
     mode: str = "exact"
     sampler: str = "uniform"
@@ -75,6 +82,8 @@ class BeamBoundingConfig:
     max_rounds: int = 10_000
     spill_to_disk: bool = False
     executor: "str | object" = "sequential"  # name or Executor instance
+    optimize: "bool | None" = None
+    stream_source: bool = True
 
 
 class BeamBoundingDriver:
@@ -99,9 +108,11 @@ class BeamBoundingDriver:
             self.config.num_shards,
             spill_to_disk=self.config.spill_to_disk,
             executor=self.config.executor,
+            optimize=self.config.optimize,
         )
         self._seed_salt = int(as_generator(seed).integers(0, 2**31 - 1))
         self._round_counter = 0
+        stream = bool(self.config.stream_source)
         g = problem.graph
         self.neighbors = self.pipeline.create_keyed(
             (
@@ -110,10 +121,12 @@ class BeamBoundingDriver:
                 for v in range(g.n)
             ),
             name="source/neighbors",
+            stream=stream,
         )
         self.utilities = self.pipeline.create_keyed(
             ((v, float(problem.utilities[v])) for v in range(problem.n)),
             name="source/utilities",
+            stream=stream,
         )
 
     # -- the Section 5 join plan -----------------------------------------
@@ -311,6 +324,8 @@ def beam_bound(
     num_shards: int = 8,
     spill_to_disk: bool = False,
     executor="sequential",
+    optimize: "bool | None" = None,
+    stream_source: bool = True,
     seed: SeedLike = None,
 ) -> Tuple[BoundingResult, PipelineMetrics]:
     """One-call wrapper over :class:`BeamBoundingDriver`.
@@ -319,12 +334,16 @@ def beam_bound(
     literal larger-than-memory mode (one shard resident at a time).
     ``executor`` selects the engine backend (name or Executor instance);
     decisions are identical on every backend for a fixed seed.
+    ``optimize``/``stream_source`` are the plan-optimizer and streaming-
+    ingest escape hatches (see :class:`BeamBoundingConfig`); decisions are
+    identical either way.
     """
     driver = BeamBoundingDriver(
         problem,
         BeamBoundingConfig(
             mode=mode, sampler=sampler, p=p, num_shards=num_shards,
             spill_to_disk=spill_to_disk, executor=executor,
+            optimize=optimize, stream_source=stream_source,
         ),
         seed=seed,
     )

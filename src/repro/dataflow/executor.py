@@ -33,6 +33,16 @@ are identical regardless of the backend.  Spilled shards (:class:`~repro.
 dataflow.pcollection._DiskShard`) are loaded inside the worker, never on
 the driver.
 
+Stage payload shapes: a stage function may return transformed records, a
+list of routing buckets (shuffle writes), or — for the optimizer's
+partial-aggregate DoFns — a ``(n_pre, buckets)`` tuple, where ``n_pre``
+meters the records the worker-local pre-combine absorbed before the
+shuffle.  Post-shuffle-fused read stages are plain composed closures
+(shuffle read + element-wise consumer chain in one pass).  Executors treat
+every shape opaquely: whatever the stage function returns is shipped back
+per shard (the multiprocess backend pickles it), so new payload shapes
+need no executor changes.
+
 Executors are reusable across pipelines: a :class:`~repro.dataflow.
 pcollection.Pipeline` only closes an executor it created itself (from a
 string name), so one instance can serve several pipelines back to back —

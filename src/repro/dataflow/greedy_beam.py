@@ -17,7 +17,7 @@ bit-) identical.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +45,8 @@ def beam_distributed_greedy(
     num_shards: int = 8,
     executor="sequential",
     spill_to_disk: bool = False,
+    optimize: "bool | None" = None,
+    stream_source: bool = False,
     candidates: Optional[np.ndarray] = None,
     base_penalty: Optional[np.ndarray] = None,
     seed: SeedLike = None,
@@ -57,12 +59,20 @@ def beam_distributed_greedy(
     remaining set after bounding) and ``base_penalty`` warm-starts each
     per-partition greedy with the penalty from an existing partial solution,
     mirroring :func:`repro.core.distributed.distributed_greedy`.
+
+    With ``optimize`` on (the default) each round's
+    ``key_by → group_by_key → flat_map(select)`` executes as one shuffle
+    (the ``key_by`` reshard is elided) plus one fused read stage (the
+    per-group greedy runs inside the shuffle read).  ``stream_source``
+    ingests the ground set through the chunked streaming source path, so
+    the driver never holds it whole.
     """
     if m < 1 or rounds < 1:
         raise ValueError("m and rounds must be >= 1")
     rng = as_generator(seed)
     pipeline = Pipeline(
-        num_shards, executor=executor, spill_to_disk=spill_to_disk
+        num_shards, executor=executor, spill_to_disk=spill_to_disk,
+        optimize=optimize,
     )
     schedule = LinearDeltaSchedule(gamma)
 
@@ -74,7 +84,13 @@ def beam_distributed_greedy(
                 DistributedResult(np.empty(0, dtype=np.int64)),
                 pipeline.metrics,
             )
-        survivors = pipeline.create(ground.tolist(), name="greedy/source")
+        # Streaming feeds a generator so the driver never materializes the
+        # ground list; int(v) matches tolist()'s Python ints bit-for-bit.
+        if stream_source:
+            source: "Iterable[int]" = (int(v) for v in ground)
+        else:
+            source = ground.tolist()
+        survivors = pipeline.create(source, name="greedy/source")
         partition_cap = int(np.ceil(n0 / m))
         stats: List[RoundStats] = []
 

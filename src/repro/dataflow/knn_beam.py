@@ -24,7 +24,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.dataflow.metrics import PipelineMetrics
-from repro.dataflow.pcollection import Pipeline
+from repro.dataflow.pcollection import Fold, Pipeline
 from repro.graph.csr import NeighborGraph
 from repro.graph.knn import l2_normalize
 from repro.graph.symmetrize import symmetrize_knn
@@ -60,6 +60,8 @@ def beam_knn_graph(
     n_iter: int = 8,
     executor="sequential",
     spill_to_disk: bool = False,
+    optimize: "bool | None" = None,
+    stream_source: bool = False,
     seed: SeedLike = 0,
 ) -> Tuple[NeighborGraph, np.ndarray, np.ndarray, PipelineMetrics]:
     """Construct a symmetric kNN graph with the dataflow engine.
@@ -70,6 +72,14 @@ def beam_knn_graph(
     ``executor`` picks the engine backend (``"sequential"`` / ``"thread"``
     / ``"multiprocess"`` or an Executor instance); outputs are identical
     on every backend for a fixed seed.
+
+    The per-point candidate merge is written as the naive
+    ``group_by_key().map_values(Fold)`` — with ``optimize`` on (the
+    default) the plan optimizer lifts it to ``combine_per_key`` (partial
+    dicts shuffle instead of full candidate lists) and elides the
+    redundant ``as_keyed`` reshards, so shuffle volume drops by more than
+    half versus ``optimize=False`` (the naive plan).  ``stream_source``
+    ingests the point ids through the chunked streaming source path.
     """
     x = l2_normalize(embeddings)
     n = x.shape[0]
@@ -82,9 +92,12 @@ def beam_knn_graph(
     nprobe = min(max(1, nprobe), centroids.shape[0])
 
     pipeline = Pipeline(
-        num_shards, executor=executor, spill_to_disk=spill_to_disk
+        num_shards, executor=executor, spill_to_disk=spill_to_disk,
+        optimize=optimize,
     )
-    points = pipeline.create(range(n), name="knn/source")
+    points = pipeline.create(
+        range(n), name="knn/source", stream=bool(stream_source)
+    )
 
     # (2) multi-probe assignment: (cell, (point, is_home)).  Only the home
     # cell *hosts* the point (appears as a potential neighbor); probe cells
@@ -132,7 +145,10 @@ def beam_knn_graph(
     ).as_keyed(name="knn/cand_key")
 
     # (4) merge per point: keep the global top-k, deduplicating hosts that
-    # appeared in several probed cells.
+    # appeared in several probed cells.  Written as the naive
+    # group-then-fold; the optimizer lifts it to combine_per_key (partial
+    # per-shard dicts shuffle instead of full candidate lists).  Max-merge
+    # is order-insensitive, so optimized and naive plans agree bit-for-bit.
     def merge_zero():
         return {}
 
@@ -150,8 +166,9 @@ def beam_knn_graph(
                 a[host] = sim
         return a
 
-    merged = candidates.combine_per_key(
-        merge_zero, merge_add, merge_merge, name="knn/merge"
+    merged = candidates.group_by_key(name="knn/merge_group").map_values(
+        Fold(merge_zero, merge_add, merge_merge, label="knn/topk"),
+        name="knn/merge",
     )
 
     neighbors = np.full((n, k), -1, dtype=np.int64)

@@ -10,12 +10,25 @@ worker (shard) held at any stage — the engine's proxy for per-machine DRAM.
 ran, and ``fused_stages`` counts logical element-wise stages that the fusion
 pass folded into a downstream pass instead of running standalone — so
 ``executed_stages`` shrinks (and ``fused_stages`` grows) as fusion bites.
+
+Optimizer counters (all recorded when the plan executes):
+
+``lifted_combiners``
+    ``group_by_key → map_values(Fold)`` chains the optimizer rewrote to
+    ``combine_per_key`` with pre-shuffle partial aggregation.
+``elided_shuffles``
+    Redundant ``as_keyed``/``key_by`` reshards whose routing was subsumed
+    by the downstream grouping shuffle (the records route once, not twice).
+``pre_shuffle_records``
+    Records *offered* to shuffle writes before partial aggregation;
+    ``shuffled_records`` stays the post-aggregation volume that actually
+    crossed the boundary, so ``pre - post`` is the optimizer's saving.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -24,17 +37,27 @@ class PipelineMetrics:
 
     peak_shard_records: int = 0
     shuffled_records: int = 0
+    pre_shuffle_records: int = 0
     materialized_records: int = 0
     executed_stages: int = 0
     fused_stages: int = 0
+    lifted_combiners: int = 0
+    elided_shuffles: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
 
     def observe_shard(self, n_records: int) -> None:
         if n_records > self.peak_shard_records:
             self.peak_shard_records = n_records
 
-    def observe_shuffle(self, n_records: int) -> None:
+    def observe_shuffle(
+        self, n_records: int, pre_records: Optional[int] = None
+    ) -> None:
+        """``n_records`` crossed a shuffle; ``pre_records`` (default: the
+        same) were offered before partial aggregation."""
         self.shuffled_records += n_records
+        self.pre_shuffle_records += (
+            n_records if pre_records is None else pre_records
+        )
 
     def observe_materialize(self, n_records: int) -> None:
         self.materialized_records += n_records
@@ -44,15 +67,24 @@ class PipelineMetrics:
         self.executed_stages += 1
         self.fused_stages += fused
 
+    def observe_lifted_combiner(self) -> None:
+        self.lifted_combiners += 1
+
+    def observe_elided_shuffles(self, n: int = 1) -> None:
+        self.elided_shuffles += n
+
     def count_stage(self, name: str) -> None:
         self.stage_counts[name] = self.stage_counts.get(name, 0) + 1
 
     def reset(self) -> None:
         self.peak_shard_records = 0
         self.shuffled_records = 0
+        self.pre_shuffle_records = 0
         self.materialized_records = 0
         self.executed_stages = 0
         self.fused_stages = 0
+        self.lifted_combiners = 0
+        self.elided_shuffles = 0
         self.stage_counts.clear()
 
     def snapshot(self) -> "PipelineMetrics":
@@ -60,8 +92,11 @@ class PipelineMetrics:
         return PipelineMetrics(
             peak_shard_records=self.peak_shard_records,
             shuffled_records=self.shuffled_records,
+            pre_shuffle_records=self.pre_shuffle_records,
             materialized_records=self.materialized_records,
             executed_stages=self.executed_stages,
             fused_stages=self.fused_stages,
+            lifted_combiners=self.lifted_combiners,
+            elided_shuffles=self.elided_shuffles,
             stage_counts=dict(self.stage_counts),
         )

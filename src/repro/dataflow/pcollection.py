@@ -14,15 +14,53 @@ count`, :meth:`~PCollection.to_list`, :meth:`~PCollection.iter_shards`,
 :meth:`~PCollection.combine_globally`, and the explicit :meth:`~PCollection.
 run`/:meth:`~PCollection.cache`.  At a sink the engine:
 
-1. walks the DAG up to materialized ancestors,
-2. *fuses* adjacent element-wise stages (and element-wise producers of a
+1. runs the **plan optimizer** (``optimize=True``, the default) over the
+   DAG below the sink — see *Plan optimization* below,
+2. walks the DAG up to materialized ancestors,
+3. *fuses* adjacent element-wise stages (and element-wise producers of a
    shuffle write) into a single generator pass over each shard
    (``metrics.fused_stages`` counts the stages eliminated),
-3. hands each physical stage's per-shard work to the pipeline's
+4. hands each physical stage's per-shard work to the pipeline's
    :class:`~repro.dataflow.executor.Executor` (sequential, shard-parallel
    threads, or a persistent pool of worker processes),
-4. caches the materialized shards on the node and truncates its lineage, so
+5. caches the materialized shards on the node and truncates its lineage, so
    dropped intermediates are freed exactly like the old eager engine.
+
+Plan optimization
+-----------------
+With ``optimize=True`` three rewrites run between DAG construction and
+execution (``optimize=False`` — the CLI's ``--no-optimize`` — reproduces
+the naive plan exactly):
+
+*Combiner lifting*
+    ``group_by_key().map_values(fold)`` where ``fold`` is a declared
+    :class:`Fold` rewrites to ``combine_per_key``: each input shard
+    pre-aggregates locally and only per-key accumulators shuffle.  The
+    ``Fold`` contract (associative ``add``/``merge``, as in Beam's
+    CombineFn) is the user's promise that regrouping is value-preserving.
+    Counted in ``metrics.lifted_combiners``; ``pre_shuffle_records`` vs
+    ``shuffled_records`` witnesses the saved volume.
+
+*Redundant-shuffle elision*
+    A ``key_by``/``as_keyed`` reshard whose only consumer is a downstream
+    grouping shuffle (``group_by_key``/``combine_per_key``/``cogroup``) is
+    skipped — the grouping op routes by the same key anyway, so records
+    cross the network once instead of twice.  Only key-preserving stages
+    (``filter``/``map_values``) may sit between the two, which is what the
+    keyed type system allows; per-shard order is unchanged (routing a
+    key-routed shard is the identity), so results are bit-identical.
+    Counted in ``metrics.elided_shuffles``.
+
+*Post-shuffle fusion*
+    Element-wise consumers of a shuffle *read* (``group_by_key``,
+    ``combine_per_key``, ``cogroup``, ``flatten``) fuse into the read
+    stage, so ``group_by_key().flat_map(fn)`` executes as one physical
+    stage and the grouped intermediate never exists as a stored shard.
+    (Pre-shuffle producers already fused into the shuffle write; cogroup
+    inputs gain the same write-side fusion under ``optimize``.)
+
+:meth:`PCollection.explain` renders the optimized physical plan without
+executing it (golden-plan tests pin the rewrites).
 
 Sharing: materialized nodes execute once, and fusion stops at any
 element-wise node that already has multiple consumers, materializing it
@@ -33,6 +71,15 @@ derived after that sink re-runs its chain.  DoFns are pure throughout this
 codebase, so results never change; call :meth:`PCollection.cache` on an
 intermediate you will fan out from later to pin it.
 
+Streaming sources: :meth:`Pipeline.create`/:meth:`Pipeline.create_keyed`
+accept any iterable.  Generators and other bare iterators (anything that
+is not a materialized ``Collection``) shard lazily in bounded chunks of
+``stream_chunk_size`` records — with
+``spill_to_disk`` the driver never holds more than one chunk of the input,
+so the ground set is never materialized driver-side.  Chunked sharding
+reproduces eager sharding's placement and order exactly, so results are
+bit-identical; ``stream=True/False`` overrides the auto-detection.
+
 Spilling (``spill_to_disk=True``) happens only at materialization
 boundaries: fused intermediates never touch storage, and one shard is
 resident at a time under the sequential backend (one per worker under the
@@ -40,10 +87,12 @@ multiprocess backend).
 
 Metrics semantics: ``stage_counts`` are recorded when transforms are
 *built* (identical to the eager engine), ``shuffled_records`` /
-``materialized_records`` when they execute.  With ``fuse=False`` and the
-sequential executor, all counters — including ``peak_shard_records`` —
-are byte-identical to the historical eager engine; fusion can only lower
-``peak_shard_records`` because fused intermediates never exist as shards.
+``materialized_records`` when they execute.  With ``fuse=False``,
+``optimize=False``, and the sequential executor, all counters — including
+``peak_shard_records`` — are byte-identical to the historical eager
+engine; fusion and optimization can only lower ``peak_shard_records`` and
+``shuffled_records`` because fused intermediates never exist as shards and
+elided shuffles never move records.
 
 There is intentionally no operation that hands a whole PCollection to user
 code; :meth:`PCollection.to_list` is the explicit test-only escape hatch and
@@ -60,10 +109,81 @@ import shutil
 import tempfile
 import uuid
 import weakref
+from collections.abc import Collection
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.dataflow.executor import Executor, _resolve, resolve_executor
 from repro.dataflow.metrics import PipelineMetrics
+
+#: Module default for ``Pipeline(optimize=None)``.  The test harness flips
+#: this via the ``--no-optimize`` pytest option so the whole tier-1 suite
+#: can run against the naive plan.
+DEFAULT_OPTIMIZE = True
+
+
+class Fold:
+    """A declared per-key reduction — the unit of combiner lifting.
+
+    ``zero()`` makes a fresh accumulator, ``add(acc, value)`` folds one
+    value in, ``merge(a, b)`` combines two accumulators (defaults to
+    ``add``, which is correct whenever accumulators and values share a
+    type, e.g. sums).  Declaring the reduction is the user's promise that
+    ``add``/``merge`` are associative — Beam's CombineFn contract — which
+    lets the optimizer rewrite ``group_by_key().map_values(fold)`` into
+    ``combine_per_key`` with pre-shuffle partial aggregation.
+
+    A ``Fold`` is also a plain callable over a grouped value list, so the
+    unoptimized plan (``optimize=False``) applies it directly to the
+    output of ``group_by_key`` with identical results.
+    """
+
+    __slots__ = ("zero", "add", "merge", "label")
+
+    def __init__(
+        self,
+        zero: Callable[[], Any],
+        add: Callable[[Any, Any], Any],
+        merge: Optional[Callable[[Any, Any], Any]] = None,
+        *,
+        label: str = "fold",
+    ) -> None:
+        self.zero = zero
+        self.add = add
+        self.merge = merge if merge is not None else add
+        self.label = label
+
+    def __call__(self, values: Iterable[Any]) -> Any:
+        acc = self.zero()
+        for value in values:
+            acc = self.add(acc, value)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Fold({self.label})"
+
+    @classmethod
+    def sum(cls) -> "Fold":
+        return cls(int, lambda a, v: a + v, label="sum")
+
+    @classmethod
+    def count(cls) -> "Fold":
+        return cls(int, lambda a, _v: a + 1, lambda a, b: a + b, label="count")
+
+    @classmethod
+    def max(cls) -> "Fold":
+        return cls(
+            lambda: None,
+            lambda a, v: v if a is None or v > a else a,
+            label="max",
+        )
+
+    @classmethod
+    def min(cls) -> "Fold":
+        return cls(
+            lambda: None,
+            lambda a, v: v if a is None or v < a else a,
+            label="min",
+        )
 
 
 class _PipelineState:
@@ -101,12 +221,13 @@ class _DiskShard:
 
 
 class _ShardGroup:
-    """Aligned shards of a Flatten's inputs, presented as one virtual shard.
+    """Aligned parts of one logical shard, presented as one virtual shard.
 
-    Implements the shard protocol (``len`` without loading; ``load``
-    resolves each part), so Flatten runs through the executor like every
-    other stage and spilled parts are loaded inside the worker, never on
-    the driver.
+    Used by Flatten (one part per input collection) and by streaming
+    sources (one part per consumed chunk).  Implements the shard protocol
+    (``len`` without loading; ``load`` resolves each part), so the stage
+    runs through the executor like every other and spilled parts are
+    loaded inside the worker, never on the driver.
     """
 
     __slots__ = ("parts",)
@@ -150,6 +271,16 @@ def _stable_shard(key: Any, num_shards: int) -> int:
 #: Node kinds that are element-wise (shard-local, fusable).
 _ELEMENTWISE = frozenset({"map", "flat_map", "filter", "map_values"})
 
+#: Element-wise kinds that leave every element's key untouched — the only
+#: stages that may legally sit between an elided reshard and the grouping
+#: shuffle that subsumes it.
+_KEY_PRESERVING = frozenset({"filter", "map_values"})
+
+#: Shuffle-read stages that element-wise consumers may fuse into.
+_POST_SHUFFLE_FUSABLE = frozenset(
+    {"group", "combine_per_key", "cogroup", "flatten"}
+)
+
 
 class _Node:
     """One operator in the lazy DAG.
@@ -165,21 +296,29 @@ class _Node:
     counts), so only *live* consumers block fusion.  (A consumer derived
     *after* the node was fused through recomputes the chain; ``cache()``
     pins.)
+
+    ``lifted_from`` records the name of the ``group_by_key`` a lifted
+    ``combine_per_key`` node replaced (for ``explain()``).
     """
 
     __slots__ = (
-        "kind", "deps", "fn", "extra", "cached", "consumers",
-        "claims_released", "__weakref__"
+        "kind", "name", "deps", "fn", "extra", "cached", "consumers",
+        "claims_released", "lifted_from", "__weakref__"
     )
 
-    def __init__(self, kind: str, deps: tuple = (), fn=None, extra=None) -> None:
+    def __init__(
+        self, kind: str, deps: tuple = (), fn=None, extra=None,
+        name: str = "",
+    ) -> None:
         self.kind = kind
+        self.name = name
         self.deps = deps
         self.fn = fn
         self.extra = extra
         self.cached: Optional[list] = None
         self.consumers = 0
         self.claims_released = False
+        self.lifted_from: Optional[str] = None
 
     def release_claims(self) -> None:
         """Drop this node's claim on its deps' ``consumers`` counts.
@@ -220,7 +359,7 @@ _OP_ITER = {
 }
 
 
-def _chain_iter(records: list, ops: tuple):
+def _chain_iter(records, ops: tuple):
     """Lazily thread one shard through a fused element-wise chain."""
     it: Iterable[Any] = records
     for kind, fn in ops:
@@ -238,6 +377,20 @@ def _make_chain_fn(ops):
     return run_chain
 
 
+def _compose_post_ops(fn, ops):
+    """Wrap a shuffle-read stage with a fused element-wise consumer chain
+    (post-shuffle fusion): one pass produces the chain's output directly,
+    so the shuffle-read intermediate never exists as a stored shard."""
+    if not ops:
+        return fn
+    ops = tuple(ops)
+
+    def read_and_chain(records, _fn=fn, _ops=ops):
+        return list(_chain_iter(_fn(records), _ops))
+
+    return read_and_chain
+
+
 def _make_keyed_bucketer(ops, num_shards):
     """Stage: shuffle write — fuse the producing chain into key routing."""
     ops = tuple(ops)
@@ -251,19 +404,34 @@ def _make_keyed_bucketer(ops, num_shards):
     return route
 
 
+class _MissingKey:
+    """Key-absent sentinel for the combiner dicts.  ``None`` is a
+    legitimate accumulator state (``Fold.max()``'s ``zero()`` returns it),
+    so absence must be a value no ``add``/``merge`` can produce.  A class
+    pickles by reference, keeping the identity check valid inside forked
+    workers."""
+
+
 def _make_precombiner(ops, zero, add, num_shards):
-    """Stage: combiner lifting — local pre-combine, then bucket partials."""
+    """Stage: combiner lifting — local pre-combine, then bucket partials.
+
+    Returns ``(n_pre, buckets)`` so the driver can meter the pre-shuffle
+    record volume the local aggregation absorbed (the payload the executor
+    ships back is the partials plus one int).
+    """
     ops = tuple(ops)
 
     def precombine(records, _ops=ops, _zero=zero, _add=add, _num=num_shards):
         local: dict = {}
+        n_pre = 0
         for key, value in _chain_iter(records, _ops):
-            acc = local.get(key)
-            local[key] = _add(_zero() if acc is None else acc, value)
+            n_pre += 1
+            acc = local.get(key, _MissingKey)
+            local[key] = _add(_zero() if acc is _MissingKey else acc, value)
         buckets: List[list] = [[] for _ in range(_num)]
         for key, acc in local.items():
             buckets[_stable_shard(key, _num)].append((key, acc))
-        return buckets
+        return n_pre, buckets
 
     return precombine
 
@@ -274,8 +442,8 @@ def _make_combiner_merger(merge):
     def merge_shard(records, _merge=merge):
         merged: dict = {}
         for key, acc in records:
-            prev = merged.get(key)
-            merged[key] = acc if prev is None else _merge(prev, acc)
+            prev = merged.get(key, _MissingKey)
+            merged[key] = acc if prev is _MissingKey else _merge(prev, acc)
         return list(merged.items())
 
     return merge_shard
@@ -295,12 +463,13 @@ def _group_shard(records):
     return list(groups.items())
 
 
-def _make_cogroup_bucketer(tag, num_shards):
-    """Stage: tagged shuffle write for CoGroupByKey."""
+def _make_cogroup_bucketer(tag, num_shards, ops=()):
+    """Stage: tagged shuffle write for CoGroupByKey (producing chain fused)."""
+    ops = tuple(ops)
 
-    def route(records, _tag=tag, _num=num_shards):
+    def route(records, _tag=tag, _num=num_shards, _ops=ops):
         buckets: List[list] = [[] for _ in range(_num)]
-        for key, value in records:
+        for key, value in _chain_iter(records, _ops):
             buckets[_stable_shard(key, _num)].append((key, _tag, value))
         return buckets
 
@@ -356,9 +525,20 @@ class Pipeline:
         shared across pipelines and outlives each of them.
     fuse:
         Collapse adjacent element-wise stages (and element-wise producers
-        of shuffle writes) into one pass per shard.  ``False`` reproduces
-        the eager engine's stage-by-stage execution byte-for-byte,
-        including ``peak_shard_records``.
+        of shuffle writes) into one pass per shard.  ``False`` *together
+        with* ``optimize=False`` reproduces the eager engine's
+        stage-by-stage execution byte-for-byte, including
+        ``peak_shard_records`` (the optimizer's post-shuffle fusion and
+        shuffle elision are governed by ``optimize``, not ``fuse``).
+    optimize:
+        Run the plan optimizer (combiner lifting, redundant-shuffle
+        elision, post-shuffle fusion) before execution.  ``None`` (the
+        default) resolves to the module default ``DEFAULT_OPTIMIZE``;
+        ``False`` keeps the naive plan reachable (the CLI's
+        ``--no-optimize``).
+    stream_chunk_size:
+        Records per chunk when a source streams lazily (see
+        :meth:`create`).  Bounds driver memory during ingest.
     """
 
     def __init__(
@@ -368,13 +548,21 @@ class Pipeline:
         spill_to_disk: bool = False,
         executor: "str | Executor" = "sequential",
         fuse: bool = True,
+        optimize: Optional[bool] = None,
+        stream_chunk_size: int = 4096,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if stream_chunk_size < 1:
+            raise ValueError(
+                f"stream_chunk_size must be >= 1, got {stream_chunk_size}"
+            )
         self.num_shards = int(num_shards)
         self.metrics = PipelineMetrics()
         self.spill_to_disk = bool(spill_to_disk)
         self.fuse = bool(fuse)
+        self.optimize = DEFAULT_OPTIMIZE if optimize is None else bool(optimize)
+        self.stream_chunk_size = int(stream_chunk_size)
         self.executor = resolve_executor(executor)
         self._owns_executor = not isinstance(executor, Executor)
         self._state = _PipelineState()
@@ -416,57 +604,221 @@ class Pipeline:
 
     # -- sources -----------------------------------------------------------
 
-    def create(self, elements: Iterable[Any], *, name: str = "create") -> "PCollection":
-        """Materialize an iterable as a round-robin-sharded PCollection."""
+    def create(
+        self,
+        elements: Iterable[Any],
+        *,
+        name: str = "create",
+        stream: Optional[bool] = None,
+    ) -> "PCollection":
+        """A round-robin-sharded PCollection from any iterable.
+
+        Materialized containers (lists, tuples, ranges, arrays, sets)
+        shard **eagerly** — the collection snapshots the input at create()
+        time, as the eager engine always did.  Genuinely lazy iterables —
+        generators and other iterators — shard **lazily in bounded
+        chunks** of ``stream_chunk_size`` records at first
+        materialization, so with ``spill_to_disk`` the driver never holds
+        more than one chunk of the input.  Chunked sharding reproduces
+        eager sharding's placement and order exactly (element ``i`` lands
+        on shard ``i % num_shards`` either way), so results are
+        bit-identical.  ``stream`` overrides the auto-detection in either
+        direction.
+        """
+        self.metrics.count_stage(name)
+        if stream is None:
+            stream = not isinstance(elements, Collection)
+        if stream:
+            node = self._new_node(
+                "stream_source", (), extra=(iter(elements), False), name=name
+            )
+            return PCollection(self, node, keyed=False)
         shards: List[List[Any]] = [[] for _ in range(self.num_shards)]
         for i, element in enumerate(elements):
             shards[i % self.num_shards].append(element)
-        self.metrics.count_stage(name)
-        return self._from_materialized(shards, keyed=False)
+        return self._from_materialized(shards, keyed=False, name=name)
 
     def create_keyed(
-        self, pairs: Iterable[Tuple[Any, Any]], *, name: str = "create_keyed"
+        self,
+        pairs: Iterable[Tuple[Any, Any]],
+        *,
+        name: str = "create_keyed",
+        stream: Optional[bool] = None,
     ) -> "PCollection":
-        """Materialize ``(key, value)`` pairs, sharded by key."""
+        """``(key, value)`` pairs, sharded by key.
+
+        Streaming (see :meth:`create`) routes each bounded chunk by key as
+        it is consumed — same placement, same order as eager sharding.
+        """
+        self.metrics.count_stage(name)
+        if stream is None:
+            stream = not isinstance(pairs, Collection)
+        if stream:
+            node = self._new_node(
+                "stream_source", (), extra=(iter(pairs), True), name=name
+            )
+            return PCollection(self, node, keyed=True)
         shards: List[List[Any]] = [[] for _ in range(self.num_shards)]
         for key, value in pairs:
             shards[_stable_shard(key, self.num_shards)].append((key, value))
-        self.metrics.count_stage(name)
-        return self._from_materialized(shards, keyed=True)
+        return self._from_materialized(shards, keyed=True, name=name)
 
     # -- DAG construction --------------------------------------------------
 
-    def _new_node(self, kind: str, deps: tuple = (), fn=None, extra=None) -> _Node:
-        node = _Node(kind, deps, fn, extra)
+    def _new_node(
+        self, kind: str, deps: tuple = (), fn=None, extra=None, name: str = ""
+    ) -> _Node:
+        node = _Node(kind, deps, fn, extra, name=name)
         for dep in deps:
             dep.consumers += 1
         self._nodes.add(node)
         return node
 
-    def _from_materialized(self, shards: List[list], *, keyed: bool) -> "PCollection":
-        node = self._new_node("source")
+    def _from_materialized(
+        self, shards: List[list], *, keyed: bool, name: str = "source"
+    ) -> "PCollection":
+        node = self._new_node("source", name=name)
         self._finish_node(node, shards)
         return PCollection(self, node, keyed=keyed)
 
-    def _finish_node(self, node: _Node, raw_shards: List[list]) -> List[Any]:
+    def _finish_node(
+        self, node: _Node, raw_shards: List[list], *, stored: bool = False
+    ) -> List[Any]:
         """Store + meter a node's output shards, then truncate its lineage.
+
+        ``stored=True`` means the shards already went through
+        :meth:`_store_shard` (streaming sources spill chunk by chunk).
 
         Truncation releases the node's claim on its deps: their
         ``consumers`` counts drop so a chain derived from a dep *after*
         this sink still fuses (``_upstream_chain`` stops at nodes with
         multiple live consumers; a stale count would block fusion forever).
         """
-        stored = [self._store_shard(shard) for shard in raw_shards]
-        for shard in stored:
+        if stored:
+            kept = raw_shards
+        else:
+            kept = [self._store_shard(shard) for shard in raw_shards]
+        for shard in kept:
             self.metrics.observe_shard(len(shard))
-        node.cached = stored
+        node.cached = kept
         node.release_claims()
         node.deps = ()
         node.fn = None
         node.extra = None
-        return stored
+        return kept
+
+    # -- plan optimization -------------------------------------------------
+
+    def _lift_combiners(self, node: _Node) -> None:
+        """Logical rewrite pass: ``group_by_key → map_values(Fold)`` becomes
+        ``combine_per_key`` (Beam's combiner lifting).
+
+        The rewrite fires only when the group is uncached and the
+        ``map_values`` is its sole live consumer; it mutates the
+        ``map_values`` node in place (so PCollections referencing it see
+        the combine) and transfers the group's claim on its dep to the new
+        combine node.  Idempotent — safe to run at every sink and from
+        :meth:`PCollection.explain`.
+        """
+        seen: set = set()
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if id(cur) in seen or cur.cached is not None:
+                continue
+            seen.add(id(cur))
+            if cur.kind == "map_values" and isinstance(cur.fn, Fold):
+                dep = cur.deps[0]
+                if (
+                    dep.kind == "group"
+                    and dep.cached is None
+                    and dep.consumers == 1
+                    and not dep.claims_released
+                ):
+                    fold = cur.fn
+                    cur.kind = "combine_per_key"
+                    cur.fn = None
+                    cur.extra = (fold.zero, fold.add, fold.merge)
+                    cur.deps = dep.deps
+                    cur.lifted_from = dep.name
+                    # The combine inherits the group's claim on its dep;
+                    # mark the group released so it never decrements the
+                    # (transferred) claim again, and drop the combine's
+                    # own claim on the now-orphaned group — a stale count
+                    # would block fusion for any later consumer of the
+                    # group.  (The lift is metered at execution, not here
+                    # — explain() also runs this pass and must leave the
+                    # metrics untouched.)
+                    dep.claims_released = True
+                    dep.consumers -= 1
+            stack.extend(cur.deps)
+
+    def _peek_chain(self, dep: _Node, *, for_shuffle: bool = False):
+        """Read-only fusion walk: what would fuse above (and including)
+        ``dep``?
+
+        Returns ``(chain, base, base_live, elided)`` — the fusable
+        element-wise nodes in execution order, the first non-fusable (or
+        already materialized) ancestor, ``base``'s live-consumer count at
+        walk time (counting our own claim), and the redundant reshard
+        nodes elided along the way.  ``for_shuffle=True`` means the chain
+        feeds a shuffle write, which both fuses the producers into the
+        routing pass and (under ``optimize``) elides single-consumer
+        reshards whose routing the write subsumes — legal only while every
+        op walked so far preserves keys.  Shared by execution
+        (:meth:`_upstream_chain`) and :meth:`explain`.
+        """
+        chain: List[_Node] = []
+        elided: List[_Node] = []
+        keys_stable = True
+        cur = dep
+        while True:
+            if (
+                self.fuse
+                and cur.kind in _ELEMENTWISE
+                and cur.cached is None
+                and cur.consumers <= 1
+            ):
+                chain.append(cur)
+                if cur.kind not in _KEY_PRESERVING:
+                    keys_stable = False
+                cur = cur.deps[0]
+                continue
+            if (
+                for_shuffle
+                and self.optimize
+                and cur.kind == "reshard"
+                and cur.cached is None
+                and cur.consumers <= 1
+                and keys_stable
+            ):
+                elided.append(cur)
+                cur = cur.deps[0]
+                continue
+            break
+        base_live = cur.consumers
+        chain.reverse()
+        return chain, cur, base_live, elided
+
+    def _fuses_post_shuffle(self, base: _Node, base_live: int) -> bool:
+        """Would an element-wise chain ending at ``base`` fuse into its
+        shuffle-read stage?  The single predicate behind both execution
+        (:meth:`_exec_elementwise`) and :meth:`explain` — keep them from
+        drifting."""
+        return (
+            self.optimize
+            and base.cached is None
+            and base_live <= 1
+            and base.kind in _POST_SHUFFLE_FUSABLE
+        )
 
     # -- execution ---------------------------------------------------------
+
+    def _materialize(self, node: _Node) -> List[Any]:
+        """Sink entry point: optimize the plan below ``node``, then run it."""
+        if self.optimize and node.cached is None:
+            self._lift_combiners(node)
+        return self._materialize_node(node)
 
     def _materialize_node(self, node: _Node) -> List[Any]:
         """Execute the DAG below ``node`` (cached subgraphs run once)."""
@@ -479,6 +831,8 @@ class Pipeline:
             # Sources are cached at creation; losing the cache means close()
             # dropped it.
             raise RuntimeError("pipeline closed")
+        if kind == "stream_source":
+            return self._exec_stream_source(node)
         if kind in _ELEMENTWISE:
             raw = self._exec_elementwise(node)
         elif kind == "reshard":
@@ -502,47 +856,119 @@ class Pipeline:
         self.metrics.observe_stage_execution(fused=fused)
         return out
 
-    def _upstream_chain(self, dep: _Node):
-        """Collect the fusable element-wise chain above (and including) ``dep``.
+    def _upstream_chain(self, dep: _Node, *, for_shuffle: bool = False):
+        """Collect (and consume) the fusable chain above ``dep``.
 
-        Returns ``(ops, base)`` where ``ops`` are ``(kind, fn)`` pairs in
-        execution order and ``base`` is the first non-fusable (or already
-        materialized) ancestor.  Fusion stops at nodes with multiple
-        consumers — they materialize so the shared work runs once.  With
-        ``fuse=False`` the chain is always empty, so every node
-        materializes individually.
+        Returns ``(ops, base, base_live)`` where ``ops`` are ``(kind, fn)``
+        pairs in execution order, ``base`` is the first non-fusable (or
+        already materialized) ancestor, and ``base_live`` is ``base``'s
+        consumer count before the chain's claims were released (``== 1``
+        means our chain is its sole live consumer — the post-shuffle
+        fusion precondition).  With ``fuse=False`` the chain is always
+        empty, so every node materializes individually.
+
+        The chain is about to be consumed by the executing stage, so each
+        fused-through node's claim on its dep is released here (after the
+        walk — the stop decisions use the pre-release counts).  Without
+        this, a chain of length >= 2 leaves stale claims on its interior
+        nodes and anything derived from them after the sink can never
+        fuse.  Elided reshards release the same way and are counted in
+        ``metrics.elided_shuffles``.
         """
-        chain: List[_Node] = []
-        cur = dep
-        while (
-            self.fuse
-            and cur.kind in _ELEMENTWISE
-            and cur.cached is None
-            and cur.consumers <= 1
-        ):
-            chain.append(cur)
-            cur = cur.deps[0]
-        chain.reverse()
-        # The chain is about to be consumed by the executing stage: release
-        # each fused-through node's claim on its dep (after the walk, so the
-        # stop decisions above used the pre-release counts).  Without this,
-        # a chain of length >= 2 leaves stale claims on its interior nodes
-        # and anything derived from them after the sink can never fuse.
+        chain, base, base_live, elided = self._peek_chain(
+            dep, for_shuffle=for_shuffle
+        )
         for fused_node in chain:
             fused_node.release_claims()
-        return [(n.kind, n.fn) for n in chain], cur
+        for elided_node in elided:
+            elided_node.release_claims()
+        if elided:
+            self.metrics.observe_elided_shuffles(len(elided))
+        return [(n.kind, n.fn) for n in chain], base, base_live
+
+    def _exec_stream_source(self, node: _Node) -> List[Any]:
+        """Consume a lazy source chunk by chunk: route each bounded chunk,
+        store its per-shard buckets (spilled immediately when enabled),
+        and assemble each shard as a :class:`_ShardGroup` of chunk parts —
+        the driver never holds more than one chunk of raw input."""
+        elements, keyed = node.extra
+        if elements is None:
+            raise RuntimeError(
+                f"streaming source '{node.name}' failed mid-consumption "
+                "earlier; its iterator is spent — rebuild the pipeline"
+            )
+        num = self.num_shards
+        parts: List[List[Any]] = [[] for _ in range(num)]
+        position = 0
+        try:
+            while True:
+                chunk = list(itertools.islice(elements, self.stream_chunk_size))
+                if not chunk:
+                    break
+                buckets: List[list] = [[] for _ in range(num)]
+                if keyed:
+                    for key, value in chunk:
+                        buckets[_stable_shard(key, num)].append((key, value))
+                else:
+                    for element in chunk:
+                        buckets[position % num].append(element)
+                        position += 1
+                del chunk
+                for shard_idx, bucket in enumerate(buckets):
+                    if bucket:
+                        parts[shard_idx].append(self._store_shard(bucket))
+                # Drop every bucket reference (including the loop variable)
+                # before reading the next chunk — otherwise two chunks are
+                # alive at once (spilled parts hold no records; in-memory
+                # parts intentionally do).
+                del buckets, bucket
+        except BaseException:
+            # Poison the node: the iterator is partially consumed, so a
+            # retry would silently cache truncated (or empty) data.
+            node.extra = (None, keyed)
+            raise
+        shards: List[Any] = []
+        for shard_parts in parts:
+            if not shard_parts:
+                shards.append([])
+            elif len(shard_parts) == 1:
+                shards.append(shard_parts[0])
+            else:
+                shards.append(_ShardGroup(shard_parts))
+        return self._finish_node(node, shards, stored=True)
 
     def _exec_elementwise(self, node: _Node) -> List[list]:
-        ops, base = self._upstream_chain(node.deps[0])
+        ops, base, base_live = self._upstream_chain(node.deps[0])
         ops.append((node.kind, node.fn))
+        if self._fuses_post_shuffle(base, base_live):
+            # Post-shuffle fusion: the whole element-wise chain runs inside
+            # the shuffle-read stage; ``base`` is fused through and never
+            # materialized (late consumers recompute, as with any fused
+            # intermediate).
+            raw = self._exec_shuffle_read(base, post_ops=ops)
+            base.release_claims()
+            return raw
         base_shards = self._materialize_node(base)
         return self._run_stage(
             _make_chain_fn(ops), base_shards, fused=len(ops) - 1
         )
 
+    def _exec_shuffle_read(self, base: _Node, post_ops) -> List[list]:
+        if base.kind == "group":
+            return self._exec_group(base, post_ops=post_ops)
+        if base.kind == "combine_per_key":
+            return self._exec_combine_per_key(base, post_ops=post_ops)
+        if base.kind == "cogroup":
+            return self._exec_cogroup(base, post_ops=post_ops)
+        if base.kind == "flatten":
+            return self._exec_flatten(base, post_ops=post_ops)
+        raise AssertionError(  # pragma: no cover - guarded by caller
+            f"not a post-shuffle-fusable kind: {base.kind!r}"
+        )
+
     def _shuffle_by_key(self, dep: _Node) -> List[list]:
         """Shuffle write + driver-side merge; fuses the producing chain."""
-        ops, base = self._upstream_chain(dep)
+        ops, base, _ = self._upstream_chain(dep, for_shuffle=True)
         base_shards = self._materialize_node(base)
         num = self.num_shards
         bucket_lists = self._run_stage(
@@ -557,34 +983,46 @@ class Pipeline:
         self.metrics.observe_shuffle(moved)
         return shards
 
-    def _exec_group(self, node: _Node) -> List[list]:
+    def _exec_group(self, node: _Node, post_ops=()) -> List[list]:
         resharded = self._shuffle_by_key(node.deps[0])
         # The key-routed intermediate is a real per-worker footprint (the
         # eager engine materialized it); meter it even though it is never
         # stored.
         for shard in resharded:
             self.metrics.observe_shard(len(shard))
-        return self._run_stage(_group_shard, resharded)
+        return self._run_stage(
+            _compose_post_ops(_group_shard, post_ops),
+            resharded,
+            fused=len(post_ops),
+        )
 
-    def _exec_combine_per_key(self, node: _Node) -> List[list]:
+    def _exec_combine_per_key(self, node: _Node, post_ops=()) -> List[list]:
         zero, add, merge = node.extra
-        ops, base = self._upstream_chain(node.deps[0])
+        if node.lifted_from is not None:
+            self.metrics.observe_lifted_combiner()
+        ops, base, _ = self._upstream_chain(node.deps[0], for_shuffle=True)
         base_shards = self._materialize_node(base)
         num = self.num_shards
-        bucket_lists = self._run_stage(
+        stage_out = self._run_stage(
             _make_precombiner(ops, zero, add, num), base_shards, fused=len(ops)
         )
         partials: List[list] = [[] for _ in range(num)]
         moved = 0
-        for buckets in bucket_lists:
+        offered = 0
+        for n_pre, buckets in stage_out:
+            offered += n_pre
             for i, bucket in enumerate(buckets):
                 partials[i].extend(bucket)
                 moved += len(bucket)
-        self.metrics.observe_shuffle(moved)
-        return self._run_stage(_make_combiner_merger(merge), partials)
+        self.metrics.observe_shuffle(moved, pre_records=offered)
+        return self._run_stage(
+            _compose_post_ops(_make_combiner_merger(merge), post_ops),
+            partials,
+            fused=len(post_ops),
+        )
 
     def _exec_reshuffle(self, node: _Node) -> List[list]:
-        ops, base = self._upstream_chain(node.deps[0])
+        ops, base, _ = self._upstream_chain(node.deps[0])
         base_shards = self._materialize_node(base)
         transformed = self._run_stage(
             _make_chain_fn(ops), base_shards, fused=len(ops)
@@ -599,30 +1037,189 @@ class Pipeline:
         self.metrics.observe_shuffle(moved)
         return shards
 
-    def _exec_flatten(self, node: _Node) -> List[list]:
+    def _exec_flatten(self, node: _Node, post_ops=()) -> List[list]:
         dep_shards = [self._materialize_node(dep) for dep in node.deps]
         groups = [
             _ShardGroup([stored[i] for stored in dep_shards])
             for i in range(self.num_shards)
         ]
-        return self._run_stage(_flatten_shard, groups)
+        return self._run_stage(
+            _compose_post_ops(_flatten_shard, post_ops),
+            groups,
+            fused=len(post_ops),
+        )
 
-    def _exec_cogroup(self, node: _Node) -> List[list]:
+    def _exec_cogroup(self, node: _Node, post_ops=()) -> List[list]:
         n_inputs = node.extra
         num = self.num_shards
         routed: List[list] = [[] for _ in range(num)]
         moved = 0
         for tag, dep in enumerate(node.deps):
-            stored = self._materialize_node(dep)
+            if self.optimize:
+                # Write-side fusion for cogroup inputs: each input's
+                # element-wise producing chain (and any redundant reshard)
+                # folds into its tagged routing pass.
+                ops, base, _ = self._upstream_chain(dep, for_shuffle=True)
+            else:
+                ops, base = [], dep
+            stored = self._materialize_node(base)
             bucket_lists = self._run_stage(
-                _make_cogroup_bucketer(tag, num), stored
+                _make_cogroup_bucketer(tag, num, ops), stored, fused=len(ops)
             )
             for buckets in bucket_lists:
                 for i, bucket in enumerate(buckets):
                     routed[i].extend(bucket)
                     moved += len(bucket)
         self.metrics.observe_shuffle(moved)
-        return self._run_stage(_make_cogroup_grouper(n_inputs), routed)
+        return self._run_stage(
+            _compose_post_ops(_make_cogroup_grouper(n_inputs), post_ops),
+            routed,
+            fused=len(post_ops),
+        )
+
+    # -- plan rendering ----------------------------------------------------
+
+    def _explain(self, node: _Node) -> str:
+        """Render the physical plan that a sink on ``node`` would execute."""
+        if self.optimize and node.cached is None:
+            self._lift_combiners(node)
+        lines: List[str] = []
+        memo: dict = {}
+        ref = self._render_plan(node, lines, memo)
+        header = (
+            f"plan (optimize={'on' if self.optimize else 'off'}, "
+            f"fuse={'on' if self.fuse else 'off'}, "
+            f"shards={self.num_shards})"
+        )
+        return "\n".join([header] + lines + [f"result <- {ref}"])
+
+    def _emit(self, lines: List[str], text: str) -> str:
+        ref = f"S{len(lines) + 1}"
+        lines.append(f"{ref}: {text}")
+        return ref
+
+    @staticmethod
+    def _describe(node: _Node) -> str:
+        return f"{node.kind} '{node.name}'" if node.name else node.kind
+
+    def _render_plan(self, node: _Node, lines: List[str], memo: dict) -> str:
+        key = id(node)
+        if key in memo:
+            return memo[key]
+        if node.cached is not None:
+            ref = f"[materialized {self._describe(node)}]"
+            memo[key] = ref
+            return ref
+        kind = node.kind
+        if kind == "stream_source":
+            ref = self._emit(
+                lines,
+                f"stream source '{node.name}' "
+                f"(chunks of {self.stream_chunk_size})",
+            )
+        elif kind in _ELEMENTWISE:
+            chain, base, base_live, _ = self._peek_chain(node.deps[0])
+            ops = chain + [node]
+            desc = " + ".join(self._describe(n) for n in ops)
+            if self._fuses_post_shuffle(base, base_live):
+                ref = self._render_shuffle(base, lines, memo, post=desc)
+            else:
+                base_ref = self._render_plan(base, lines, memo)
+                ref = self._emit(lines, f"{desc} <- {base_ref}")
+        else:
+            ref = self._render_shuffle(node, lines, memo, post="")
+        memo[key] = ref
+        return ref
+
+    def _render_write(
+        self, dep: _Node, lines: List[str], memo: dict, *, label: str
+    ) -> str:
+        """Render one shuffle write (with fused producers / elided reshards)."""
+        chain, base, _, elided = self._peek_chain(dep, for_shuffle=True)
+        base_ref = self._render_plan(base, lines, memo)
+        text = label
+        if chain:
+            text += " [fused: " + " + ".join(
+                self._describe(n) for n in chain
+            ) + "]"
+        for elided_node in elided:
+            text += f" (elided {self._describe(elided_node)})"
+        return self._emit(lines, f"{text} <- {base_ref}")
+
+    def _render_shuffle(
+        self, node: _Node, lines: List[str], memo: dict, *, post: str
+    ) -> str:
+        kind = node.kind
+        fused_note = f" + {post} [post-shuffle fused]" if post else ""
+        if kind == "reshard":
+            return self._render_write(
+                node.deps[0], lines, memo,
+                label=f"shuffle {self._describe(node)}",
+            )
+        if kind == "reshuffle":
+            chain, base, _, _ = self._peek_chain(node.deps[0])
+            base_ref = self._render_plan(base, lines, memo)
+            text = f"rebalance {self._describe(node)}"
+            if chain:
+                text += " [fused: " + " + ".join(
+                    self._describe(n) for n in chain
+                ) + "]"
+            return self._emit(lines, f"{text} <- {base_ref}")
+        if kind == "group":
+            write = self._render_write(
+                node.deps[0], lines, memo,
+                label=f"shuffle-write {self._describe(node)}",
+            )
+            return self._emit(
+                lines, f"group-read {self._describe(node)}{fused_note} <- {write}"
+            )
+        if kind == "combine_per_key":
+            label = f"combine-write {self._describe(node)}"
+            if node.lifted_from is not None:
+                label += f" (lifted from group '{node.lifted_from}')"
+            write = self._render_write(node.deps[0], lines, memo, label=label)
+            return self._emit(
+                lines,
+                f"combine-read {self._describe(node)}{fused_note} <- {write}",
+            )
+        if kind == "cogroup":
+            writes = []
+            for tag, dep in enumerate(node.deps):
+                if self.optimize:
+                    writes.append(
+                        self._render_write(
+                            dep, lines, memo,
+                            label=f"cogroup-write #{tag} {self._describe(node)}",
+                        )
+                    )
+                else:
+                    dep_ref = self._render_plan(dep, lines, memo)
+                    writes.append(
+                        self._emit(
+                            lines,
+                            f"cogroup-write #{tag} {self._describe(node)} "
+                            f"<- {dep_ref}",
+                        )
+                    )
+            return self._emit(
+                lines,
+                f"cogroup-read {self._describe(node)}{fused_note} <- "
+                + ", ".join(writes),
+            )
+        if kind == "flatten":
+            dep_refs = [
+                self._render_plan(dep, lines, memo) for dep in node.deps
+            ]
+            return self._emit(
+                lines,
+                f"flatten {self._describe(node)}{fused_note} <- "
+                + ", ".join(dep_refs),
+            )
+        if kind == "source":  # uncached source: pipeline was closed
+            return self._emit(lines, f"read source '{node.name}'")
+        raise AssertionError(  # pragma: no cover - construction bug
+            f"unknown node kind {kind!r}"
+        )
 
 
 class PCollection:
@@ -647,7 +1244,17 @@ class PCollection:
     @property
     def _shards(self) -> List[Any]:
         """The stored shards, materializing on first access."""
-        return self.pipeline._materialize_node(self._node)
+        return self.pipeline._materialize(self._node)
+
+    def explain(self) -> str:
+        """Render the optimized physical plan for this collection.
+
+        Does not execute anything, but does apply the same logical
+        rewrites (combiner lifting) a sink would, so the rendered plan is
+        exactly what :meth:`run` will execute.  Intended for golden-plan
+        tests and debugging.
+        """
+        return self.pipeline._explain(self._node)
 
     def count(self) -> int:
         """Total element count (a distributed aggregate, O(1) driver state)."""
@@ -673,7 +1280,7 @@ class PCollection:
 
     def run(self) -> "PCollection":
         """Force execution of this collection's DAG; returns self."""
-        self.pipeline._materialize_node(self._node)
+        self.pipeline._materialize(self._node)
         return self
 
     def cache(self) -> "PCollection":
@@ -682,47 +1289,58 @@ class PCollection:
 
     # -- element-wise transforms (no shuffle) --------------------------------
 
-    def _derive(self, kind: str, fn, *, keyed: bool, extra=None) -> "PCollection":
-        node = self.pipeline._new_node(kind, (self._node,), fn, extra)
+    def _derive(
+        self, kind: str, fn, *, keyed: bool, extra=None, name: str = ""
+    ) -> "PCollection":
+        node = self.pipeline._new_node(
+            kind, (self._node,), fn, extra, name=name
+        )
         return PCollection(self.pipeline, node, keyed=keyed)
 
     def map(self, fn: Callable[[Any], Any], *, name: str = "map") -> "PCollection":
         """Apply ``fn`` per element."""
         self.pipeline.metrics.count_stage(name)
-        return self._derive("map", fn, keyed=False)
+        return self._derive("map", fn, keyed=False, name=name)
 
     def flat_map(
         self, fn: Callable[[Any], Iterable[Any]], *, name: str = "flat_map"
     ) -> "PCollection":
         """Apply ``fn`` per element, flattening the returned iterables."""
         self.pipeline.metrics.count_stage(name)
-        return self._derive("flat_map", fn, keyed=False)
+        return self._derive("flat_map", fn, keyed=False, name=name)
 
     def filter(
         self, predicate: Callable[[Any], bool], *, name: str = "filter"
     ) -> "PCollection":
         """Keep elements where ``predicate`` holds; keyed-ness is preserved."""
         self.pipeline.metrics.count_stage(name)
-        return self._derive("filter", predicate, keyed=self.keyed)
+        return self._derive("filter", predicate, keyed=self.keyed, name=name)
 
     def key_by(self, fn: Callable[[Any], Any], *, name: str = "key_by") -> "PCollection":
         """Emit ``(fn(x), x)`` and shuffle by the new key."""
         self.pipeline.metrics.count_stage(name)
-        keyed = self._derive("map", lambda x, _fn=fn: (_fn(x), x), keyed=False)
-        return keyed._derive("reshard", None, keyed=True)
+        keyed = self._derive(
+            "map", lambda x, _fn=fn: (_fn(x), x), keyed=False, name=name
+        )
+        return keyed._derive("reshard", None, keyed=True, name=name)
 
     def map_values(
         self, fn: Callable[[Any], Any], *, name: str = "map_values"
     ) -> "PCollection":
-        """Apply ``fn`` to values of a keyed collection (keys untouched)."""
+        """Apply ``fn`` to values of a keyed collection (keys untouched).
+
+        When ``fn`` is a :class:`Fold` and this collection is the output
+        of ``group_by_key``, the optimizer lifts the pair into
+        ``combine_per_key`` (pre-shuffle partial aggregation).
+        """
         self._require_keyed("map_values")
         self.pipeline.metrics.count_stage(name)
-        return self._derive("map_values", fn, keyed=True)
+        return self._derive("map_values", fn, keyed=True, name=name)
 
     def as_keyed(self, *, name: str = "as_keyed") -> "PCollection":
         """Interpret ``(key, value)`` elements as keyed and shuffle by key."""
         self.pipeline.metrics.count_stage(name)
-        return self._derive("reshard", None, keyed=True)
+        return self._derive("reshard", None, keyed=True, name=name)
 
     # -- shuffling transforms --------------------------------------------
 
@@ -733,7 +1351,7 @@ class PCollection:
         """
         self._require_keyed("group_by_key")
         self.pipeline.metrics.count_stage(name)
-        return self._derive("group", None, keyed=True)
+        return self._derive("group", None, keyed=True, name=name)
 
     def combine_per_key(
         self,
@@ -752,7 +1370,8 @@ class PCollection:
         self._require_keyed("combine_per_key")
         self.pipeline.metrics.count_stage(name)
         return self._derive(
-            "combine_per_key", None, keyed=True, extra=(zero, add, merge)
+            "combine_per_key", None, keyed=True, extra=(zero, add, merge),
+            name=name,
         )
 
     def combine_globally(
@@ -780,7 +1399,7 @@ class PCollection:
     def reshuffle(self, *, name: str = "reshuffle") -> "PCollection":
         """Round-robin rebalance (breaks fusion / fixes skew)."""
         self.pipeline.metrics.count_stage(name)
-        return self._derive("reshuffle", None, keyed=False)
+        return self._derive("reshuffle", None, keyed=False, name=name)
 
     # -- helpers ----------------------------------------------------------
 

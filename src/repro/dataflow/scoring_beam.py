@@ -26,11 +26,17 @@ def beam_score(
     num_shards: int = 8,
     executor="sequential",
     spill_to_disk: bool = False,
+    optimize: "bool | None" = None,
+    stream_source: bool = True,
 ) -> Tuple[float, PipelineMetrics]:
     """Distributed evaluation of the pairwise submodular objective.
 
     Returns ``(f(S), metrics)``; the metrics witness that no shard held more
-    than ~``(n + nnz) / num_shards`` records.
+    than ~``(n + nnz) / num_shards`` records.  The graph/utility/solution
+    sources are generator-fed and stream in bounded chunks by default
+    (``stream_source=False`` forces eager ingest); ``optimize`` toggles
+    the plan optimizer (cogroup write-side fusion, reshard elision,
+    post-shuffle fusion of the join consumers).
     """
     subset_ids = np.asarray(subset_ids, dtype=np.int64)
     if subset_ids.size and (
@@ -38,8 +44,10 @@ def beam_score(
     ):
         raise ValueError("subset ids out of range")
     pipeline = Pipeline(
-        num_shards, executor=executor, spill_to_disk=spill_to_disk
+        num_shards, executor=executor, spill_to_disk=spill_to_disk,
+        optimize=optimize,
     )
+    stream = bool(stream_source)
     g = problem.graph
     try:
         neighbors = pipeline.create_keyed(
@@ -49,13 +57,16 @@ def beam_score(
                 for v in range(g.n)
             ),
             name="score/neighbors",
+            stream=stream,
         )
         utilities = pipeline.create_keyed(
             ((v, float(problem.utilities[v])) for v in range(problem.n)),
             name="score/utilities",
+            stream=stream,
         )
         solution = pipeline.create_keyed(
-            ((int(v), True) for v in subset_ids), name="score/solution"
+            ((int(v), True) for v in subset_ids), name="score/solution",
+            stream=stream,
         )
 
         # Unary term: utilities of selected points.

@@ -1,5 +1,12 @@
 """Multi-collection transforms: Flatten, CoGroupByKey, distributed selection.
 
+:class:`Fold` (re-exported from :mod:`repro.dataflow.pcollection`) is the
+declared-reduction handle for the plan optimizer: writing
+``group_by_key().map_values(Fold(zero, add, merge))`` lets combiner lifting
+rewrite the pair to ``combine_per_key`` with pre-shuffle partial
+aggregation, while the naive plan (``optimize=False``) applies the fold to
+the grouped value lists directly.
+
 ``distributed_kth_largest`` deserves a note: the bounding thresholds
 ``U^k_min`` / ``U^k_max`` are order statistics of collections that may not
 fit in memory (k itself can be billions).  We compute them with driver-side
@@ -13,7 +20,17 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Sequence, Tuple
 
-from repro.dataflow.pcollection import PCollection, Pipeline
+from repro.dataflow.pcollection import Fold, PCollection, Pipeline
+
+__all__ = [
+    "Fold",
+    "flatten",
+    "cogroup",
+    "sum_globally",
+    "count_where",
+    "min_max_globally",
+    "distributed_kth_largest",
+]
 
 
 def flatten(collections: Sequence[PCollection], *, name: str = "flatten") -> PCollection:
@@ -31,7 +48,9 @@ def flatten(collections: Sequence[PCollection], *, name: str = "flatten") -> PCo
             raise ValueError("all collections must share one pipeline")
     pipeline.metrics.count_stage(name)
     keyed = all(c.keyed for c in collections)
-    node = pipeline._new_node("flatten", tuple(c._node for c in collections))
+    node = pipeline._new_node(
+        "flatten", tuple(c._node for c in collections), name=name
+    )
     return PCollection(pipeline, node, keyed=keyed)
 
 
@@ -55,6 +74,7 @@ def cogroup(
         "cogroup",
         tuple(c._node for c in collections),
         extra=len(collections),
+        name=name,
     )
     return PCollection(pipeline, node, keyed=True)
 

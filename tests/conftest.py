@@ -83,3 +83,9 @@ def small_problem():
 def matrix_executor(request):
     """Dataflow backend selected via ``--executor`` (the CI matrix knob)."""
     return request.config.getoption("--executor")
+
+
+@pytest.fixture(scope="session")
+def matrix_optimize(request):
+    """Whether the suite runs optimized plans (``--no-optimize`` flips it)."""
+    return not request.config.getoption("--no-optimize")

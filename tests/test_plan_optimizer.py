@@ -1,0 +1,345 @@
+"""Golden-plan tests: ``explain()`` snapshots + optimizer metric assertions.
+
+Pins where the optimizer's rewrites fire — and where they must not — on
+the exact DAG shapes the kNN / greedy / scoring beams build, plus the real
+beams' own metrics (``lifted_combiners`` / ``elided_shuffles`` /
+``fused_stages`` / pre-vs-post shuffle volume).
+"""
+
+import numpy as np
+
+from repro.dataflow import beam_distributed_greedy, beam_knn_graph, beam_score
+from repro.dataflow.pcollection import Fold, Pipeline
+from repro.dataflow.transforms import cogroup
+from tests.conftest import random_problem
+from tests.test_knn import clustered_points
+
+
+class TestGoldenPlans:
+    """Exact ``explain()`` snapshots on the beam-shaped DAGs."""
+
+    @staticmethod
+    def _knn_shape(pipeline):
+        """The kNN candidate+merge path: two grouping rounds with redundant
+        reshards, ending in a declared fold."""
+        return (
+            pipeline.create(range(64), name="knn/source")
+            .flat_map(lambda x: [(x % 8, x)], name="knn/assign")
+            .as_keyed(name="knn/assign_key")
+            .group_by_key(name="knn/group")
+            .flat_map(lambda kv: [(v, kv[0]) for v in kv[1]],
+                      name="knn/cell_knn")
+            .as_keyed(name="knn/cand_key")
+            .group_by_key(name="knn/merge_group")
+            .map_values(Fold.sum(), name="knn/merge")
+        )
+
+    def test_knn_shape_optimized_snapshot(self):
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        plan = self._knn_shape(pipeline).explain()
+        assert plan == (
+            "plan (optimize=on, fuse=on, shards=4)\n"
+            "S1: shuffle-write group 'knn/group' "
+            "[fused: flat_map 'knn/assign'] "
+            "(elided reshard 'knn/assign_key') "
+            "<- [materialized source 'knn/source']\n"
+            "S2: group-read group 'knn/group' <- S1\n"
+            "S3: combine-write combine_per_key 'knn/merge' "
+            "(lifted from group 'knn/merge_group') "
+            "[fused: flat_map 'knn/cell_knn'] "
+            "(elided reshard 'knn/cand_key') <- S2\n"
+            "S4: combine-read combine_per_key 'knn/merge' <- S3\n"
+            "result <- S4"
+        )
+
+    def test_knn_shape_naive_snapshot(self):
+        pipeline = Pipeline(num_shards=4, optimize=False)
+        plan = self._knn_shape(pipeline).explain()
+        assert plan == (
+            "plan (optimize=off, fuse=on, shards=4)\n"
+            "S1: shuffle reshard 'knn/assign_key' "
+            "[fused: flat_map 'knn/assign'] "
+            "<- [materialized source 'knn/source']\n"
+            "S2: shuffle-write group 'knn/group' <- S1\n"
+            "S3: group-read group 'knn/group' <- S2\n"
+            "S4: shuffle reshard 'knn/cand_key' "
+            "[fused: flat_map 'knn/cell_knn'] <- S3\n"
+            "S5: shuffle-write group 'knn/merge_group' <- S4\n"
+            "S6: group-read group 'knn/merge_group' <- S5\n"
+            "S7: map_values 'knn/merge' <- S6\n"
+            "result <- S7"
+        )
+
+    def test_greedy_shape_post_shuffle_fusion(self):
+        """``key_by → group_by_key → flat_map(select)`` (one greedy round):
+        one shuffle, select fused into the read — and no lifting, because
+        the consumer is a flat_map, not a declared fold."""
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        survivors = (
+            pipeline.create(range(50), name="greedy/source")
+            .key_by(lambda x: x % 4, name="greedy/partition")
+            .group_by_key(name="greedy/group")
+            .flat_map(lambda kv: sorted(kv[1])[:3], name="greedy/select")
+        )
+        plan = survivors.explain()
+        assert plan == (
+            "plan (optimize=on, fuse=on, shards=4)\n"
+            "S1: shuffle-write group 'greedy/group' "
+            "[fused: map 'greedy/partition'] "
+            "(elided reshard 'greedy/partition') "
+            "<- [materialized source 'greedy/source']\n"
+            "S2: group-read group 'greedy/group' + flat_map 'greedy/select' "
+            "[post-shuffle fused] <- S1\n"
+            "result <- S2"
+        )
+        survivors.run()
+        metrics = pipeline.metrics
+        assert metrics.lifted_combiners == 0
+        assert metrics.elided_shuffles == 1
+        assert metrics.executed_stages == 2
+        assert metrics.shuffled_records == 50
+
+    def test_scoring_shape_cogroup_fusion(self):
+        """The scoring join: write-side fusion of each input's chain (with
+        reshard elision) and post-shuffle fusion of the join consumer."""
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        edges = (
+            pipeline.create_keyed([(v, [(v + 1, 1.0)]) for v in range(20)],
+                                  name="score/neighbors")
+            .flat_map(lambda kv: [(b, (kv[0], s)) for b, s in kv[1]],
+                      name="score/fan_out")
+            .as_keyed(name="score/fan_out_key")
+        )
+        solution = pipeline.create_keyed(
+            [(v, True) for v in range(0, 20, 2)], name="score/solution"
+        )
+        unary = cogroup([edges, solution], name="score/join").flat_map(
+            lambda kv: [kv[0]] if kv[1][1] else [], name="score/keep"
+        )
+        plan = unary.explain()
+        assert "cogroup-write #0 cogroup 'score/join' " \
+               "[fused: flat_map 'score/fan_out'] " \
+               "(elided reshard 'score/fan_out_key')" in plan
+        assert "cogroup-read cogroup 'score/join' + flat_map 'score/keep' " \
+               "[post-shuffle fused]" in plan
+        unary.run()
+        assert pipeline.metrics.elided_shuffles == 1
+        assert pipeline.metrics.fused_stages >= 2
+
+
+class TestRewriteGuards:
+    """Shapes where the rewrites must NOT fire."""
+
+    def test_no_lift_for_plain_callable(self):
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        out = (
+            pipeline.create_keyed([(i % 3, i) for i in range(30)])
+            .group_by_key(name="g")
+            .map_values(sum, name="s")  # plain callable, not a Fold
+        )
+        assert "lifted" not in out.explain()
+        out.run()
+        assert pipeline.metrics.lifted_combiners == 0
+
+    def test_no_lift_when_group_is_shared(self):
+        """A group with a second live consumer must materialize for both;
+        lifting it away would break the other consumer's input."""
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        grouped = pipeline.create_keyed(
+            [(i % 3, i) for i in range(30)]
+        ).group_by_key(name="g")
+        folded = grouped.map_values(Fold.sum(), name="s")
+        sizes = grouped.map_values(len, name="sizes")
+        assert "lifted" not in folded.explain()
+        total = dict(folded.to_list())
+        counts = dict(sizes.to_list())
+        assert pipeline.metrics.lifted_combiners == 0
+        assert total == {0: 135, 1: 145, 2: 155}
+        assert counts == {0: 10, 1: 10, 2: 10}
+
+    def test_lift_releases_claim_on_orphaned_group(self):
+        """After a lift rewires the map_values past the group, a *later*
+        sole consumer of the group must still post-shuffle fuse — a stale
+        ``consumers`` count from the lifted node would block it forever."""
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        grouped = pipeline.create_keyed(
+            [(i % 3, i) for i in range(30)]
+        ).group_by_key(name="g")
+        grouped.map_values(Fold.sum(), name="s").run()  # lifts past 'g'
+        late = grouped.flat_map(lambda kv: kv[1], name="late")
+        assert "post-shuffle fused" in late.explain()
+        assert sorted(late.to_list()) == list(range(30))
+
+    def test_no_lift_when_group_is_cached(self):
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        grouped = pipeline.create_keyed(
+            [(i % 3, i) for i in range(30)]
+        ).group_by_key().cache()
+        folded = grouped.map_values(Fold.sum())
+        folded.run()
+        assert pipeline.metrics.lifted_combiners == 0
+
+    def test_no_elision_for_shared_reshard(self):
+        """A reshard with two live consumers must route once and be reused
+        — eliding it for one consumer would double-compute (and change
+        placement for the direct reader)."""
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        keyed = pipeline.create(range(40)).map(
+            lambda x: (x % 5, x)
+        ).as_keyed(name="shared_key")
+        grouped = keyed.group_by_key(name="g")
+        direct = keyed.map_values(lambda v: v + 1, name="bump")
+        assert "elided" not in grouped.explain()
+        assert (grouped.count(), direct.count()) == (5, 40)
+        assert pipeline.metrics.elided_shuffles == 0
+
+    def test_no_elision_through_key_changing_ops(self):
+        """map/flat_map between the reshard and the grouping op may rewrite
+        keys, so the reshard must survive (only filter/map_values are
+        key-preserving)."""
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        out = (
+            pipeline.create(range(40))
+            .map(lambda x: (x % 5, x))
+            .as_keyed(name="inner_key")
+            .map(lambda kv: (kv[1] % 3, kv[0]), name="rekey")
+            .as_keyed(name="outer_key")
+            .group_by_key(name="g")
+        )
+        plan = out.explain()
+        # The outer reshard is elided into the group's shuffle; the inner
+        # one sits below a key-changing map and must not be.
+        assert "(elided reshard 'outer_key')" in plan
+        assert "elided reshard 'inner_key'" not in plan
+        grouped = dict(out.to_list())
+        assert pipeline.metrics.elided_shuffles == 1
+        assert sorted(grouped) == [0, 1, 2]
+
+    def test_no_post_shuffle_fusion_for_shared_read(self):
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        grouped = pipeline.create_keyed(
+            [(i % 3, i) for i in range(30)]
+        ).group_by_key(name="g")
+        a = grouped.flat_map(lambda kv: kv[1], name="a")
+        b = grouped.map_values(len, name="b")
+        assert "post-shuffle fused" not in a.explain()
+        assert a.count() == 30
+        assert b.count() == 3
+
+    def test_explain_leaves_metrics_untouched(self):
+        """Optimizer counters are recorded when the plan *executes*;
+        rendering it (which runs the same lifting rewrite) must not
+        count anything."""
+        pipeline = Pipeline(num_shards=4, optimize=True)
+        out = (
+            pipeline.create(range(40))
+            .key_by(lambda x: x % 3)
+            .group_by_key()
+            .map_values(Fold.sum())
+        )
+        out.explain()
+        metrics = pipeline.metrics
+        assert metrics.lifted_combiners == 0
+        assert metrics.elided_shuffles == 0
+        assert metrics.executed_stages == 0
+        out.run()
+        assert metrics.lifted_combiners == 1
+        assert metrics.elided_shuffles == 1
+
+    def test_lift_preserves_none_accumulators(self):
+        """``None`` is a legitimate accumulator state (a "poisoned" key
+        here, and ``Fold.max()``'s zero).  The combiner dicts must use a
+        real key-absent sentinel — treating ``None`` as absent silently
+        restarted the accumulator from zero()."""
+        poison = Fold(
+            int,
+            lambda a, v: None if (a is None or v < 0) else max(a, v),
+            lambda a, b: None if (a is None or b is None) else max(a, b),
+            label="poison_max",
+        )
+        # Key 0 sees a negative value, key 1 never does.
+        data = [(0, 5), (0, -1), (0, 9), (1, 3), (1, 8)] * 4
+
+        def run(optimize):
+            pipeline = Pipeline(num_shards=4, optimize=optimize)
+            try:
+                return dict(
+                    pipeline.create_keyed(data)
+                    .group_by_key()
+                    .map_values(poison)
+                    .to_list()
+                ), pipeline.metrics.lifted_combiners
+            finally:
+                pipeline.close()
+
+        optimized, lifted = run(True)
+        naive, _ = run(False)
+        assert lifted == 1
+        assert optimized == naive == {0: None, 1: 8}
+
+    def test_optimize_off_is_naive(self):
+        pipeline = Pipeline(num_shards=4, optimize=False)
+        out = (
+            pipeline.create(range(60))
+            .key_by(lambda x: x % 3)
+            .group_by_key()
+            .map_values(Fold.sum())
+        )
+        out.run()
+        metrics = pipeline.metrics
+        assert metrics.lifted_combiners == 0
+        assert metrics.elided_shuffles == 0
+        # key_by reshard + group shuffle: every record moves twice.
+        assert metrics.shuffled_records == 120
+
+
+class TestBeamMetrics:
+    """The real beams, optimized vs naive: identical outputs, smaller
+    shuffles, and the optimizer counters firing on the documented paths."""
+
+    def test_knn_beam_lifts_and_shrinks_shuffle(self):
+        x, _ = clustered_points(n=200, n_clusters=4)
+        _, nbrs_on, sims_on, m_on = beam_knn_graph(
+            x, 5, num_shards=4, seed=0, optimize=True
+        )
+        _, nbrs_off, sims_off, m_off = beam_knn_graph(
+            x, 5, num_shards=4, seed=0, optimize=False
+        )
+        np.testing.assert_array_equal(nbrs_on, nbrs_off)
+        np.testing.assert_array_equal(sims_on, sims_off)
+        assert m_on.lifted_combiners == 1
+        assert m_on.elided_shuffles == 2
+        assert m_off.lifted_combiners == 0
+        assert m_off.elided_shuffles == 0
+        # The acceptance gate: optimization strictly shrinks kNN shuffle
+        # volume, and partial aggregation absorbs records pre-shuffle.
+        assert m_on.shuffled_records < m_off.shuffled_records
+        assert m_on.pre_shuffle_records > m_on.shuffled_records
+
+    def test_greedy_beam_fuses_rounds(self):
+        problem = random_problem(80, seed=3)
+        result_on, m_on = beam_distributed_greedy(
+            problem, 12, m=3, rounds=2, num_shards=4, seed=5, optimize=True
+        )
+        result_off, m_off = beam_distributed_greedy(
+            problem, 12, m=3, rounds=2, num_shards=4, seed=5, optimize=False
+        )
+        np.testing.assert_array_equal(result_on.selected, result_off.selected)
+        assert m_on.lifted_combiners == 0  # per-group greedy is a flat_map
+        assert m_on.elided_shuffles >= 2   # one key_by reshard per round
+        assert m_on.shuffled_records < m_off.shuffled_records
+        assert m_on.executed_stages < m_off.executed_stages
+
+    def test_scoring_beam_fuses_joins(self):
+        problem = random_problem(60, seed=11)
+        subset = np.arange(0, 60, 3, dtype=np.int64)
+        score_on, m_on = beam_score(
+            problem, subset, num_shards=4, optimize=True
+        )
+        score_off, m_off = beam_score(
+            problem, subset, num_shards=4, optimize=False
+        )
+        assert score_on == score_off
+        assert m_on.elided_shuffles == 2   # fan_out_key + invert_key
+        assert m_on.shuffled_records < m_off.shuffled_records
+        assert m_on.fused_stages > m_off.fused_stages
