@@ -22,6 +22,16 @@ Two checks, both read from the record ``test_dataflow_engine.py`` emits:
    the kNN beam's ``shuffled_records``; combiner lifting or reshard
    elision silently not firing fails CI even when results stay correct.
 
+3. **Closure-broadcast gate** (``--broadcast-mode``, default
+   ``knn_remote``): the remote kNN build must have broadcast something
+   (the embedding matrix is far above the threshold) and must satisfy
+   ``broadcast_bytes <= unique_broadcast_bytes * n_workers`` — each
+   content-addressed blob ships to each worker at most once, i.e.
+   per-stage payload bytes stay flat as stage count grows.  A regression
+   that silently re-ships DoFn captures per stage multiplies the left
+   side by the stage count and fails here even though results stay
+   correct.
+
 Usage::
 
     python benchmarks/check_dataflow_regression.py \
@@ -51,6 +61,9 @@ def main(argv=None) -> int:
     parser.add_argument("--shuffle-candidate", default="knn_sequential",
                         help="optimized mode whose shuffled_records must be "
                              "strictly lower")
+    parser.add_argument("--broadcast-mode", default="knn_remote",
+                        help="mode whose closure-broadcast volume is gated "
+                             "(empty string skips the gate)")
     args = parser.parse_args(argv)
 
     with open(args.record) as fh:
@@ -110,6 +123,41 @@ def main(argv=None) -> int:
             )
             return 1
         print("OK: optimizer shrinks shuffle volume")
+
+    if args.broadcast_mode:
+        try:
+            mode = modes[args.broadcast_mode]
+            shipped = int(mode["broadcast_bytes"])
+            unique = int(mode["unique_broadcast_bytes"])
+            n_workers = int(mode["n_workers"])
+        except KeyError as missing:
+            print(
+                f"broadcast-gate mode/field {missing} not found in "
+                f"{args.record}",
+                file=sys.stderr,
+            )
+            return 2
+        ceiling = unique * n_workers
+        print(
+            f"{args.broadcast_mode}: {shipped} broadcast bytes shipped, "
+            f"{unique} unique blob bytes x {n_workers} workers "
+            f"(ceiling {ceiling})"
+        )
+        if shipped == 0:
+            print(
+                "FAIL: nothing broadcast — large DoFn captures are being "
+                "inlined into every stage payload again",
+                file=sys.stderr,
+            )
+            return 1
+        if shipped > ceiling:
+            print(
+                f"FAIL: broadcast volume {shipped} exceeds once-per-worker "
+                f"ceiling {ceiling} — captures are re-shipping per stage",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: closure broadcast ships each blob once per worker")
     return 0
 
 

@@ -14,6 +14,12 @@ workload:
 - *executor*: the distributed kNN build (the heaviest per-shard compute in
   the repo) on the sequential vs thread vs multiprocess backend —
   identical output, shard-parallel wall time;
+- *remote / closure broadcast*: the same kNN build on ``RemoteExecutor``
+  with two auto-spawned localhost worker daemons — identical output, and
+  the ``broadcast_bytes`` record witnesses that the embedding matrix
+  shipped to each worker exactly once across the build's stages
+  (``check_dataflow_regression.py`` gates CI on
+  ``broadcast_bytes <= unique_broadcast_bytes × n_workers``);
 - *pool persistence*: a many-small-stages pipeline (each stage forced onto
   the pool) that isolates worker-pool startup overhead — the workload that
   made the old fork-per-stage multiprocess backend a net slowdown, and the
@@ -34,6 +40,7 @@ from common import format_rows, report, report_json
 from repro.dataflow import (
     MultiprocessExecutor,
     Pipeline,
+    RemoteExecutor,
     ThreadExecutor,
     beam_knn_graph,
 )
@@ -191,6 +198,45 @@ def test_e21_dataflow_engine():
             "elided_shuffles": metrics.elided_shuffles,
         }
 
+    # -- remote axis: TCP worker cluster + closure broadcast --------------
+    # One run (worker daemons cost ~1 s to spawn; the wall gate lives on
+    # the small-stages probe, not here).  The claim under test: output is
+    # bit-identical, and the embedding matrix — captured by the assign and
+    # cell_knn DoFns — broadcasts to each worker exactly once across the
+    # build's stages, so per-stage payloads stay flat.
+    n_remote_workers = 2
+    remote_executor = RemoteExecutor(max_workers=n_remote_workers)
+    try:
+        start = time.perf_counter()
+        _, nbrs, _, metrics = beam_knn_graph(
+            x, 10, n_clusters=16, nprobe=4, num_shards=8,
+            executor=remote_executor, optimize=True, seed=0,
+        )
+        remote_elapsed = time.perf_counter() - start
+        remote_stats = remote_executor.stats()
+    finally:
+        remote_executor.close()
+    np.testing.assert_array_equal(nbrs, knn_baseline)
+    rows.append((
+        "knn build remote(2)", remote_elapsed * 1e3,
+        metrics.executed_stages, metrics.fused_stages,
+        metrics.peak_shard_records,
+    ))
+    record["modes"]["knn_remote"] = {
+        "wall_ms": remote_elapsed * 1e3,
+        "executed_stages": metrics.executed_stages,
+        "fused_stages": metrics.fused_stages,
+        "peak_shard_records": metrics.peak_shard_records,
+        "shuffled_records": metrics.shuffled_records,
+        "n_workers": n_remote_workers,
+        "broadcast_bytes": remote_stats["broadcast_bytes"],
+        "broadcast_blobs": remote_stats["broadcast_blobs"],
+        "unique_broadcast_bytes": remote_stats["unique_broadcast_bytes"],
+        "stage_payload_bytes": remote_stats["stage_payload_bytes"],
+        "worker_failures": remote_stats["worker_failures"],
+        "retried_shards": remote_stats["retried_shards"],
+    }
+
     # -- pool-persistence axis: many small stages -------------------------
     # min_parallel_records=0 forces even tiny stages onto the pool; the
     # point is per-stage pool overhead, not compute.
@@ -236,6 +282,13 @@ def test_e21_dataflow_engine():
     assert optimized["shuffled_records"] < naive["shuffled_records"]
     assert optimized["lifted_combiners"] > 0
     assert optimized["elided_shuffles"] > 0
+    # Closure broadcast: the (large) captures shipped, and shipped to
+    # each worker at most once across every stage of the build.
+    remote = record["modes"]["knn_remote"]
+    assert remote["broadcast_bytes"] > 0
+    assert remote["broadcast_bytes"] <= (
+        remote["unique_broadcast_bytes"] * remote["n_workers"]
+    )
 
     path = report_json("dataflow", record)
     report(

@@ -19,8 +19,9 @@ def pytest_addoption(parser):
         "--executor",
         action="store",
         default="sequential",
-        choices=("sequential", "thread", "multiprocess"),
-        help="dataflow executor backend for executor-matrix tests",
+        choices=("sequential", "thread", "multiprocess", "remote"),
+        help="dataflow executor backend for executor-matrix tests "
+             "(remote auto-spawns localhost worker daemons)",
     )
     parser.addoption(
         "--no-optimize",

@@ -23,6 +23,9 @@ Examples
         --engine dataflow --executor multiprocess --num-shards 16
     python -m repro select --preset cifar100_tiny --k 200 \
         --engine dataflow --stream-source --no-optimize
+    python -m repro select --preset cifar100_tiny --k 200 \
+        --engine dataflow --executor remote \
+        --workers 10.0.0.1:7077,10.0.0.2:7077 --checkpoint-dir ckpt/
     python -m repro score --preset cifar100_tiny --subset ids.npy
 """
 
@@ -37,6 +40,7 @@ import numpy as np
 from repro.core.objective import PairwiseObjective
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
+from repro.dataflow.executor import executor_names
 from repro.data.classifier import margin_utilities
 from repro.data.registry import load_dataset
 from repro.graph.symmetrize import build_knn_graph
@@ -97,6 +101,11 @@ def cmd_select(args: argparse.Namespace) -> int:
         spill_to_disk=args.spill_to_disk,
         optimize=args.optimize,
         stream_source=args.stream_source,
+        workers=(
+            tuple(w for w in args.workers.split(",") if w)
+            if args.workers else None
+        ),
+        checkpoint_dir=args.checkpoint_dir,
     )
     report = DistributedSelector(problem, config).select(k, seed=args.seed)
     if args.out:
@@ -122,6 +131,14 @@ def cmd_select(args: argparse.Namespace) -> int:
                   f"({metrics.fused_stages} fused, "
                   f"{metrics.lifted_combiners} lifted combiners, "
                   f"{metrics.elided_shuffles} elided shuffles)")
+            if metrics.checkpoint_hits or metrics.checkpoint_stores:
+                print(f"{stage} checkpoints: {metrics.checkpoint_hits} "
+                      f"resumed, {metrics.checkpoint_stores} stored")
+    stats = report.extra.get("executor_stats")
+    if stats:
+        print("executor: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(stats.items())
+        ))
     if not args.out:
         print(" ".join(map(str, report.selected[:20].tolist()))
               + (" ..." if len(report) > 20 else ""))
@@ -179,11 +196,23 @@ def build_parser() -> argparse.ArgumentParser:
                           default="memory",
                           help="run stages in-memory or on the dataflow engine")
     p_select.add_argument("--executor",
-                          choices=("sequential", "thread", "multiprocess"),
+                          choices=tuple(executor_names()),
                           default="sequential",
                           help="dataflow engine backend (--engine dataflow): "
-                               "sequential, persistent thread pool, or "
-                               "persistent worker-process pool")
+                               "sequential, persistent thread pool, "
+                               "persistent worker-process pool, or a "
+                               "remote TCP worker cluster")
+    p_select.add_argument("--workers", default=None,
+                          help="comma-separated host:port list of remote "
+                               "worker daemons (python -m "
+                               "repro.dataflow.remote.worker); with "
+                               "--executor remote and no list, two "
+                               "localhost workers are auto-spawned")
+    p_select.add_argument("--checkpoint-dir", default=None,
+                          help="persist dataflow stage outputs here (plan-"
+                               "digest keyed); rerunning an identical, "
+                               "killed job resumes from the last completed "
+                               "stage")
     p_select.add_argument("--num-shards", type=int, default=8,
                           help="dataflow logical worker count")
     p_select.add_argument("--spill-to-disk", action="store_true",

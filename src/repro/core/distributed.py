@@ -27,8 +27,9 @@ The Δ-schedule defaults to the paper's linear interpolation with factor
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +41,67 @@ from repro.utils.validation import check_cardinality
 # A partitioner maps (round_index [1-based], ids, m_round, rng) to a list of
 # disjoint id arrays covering `ids`.
 Partitioner = Callable[[int, np.ndarray, int, np.random.Generator], List[np.ndarray]]
+
+
+def fingerprint(*parts: Any) -> str:
+    """Deterministic content hash over arrays/scalars/strings.
+
+    The checkpoint-salt primitive for distributed drives: the dataflow
+    engine's stage checkpointing (``Pipeline(checkpoint_dir=...)``) keys
+    streaming sources by a caller-supplied salt, and this is how the
+    beams derive one from the data those sources will stream — so a
+    resumed run only reuses checkpoints produced from identical inputs.
+    NumPy arrays hash by dtype, shape, and raw bytes (no serialization
+    round trip); containers hash recursively with type markers so e.g.
+    ``(1, 2)`` and ``[1, 2]`` cannot collide.
+    """
+    h = hashlib.sha256()
+    _fingerprint_update(h, parts)
+    return h.hexdigest()
+
+
+def _fingerprint_update(h, part: Any) -> None:
+    if part is None:
+        h.update(b"\x00N")
+    elif isinstance(part, np.ndarray):
+        arr = np.ascontiguousarray(part)
+        h.update(f"\x00a{arr.dtype.str}{arr.shape}".encode())
+        h.update(arr.tobytes())
+    elif isinstance(part, bytes):
+        h.update(b"\x00b" + part)
+    elif isinstance(part, str):
+        h.update(b"\x00s" + part.encode())
+    elif isinstance(part, (bool, int, float, np.integer, np.floating)):
+        h.update(f"\x00n{type(part).__name__}:{part!r}".encode())
+    elif isinstance(part, (tuple, list)):
+        marker = "t" if isinstance(part, tuple) else "l"
+        h.update(f"\x00{marker}{len(part)}".encode())
+        for item in part:
+            _fingerprint_update(h, item)
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(part).__name__!r}; pass arrays, "
+            "scalars, strings, bytes, or nestings of those"
+        )
+
+
+def problem_fingerprint(problem: SubsetProblem) -> str:
+    """Content hash of a :class:`SubsetProblem` (graph, utilities, α/β).
+
+    Two runs whose problems fingerprint equal stream bit-identical
+    graph/utility sources, which is exactly the guarantee checkpoint
+    salts must carry.
+    """
+    g = problem.graph
+    return fingerprint(
+        "subset-problem",
+        problem.utilities,
+        g.indptr,
+        g.indices,
+        g.weights,
+        float(problem.alpha),
+        float(problem.beta),
+    )
 
 
 @dataclass(frozen=True)

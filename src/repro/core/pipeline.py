@@ -56,12 +56,24 @@ class SelectorConfig:
         ``"dataflow"`` runs both stages as jobs on the Beam-like engine
         (:mod:`repro.dataflow`), with per-shard memory metering.
     executor / num_shards / spill_to_disk:
-        Dataflow-engine knobs (ignored by the memory engine):
-        ``"sequential"``, ``"thread"``, or ``"multiprocess"`` backend,
-        logical worker count, and disk-resident shards.  The selector
-        creates one executor for the whole run — the bounding and greedy
-        stages share its (persistent) worker pool — and closes it when
-        the run finishes.
+        Dataflow-engine knobs (ignored by the memory engine): any
+        backend registered with the engine's executor registry —
+        ``"sequential"``, ``"thread"``, ``"multiprocess"``, or
+        ``"remote"`` — logical worker count, and disk-resident shards.
+        The selector creates one executor for the whole run — the
+        bounding and greedy stages share its (persistent) worker pool or
+        cluster — and closes it when the run finishes.
+    workers:
+        Remote-executor worker addresses (``"host:port"`` strings) of
+        daemons started with ``python -m repro.dataflow.remote.worker``.
+        Requires ``executor="remote"``; with ``executor="remote"`` and no
+        addresses, two localhost workers are auto-spawned for the run.
+    checkpoint_dir:
+        Persist both stages' materialization boundaries here, keyed by
+        deterministic plan digests: a killed run repeated with the same
+        configuration, data, and seed resumes from its last completed
+        stage with bit-identical results.  The directory survives the
+        run.
     optimize / stream_source:
         More dataflow-engine knobs: ``optimize=False`` (the CLI's
         ``--no-optimize``) disables the plan optimizer (combiner lifting,
@@ -90,6 +102,8 @@ class SelectorConfig:
     spill_to_disk: bool = False
     optimize: Optional[bool] = None
     stream_source: Optional[bool] = None
+    workers: Optional[tuple] = None
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.bounding not in (None, "exact", "approximate"):
@@ -104,13 +118,26 @@ class SelectorConfig:
             raise ValueError(
                 f"engine must be 'memory' or 'dataflow', got {self.engine!r}"
             )
-        if self.executor not in ("sequential", "thread", "multiprocess"):
+        # Single source of truth for backend names: the engine's executor
+        # registry (the old hardcoded tuple here went stale with every
+        # new backend).
+        from repro.dataflow.executor import executor_names
+
+        if self.executor not in executor_names():
             raise ValueError(
-                "executor must be 'sequential', 'thread', or "
-                f"'multiprocess', got {self.executor!r}"
+                f"executor must be one of {executor_names()}, "
+                f"got {self.executor!r}"
             )
         if self.num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.workers is not None:
+            if self.executor != "remote":
+                raise ValueError(
+                    "workers requires executor='remote', "
+                    f"got executor={self.executor!r}"
+                )
+            # Normalize (frozen dataclass, so go through object.__setattr__).
+            object.__setattr__(self, "workers", tuple(self.workers))
 
 
 @dataclass
@@ -158,15 +185,24 @@ class DistributedSelector:
         executor = None
         if dataflow:
             # One executor for the whole run: the bounding and greedy
-            # pipelines share its persistent worker pool (pipelines never
-            # close a passed-in instance; the finally below does).
+            # pipelines share its persistent worker pool or cluster
+            # (pipelines never close a passed-in instance; the finally
+            # below does).
             from repro.dataflow import resolve_executor
 
-            executor = resolve_executor(cfg.executor)
+            opts = {}
+            if cfg.workers:
+                opts["workers"] = list(cfg.workers)
+            executor = resolve_executor(cfg.executor, **opts)
         try:
-            return self._select(
+            report = self._select(
                 k, rng=rng, partitioner=partitioner, executor=executor
             )
+            if executor is not None:
+                stats = executor.stats()
+                if stats:
+                    report.extra["executor_stats"] = stats
+            return report
         finally:
             if executor is not None:
                 executor.close()
@@ -205,6 +241,7 @@ class DistributedSelector:
                         True if cfg.stream_source is None
                         else cfg.stream_source
                     ),
+                    checkpoint_dir=cfg.checkpoint_dir,
                     seed=rng,
                 )
                 extra["bounding_metrics"] = bound_metrics
@@ -244,6 +281,7 @@ class DistributedSelector:
                     spill_to_disk=cfg.spill_to_disk,
                     optimize=cfg.optimize,
                     stream_source=bool(cfg.stream_source),
+                    checkpoint_dir=cfg.checkpoint_dir,
                     candidates=candidates,
                     base_penalty=base_penalty,
                     seed=rng,

@@ -20,10 +20,15 @@ operator DAG** and a pluggable executor:
 - hash-shards every keyed operation across ``num_shards`` logical workers,
 - runs per-shard stage work on a :class:`~repro.dataflow.executor.Executor`
   — :class:`~repro.dataflow.executor.SequentialExecutor` (default), the
-  thread-pool :class:`~repro.dataflow.executor.ThreadExecutor`, or the
+  thread-pool :class:`~repro.dataflow.executor.ThreadExecutor`, the
   persistent-process-pool
-  :class:`~repro.dataflow.executor.MultiprocessExecutor` — with identical
-  results and metrics on every backend,
+  :class:`~repro.dataflow.executor.MultiprocessExecutor`, or the
+  TCP-cluster :class:`~repro.dataflow.remote.RemoteExecutor` (one-time
+  closure broadcast, heartbeat fault detection, shard retry) — with
+  identical results and metrics on every backend,
+- checkpoints materialization boundaries (``Pipeline(checkpoint_dir=...)``)
+  keyed by deterministic plan digests, so killed drives resume from their
+  last completed stage,
 - meters the peak number of records any single shard ever held
   (:class:`~repro.dataflow.metrics.PipelineMetrics`), which is the
   reproduction's stand-in for per-machine DRAM, and counts shuffled
@@ -39,8 +44,11 @@ from repro.dataflow.executor import (
     MultiprocessExecutor,
     SequentialExecutor,
     ThreadExecutor,
+    executor_names,
+    register_executor,
     resolve_executor,
 )
+from repro.dataflow.remote import LocalCluster, RemoteExecutor
 from repro.dataflow.metrics import PipelineMetrics
 from repro.dataflow.pcollection import Fold, PCollection, Pipeline
 from repro.dataflow.transforms import (
@@ -62,7 +70,11 @@ __all__ = [
     "SequentialExecutor",
     "ThreadExecutor",
     "MultiprocessExecutor",
+    "RemoteExecutor",
+    "LocalCluster",
     "resolve_executor",
+    "register_executor",
+    "executor_names",
     "cogroup",
     "flatten",
     "distributed_kth_largest",

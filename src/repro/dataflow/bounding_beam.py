@@ -38,6 +38,7 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.bounding import BoundingResult
+from repro.core.distributed import fingerprint, problem_fingerprint
 from repro.core.problem import SubsetProblem
 from repro.dataflow.metrics import PipelineMetrics
 from repro.dataflow.pcollection import PCollection, Pipeline
@@ -73,6 +74,11 @@ class BeamBoundingConfig:
     fusion); ``False`` runs the naive plan.  ``stream_source=True`` (the
     default) ingests the graph and utility sources through the chunked
     streaming path so the driver never holds them whole.
+    ``checkpoint_dir`` persists every materialization boundary keyed by a
+    plan digest (salted with the problem's content fingerprint, so the
+    streamed graph/utility sources checkpoint too): a killed bounding
+    drive rerun with the same directory resumes from its last completed
+    stage with bit-identical decisions.
     """
 
     mode: str = "exact"
@@ -84,6 +90,7 @@ class BeamBoundingConfig:
     executor: "str | object" = "sequential"  # name or Executor instance
     optimize: "bool | None" = None
     stream_source: bool = True
+    checkpoint_dir: "str | None" = None
 
 
 class BeamBoundingDriver:
@@ -104,11 +111,20 @@ class BeamBoundingDriver:
             raise ValueError("bounding requires alpha > 0")
         self.problem = problem
         self.config = config or BeamBoundingConfig()
+        checkpoint_salt = None
+        if self.config.checkpoint_dir is not None:
+            # Salt the plan digests with the streamed sources' content so
+            # a resumed drive can only reuse checkpoints of its own data.
+            checkpoint_salt = fingerprint(
+                "bounding-sources", problem_fingerprint(problem)
+            )
         self.pipeline = Pipeline(
             self.config.num_shards,
             spill_to_disk=self.config.spill_to_disk,
             executor=self.config.executor,
             optimize=self.config.optimize,
+            checkpoint_dir=self.config.checkpoint_dir,
+            checkpoint_salt=checkpoint_salt,
         )
         self._seed_salt = int(as_generator(seed).integers(0, 2**31 - 1))
         self._round_counter = 0
@@ -326,6 +342,7 @@ def beam_bound(
     executor="sequential",
     optimize: "bool | None" = None,
     stream_source: bool = True,
+    checkpoint_dir: "str | None" = None,
     seed: SeedLike = None,
 ) -> Tuple[BoundingResult, PipelineMetrics]:
     """One-call wrapper over :class:`BeamBoundingDriver`.
@@ -336,7 +353,8 @@ def beam_bound(
     decisions are identical on every backend for a fixed seed.
     ``optimize``/``stream_source`` are the plan-optimizer and streaming-
     ingest escape hatches (see :class:`BeamBoundingConfig`); decisions are
-    identical either way.
+    identical either way.  ``checkpoint_dir`` makes the drive resumable
+    after a crash (see :class:`BeamBoundingConfig`).
     """
     driver = BeamBoundingDriver(
         problem,
@@ -344,6 +362,7 @@ def beam_bound(
             mode=mode, sampler=sampler, p=p, num_shards=num_shards,
             spill_to_disk=spill_to_disk, executor=executor,
             optimize=optimize, stream_source=stream_source,
+            checkpoint_dir=checkpoint_dir,
         ),
         seed=seed,
     )

@@ -3,7 +3,7 @@
 The engine compiles a lazy operator DAG into *stages*: per-shard functions
 that take one shard's records and return either transformed records or
 routing buckets.  An :class:`Executor` decides how those per-shard calls
-run.  Three backends ship:
+run.  Four backends ship:
 
 :class:`SequentialExecutor`
     One shard at a time on the driver — the reference backend.  Metrics and
@@ -26,6 +26,28 @@ run.  Three backends ship:
     serializable with the stdlib pickler).  Without ``fork`` support or a
     working payload serializer the backend degrades to in-process
     execution, so results never change across platforms.
+
+:class:`~repro.dataflow.remote.RemoteExecutor`
+    Shard-parallel execution over a cluster of worker *daemons* reached by
+    TCP (``python -m repro.dataflow.remote.worker``), with heartbeat-based
+    fault detection and shard retry on surviving workers.  Registered here
+    under the name ``"remote"`` (imported lazily so the engine has no hard
+    dependency on the networking layer).
+
+Closure broadcast
+-----------------
+The payload-carrying backends (multiprocess, remote) share one
+*broadcast* layer: when a stage function is serialized, every large
+captured object (NumPy arrays and ``bytes`` over
+``broadcast_min_bytes``) is swapped for a content-addressed reference
+and registered in a driver-side :class:`BroadcastRegistry`.  The blob
+itself ships to each worker **once** — the first stage that references
+it — and later stages send only the small per-stage delta (the closure
+code plus references).  This is how a DoFn capturing the embedding
+matrix stops re-shipping it for every stage.  Workers cache blobs for
+the lifetime of their channel; the correctness contract is the same
+purity assumption the engine already makes everywhere: DoFns never
+mutate their captures.
 
 All backends process each shard with the same per-shard function and return
 results in shard order, so outputs — and therefore every engine metric —
@@ -53,12 +75,18 @@ pool.  ``run_stage`` is not re-entrant from multiple driver threads.
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
+import io
 import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import threading
 import traceback
-from typing import Any, Callable, List, Sequence, Tuple
+import weakref
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
 
 try:  # Closure-capable serializer for the per-stage payload channel.
     import cloudpickle as _cloudpickle
@@ -111,27 +139,158 @@ def _dumps_payload(obj: Any) -> bytes:
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 
+# -- closure broadcast ------------------------------------------------------
+
+#: Captured objects at least this large are broadcast (shipped once per
+#: worker, content-addressed) instead of inlined into every stage payload.
+DEFAULT_BROADCAST_MIN_BYTES = 64 * 1024
+
+
+class BroadcastRegistry:
+    """Driver-side content-addressed store of large DoFn captures.
+
+    ``maybe_register`` hashes an eligible object (NumPy array or ``bytes``
+    of at least ``min_bytes``) once — repeat captures of the *same object*
+    are recognized by identity without re-serializing, so a stage that
+    closes over the embedding matrix costs one hash for the whole run.
+    ``blobs`` maps digest → serialized bytes; executors :meth:`evict` a
+    blob's bytes once every worker holds it (the worker set is fixed
+    after startup, so the serialized copy has no further reader) —
+    long multi-round drives don't accumulate their whole large-capture
+    history on the driver.  The digest ledger survives eviction, so a
+    re-registered equal capture is recognized and simply re-serialized
+    on demand.
+    """
+
+    def __init__(self, min_bytes: int = DEFAULT_BROADCAST_MIN_BYTES) -> None:
+        self.min_bytes = int(min_bytes)
+        self.blobs: Dict[str, bytes] = {}
+        self.unique_bytes = 0
+        self._by_id: Dict[int, Tuple[str, Callable[[], Any]]] = {}
+        self._seen_digests: "set[str]" = set()
+
+    def _eligible(self, obj: Any) -> bool:
+        if isinstance(obj, np.ndarray):
+            return obj.nbytes >= self.min_bytes
+        # bytes only: immutable, so worker-side caching can never observe
+        # a driver-side mutation (bytearray is deliberately excluded).
+        if type(obj) is bytes:
+            return len(obj) >= self.min_bytes
+        return False
+
+    def maybe_register(self, obj: Any) -> "str | None":
+        """Digest for ``obj`` if it should broadcast, else ``None``."""
+        if not self._eligible(obj):
+            return None
+        entry = self._by_id.get(id(obj))
+        if entry is not None:
+            digest, ref = entry
+            if ref() is obj:
+                return digest
+        blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest()
+        if digest not in self._seen_digests:
+            self._seen_digests.add(digest)
+            self.unique_bytes += len(blob)
+        if digest not in self.blobs:
+            self.blobs[digest] = blob
+        try:
+            ref: Callable[[], Any] = weakref.ref(obj)
+        except TypeError:  # bytes are not weakref-able; hold strongly
+            ref = (lambda _obj=obj: _obj)
+        self._by_id[id(obj)] = (digest, ref)
+        return digest
+
+    def evict(self, digest: str) -> None:
+        """Drop a blob's serialized bytes (every worker has it by now)."""
+        self.blobs.pop(digest, None)
+
+
+class _BroadcastPickler(
+    _cloudpickle.Pickler if _cloudpickle is not None else pickle.Pickler
+):
+    """cloudpickle with large captures swapped for persistent blob refs."""
+
+    def __init__(self, file, registry: BroadcastRegistry) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._registry = registry
+        self.digests: "set[str]" = set()
+
+    def persistent_id(self, obj: Any) -> "str | None":
+        digest = self._registry.maybe_register(obj)
+        if digest is not None:
+            self.digests.add(digest)
+        return digest
+
+
+class _BroadcastUnpickler(pickle.Unpickler):
+    """Worker-side unpickler resolving blob refs from a local cache."""
+
+    def __init__(self, file, cache: Dict[str, Any]) -> None:
+        super().__init__(file)
+        self._cache = cache
+
+    def persistent_load(self, digest: str) -> Any:
+        try:
+            return self._cache[digest]
+        except KeyError:
+            raise pickle.UnpicklingError(
+                f"missing broadcast blob {digest[:12]}… — the driver must "
+                "ship every referenced blob before the stage payload"
+            ) from None
+
+
+def dumps_with_broadcast(
+    obj: Any, registry: BroadcastRegistry
+) -> Tuple[bytes, "frozenset[str]"]:
+    """Serialize a stage payload, extracting large captures into blobs.
+
+    Returns ``(payload, digests)`` — the payload references each blob by
+    digest; the caller must ship ``registry.blobs[digest]`` to any worker
+    that has not seen it yet, *before* the payload.
+    """
+    buffer = io.BytesIO()
+    pickler = _BroadcastPickler(buffer, registry)
+    pickler.dump(obj)
+    return buffer.getvalue(), frozenset(pickler.digests)
+
+
+def loads_with_broadcast(data: bytes, cache: Dict[str, Any]) -> Any:
+    """Deserialize a stage payload against a worker's blob cache."""
+    return _BroadcastUnpickler(io.BytesIO(data), cache).load()
+
+
+def load_blob(blob: bytes) -> Any:
+    """Deserialize one broadcast blob (worker side)."""
+    return pickle.loads(blob)
+
+
 # Worker-channel message tags.
 _MSG_FN = 0
 _MSG_TASK = 1
 _MSG_EXIT = 2
 _MSG_OK = 3
 _MSG_ERR = 4
+_MSG_BLOB = 5
 
 
 def _persistent_worker_main(conn) -> None:
     """Long-lived worker loop: cache the stage fn, compute tasks one by one.
 
-    Per stage the driver sends one ``_MSG_FN`` (the stage function) and
-    then feeds ``_MSG_TASK`` messages — one shard each, exactly one reply
-    per task, so tasks can be dispatched dynamically to whichever worker
-    frees up first (skewed shards don't serialize behind one worker).  The
-    worker stays alive across stages (and across pipelines sharing the
-    executor) until an exit message or a closed channel; task exceptions
-    are caught and shipped back so the worker survives failed stages.
+    Per stage the driver sends ``_MSG_BLOB`` frames for any broadcast
+    captures this worker has not seen yet, one ``_MSG_FN`` (the stage
+    function, referencing blobs by digest), and then feeds ``_MSG_TASK``
+    messages — one shard each, exactly one reply per task, so tasks can be
+    dispatched dynamically to whichever worker frees up first (skewed
+    shards don't serialize behind one worker).  Blobs are cached for the
+    worker's lifetime (the whole point of closure broadcast).  The worker
+    stays alive across stages (and across pipelines sharing the executor)
+    until an exit message or a closed channel; task exceptions are caught
+    and shipped back so the worker survives failed stages.
     """
     fn = None
     fn_error: "str | None" = None
+    blob_cache: Dict[str, Any] = {}
     while True:
         try:
             msg = pickle.loads(conn.recv_bytes())
@@ -140,9 +299,16 @@ def _persistent_worker_main(conn) -> None:
         tag = msg[0]
         if tag == _MSG_EXIT:
             return
+        if tag == _MSG_BLOB:
+            try:
+                blob_cache[msg[1]] = load_blob(msg[2])
+            except BaseException:
+                # Surface the problem at fn-load time (blob refs missing).
+                blob_cache.pop(msg[1], None)
+            continue
         if tag == _MSG_FN:
             try:
-                fn = pickle.loads(msg[1])
+                fn = loads_with_broadcast(msg[1], blob_cache)
                 fn_error = None
             except BaseException:
                 fn, fn_error = None, traceback.format_exc()
@@ -181,7 +347,21 @@ class Executor:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial
-        """Release any worker resources (pools, processes).  Idempotent."""
+        """Release any worker resources (pools, processes).
+
+        Idempotent, and safe to call from another thread while a stage is
+        in flight: the in-flight :meth:`run_stage` raises a clean
+        ``RuntimeError`` instead of deadlocking on worker channels.
+        """
+
+    def stats(self) -> Dict[str, Any]:
+        """Executor-specific counters (broadcast volume, failures, …).
+
+        Empty for backends with nothing to report; keys are
+        backend-specific and end up in ``SelectionReport.extra
+        ["executor_stats"]``.
+        """
+        return {}
 
     def __enter__(self) -> "Executor":
         return self
@@ -229,15 +409,19 @@ class ThreadExecutor(Executor):
         self.pools_created = 0
         self._pool: "concurrent.futures.ThreadPoolExecutor | None" = None
         self._closed = False
+        self._lock = threading.Lock()
 
     def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = concurrent.futures.ThreadPoolExecutor(
-                max_workers=self.max_workers,
-                thread_name_prefix="repro-dataflow",
-            )
-            self.pools_created += 1
-        return self._pool
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor closed")
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-dataflow",
+                )
+                self.pools_created += 1
+            return self._pool
 
     def run_stage(self, fn: StageFn, shards: Sequence[Any]) -> List[Any]:
         if self._closed:
@@ -251,10 +435,22 @@ class ThreadExecutor(Executor):
         return [future.result() for future in futures]
 
     def close(self) -> None:
-        self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class _PoolWorker:
+    """One forked worker: its process, channel, and shipped-blob ledger."""
+
+    __slots__ = ("process", "conn", "shipped")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.shipped: "set[str]" = set()
 
 
 class MultiprocessExecutor(Executor):
@@ -265,7 +461,10 @@ class MultiprocessExecutor(Executor):
     forked once — lazily, on the first stage large enough to parallelize —
     and reused for every later stage until :meth:`close`.  Per stage, each worker receives the stage
     function once (cloudpickle over a per-worker pipe — DoFns may be
-    closures or lambdas); shards are then dispatched dynamically, one task
+    closures or lambdas); large captures broadcast through the shared blob
+    cache (see the module docstring) so e.g. an embedding matrix ships to
+    each worker once, not once per stage; shards are then dispatched
+    dynamically, one task
     at a time, to whichever worker frees up first, so skewed shards load-
     balance like the old ``ProcessPoolExecutor.map`` did.  Shard *results*
     must pickle (they are plain lists of Python / NumPy scalars everywhere
@@ -283,6 +482,9 @@ class MultiprocessExecutor(Executor):
         Stages whose total input is smaller than this run in-process — the
         IPC overhead would dominate.  Set to 0 to force the pool on
         (useful in tests asserting backend equivalence on tiny data).
+    broadcast_min_bytes:
+        Captured objects at least this large are content-addressed and
+        shipped to each worker once instead of inlined per stage.
     """
 
     name = "multiprocess"
@@ -292,15 +494,30 @@ class MultiprocessExecutor(Executor):
         max_workers: "int | None" = None,
         *,
         min_parallel_records: int = 2048,
+        broadcast_min_bytes: int = DEFAULT_BROADCAST_MIN_BYTES,
     ) -> None:
         self.max_workers = _validate_max_workers(max_workers)
         self.min_parallel_records = int(min_parallel_records)
         self.pools_created = 0
+        self.broadcast_bytes = 0
+        self.broadcast_blobs = 0
+        self.stage_payload_bytes = 0
+        self._registry = BroadcastRegistry(broadcast_min_bytes)
         self._can_fork = "fork" in multiprocessing.get_all_start_methods()
-        self._workers: List[Tuple[Any, Any]] = []  # (process, conn) pairs
+        self._workers: List[_PoolWorker] = []
         self._closed = False
+        self._stage_active = False
+        self._lock = threading.Lock()
 
-    def _ensure_pool(self, want: int) -> List[Tuple[Any, Any]]:
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "broadcast_bytes": self.broadcast_bytes,
+            "broadcast_blobs": self.broadcast_blobs,
+            "unique_broadcast_bytes": self._registry.unique_bytes,
+            "stage_payload_bytes": self.stage_payload_bytes,
+        }
+
+    def _ensure_pool(self, want: int) -> List[_PoolWorker]:
         """Fork the worker pool on first use (at most once per lifetime).
 
         Sized ``min(max_workers, want)`` where ``want`` is the triggering
@@ -308,20 +525,41 @@ class MultiprocessExecutor(Executor):
         stable across stages even when keys are skewed) — matching demand
         without holding permanently idle forked processes.
         """
-        if not self._workers:
-            ctx = multiprocessing.get_context("fork")
-            for _ in range(max(2, min(self.max_workers, want))):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                process = ctx.Process(
-                    target=_persistent_worker_main,
-                    args=(child_conn,),
-                    daemon=True,
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor closed")
+            if not self._workers:
+                ctx = multiprocessing.get_context("fork")
+                for _ in range(max(2, min(self.max_workers, want))):
+                    parent_conn, child_conn = ctx.Pipe(duplex=True)
+                    process = ctx.Process(
+                        target=_persistent_worker_main,
+                        args=(child_conn,),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    self._workers.append(_PoolWorker(process, parent_conn))
+                self.pools_created += 1
+            return self._workers
+
+    def _send_stage_payload(
+        self, worker: _PoolWorker, fn_blob: bytes, digests: "frozenset[str]"
+    ) -> None:
+        """Ship not-yet-seen broadcast blobs, then the stage function."""
+        for digest in sorted(digests - worker.shipped):
+            blob = self._registry.blobs[digest]
+            worker.conn.send_bytes(
+                pickle.dumps(
+                    (_MSG_BLOB, digest, blob),
+                    protocol=pickle.HIGHEST_PROTOCOL,
                 )
-                process.start()
-                child_conn.close()
-                self._workers.append((process, parent_conn))
-            self.pools_created += 1
-        return self._workers
+            )
+            worker.shipped.add(digest)
+            self.broadcast_bytes += len(blob)
+            self.broadcast_blobs += 1
+        worker.conn.send_bytes(fn_blob)
+        self.stage_payload_bytes += len(fn_blob)
 
     def run_stage(self, fn: StageFn, shards: Sequence[Any]) -> List[Any]:
         if self._closed:
@@ -336,7 +574,7 @@ class MultiprocessExecutor(Executor):
         ):
             return [fn(_resolve(shard)) for shard in shards]
         try:
-            fn_bytes = _dumps_payload(fn)
+            fn_bytes, digests = dumps_with_broadcast(fn, self._registry)
         except Exception:
             # No closure-capable serializer available for this stage
             # function: degrade to in-process execution (identical results).
@@ -367,31 +605,39 @@ class MultiprocessExecutor(Executor):
                     results[index] = fn(_resolve(shards[index]))
             return None
 
+        self._stage_active = True
         try:
             # Dynamic dispatch: prime every worker with the stage fn and
             # one task, then feed the next pending task to whichever worker
             # replies first — skewed shards spread instead of serializing
             # behind a static assignment.  Exactly one reply per dispatched
             # task keeps the channels in lockstep even through failed tasks.
-            conns = {conn: process for process, conn in workers}
+            conns = {worker.conn: worker for worker in workers}
             outstanding = {conn: 0 for conn in conns}
-            for conn in conns:
+            for conn, worker in conns.items():
                 blob = next_task_blob()
                 if blob is None:
                     break
-                conn.send_bytes(fn_blob)
+                self._send_stage_payload(worker, fn_blob, digests)
                 conn.send_bytes(blob)
                 outstanding[conn] += 1
             while any(outstanding.values()):
                 ready = multiprocessing.connection.wait(
-                    [conn for conn, n in outstanding.items() if n]
+                    [conn for conn, n in outstanding.items() if n],
+                    timeout=0.2,
                 )
+                if not ready:
+                    if self._closed:
+                        raise RuntimeError("executor closed during stage")
+                    continue
                 for conn in ready:
                     try:
                         reply = pickle.loads(conn.recv_bytes())
                     except (EOFError, OSError):
                         raise RuntimeError(
-                            "multiprocess worker died mid-stage; "
+                            "executor closed during stage"
+                            if self._closed
+                            else "multiprocess worker died mid-stage; "
                             "executor closed"
                         ) from None
                     outstanding[conn] -= 1
@@ -407,13 +653,27 @@ class MultiprocessExecutor(Executor):
                         if blob is not None:
                             conn.send_bytes(blob)
                             outstanding[conn] += 1
-        except BaseException:
+        except BaseException as exc:
             # Any driver-side failure mid-protocol (worker death, a reply
             # that fails to deserialize, an interrupt) leaves the
             # per-worker channels desynced; close the pool rather than let
             # stale replies corrupt a later stage.
+            self._stage_active = False
+            closed_concurrently = self._closed
             self.close()
+            if closed_concurrently and not isinstance(exc, RuntimeError):
+                # close() from another thread tore the channels down under
+                # us — surface that as the closure it is, not as a raw
+                # OSError from a dead pipe.
+                raise RuntimeError("executor closed during stage") from exc
             raise
+        finally:
+            self._stage_active = False
+        # Blob bytes whose every reader now holds them are dead weight on
+        # the driver; the worker set is fixed after the one fork.
+        for digest in digests:
+            if all(digest in worker.shipped for worker in workers):
+                self._registry.evict(digest)
         if failure is not None:
             _tag, _index, exc, tb = failure
             if exc is not None:
@@ -422,42 +682,104 @@ class MultiprocessExecutor(Executor):
         return results
 
     def close(self) -> None:
-        self._closed = True
-        exit_bytes = pickle.dumps((_MSG_EXIT,), protocol=pickle.HIGHEST_PROTOCOL)
-        for _process, conn in self._workers:
-            try:
-                conn.send_bytes(exit_bytes)
-            except (BrokenPipeError, OSError):
-                pass
-        for process, conn in self._workers:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - defensive
-                pass
-            process.join(timeout=5)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=5)
-        self._workers = []
+        with self._lock:
+            self._closed = True
+            workers, self._workers = self._workers, []
+            in_flight = self._stage_active
+        if not workers:
+            return
+        if in_flight:
+            # A stage is running on another thread: a graceful exit message
+            # would interleave with its frames, so force-close the channels
+            # (the in-flight ``run_stage`` raises a clean RuntimeError) and
+            # terminate the daemons.
+            for worker in workers:
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                worker.process.terminate()
+        else:
+            exit_bytes = pickle.dumps(
+                (_MSG_EXIT,), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            for worker in workers:
+                try:
+                    worker.conn.send_bytes(exit_bytes)
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in workers:
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+        for worker in workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=5)
 
 
-_EXECUTORS = {
+# -- executor registry ------------------------------------------------------
+#
+# The single string→factory mapping behind every ``executor=`` knob in the
+# codebase: ``Pipeline``, ``SelectorConfig``, the CLI, and the beams all
+# resolve through here, so adding a backend is one ``register_executor``
+# call.  Factories take the backend's own keyword options (e.g. ``workers``
+# for the remote backend).
+
+
+def _remote_factory(**opts) -> "Executor":
+    # Imported lazily: the remote subsystem pulls in the networking layer
+    # and may spawn localhost worker daemons, which pipelines that never
+    # ask for it should not pay for.
+    from repro.dataflow.remote import RemoteExecutor
+
+    return RemoteExecutor(**opts)
+
+
+_EXECUTORS: Dict[str, Callable[..., Executor]] = {
     "sequential": SequentialExecutor,
     "thread": ThreadExecutor,
     "multiprocess": MultiprocessExecutor,
+    "remote": _remote_factory,
 }
 
 
-def resolve_executor(executor: "str | Executor | None") -> Executor:
-    """Turn an executor name (or instance, or None) into an Executor."""
-    if executor is None:
-        return SequentialExecutor()
+def register_executor(name: str, factory: Callable[..., Executor]) -> None:
+    """Register (or override) an executor backend under ``name``."""
+    _EXECUTORS[str(name)] = factory
+
+
+def executor_names() -> List[str]:
+    """Registered backend names (the legal ``--executor`` values)."""
+    return sorted(_EXECUTORS)
+
+
+def resolve_executor(
+    executor: "str | Executor | None" = None, **opts: Any
+) -> Executor:
+    """Turn an executor name (or instance, or None) into an Executor.
+
+    ``opts`` are passed to the backend's factory and therefore require a
+    *name* (``resolve_executor("remote", workers=[...])``); passing opts
+    with an already-built instance is an error, since they could not be
+    applied.
+    """
     if isinstance(executor, Executor):
+        if opts:
+            raise ValueError(
+                "executor options require a backend name, not an instance: "
+                f"got {sorted(opts)} with {type(executor).__name__}"
+            )
         return executor
+    if executor is None:
+        executor = "sequential"
     try:
-        return _EXECUTORS[executor]()
+        factory = _EXECUTORS[executor]
     except KeyError:
         raise ValueError(
             f"unknown executor {executor!r}; expected one of "
-            f"{sorted(_EXECUTORS)} or an Executor instance"
+            f"{executor_names()} or an Executor instance"
         ) from None
+    return factory(**opts)

@@ -25,6 +25,8 @@ from repro.core.distributed import (
     DistributedResult,
     LinearDeltaSchedule,
     RoundStats,
+    fingerprint,
+    problem_fingerprint,
     resolve_ground,
 )
 from repro.core.greedy import greedy_heap
@@ -47,6 +49,7 @@ def beam_distributed_greedy(
     spill_to_disk: bool = False,
     optimize: "bool | None" = None,
     stream_source: bool = False,
+    checkpoint_dir: "str | None" = None,
     candidates: Optional[np.ndarray] = None,
     base_penalty: Optional[np.ndarray] = None,
     seed: SeedLike = None,
@@ -65,20 +68,32 @@ def beam_distributed_greedy(
     (the ``key_by`` reshard is elided) plus one fused read stage (the
     per-group greedy runs inside the shuffle read).  ``stream_source``
     ingests the ground set through the chunked streaming source path, so
-    the driver never holds it whole.
+    the driver never holds it whole.  ``checkpoint_dir`` persists each
+    round's materialization boundaries keyed by a plan digest (the round
+    DoFns capture the per-round seed draws, so a seeded rerun hits the
+    same keys): a killed drive resumes from its last completed round.
     """
     if m < 1 or rounds < 1:
         raise ValueError("m and rounds must be >= 1")
     rng = as_generator(seed)
+    ground, k = resolve_ground(problem.n, candidates, k)
+    n0 = int(ground.size)
+    checkpoint_salt = None
+    if checkpoint_dir is not None:
+        # Pins the streamed ground set's content (the eager path hashes
+        # source contents directly, so this only matters for
+        # ``stream_source=True`` — but it must agree with that data).
+        checkpoint_salt = fingerprint(
+            "greedy-source", problem_fingerprint(problem), ground
+        )
     pipeline = Pipeline(
         num_shards, executor=executor, spill_to_disk=spill_to_disk,
         optimize=optimize,
+        checkpoint_dir=checkpoint_dir, checkpoint_salt=checkpoint_salt,
     )
     schedule = LinearDeltaSchedule(gamma)
 
     try:
-        ground, k = resolve_ground(problem.n, candidates, k)
-        n0 = int(ground.size)
         if k == 0:
             return (
                 DistributedResult(np.empty(0, dtype=np.int64)),

@@ -62,6 +62,7 @@ def beam_knn_graph(
     spill_to_disk: bool = False,
     optimize: "bool | None" = None,
     stream_source: bool = False,
+    checkpoint_dir: "str | None" = None,
     seed: SeedLike = 0,
 ) -> Tuple[NeighborGraph, np.ndarray, np.ndarray, PipelineMetrics]:
     """Construct a symmetric kNN graph with the dataflow engine.
@@ -80,6 +81,10 @@ def beam_knn_graph(
     redundant ``as_keyed`` reshards, so shuffle volume drops by more than
     half versus ``optimize=False`` (the naive plan).  ``stream_source``
     ingests the point ids through the chunked streaming source path.
+    ``checkpoint_dir`` persists materialization boundaries keyed by a
+    plan digest (the stage DoFns capture the embeddings and fitted
+    centroids, so only a bit-identical rerun hits) — a killed build
+    resumes from its last completed stage.
     """
     x = l2_normalize(embeddings)
     n = x.shape[0]
@@ -91,9 +96,18 @@ def beam_knn_graph(
     centroids = _fit_centroids(x, n_clusters, n_iter, rng)
     nprobe = min(max(1, nprobe), centroids.shape[0])
 
+    checkpoint_salt = None
+    if checkpoint_dir is not None:
+        from repro.core.distributed import fingerprint
+
+        # The streamed source is just ``range(n)``; the embeddings and
+        # centroids are captured by the stage DoFns and enter the plan
+        # digests through them.
+        checkpoint_salt = fingerprint("knn-source", int(n))
     pipeline = Pipeline(
         num_shards, executor=executor, spill_to_disk=spill_to_disk,
         optimize=optimize,
+        checkpoint_dir=checkpoint_dir, checkpoint_salt=checkpoint_salt,
     )
     points = pipeline.create(
         range(n), name="knn/source", stream=bool(stream_source)

@@ -23,6 +23,15 @@ Optimizer counters (all recorded when the plan executes):
     Records *offered* to shuffle writes before partial aggregation;
     ``shuffled_records`` stays the post-aggregation volume that actually
     crossed the boundary, so ``pre - post`` is the optimizer's saving.
+
+Checkpoint counters (``Pipeline(checkpoint_dir=...)`` only):
+
+``checkpoint_hits``
+    Materialization boundaries restored from a checkpoint instead of
+    executed — on a resumed run, every hit is a subtree of skipped
+    stages (so ``executed_stages`` shrinks accordingly).
+``checkpoint_stores``
+    Boundary outputs persisted to the checkpoint directory this run.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ class PipelineMetrics:
     fused_stages: int = 0
     lifted_combiners: int = 0
     elided_shuffles: int = 0
+    checkpoint_hits: int = 0
+    checkpoint_stores: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
 
     def observe_shard(self, n_records: int) -> None:
@@ -73,6 +84,12 @@ class PipelineMetrics:
     def observe_elided_shuffles(self, n: int = 1) -> None:
         self.elided_shuffles += n
 
+    def observe_checkpoint_hit(self) -> None:
+        self.checkpoint_hits += 1
+
+    def observe_checkpoint_store(self) -> None:
+        self.checkpoint_stores += 1
+
     def count_stage(self, name: str) -> None:
         self.stage_counts[name] = self.stage_counts.get(name, 0) + 1
 
@@ -85,6 +102,8 @@ class PipelineMetrics:
         self.fused_stages = 0
         self.lifted_combiners = 0
         self.elided_shuffles = 0
+        self.checkpoint_hits = 0
+        self.checkpoint_stores = 0
         self.stage_counts.clear()
 
     def snapshot(self) -> "PipelineMetrics":
@@ -98,5 +117,7 @@ class PipelineMetrics:
             fused_stages=self.fused_stages,
             lifted_combiners=self.lifted_combiners,
             elided_shuffles=self.elided_shuffles,
+            checkpoint_hits=self.checkpoint_hits,
+            checkpoint_stores=self.checkpoint_stores,
             stage_counts=dict(self.stage_counts),
         )

@@ -85,6 +85,25 @@ boundaries: fused intermediates never touch storage, and one shard is
 resident at a time under the sequential backend (one per worker under the
 multiprocess backend).
 
+Checkpointing (``checkpoint_dir=...``) also happens only at
+materialization boundaries: every boundary output is persisted keyed by a
+deterministic *plan digest* — a recursive content hash over the physical
+subplan that produced it (operator kinds, names, serialized DoFns, shard
+count, and source contents; streaming sources, whose contents cannot be
+hashed without consuming them, are keyed by the caller-supplied
+``checkpoint_salt`` instead).  A rerun of the same plan over the same
+inputs finds the digest on disk and skips the whole subtree — which is
+how a killed bounding drive resumes from its last completed stage
+(``metrics.checkpoint_hits`` / ``checkpoint_stores``).  Because the
+digest covers everything that determines the boundary's bit-exact
+output, differently-configured runs (other data, seeds, shard counts, or
+DoFns) can safely share one checkpoint directory; plans that the
+optimizer rewrites differently simply key different boundaries, and a
+hit may legally cross ``optimize`` settings since backends and plans are
+bit-identical.  A node whose DoFn or source cannot be serialized
+deterministically is silently non-checkpointable (it and its descendants
+always execute).
+
 Metrics semantics: ``stage_counts`` are recorded when transforms are
 *built* (identical to the eager engine), ``shuffled_records`` /
 ``materialized_records`` when they execute.  With ``fuse=False``,
@@ -101,6 +120,7 @@ records itself in the metrics.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import numbers
 import os
@@ -112,7 +132,12 @@ import weakref
 from collections.abc import Collection
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
-from repro.dataflow.executor import Executor, _resolve, resolve_executor
+from repro.dataflow.executor import (
+    Executor,
+    _dumps_payload,
+    _resolve,
+    resolve_executor,
+)
 from repro.dataflow.metrics import PipelineMetrics
 
 #: Module default for ``Pipeline(optimize=None)``.  The test harness flips
@@ -539,6 +564,20 @@ class Pipeline:
     stream_chunk_size:
         Records per chunk when a source streams lazily (see
         :meth:`create`).  Bounds driver memory during ingest.
+    checkpoint_dir:
+        Persist every materialization-boundary output here, keyed by a
+        deterministic plan digest, and skip any boundary whose digest is
+        already on disk — crash/restart of a long drive resumes from the
+        last completed stage (see the module docstring).  The directory
+        is created if missing and **never** cleaned by :meth:`close`
+        (surviving the run is the point).
+    checkpoint_salt:
+        Content fingerprint standing in for streaming sources in the
+        plan digest (their data cannot be hashed without consuming the
+        iterator).  Callers must derive it from the streamed content
+        (e.g. :func:`repro.core.distributed.problem_fingerprint`);
+        without it, streaming sources — and everything derived from
+        them — are simply not checkpointed.
     """
 
     def __init__(
@@ -550,6 +589,8 @@ class Pipeline:
         fuse: bool = True,
         optimize: Optional[bool] = None,
         stream_chunk_size: int = 4096,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_salt: Optional[str] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -563,13 +604,20 @@ class Pipeline:
         self.fuse = bool(fuse)
         self.optimize = DEFAULT_OPTIMIZE if optimize is None else bool(optimize)
         self.stream_chunk_size = int(stream_chunk_size)
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_salt = checkpoint_salt
         self.executor = resolve_executor(executor)
         self._owns_executor = not isinstance(executor, Executor)
         self._state = _PipelineState()
         self._nodes: "weakref.WeakSet[_Node]" = weakref.WeakSet()
+        self._digest_memo: "weakref.WeakKeyDictionary[_Node, Optional[str]]" = (
+            weakref.WeakKeyDictionary()
+        )
         self._spill_dir: Optional[str] = None
         if spill_to_disk:
             self._spill_dir = tempfile.mkdtemp(prefix="repro-dataflow-")
+        if checkpoint_dir is not None:
+            os.makedirs(checkpoint_dir, exist_ok=True)
 
     def _store_shard(self, records: list):
         """Keep a shard in memory, or spill it to disk when enabled."""
@@ -682,12 +730,21 @@ class Pipeline:
         return PCollection(self, node, keyed=keyed)
 
     def _finish_node(
-        self, node: _Node, raw_shards: List[list], *, stored: bool = False
+        self,
+        node: _Node,
+        raw_shards: List[list],
+        *,
+        stored: bool = False,
+        checkpoint_digest: Optional[str] = None,
     ) -> List[Any]:
         """Store + meter a node's output shards, then truncate its lineage.
 
         ``stored=True`` means the shards already went through
         :meth:`_store_shard` (streaming sources spill chunk by chunk).
+        ``checkpoint_digest`` persists the boundary under that key before
+        lineage truncation (``None`` for non-checkpointable nodes, plain
+        sources cached at creation, and boundaries *loaded* from a
+        checkpoint — rewriting those would be wasted I/O).
 
         Truncation releases the node's claim on its deps: their
         ``consumers`` counts drop so a chain derived from a dep *after*
@@ -698,6 +755,8 @@ class Pipeline:
             kept = raw_shards
         else:
             kept = [self._store_shard(shard) for shard in raw_shards]
+        if checkpoint_digest is not None:
+            self._checkpoint_store(checkpoint_digest, kept)
         for shard in kept:
             self.metrics.observe_shard(len(shard))
         node.cached = kept
@@ -706,6 +765,128 @@ class Pipeline:
         node.fn = None
         node.extra = None
         return kept
+
+    # -- checkpointing -----------------------------------------------------
+
+    #: Bump when the digest recipe or checkpoint file format changes —
+    #: stale checkpoint directories then miss instead of mis-loading.
+    _CHECKPOINT_VERSION = b"repro-ckpt-1"
+
+    def _node_digest(self, node: _Node) -> Optional[str]:
+        """Deterministic digest of the subplan below ``node`` (memoized).
+
+        ``None`` marks the node non-checkpointable (a streaming source
+        without a salt, an unserializable DoFn, …); the marker is
+        memoized too, and poisons every descendant.
+        """
+        memo = self._digest_memo
+        if node in memo:
+            return memo[node]
+        digest = self._compute_digest(node)
+        memo[node] = digest
+        return digest
+
+    def _compute_digest(self, node: _Node) -> Optional[str]:
+        h = hashlib.sha256()
+        h.update(self._CHECKPOINT_VERSION)
+        h.update(f"|{self.num_shards}|{node.kind}|{node.name}|".encode())
+        if node.kind == "source":
+            # Eager sources are cached at creation: their digest is their
+            # content, which is exactly what keys every derived boundary
+            # to this run's input data.
+            if node.cached is None:
+                return None
+            try:
+                for shard in node.cached:
+                    h.update(b"#shard")
+                    h.update(
+                        pickle.dumps(
+                            _resolve(shard), protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    )
+            except Exception:
+                return None
+            return h.hexdigest()
+        if node.kind == "stream_source":
+            if self.checkpoint_salt is None:
+                return None
+            h.update(self.checkpoint_salt.encode())
+            return h.hexdigest()
+        if node.cached is not None:
+            # Materialized mid-run without a recorded digest (checkpointing
+            # sees every boundary, so this means lineage was truncated
+            # before a digest was taken — e.g. the dir was set after).
+            return None
+        for part in (node.fn, node.extra):
+            h.update(b"#part")
+            if part is None:
+                h.update(b"none")
+                continue
+            try:
+                h.update(_dumps_payload(part))
+            except Exception:
+                return None
+        for dep in node.deps:
+            dep_digest = self._node_digest(dep)
+            if dep_digest is None:
+                return None
+            h.update(dep_digest.encode())
+        return h.hexdigest()
+
+    def _checkpoint_path(self, digest: str) -> str:
+        return os.path.join(self.checkpoint_dir, digest + ".ckpt")
+
+    def _checkpoint_store(self, digest: str, shards: List[Any]) -> None:
+        """Persist one boundary atomically (tmp + rename), shard by shard.
+
+        Spilled shards are resolved one at a time, so the write keeps the
+        engine's one-shard-resident memory profile.  Serialization
+        failures (exotic record types) skip the checkpoint rather than
+        fail the run.
+        """
+        path = self._checkpoint_path(digest)
+        if os.path.exists(path):
+            return
+        tmp = path + f".tmp-{uuid.uuid4().hex}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(_dumps_payload(len(shards)))
+                for shard in shards:
+                    fh.write(_dumps_payload(_resolve(shard)))
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.metrics.observe_checkpoint_store()
+
+    def _checkpoint_load(self, digest: str) -> Optional[List[Any]]:
+        """Load a boundary's shards, or ``None`` when absent/unreadable.
+
+        Each shard is passed through :meth:`_store_shard` as soon as it is
+        read, so with ``spill_to_disk`` a resume keeps the engine's
+        one-shard-resident memory profile (mirroring the store path) —
+        the returned shards are already stored.
+        """
+        path = self._checkpoint_path(digest)
+        try:
+            with open(path, "rb") as fh:
+                n_shards = pickle.load(fh)
+                if n_shards != self.num_shards:
+                    return None
+                return [
+                    self._store_shard(pickle.load(fh))
+                    for _ in range(n_shards)
+                ]
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Unreadable/corrupt entry (e.g. version skew): recompute.
+            # (Shards already re-spilled before the failure are orphaned
+            # in the spill dir until close() — harmless.)
+            return None
 
     # -- plan optimization -------------------------------------------------
 
@@ -831,8 +1012,18 @@ class Pipeline:
             # Sources are cached at creation; losing the cache means close()
             # dropped it.
             raise RuntimeError("pipeline closed")
+        digest: Optional[str] = None
+        if self.checkpoint_dir is not None:
+            # Digest before execution: deps still carry their lineage, and
+            # a hit skips the whole subtree below this boundary.
+            digest = self._node_digest(node)
+            if digest is not None:
+                loaded = self._checkpoint_load(digest)
+                if loaded is not None:
+                    self.metrics.observe_checkpoint_hit()
+                    return self._finish_node(node, loaded, stored=True)
         if kind == "stream_source":
-            return self._exec_stream_source(node)
+            return self._exec_stream_source(node, checkpoint_digest=digest)
         if kind in _ELEMENTWISE:
             raw = self._exec_elementwise(node)
         elif kind == "reshard":
@@ -849,7 +1040,7 @@ class Pipeline:
             raw = self._exec_cogroup(node)
         else:  # pragma: no cover - construction bug
             raise AssertionError(f"unknown node kind {kind!r}")
-        return self._finish_node(node, raw)
+        return self._finish_node(node, raw, checkpoint_digest=digest)
 
     def _run_stage(self, fn, shards, *, fused: int = 0) -> List[Any]:
         out = self.executor.run_stage(fn, shards)
@@ -886,7 +1077,9 @@ class Pipeline:
             self.metrics.observe_elided_shuffles(len(elided))
         return [(n.kind, n.fn) for n in chain], base, base_live
 
-    def _exec_stream_source(self, node: _Node) -> List[Any]:
+    def _exec_stream_source(
+        self, node: _Node, *, checkpoint_digest: Optional[str] = None
+    ) -> List[Any]:
         """Consume a lazy source chunk by chunk: route each bounded chunk,
         store its per-shard buckets (spilled immediately when enabled),
         and assemble each shard as a :class:`_ShardGroup` of chunk parts —
@@ -935,7 +1128,9 @@ class Pipeline:
                 shards.append(shard_parts[0])
             else:
                 shards.append(_ShardGroup(shard_parts))
-        return self._finish_node(node, shards, stored=True)
+        return self._finish_node(
+            node, shards, stored=True, checkpoint_digest=checkpoint_digest
+        )
 
     def _exec_elementwise(self, node: _Node) -> List[list]:
         ops, base, base_live = self._upstream_chain(node.deps[0])

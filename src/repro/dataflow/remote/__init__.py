@@ -1,0 +1,43 @@
+"""Remote execution subsystem: a socket/RPC worker cluster backend.
+
+The executor abstraction is the engine's scale-out seam; this package
+makes it cross process — and machine — boundaries:
+
+:mod:`~repro.dataflow.remote.worker`
+    The long-lived worker daemon (``python -m repro.dataflow.remote.
+    worker --host H --port P``): accepts length-prefixed cloudpickle
+    frames over TCP, caches broadcast blobs, executes stage shards, and
+    heartbeats while computing.
+:mod:`~repro.dataflow.remote.client`
+    :class:`RemoteExecutor`, the ``Executor`` implementation that
+    partitions each stage's shards across the cluster with dynamic
+    load balancing, one-time closure broadcast, heartbeat-based fault
+    detection, and shard retry on surviving workers.
+:mod:`~repro.dataflow.remote.cluster`
+    :class:`LocalCluster`, which auto-spawns localhost daemons for the
+    zero-configuration ``--executor remote`` path (and for tests).
+:mod:`~repro.dataflow.remote.protocol`
+    The framing and message vocabulary shared by both ends.
+
+The backend registers as ``"remote"`` in
+:func:`repro.dataflow.executor.resolve_executor`, so
+``Pipeline(executor="remote")``, ``SelectorConfig(executor="remote",
+workers=(...))`` and ``--executor remote --workers host:port,...`` all
+reach it without touching engine code.
+"""
+
+from repro.dataflow.remote.client import RemoteExecutor
+from repro.dataflow.remote.cluster import LocalCluster
+
+__all__ = ["RemoteExecutor", "LocalCluster", "WorkerServer"]
+
+
+def __getattr__(name):
+    # WorkerServer is imported lazily so that ``python -m
+    # repro.dataflow.remote.worker`` does not find the module pre-imported
+    # by its own package (runpy would warn about the double import).
+    if name == "WorkerServer":
+        from repro.dataflow.remote.worker import WorkerServer
+
+        return WorkerServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

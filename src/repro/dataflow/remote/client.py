@@ -1,0 +1,472 @@
+"""``RemoteExecutor``: the engine's socket/RPC backend.
+
+Implements the exact :class:`~repro.dataflow.executor.Executor` contract
+— ``run_stage(fn, shards)`` returning results in shard order, plus an
+idempotent, concurrency-safe ``close`` — over a cluster of worker
+daemons reached by TCP, so every pipeline, beam, and optimizer pass runs
+unchanged with ``num_shards`` spread across real worker processes.
+
+Scheduling mirrors the multiprocess backend: per stage, each live worker
+receives any broadcast blobs it has not seen, the (small) stage payload,
+and then shards one at a time, pulled dynamically from a shared queue so
+skewed shards load-balance across the cluster.
+
+Fault model
+-----------
+A worker is *dead* when its channel errors or stays silent longer than
+``heartbeat_timeout`` (daemons heartbeat every second or so while
+computing, so silence means the process or the network is gone, not that
+the shard is slow).  The dead worker's in-flight shard is requeued and
+the stage completes on the survivors — ``worker_failures`` and
+``retried_shards`` count the events.  Shards are assumed idempotent
+(DoFns are pure everywhere in this codebase), so a retry cannot change
+results.  A *Python exception* inside a DoFn is not a fault: it fails
+the stage deterministically on every backend alike.  If every worker
+dies mid-stage, ``run_stage`` raises.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.executor import (
+    DEFAULT_BROADCAST_MIN_BYTES,
+    BroadcastRegistry,
+    Executor,
+    _resolve,
+    dumps_with_broadcast,
+)
+from repro.dataflow.remote import protocol
+from repro.dataflow.remote.cluster import LocalCluster
+from repro.dataflow.remote.protocol import (
+    MSG_BLOB,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_STAGE,
+    MSG_TASK,
+)
+
+
+def _parse_address(spec) -> Tuple[str, int]:
+    """``"host:port"`` / ``(host, port)`` → ``(host, port)``."""
+    if isinstance(spec, str):
+        host, _, port = spec.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"worker address must look like 'host:port', got {spec!r}"
+            )
+        return host, int(port)
+    host, port = spec
+    return str(host), int(port)
+
+
+class _Channel:
+    """One driver↔worker connection and its shipped-blob ledger."""
+
+    __slots__ = ("address", "sock", "alive", "shipped")
+
+    def __init__(self, address: Tuple[str, int], sock: socket.socket) -> None:
+        self.address = address
+        self.sock = sock
+        self.alive = True
+        self.shipped: "set[str]" = set()
+
+    def kill(self) -> None:
+        self.alive = False
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class _StageState:
+    """Shared bookkeeping for one stage's dynamic task dispatch.
+
+    ``next_task`` blocks while the queue is empty but other channels still
+    have shards in flight — a dead worker may requeue its shard at any
+    moment, and a surviving channel that returned early would strand it.
+    """
+
+    def __init__(self, n_tasks: int) -> None:
+        self.results: List[Any] = [None] * n_tasks
+        self.done = [False] * n_tasks
+        self.pending = deque(range(n_tasks))
+        self.in_flight = 0
+        self.completed = 0
+        self.n_tasks = n_tasks
+        self.failure: Optional[Tuple[Any, str]] = None
+        self.cond = threading.Condition()
+
+    def next_task(self, close_event: threading.Event) -> Optional[int]:
+        with self.cond:
+            while True:
+                if self.failure is not None or close_event.is_set():
+                    return None
+                if self.pending:
+                    self.in_flight += 1
+                    return self.pending.popleft()
+                if self.completed == self.n_tasks or self.in_flight == 0:
+                    return None
+                # Timed wait so a concurrent close() (which cannot reach
+                # this condition) still unblocks us promptly.
+                self.cond.wait(0.05)
+
+    def complete(self, index: int, value: Any) -> None:
+        with self.cond:
+            self.results[index] = value
+            self.done[index] = True
+            self.completed += 1
+            self.in_flight -= 1
+            self.cond.notify_all()
+
+    def requeue(self, index: int) -> None:
+        with self.cond:
+            self.pending.append(index)
+            self.in_flight -= 1
+            self.cond.notify_all()
+
+    def abandon(self, index: int) -> None:
+        with self.cond:
+            self.in_flight -= 1
+            self.cond.notify_all()
+
+    def fail(self, exc: Any, tb: str) -> None:
+        with self.cond:
+            if self.failure is None:
+                self.failure = (exc, tb)
+            self.cond.notify_all()
+
+    def missing(self) -> List[int]:
+        return [i for i, ok in enumerate(self.done) if not ok]
+
+
+class _ChannelDead(Exception):
+    """Internal: the worker behind a channel is gone."""
+
+
+class RemoteExecutor(Executor):
+    """Dataflow backend over a TCP worker cluster.
+
+    Parameters
+    ----------
+    workers:
+        Worker addresses (``"host:port"`` strings or ``(host, port)``
+        pairs) of daemons started with ``python -m
+        repro.dataflow.remote.worker``.  ``None`` (or empty) auto-spawns
+        ``max_workers`` localhost daemons owned — and terminated — by
+        this executor.
+    max_workers:
+        Auto-spawned worker count (default 2).  Ignored when ``workers``
+        is given.
+    min_parallel_records:
+        Stages with fewer total records run on the driver (default 0:
+        every stage goes to the cluster).
+    connect_timeout:
+        Seconds to keep retrying the initial connection per worker
+        (daemons need a moment to import the engine).
+    heartbeat_timeout:
+        Seconds of channel silence after which a worker is declared dead.
+        Workers heartbeat every ~1 s while computing, so this bounds
+        failure *detection*, not task runtime.
+    broadcast_min_bytes:
+        Captured objects at least this large ship once per worker (the
+        closure-broadcast threshold shared with the multiprocess
+        backend).
+    resolve_before_send:
+        Load spilled shards on the driver before shipping.  Off by
+        default (localhost workers read the driver's spill files
+        directly); turn on for workers without a shared filesystem.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        workers: Optional[Sequence[Any]] = None,
+        *,
+        max_workers: Optional[int] = None,
+        min_parallel_records: int = 0,
+        connect_timeout: float = 60.0,
+        heartbeat_timeout: float = 10.0,
+        broadcast_min_bytes: int = DEFAULT_BROADCAST_MIN_BYTES,
+        resolve_before_send: bool = False,
+    ) -> None:
+        self.min_parallel_records = int(min_parallel_records)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.resolve_before_send = bool(resolve_before_send)
+        self.worker_failures = 0
+        self.retried_shards = 0
+        self.broadcast_bytes = 0
+        self.broadcast_blobs = 0
+        self.stage_payload_bytes = 0
+        self._registry = BroadcastRegistry(broadcast_min_bytes)
+        self._close_event = threading.Event()
+        self._close_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._cluster: Optional[LocalCluster] = None
+        self._channels: List[_Channel] = []
+        try:
+            if workers:
+                addresses = [_parse_address(w) for w in workers]
+            else:
+                n = 2 if max_workers is None else int(max_workers)
+                if n < 1:
+                    raise ValueError(f"max_workers must be >= 1, got {n}")
+                self._cluster = LocalCluster(n)
+                addresses = list(self._cluster.addresses)
+            for address in addresses:
+                self._channels.append(
+                    _Channel(address, self._connect(address, connect_timeout))
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    # -- connection management ---------------------------------------------
+
+    @staticmethod
+    def _connect(
+        address: Tuple[str, int], connect_timeout: float
+    ) -> socket.socket:
+        """Connect with retries (the daemon may still be importing)."""
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            try:
+                sock = socket.create_connection(address, timeout=5.0)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"could not connect to worker at "
+                        f"{address[0]}:{address[1]} within "
+                        f"{connect_timeout:.0f}s"
+                    ) from None
+                time.sleep(0.05)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Handshake: one round trip proves a protocol-speaking worker.
+        protocol.send_msg(sock, (MSG_PING,))
+        sock.settimeout(30.0)
+        reply = protocol.recv_msg(sock)
+        if reply[0] != MSG_PONG:
+            sock.close()
+            raise RuntimeError(
+                f"worker at {address[0]}:{address[1]} answered the "
+                "handshake with an unexpected message"
+            )
+        return sock
+
+    @property
+    def worker_addresses(self) -> List[Tuple[str, int]]:
+        return [ch.address for ch in self._channels]
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of auto-spawned workers (empty for external clusters)."""
+        return list(self._cluster.pids) if self._cluster is not None else []
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "n_workers": len(self._channels),
+            "worker_failures": self.worker_failures,
+            "retried_shards": self.retried_shards,
+            "broadcast_bytes": self.broadcast_bytes,
+            "broadcast_blobs": self.broadcast_blobs,
+            "unique_broadcast_bytes": self._registry.unique_bytes,
+            "stage_payload_bytes": self.stage_payload_bytes,
+        }
+
+    # -- stage execution ---------------------------------------------------
+
+    def run_stage(self, fn, shards: Sequence[Any]) -> List[Any]:
+        if self._close_event.is_set():
+            raise RuntimeError("executor closed")
+        shards = list(shards)
+        total = sum(len(shard) for shard in shards)
+        channels = [ch for ch in self._channels if ch.alive]
+        if not channels:
+            raise RuntimeError(
+                "no live remote workers (all "
+                f"{len(self._channels)} failed)"
+            )
+        if len(shards) < 2 or total < self.min_parallel_records:
+            return [fn(_resolve(shard)) for shard in shards]
+        try:
+            payload, digests = dumps_with_broadcast(fn, self._registry)
+        except Exception:
+            # Stage function doesn't serialize: run on the driver with
+            # identical results, like the multiprocess backend.
+            return [fn(_resolve(shard)) for shard in shards]
+        state = _StageState(len(shards))
+        threads = [
+            threading.Thread(
+                target=self._channel_loop,
+                args=(channel, payload, digests, fn, shards, state),
+                daemon=True,
+                name=f"repro-remote-{channel.address[1]}",
+            )
+            for channel in channels
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._close_event.is_set():
+            raise RuntimeError("executor closed during stage")
+        if state.failure is not None:
+            exc, tb = state.failure
+            if exc is not None:
+                raise exc from RuntimeError(f"worker traceback:\n{tb}")
+            raise RuntimeError(f"stage failed on remote worker:\n{tb}")
+        # Single-threaded again (channel loops joined): drop blob bytes
+        # every live channel has received — no further reader exists, so
+        # long drives don't pile their capture history on the driver.
+        live = [ch for ch in self._channels if ch.alive]
+        for digest in digests:
+            if live and all(digest in ch.shipped for ch in live):
+                self._registry.evict(digest)
+        missing = state.missing()
+        if missing:
+            raise RuntimeError(
+                f"all remote workers died mid-stage with {len(missing)} "
+                f"shard(s) unfinished (of {len(shards)})"
+            )
+        return state.results
+
+    def _channel_loop(
+        self,
+        channel: _Channel,
+        payload: bytes,
+        digests: "frozenset[str]",
+        fn,
+        shards: List[Any],
+        state: _StageState,
+    ) -> None:
+        """Drive one worker through the stage; never raises."""
+        in_flight: Optional[int] = None
+        try:
+            self._send_stage(channel, payload, digests)
+            while True:
+                index = state.next_task(self._close_event)
+                if index is None:
+                    return
+                in_flight = index
+                shard = shards[index]
+                if self.resolve_before_send:
+                    shard = _resolve(shard)
+                try:
+                    task_frame = protocol.dumps((MSG_TASK, index, shard))
+                except Exception:
+                    # Unserializable shard: compute on the driver (nothing
+                    # was sent, so the channel stays in lockstep).  A DoFn
+                    # exception here is a deterministic stage failure, the
+                    # same one the sequential backend would raise.
+                    try:
+                        result = fn(_resolve(shards[index]))
+                    except BaseException as exc:
+                        state.abandon(index)
+                        in_flight = None
+                        state.fail(exc, traceback.format_exc())
+                        return
+                    state.complete(index, result)
+                    in_flight = None
+                    continue
+                protocol.send_frame(channel.sock, task_frame)
+                reply = self._recv_reply(channel)
+                tag = reply[0]
+                if tag == MSG_RESULT:
+                    state.complete(reply[1], reply[2])
+                    in_flight = None
+                elif tag == MSG_ERROR:
+                    state.abandon(index)
+                    in_flight = None
+                    state.fail(reply[2], reply[3])
+                    return
+                else:
+                    raise _ChannelDead(f"unexpected message tag {tag}")
+        except (
+            _ChannelDead,
+            ConnectionError,
+            OSError,
+            EOFError,
+            pickle.UnpicklingError,
+        ):
+            channel.kill()
+            if self._close_event.is_set():
+                # close() tore the socket down under us; not a worker
+                # fault.  Release the shard so no other loop waits on it.
+                if in_flight is not None:
+                    state.abandon(in_flight)
+                return
+            with self._stats_lock:
+                self.worker_failures += 1
+            if in_flight is not None:
+                with self._stats_lock:
+                    self.retried_shards += 1
+                state.requeue(in_flight)
+        except BaseException:
+            # Anything else is a driver-side protocol/deserialization
+            # error (e.g. a worker exception whose class fails to
+            # unpickle).  The channel is desynced and retrying would
+            # reproduce it, so fail the stage cleanly — never leave the
+            # shard in flight, which would hang the sibling loops.
+            channel.kill()
+            if in_flight is not None:
+                state.abandon(in_flight)
+            state.fail(
+                None,
+                "driver-side channel error (worker reply could not be "
+                "processed):\n" + traceback.format_exc(),
+            )
+
+    def _send_stage(
+        self, channel: _Channel, payload: bytes, digests: "frozenset[str]"
+    ) -> None:
+        """One-time blob broadcast, then the per-stage delta."""
+        for digest in sorted(digests - channel.shipped):
+            blob = self._registry.blobs[digest]
+            protocol.send_msg(channel.sock, (MSG_BLOB, digest, blob))
+            channel.shipped.add(digest)
+            with self._stats_lock:
+                self.broadcast_bytes += len(blob)
+                self.broadcast_blobs += 1
+        protocol.send_msg(channel.sock, (MSG_STAGE, payload))
+        with self._stats_lock:
+            self.stage_payload_bytes += len(payload)
+
+    def _recv_reply(self, channel: _Channel) -> tuple:
+        """Next non-heartbeat frame; silence past the timeout = dead."""
+        channel.sock.settimeout(self.heartbeat_timeout)
+        while True:
+            message = protocol.recv_msg(channel.sock)
+            if message[0] == MSG_HEARTBEAT:
+                continue
+            return message
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down channels (and any auto-spawned cluster).
+
+        Idempotent, and safe while a stage is in flight on another
+        thread: channel loops observe the closed sockets, the in-flight
+        ``run_stage`` raises ``RuntimeError("executor closed during
+        stage")``, and nothing deadlocks waiting on a worker that will
+        never answer.
+        """
+        with self._close_lock:
+            self._close_event.set()
+            channels, self._channels = self._channels, []
+            cluster, self._cluster = self._cluster, None
+        for channel in channels:
+            channel.kill()
+        if cluster is not None:
+            cluster.terminate()

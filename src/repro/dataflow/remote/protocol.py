@@ -1,0 +1,113 @@
+"""Wire protocol for the remote executor: length-prefixed pickle frames.
+
+Every message on a worker channel is one *frame*: an 8-byte big-endian
+length header followed by that many payload bytes.  The payload is a
+pickled tuple whose first element is a message tag.  Frames are written
+with a single ``sendall`` and read with an exact-length loop, so message
+boundaries survive TCP's stream semantics.
+
+Driver → worker messages
+------------------------
+``(MSG_PING,)``
+    Liveness probe; the worker answers ``(MSG_PONG,)``.  Also used as the
+    connection handshake.
+``(MSG_BLOB, digest, blob_bytes)``
+    One broadcast capture (see :mod:`repro.dataflow.executor`): the worker
+    unpickles and caches it under ``digest`` for the channel's lifetime.
+    No reply.
+``(MSG_STAGE, payload_bytes)``
+    The current stage function, serialized with the broadcast-aware
+    pickler (blob references resolve against the channel's cache).  No
+    reply; deserialization errors surface on the next task.
+``(MSG_TASK, index, shard)``
+    One shard of work.  Exactly one reply per task — ``(MSG_RESULT,
+    index, value)`` or ``(MSG_ERROR, index, exc, traceback_str)`` — which
+    keeps each channel in lockstep even through failing stages.
+``(MSG_BYE,)``
+    Close this channel; the worker daemon keeps serving other channels.
+``(MSG_SHUTDOWN,)``
+    Terminate the whole worker process (used by auto-spawned clusters).
+
+Worker → driver, in addition to the replies above:
+``(MSG_HEARTBEAT,)``
+    Sent periodically while a task is computing, so the driver can tell a
+    slow worker from a dead one without bounding task runtime.
+
+Serialization uses :mod:`cloudpickle` when available (shards may contain
+arbitrary user records; stage payloads are produced by the broadcast
+pickler upstream) and degrades to the stdlib pickler otherwise — the
+caller treats a serialization error as "run this shard on the driver".
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Tuple
+
+try:
+    import cloudpickle as _cloudpickle
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    _cloudpickle = None
+
+#: Message tags (first tuple element of every frame payload).
+(
+    MSG_PING,
+    MSG_PONG,
+    MSG_BLOB,
+    MSG_STAGE,
+    MSG_TASK,
+    MSG_RESULT,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_BYE,
+    MSG_SHUTDOWN,
+) = range(10)
+
+_HEADER = struct.Struct(">Q")
+
+#: Upper bound on a single frame (a corrupted header must not trigger a
+#: multi-terabyte allocation).
+MAX_FRAME_BYTES = 1 << 40
+
+
+def dumps(message: Tuple[Any, ...]) -> bytes:
+    """Serialize one message (cloudpickle when available)."""
+    if _cloudpickle is not None:
+        return _cloudpickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads(payload: bytes) -> Tuple[Any, ...]:
+    """Deserialize one message (cloudpickle output is plain pickle)."""
+    return pickle.loads(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed the channel")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"oversized frame header ({length} bytes)")
+    return _recv_exact(sock, length)
+
+
+def send_msg(sock: socket.socket, message: Tuple[Any, ...]) -> None:
+    send_frame(sock, dumps(message))
+
+
+def recv_msg(sock: socket.socket) -> Tuple[Any, ...]:
+    return loads(recv_frame(sock))

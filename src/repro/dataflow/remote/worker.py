@@ -1,0 +1,198 @@
+"""The remote worker daemon: ``python -m repro.dataflow.remote.worker``.
+
+A long-lived TCP server that executes dataflow stages for a
+:class:`~repro.dataflow.remote.client.RemoteExecutor`.  Each driver
+connection gets its own handler thread with its own state — the cached
+broadcast blobs and the current stage function — so several executors
+(e.g. the differential test matrix) can share one worker daemon without
+stepping on each other.
+
+Per connection the protocol is strictly driver-paced (see
+:mod:`~repro.dataflow.remote.protocol`): blobs and the stage payload
+arrive without replies, and every task produces exactly one
+``MSG_RESULT``/``MSG_ERROR`` reply.  While a task computes, the handler
+emits ``MSG_HEARTBEAT`` frames every ``--heartbeat-interval`` seconds so
+the driver can distinguish a long-running shard from a dead worker
+without imposing a task deadline.
+
+On start the daemon prints exactly one line to stdout::
+
+    REPRO_WORKER_READY <host> <port>
+
+which is how :class:`~repro.dataflow.remote.cluster.LocalCluster`
+discovers the ephemeral port of an auto-spawned worker (``--port 0``).
+
+Spilled-shard caveat: a shard may arrive as a
+:class:`~repro.dataflow.pcollection._DiskShard`, whose ``load()`` reads a
+driver-local path — valid for localhost workers (the supported
+auto-spawn deployment) and for clusters with a shared filesystem; drivers
+targeting true remote hosts without one should resolve shards before
+shipping (``RemoteExecutor(resolve_before_send=True)``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import socket
+import threading
+import traceback
+from typing import Any, Dict, Optional
+
+from repro.dataflow.executor import _resolve, load_blob, loads_with_broadcast
+from repro.dataflow.remote import protocol
+from repro.dataflow.remote.protocol import (
+    MSG_BLOB,
+    MSG_BYE,
+    MSG_ERROR,
+    MSG_HEARTBEAT,
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_STAGE,
+    MSG_TASK,
+)
+
+
+class WorkerServer:
+    """Accept loop plus one handler thread per driver connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_interval: float = 1.0,
+    ) -> None:
+        self.heartbeat_interval = float(heartbeat_interval)
+        self._listener = socket.create_server((host, int(port)))
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:  # pragma: no cover - run in subprocess
+        while True:
+            conn, _addr = self._listener.accept()
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def close(self) -> None:
+        self._listener.close()
+
+    # -- per-connection state machine -------------------------------------
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        blobs: Dict[str, Any] = {}
+        fn = None
+        fn_error: Optional[str] = None
+        try:
+            while True:
+                message = protocol.recv_msg(sock)
+                tag = message[0]
+                if tag == MSG_PING:
+                    protocol.send_msg(sock, (MSG_PONG,))
+                elif tag == MSG_BLOB:
+                    try:
+                        blobs[message[1]] = load_blob(message[2])
+                    except BaseException:
+                        # Leave the digest unresolved; the stage payload
+                        # referencing it fails to load, which surfaces as
+                        # a task error with a real traceback.
+                        blobs.pop(message[1], None)
+                elif tag == MSG_STAGE:
+                    try:
+                        fn = loads_with_broadcast(message[1], blobs)
+                        fn_error = None
+                    except BaseException:
+                        fn, fn_error = None, traceback.format_exc()
+                elif tag == MSG_TASK:
+                    self._run_task(sock, fn, fn_error, message[1], message[2])
+                elif tag == MSG_BYE:
+                    return
+                elif tag == MSG_SHUTDOWN:
+                    os._exit(0)
+                else:
+                    return  # protocol violation: drop the channel
+        except (ConnectionError, OSError):
+            return
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def _run_task(
+        self, sock: socket.socket, fn, fn_error, index: int, shard
+    ) -> None:
+        """Compute one shard in a thread, heartbeating until it finishes."""
+        box: "queue.Queue[tuple]" = queue.Queue(maxsize=1)
+
+        def compute() -> None:
+            try:
+                if fn_error is not None:
+                    raise RuntimeError(
+                        "stage function failed to deserialize on the "
+                        f"worker:\n{fn_error}"
+                    )
+                box.put((MSG_RESULT, index, fn(_resolve(shard))))
+            except BaseException as exc:
+                box.put((MSG_ERROR, index, exc, traceback.format_exc()))
+
+        thread = threading.Thread(target=compute, daemon=True)
+        thread.start()
+        while True:
+            try:
+                reply = box.get(timeout=self.heartbeat_interval)
+                break
+            except queue.Empty:
+                protocol.send_msg(sock, (MSG_HEARTBEAT,))
+        try:
+            payload = protocol.dumps(reply)
+        except Exception:
+            # Unpicklable result or exception object: ship the traceback.
+            if reply[0] == MSG_ERROR:
+                payload = protocol.dumps((MSG_ERROR, index, None, reply[3]))
+            else:
+                payload = protocol.dumps(
+                    (
+                        MSG_ERROR,
+                        index,
+                        None,
+                        "task result failed to serialize:\n"
+                        + traceback.format_exc(),
+                    )
+                )
+        protocol.send_frame(sock, payload)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.dataflow.remote.worker",
+        description="long-lived dataflow worker daemon (length-prefixed "
+        "cloudpickle frames over TCP)",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: loopback)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port; 0 picks an ephemeral port, "
+                             "announced on stdout")
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        help="seconds between liveness frames while a "
+                             "task computes")
+    args = parser.parse_args(argv)
+    server = WorkerServer(
+        args.host, args.port, heartbeat_interval=args.heartbeat_interval
+    )
+    print(f"REPRO_WORKER_READY {server.host} {server.port}", flush=True)
+    server.serve_forever()
+    return 0  # pragma: no cover - serve_forever never returns
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via LocalCluster
+    raise SystemExit(main())

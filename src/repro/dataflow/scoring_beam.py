@@ -13,6 +13,7 @@ from typing import Iterable, Tuple
 
 import numpy as np
 
+from repro.core.distributed import fingerprint, problem_fingerprint
 from repro.core.problem import SubsetProblem
 from repro.dataflow.metrics import PipelineMetrics
 from repro.dataflow.pcollection import Pipeline
@@ -28,6 +29,7 @@ def beam_score(
     spill_to_disk: bool = False,
     optimize: "bool | None" = None,
     stream_source: bool = True,
+    checkpoint_dir: "str | None" = None,
 ) -> Tuple[float, PipelineMetrics]:
     """Distributed evaluation of the pairwise submodular objective.
 
@@ -36,16 +38,25 @@ def beam_score(
     sources are generator-fed and stream in bounded chunks by default
     (``stream_source=False`` forces eager ingest); ``optimize`` toggles
     the plan optimizer (cogroup write-side fusion, reshard elision,
-    post-shuffle fusion of the join consumers).
+    post-shuffle fusion of the join consumers).  ``checkpoint_dir``
+    persists the join boundaries keyed by a plan digest salted with the
+    problem and subset contents, so a rerun of the same scoring job skips
+    completed stages.
     """
     subset_ids = np.asarray(subset_ids, dtype=np.int64)
     if subset_ids.size and (
         subset_ids.min() < 0 or subset_ids.max() >= problem.n
     ):
         raise ValueError("subset ids out of range")
+    checkpoint_salt = None
+    if checkpoint_dir is not None:
+        checkpoint_salt = fingerprint(
+            "score-sources", problem_fingerprint(problem), subset_ids
+        )
     pipeline = Pipeline(
         num_shards, executor=executor, spill_to_disk=spill_to_disk,
         optimize=optimize,
+        checkpoint_dir=checkpoint_dir, checkpoint_salt=checkpoint_salt,
     )
     stream = bool(stream_source)
     g = problem.graph

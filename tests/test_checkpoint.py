@@ -1,0 +1,341 @@
+"""Stage checkpointing: plan digests, resume, and crash recovery.
+
+The contract under test: ``Pipeline(checkpoint_dir=...)`` persists every
+materialization boundary keyed by a deterministic plan digest, a rerun of
+the identical job skips completed subtrees (``checkpoint_hits`` > 0,
+fewer executed stages) with **bit-identical** results, and a digest can
+never collide across different data, shard counts, or DoFns — so a
+checkpoint directory is safe to share and safe to resume into after a
+SIGKILL mid-drive.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.problem import SubsetProblem
+from repro.dataflow import beam_bound, beam_distributed_greedy
+from repro.dataflow.executor import MultiprocessExecutor
+from repro.dataflow.pcollection import Fold, Pipeline
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.data.registry import load_dataset
+
+    ds = load_dataset("cifar100_tiny", n_points=120, seed=0)
+    return SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+
+
+def _run_job(ckpt_dir, *, executor="sequential", n=100, optimize=None):
+    """A small multi-boundary job; returns (sorted results, metrics)."""
+    pipeline = Pipeline(
+        num_shards=4, checkpoint_dir=ckpt_dir, executor=executor,
+        optimize=optimize,
+    )
+    try:
+        col = (
+            pipeline.create(range(n), name="src")
+            .map(lambda x: x * 3)
+            .key_by(lambda x: x % 7)
+            .group_by_key()
+            .map_values(Fold.sum())
+        )
+        grouped = sorted(col.to_list())
+        flat = sorted(
+            col.flat_map(lambda kv: [kv[0], kv[1] % 1000]).to_list()
+        )
+        return (grouped, flat), pipeline.metrics
+    finally:
+        pipeline.close()
+
+
+class TestPipelineCheckpointing:
+    def test_rerun_hits_and_is_bit_identical(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first, m1 = _run_job(ckpt)
+        assert m1.checkpoint_stores > 0 and m1.checkpoint_hits == 0
+        second, m2 = _run_job(ckpt)
+        assert second == first
+        assert m2.checkpoint_hits > 0
+        assert m2.executed_stages < m1.executed_stages
+
+    def test_hits_cross_executor_backends(self, tmp_path):
+        """A boundary written under the sequential backend restores under
+        multiprocess — backends are bit-identical, so digests are too."""
+        ckpt = str(tmp_path / "ckpt")
+        first, _ = _run_job(ckpt)
+        executor = MultiprocessExecutor(min_parallel_records=0)
+        try:
+            second, m2 = _run_job(ckpt, executor=executor)
+        finally:
+            executor.close()
+        assert second == first
+        assert m2.checkpoint_hits > 0
+
+    def test_hits_cross_optimizer_settings(self, tmp_path):
+        """Optimized and naive plans are bit-identical, so a boundary both
+        plans materialize may be shared; results stay equal either way."""
+        ckpt = str(tmp_path / "ckpt")
+        first, _ = _run_job(ckpt, optimize=True)
+        second, _ = _run_job(ckpt, optimize=False)
+        assert second == first
+
+    def test_different_data_misses(self, tmp_path):
+        """Same plan shape over different source data must not reuse."""
+        ckpt = str(tmp_path / "ckpt")
+        (grouped_100, _), _ = _run_job(ckpt, n=100)
+        (grouped_101, _), m = _run_job(ckpt, n=101)
+        fresh, _ = _run_job(str(tmp_path / "fresh"), n=101)
+        assert (grouped_101, ) == (fresh[0], )
+        assert grouped_101 != grouped_100
+
+    def test_different_num_shards_misses(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        _run_job(ckpt)
+        pipeline = Pipeline(num_shards=3, checkpoint_dir=ckpt)
+        try:
+            out = sorted(
+                pipeline.create(range(100), name="src")
+                .map(lambda x: x * 3)
+                .to_list()
+            )
+            assert out == [x * 3 for x in range(100)]
+            assert pipeline.metrics.checkpoint_hits == 0
+        finally:
+            pipeline.close()
+
+    def test_corrupt_checkpoint_recomputes(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        first, _ = _run_job(ckpt)
+        for name in os.listdir(ckpt):
+            with open(os.path.join(ckpt, name), "wb") as fh:
+                fh.write(b"not a pickle")
+        second, m2 = _run_job(ckpt)
+        assert second == first
+        assert m2.checkpoint_hits == 0
+
+    def test_stream_source_without_salt_not_checkpointed(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        pipeline = Pipeline(num_shards=4, checkpoint_dir=ckpt)
+        try:
+            out = sorted(
+                pipeline.create((x for x in range(60)), name="gen")
+                .map(lambda x: x + 1)
+                .to_list()
+            )
+            assert out == list(range(1, 61))
+            assert pipeline.metrics.checkpoint_stores == 0
+        finally:
+            pipeline.close()
+
+    def test_stream_source_with_salt_resumes(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+
+        def run():
+            pipeline = Pipeline(
+                num_shards=4, checkpoint_dir=ckpt, checkpoint_salt="data-v1"
+            )
+            try:
+                out = sorted(
+                    pipeline.create((x for x in range(60)), name="gen")
+                    .map(lambda x: x + 1)
+                    .to_list()
+                )
+                return out, pipeline.metrics.checkpoint_hits
+            finally:
+                pipeline.close()
+
+        first, hits1 = run()
+        second, hits2 = run()
+        assert first == second
+        assert hits1 == 0 and hits2 > 0
+
+    def test_spill_and_checkpoint_compose(self, tmp_path):
+        """A boundary written by a spilling run restores in a non-spilling
+        one (and vice versa): storage mode is not part of the digest.
+
+        Note the job must be *the same code* both times — plan digests
+        serialize the DoFns, and cloudpickle embeds code locations, which
+        is the right strictness for the real resume scenario (rerunning
+        the same driver script).
+        """
+        ckpt = str(tmp_path / "ckpt")
+
+        def run(spill):
+            pipeline = Pipeline(
+                num_shards=4, checkpoint_dir=ckpt, spill_to_disk=spill
+            )
+            try:
+                out = sorted(
+                    pipeline.create(range(100), name="src")
+                    .key_by(lambda x: x % 5)
+                    .group_by_key()
+                    .map_values(Fold.count())
+                    .to_list()
+                )
+                return out, pipeline.metrics.checkpoint_hits
+            finally:
+                pipeline.close()
+
+        first, hits1 = run(spill=True)
+        second, hits2 = run(spill=False)
+        assert second == first
+        assert hits1 == 0 and hits2 > 0
+
+
+class TestBeamCheckpointing:
+    def test_bounding_drive_resumes(self, tmp_path, problem):
+        ckpt = str(tmp_path / "ckpt")
+        k = problem.n // 10
+        reference, ref_metrics = beam_bound(
+            problem, k, mode="exact", num_shards=4, seed=0
+        )
+        first, m1 = beam_bound(
+            problem, k, mode="exact", num_shards=4, seed=0,
+            checkpoint_dir=ckpt,
+        )
+        assert m1.checkpoint_stores > 0
+        second, m2 = beam_bound(
+            problem, k, mode="exact", num_shards=4, seed=0,
+            checkpoint_dir=ckpt,
+        )
+        for result in (first, second):
+            np.testing.assert_array_equal(result.solution, reference.solution)
+            np.testing.assert_array_equal(result.remaining, reference.remaining)
+        assert m2.checkpoint_hits > 0
+        assert m2.executed_stages < ref_metrics.executed_stages
+
+    def test_bounding_checkpoints_are_data_keyed(self, tmp_path, problem):
+        """A different seed (different sampling salt) may share source
+        checkpoints but must recompute seed-dependent stages — results
+        match a fresh run exactly."""
+        ckpt = str(tmp_path / "ckpt")
+        k = problem.n // 10
+        beam_bound(problem, k, mode="approximate", p=0.5, num_shards=4,
+                   seed=0, checkpoint_dir=ckpt)
+        resumed, _ = beam_bound(
+            problem, k, mode="approximate", p=0.5, num_shards=4, seed=1,
+            checkpoint_dir=ckpt,
+        )
+        fresh, _ = beam_bound(
+            problem, k, mode="approximate", p=0.5, num_shards=4, seed=1
+        )
+        np.testing.assert_array_equal(resumed.solution, fresh.solution)
+        np.testing.assert_array_equal(resumed.remaining, fresh.remaining)
+
+    def test_greedy_drive_resumes(self, tmp_path, problem):
+        ckpt = str(tmp_path / "ckpt")
+        reference, _ = beam_distributed_greedy(
+            problem, 20, m=4, rounds=2, num_shards=4, seed=7
+        )
+        first, _ = beam_distributed_greedy(
+            problem, 20, m=4, rounds=2, num_shards=4, seed=7,
+            checkpoint_dir=ckpt,
+        )
+        second, m2 = beam_distributed_greedy(
+            problem, 20, m=4, rounds=2, num_shards=4, seed=7,
+            checkpoint_dir=ckpt,
+        )
+        np.testing.assert_array_equal(first.selected, reference.selected)
+        np.testing.assert_array_equal(second.selected, reference.selected)
+        assert m2.checkpoint_hits > 0
+
+    def test_selector_end_to_end_resumes(self, tmp_path, problem):
+        ckpt = str(tmp_path / "ckpt")
+
+        def run(checkpoint_dir=None):
+            config = SelectorConfig(
+                bounding="exact", machines=2, rounds=2,
+                engine="dataflow", num_shards=4,
+                checkpoint_dir=checkpoint_dir,
+            )
+            return DistributedSelector(problem, config).select(12, seed=3)
+
+        reference = run()
+        first = run(ckpt)
+        second = run(ckpt)
+        np.testing.assert_array_equal(first.selected, reference.selected)
+        np.testing.assert_array_equal(second.selected, reference.selected)
+        assert second.extra["bounding_metrics"].checkpoint_hits > 0
+
+
+#: Runs a bounding drive that SIGKILLs itself after N materialization
+#: boundaries — the crash half of the crash/resume test below.
+_KILL_SCRIPT = textwrap.dedent(
+    """
+    import os, signal, sys
+
+    import repro.dataflow.pcollection as pc
+    from repro.core.problem import SubsetProblem
+    from repro.data.registry import load_dataset
+    from repro.dataflow import beam_bound
+
+    kill_after = int(sys.argv[1])
+    ckpt = sys.argv[2]
+
+    original = pc.Pipeline._finish_node
+    state = {"n": 0}
+
+    def killing_finish(self, node, raw_shards, **kwargs):
+        out = original(self, node, raw_shards, **kwargs)
+        state["n"] += 1
+        if state["n"] >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return out
+
+    pc.Pipeline._finish_node = killing_finish
+
+    ds = load_dataset("cifar100_tiny", n_points=120, seed=0)
+    problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+    beam_bound(problem, 12, mode="exact", num_shards=4,
+               checkpoint_dir=ckpt, seed=0)
+    print("COMPLETED-WITHOUT-KILL")
+    """
+)
+
+
+class TestCrashResume:
+    def test_sigkilled_bounding_drive_resumes_bit_identically(
+        self, tmp_path, problem
+    ):
+        """The tentpole acceptance test: SIGKILL a bounding drive
+        mid-flight, rerun with the same checkpoint directory, and get the
+        exact no-crash result while skipping the completed stages."""
+        ckpt = str(tmp_path / "ckpt")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _KILL_SCRIPT, "25", ckpt],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, (
+            f"drive was supposed to die mid-run: rc={proc.returncode}, "
+            f"stdout={proc.stdout!r}, stderr={proc.stderr[-2000:]!r}"
+        )
+        assert "COMPLETED-WITHOUT-KILL" not in proc.stdout
+        stored = [f for f in os.listdir(ckpt) if f.endswith(".ckpt")]
+        assert stored, "the killed drive left no checkpoints behind"
+        # No stray tmp files: writes are atomic (tmp + rename).
+        assert not [f for f in os.listdir(ckpt) if ".tmp-" in f]
+
+        reference, ref_metrics = beam_bound(
+            problem, 12, mode="exact", num_shards=4, seed=0
+        )
+        resumed, metrics = beam_bound(
+            problem, 12, mode="exact", num_shards=4, seed=0,
+            checkpoint_dir=ckpt,
+        )
+        np.testing.assert_array_equal(resumed.solution, reference.solution)
+        np.testing.assert_array_equal(resumed.remaining, reference.remaining)
+        assert metrics.checkpoint_hits > 0
+        assert metrics.executed_stages < ref_metrics.executed_stages

@@ -6,10 +6,14 @@ map_values — plain and :class:`Fold` — group_by_key / combine_per_key /
 flatten / cogroup, with shared intermediates and explicit ``cache()``),
 then executes each program across the full configuration matrix
 
-    {optimized, unoptimized} x {sequential, thread, multiprocess}
+    {optimized, unoptimized} x {sequential, thread, multiprocess, remote}
                              x {spill off, spill on}
 
-— 12 cells — asserting **identical results in every cell**.  All data is
+— 16 cells — asserting **identical results in every cell**.  The remote
+cells run on two localhost worker daemons shared across the module (one
+:class:`LocalCluster`; each cell connects its own executor), so the
+socket/RPC backend is held to the same bit-identical bar as the
+in-process ones.  All data is
 integer-valued and every declared fold is exact under regrouping, so
 "identical" means bit-identical, not approximately equal.  This is the
 headline guarantee for the plan-optimizer layer: combiner lifting,
@@ -27,19 +31,27 @@ import pytest
 
 from repro.dataflow.executor import MultiprocessExecutor, ThreadExecutor
 from repro.dataflow.pcollection import Fold, Pipeline
+from repro.dataflow.remote import LocalCluster, RemoteExecutor
 from repro.dataflow.transforms import cogroup, flatten
 
 N_PROGRAMS = 8
 N_SHARDS = 4
 STREAM_CHUNK = 16
 
-#: The 12-cell configuration matrix.
+#: The 16-cell configuration matrix.
 CELLS = [
     (optimize, executor, spill)
     for optimize in (True, False)
-    for executor in ("sequential", "thread", "multiprocess")
+    for executor in ("sequential", "thread", "multiprocess", "remote")
     for spill in (False, True)
 ]
+
+
+@pytest.fixture(scope="module")
+def remote_cluster():
+    """Two worker daemons shared by every remote cell in the module."""
+    with LocalCluster(2) as cluster:
+        yield cluster
 
 
 # -- op pools (pure, integer-exact, cloudpickle-friendly) -------------------
@@ -172,12 +184,16 @@ def _run_program(seed: int, pipeline: Pipeline):
     return results
 
 
-def _run_cell(seed: int, optimize: bool, executor_name: str, spill: bool):
+def _run_cell(
+    seed: int, optimize: bool, executor_name: str, spill: bool, cluster=None
+):
     """One configuration cell: fresh pipeline + executor, canonical results."""
     if executor_name == "thread":
         executor = ThreadExecutor(min_parallel_records=0)
     elif executor_name == "multiprocess":
         executor = MultiprocessExecutor(max_workers=2, min_parallel_records=0)
+    elif executor_name == "remote":
+        executor = RemoteExecutor(workers=cluster.addresses)
     else:
         executor = "sequential"
     try:
@@ -198,12 +214,14 @@ def _run_cell(seed: int, optimize: bool, executor_name: str, spill: bool):
 
 
 @pytest.mark.parametrize("seed", range(N_PROGRAMS))
-def test_differential_matrix(seed):
-    """Every one of the 12 configuration cells is bit-identical to the
+def test_differential_matrix(seed, remote_cluster):
+    """Every one of the 16 configuration cells is bit-identical to the
     naive sequential in-memory reference."""
     reference = _run_cell(seed, False, "sequential", False)
     for optimize, executor_name, spill in CELLS:
-        got = _run_cell(seed, optimize, executor_name, spill)
+        got = _run_cell(
+            seed, optimize, executor_name, spill, cluster=remote_cluster
+        )
         assert got == reference, (
             f"seed {seed}: cell (optimize={optimize}, "
             f"executor={executor_name}, spill={spill}) diverged"

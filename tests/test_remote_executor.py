@@ -1,0 +1,427 @@
+"""Remote executor subsystem: worker cluster, broadcast, fault retry.
+
+The backend contract under test: ``RemoteExecutor`` implements the exact
+``Executor`` interface over TCP worker daemons, so results — and engine
+metrics — are bit-identical to the sequential reference; closure
+broadcast ships large captures to each worker exactly once; a SIGKILLed
+worker's shards complete on the survivors; and ``close()`` is idempotent
+and safe against in-flight stages.
+
+Most tests share one module-scoped :class:`LocalCluster` (daemons serve
+each driver connection independently); the fault-injection tests spawn
+their own private workers so killing one cannot disturb neighbours.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.problem import SubsetProblem
+from repro.dataflow import beam_bound, beam_knn_graph
+from repro.dataflow.executor import (
+    MultiprocessExecutor,
+    _resolve,
+    executor_names,
+    resolve_executor,
+)
+from repro.dataflow.pcollection import Pipeline
+from repro.dataflow.remote import LocalCluster, RemoteExecutor
+from tests.test_knn import clustered_points
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(2) as shared:
+        yield shared
+
+
+@pytest.fixture
+def remote(cluster):
+    executor = RemoteExecutor(workers=cluster.addresses)
+    yield executor
+    executor.close()
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.data.registry import load_dataset
+
+    ds = load_dataset("cifar100_tiny", n_points=150, seed=0)
+    return SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+
+
+class TestRemoteBasics:
+    def test_run_stage_matches_driver(self, remote):
+        shards = [[i, i + 1] for i in range(0, 16, 2)]
+        fn = lambda records: [r * 3 + 1 for r in records]  # noqa: E731
+        assert remote.run_stage(fn, shards) == [fn(s) for s in shards]
+
+    def test_address_strings_accepted(self, cluster):
+        specs = [f"{host}:{port}" for host, port in cluster.addresses]
+        executor = RemoteExecutor(workers=specs)
+        try:
+            assert executor.run_stage(sum, [[1, 2], [3, 4]]) == [3, 7]
+        finally:
+            executor.close()
+
+    def test_bad_address_spec_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            RemoteExecutor(workers=["nonsense"])
+
+    def test_registry_resolves_remote_with_workers(self, cluster):
+        specs = [f"{host}:{port}" for host, port in cluster.addresses]
+        executor = resolve_executor("remote", workers=specs)
+        try:
+            assert isinstance(executor, RemoteExecutor)
+            assert executor.run_stage(len, [[1], [2, 3]]) == [1, 2]
+        finally:
+            executor.close()
+        assert "remote" in executor_names()
+        with pytest.raises(ValueError, match="instance"):
+            resolve_executor(RemoteExecutor(workers=specs), workers=specs)
+
+    def test_stage_exception_propagates_and_pool_survives(self, remote):
+        with pytest.raises(ZeroDivisionError):
+            remote.run_stage(lambda records: 1 // 0, [[1], [2], [3]])
+        assert remote.run_stage(sum, [[1, 2], [3]]) == [3, 3]
+
+    def test_unserializable_shard_records_degrade_to_driver(self, remote):
+        shards = [[(lambda i=i: i) for i in range(5)], [lambda: 99]]
+        out = remote.run_stage(lambda fns: sorted(f() for f in fns), shards)
+        assert out == [[0, 1, 2, 3, 4], [99]]
+
+    def test_dofn_error_on_driver_fallback_fails_stage(self, remote):
+        """A DoFn exception while computing an unserializable shard on the
+        driver is a deterministic stage failure, not a hang."""
+        shards = [[lambda: 1], [lambda: 2]]
+        with pytest.raises(ZeroDivisionError):
+            remote.run_stage(lambda fns: 1 // 0, shards)
+
+    def test_unpicklable_worker_exception_fails_stage_cleanly(self, cluster):
+        """Regression: an exception class that cannot be reconstructed on
+        the driver (required __init__ args lost by Exception.__reduce__)
+        used to kill the channel thread without releasing its in-flight
+        shard, hanging run_stage forever.  It must fail the stage with a
+        clean RuntimeError instead."""
+        executor = RemoteExecutor(workers=cluster.addresses)
+        try:
+            # Defined in-function so cloudpickle ships the class by value
+            # (the worker can raise it); ``Exception.__reduce__`` records
+            # only ``self.args`` (one element), so the driver-side
+            # unpickle calls ``TwoArgError(first)`` → TypeError.
+            class TwoArgError(Exception):
+                def __init__(self, first, second):
+                    super().__init__(first)
+                    self.second = second
+
+            def boom(records):
+                raise TwoArgError(records[0], "ctx")
+
+            start = time.monotonic()
+            with pytest.raises(RuntimeError, match="channel error"):
+                executor.run_stage(boom, [[1], [2], [3], [4]])
+            assert time.monotonic() - start < 30.0, "stage hung"
+        finally:
+            executor.close()
+
+    def test_spilled_shards_resolve_on_localhost_workers(self, cluster):
+        executor = RemoteExecutor(workers=cluster.addresses)
+        try:
+            pipeline = Pipeline(4, spill_to_disk=True, executor=executor)
+            col = pipeline.create(range(200)).map(lambda x: x * 2)
+            assert sorted(col.to_list()) == [2 * x for x in range(200)]
+            pipeline.close()
+        finally:
+            executor.close()
+
+    def test_slow_task_outlives_heartbeat_timeout(self, cluster):
+        """A worker heartbeats while computing, so a task longer than the
+        silence threshold is *slow*, not dead (no retry, no failure)."""
+        executor = RemoteExecutor(
+            workers=cluster.addresses, heartbeat_timeout=2.0
+        )
+        try:
+            def slow(records):
+                time.sleep(3.0)
+                return sum(records)
+
+            assert executor.run_stage(slow, [[1, 2], [3, 4]]) == [3, 7]
+            assert executor.worker_failures == 0
+            assert executor.retried_shards == 0
+        finally:
+            executor.close()
+
+
+class TestClosureBroadcast:
+    """The captures blob ships to each worker exactly once."""
+
+    @staticmethod
+    def _three_stage_run(executor, captured):
+        def stage_a(records, _x=captured):
+            return [float(_x[r]) for r in records]
+
+        def stage_b(records, _x=captured):
+            return [v + float(_x[0]) for v in records]
+
+        def stage_c(records, _x=captured):
+            return [v * 2 for v in records]
+
+        shards = [[0, 1], [2, 3], [4, 5]]
+        out = executor.run_stage(stage_a, shards)
+        out = executor.run_stage(stage_b, out)
+        out = executor.run_stage(stage_c, out)
+        return out
+
+    def test_remote_ships_captures_once_per_worker(self, cluster):
+        executor = RemoteExecutor(
+            workers=cluster.addresses, broadcast_min_bytes=1024
+        )
+        try:
+            x = np.arange(4096, dtype=np.float64)
+            out = self._three_stage_run(executor, x)
+            assert out == [
+                [2 * (float(x[a]) + x[0]) for a in shard]
+                for shard in ([0, 1], [2, 3], [4, 5])
+            ]
+            stats = executor.stats()
+            # One distinct blob, two workers: exactly two blob sends over
+            # three stages — per-stage payload stays flat.
+            assert stats["broadcast_blobs"] == 2
+            assert stats["broadcast_bytes"] == (
+                stats["unique_broadcast_bytes"] * 2
+            )
+            assert stats["unique_broadcast_bytes"] >= x.nbytes
+            # The per-stage deltas are tiny compared to the capture.
+            assert stats["stage_payload_bytes"] < x.nbytes
+        finally:
+            executor.close()
+
+    def test_multiprocess_shares_the_same_cache(self):
+        executor = MultiprocessExecutor(
+            max_workers=2, min_parallel_records=0, broadcast_min_bytes=1024
+        )
+        try:
+            x = np.arange(4096, dtype=np.float64)
+            self._three_stage_run(executor, x)
+            stats = executor.stats()
+            assert stats["broadcast_blobs"] == 2
+            assert stats["broadcast_bytes"] == (
+                stats["unique_broadcast_bytes"] * 2
+            )
+        finally:
+            executor.close()
+
+    def test_knn_build_ships_embeddings_once_per_worker(self, cluster):
+        """Acceptance: across the kNN build's stages (assign write,
+        cell-knn read, merge write/read), the embedding matrix — captured
+        by several DoFns — broadcasts to each worker exactly once."""
+        x, _ = clustered_points(n=200, n_clusters=4)
+        _, ref_nbrs, _, _ = beam_knn_graph(
+            x, 5, num_shards=4, seed=0, executor="sequential"
+        )
+        executor = RemoteExecutor(
+            workers=cluster.addresses, broadcast_min_bytes=4096
+        )
+        try:
+            _, nbrs, _, _ = beam_knn_graph(
+                x, 5, num_shards=4, seed=0, executor=executor
+            )
+            stats = executor.stats()
+        finally:
+            executor.close()
+        np.testing.assert_array_equal(nbrs, ref_nbrs)
+        assert stats["broadcast_bytes"] > 0
+        # Every distinct blob at most once per worker — re-shipping per
+        # stage would multiply the left side by the stage count.
+        assert stats["broadcast_bytes"] == (
+            stats["unique_broadcast_bytes"] * 2
+        )
+
+    def test_small_captures_inline(self, remote):
+        """Captures under the threshold ride in the stage payload."""
+        tiny = np.arange(4, dtype=np.float64)
+        out = remote.run_stage(
+            lambda records, _t=tiny: [float(_t[r % 4]) for r in records],
+            [[0, 1], [2, 3]],
+        )
+        assert out == [[0.0, 1.0], [2.0, 3.0]]
+        assert remote.stats()["broadcast_blobs"] == 0
+
+    def test_blob_bytes_evicted_once_fully_shipped(self, cluster):
+        """Regression: the driver used to hold every blob's serialized
+        bytes for the executor's lifetime.  Once each worker has a blob,
+        the bytes are dropped — and later stages capturing the same array
+        still run without re-shipping it."""
+        executor = RemoteExecutor(
+            workers=cluster.addresses, broadcast_min_bytes=1024
+        )
+        try:
+            x = np.arange(4096, dtype=np.float64)
+            out = self._three_stage_run(executor, x)
+            assert out  # stages ran
+            assert executor._registry.blobs == {}, "bytes not evicted"
+            stats = executor.stats()
+            assert stats["broadcast_blobs"] == 2
+            assert stats["unique_broadcast_bytes"] >= x.nbytes
+            # A fourth stage over the same capture: digest recognized,
+            # nothing re-broadcast, results still correct.
+            again = executor.run_stage(
+                lambda records, _x=x: [float(_x[r]) for r in records],
+                [[0, 1], [2, 3]],
+            )
+            assert again == [[0.0, 1.0], [2.0, 3.0]]
+            assert executor.stats()["broadcast_blobs"] == 2
+        finally:
+            executor.close()
+
+
+class TestFaultRetry:
+    def test_sigkilled_worker_retries_on_survivor(self):
+        executor = RemoteExecutor(max_workers=2)
+        try:
+            target = executor.worker_pids[0]
+
+            def doom(records, _pid=target):
+                if os.getpid() == _pid:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return [r * 2 for r in records]
+
+            shards = [[i] for i in range(8)]
+            out = executor.run_stage(doom, shards)
+            assert out == [[2 * i] for i in range(8)]
+            assert executor.worker_failures == 1
+            assert executor.retried_shards >= 1
+            # The survivor keeps serving later stages.
+            assert executor.run_stage(sum, [[1, 2], [3]]) == [3, 3]
+            assert executor.stats()["worker_failures"] == 1
+        finally:
+            executor.close()
+
+    def test_all_workers_dead_raises(self):
+        executor = RemoteExecutor(max_workers=2)
+        try:
+            def doom_all(records):
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            with pytest.raises(RuntimeError, match="workers"):
+                executor.run_stage(doom_all, [[1], [2], [3], [4]])
+            with pytest.raises(RuntimeError, match="no live remote workers"):
+                executor.run_stage(sum, [[1], [2]])
+        finally:
+            executor.close()
+
+
+class TestCloseSemantics:
+    def test_close_idempotent(self, cluster):
+        executor = RemoteExecutor(workers=cluster.addresses)
+        executor.run_stage(len, [[1], [2, 3]])
+        executor.close()
+        executor.close()
+        with pytest.raises(RuntimeError, match="executor closed"):
+            executor.run_stage(len, [[1], [2]])
+
+    def test_close_during_inflight_stage_raises_cleanly(self, cluster):
+        """The satellite contract: close() racing a (retried) stage must
+        surface a clean RuntimeError, not deadlock on worker channels."""
+        executor = RemoteExecutor(workers=cluster.addresses)
+        try:
+            def slow(records):
+                time.sleep(10.0)
+                return records
+
+            timer = threading.Timer(0.5, executor.close)
+            timer.start()
+            start = time.monotonic()
+            with pytest.raises(RuntimeError, match="executor closed"):
+                executor.run_stage(slow, [[1], [2], [3], [4]])
+            assert time.monotonic() - start < 5.0, "close did not unblock"
+            timer.join()
+        finally:
+            executor.close()
+
+    def test_multiprocess_close_during_inflight_stage(self):
+        executor = MultiprocessExecutor(max_workers=2, min_parallel_records=0)
+        try:
+            def slow(records):
+                time.sleep(10.0)
+                return records
+
+            timer = threading.Timer(0.5, executor.close)
+            timer.start()
+            start = time.monotonic()
+            with pytest.raises(RuntimeError, match="executor closed"):
+                executor.run_stage(slow, [[1], [2], [3], [4]])
+            assert time.monotonic() - start < 5.0, "close did not unblock"
+            timer.join()
+        finally:
+            executor.close()
+
+
+class TestRemoteBeamEquivalence:
+    """The acceptance bar: real beams are bit-identical on the cluster."""
+
+    def test_knn_beam_matches_sequential(self, cluster):
+        x, _ = clustered_points(n=200, n_clusters=4)
+        _, ref_nbrs, ref_sims, ref_metrics = beam_knn_graph(
+            x, 5, num_shards=4, seed=0, executor="sequential"
+        )
+        executor = RemoteExecutor(workers=cluster.addresses)
+        try:
+            _, nbrs, sims, metrics = beam_knn_graph(
+                x, 5, num_shards=4, seed=0, executor=executor
+            )
+        finally:
+            executor.close()
+        np.testing.assert_array_equal(nbrs, ref_nbrs)
+        np.testing.assert_array_equal(sims, ref_sims)
+        assert (
+            metrics.peak_shard_records,
+            metrics.shuffled_records,
+            metrics.executed_stages,
+        ) == (
+            ref_metrics.peak_shard_records,
+            ref_metrics.shuffled_records,
+            ref_metrics.executed_stages,
+        )
+
+    def test_bounding_beam_matches_sequential(self, cluster, problem):
+        k = problem.n // 10
+        ref, ref_metrics = beam_bound(
+            problem, k, mode="exact", num_shards=4, seed=0
+        )
+        executor = RemoteExecutor(workers=cluster.addresses)
+        try:
+            result, metrics = beam_bound(
+                problem, k, mode="exact", num_shards=4,
+                executor=executor, seed=0,
+            )
+        finally:
+            executor.close()
+        np.testing.assert_array_equal(result.solution, ref.solution)
+        np.testing.assert_array_equal(result.remaining, ref.remaining)
+        assert metrics.shuffled_records == ref_metrics.shuffled_records
+        assert metrics.executed_stages == ref_metrics.executed_stages
+
+    def test_selector_end_to_end_with_autospawn(self, problem):
+        """``--executor remote`` with no worker list: the selector
+        auto-spawns localhost workers, runs both stages on them, and
+        matches the sequential reference exactly."""
+        def run(executor):
+            config = SelectorConfig(
+                bounding="exact", machines=2, rounds=2,
+                engine="dataflow", executor=executor, num_shards=4,
+            )
+            return DistributedSelector(problem, config).select(15, seed=2)
+
+        reference = run("sequential")
+        report = run("remote")
+        np.testing.assert_array_equal(report.selected, reference.selected)
+        assert report.objective == reference.objective
+        stats = report.extra["executor_stats"]
+        assert stats["n_workers"] == 2
+        assert stats["worker_failures"] == 0
