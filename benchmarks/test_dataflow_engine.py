@@ -38,6 +38,7 @@ import numpy as np
 
 from common import format_rows, report, report_json
 from repro.dataflow import (
+    EngineOptions,
     MultiprocessExecutor,
     Pipeline,
     RemoteExecutor,
@@ -138,8 +139,8 @@ def test_e21_dataflow_engine():
     # post-shuffle fusion): identical output, strictly more shuffle.
     start = time.perf_counter()
     _, knn_noopt_nbrs, _, noopt_metrics = beam_knn_graph(
-        x, 10, n_clusters=16, nprobe=4, num_shards=8,
-        executor="sequential", optimize=False, seed=0,
+        x, 10, n_clusters=16, nprobe=4, seed=0,
+        options=EngineOptions(num_shards=8, optimize=False),
     )
     noopt_elapsed = time.perf_counter() - start
     rows.append((
@@ -173,8 +174,10 @@ def test_e21_dataflow_engine():
                 # backend alike so the CI ratio compares like with like.
                 start = time.perf_counter()
                 _, nbrs, _, metrics = beam_knn_graph(
-                    x, 10, n_clusters=16, nprobe=4, num_shards=8,
-                    executor=executor, optimize=True, seed=0,
+                    x, 10, n_clusters=16, nprobe=4, seed=0,
+                    options=EngineOptions(
+                        executor, num_shards=8, optimize=True
+                    ),
                 )
                 rep_elapsed = time.perf_counter() - start
             finally:
@@ -209,8 +212,8 @@ def test_e21_dataflow_engine():
     try:
         start = time.perf_counter()
         _, nbrs, _, metrics = beam_knn_graph(
-            x, 10, n_clusters=16, nprobe=4, num_shards=8,
-            executor=remote_executor, optimize=True, seed=0,
+            x, 10, n_clusters=16, nprobe=4, seed=0,
+            options=EngineOptions(remote_executor, num_shards=8, optimize=True),
         )
         remote_elapsed = time.perf_counter() - start
         remote_stats = remote_executor.stats()

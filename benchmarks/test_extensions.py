@@ -27,7 +27,7 @@ from repro.core.objective import PairwiseObjective
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
 from repro.core.theory import guarantee_for_instance
-from repro.dataflow import beam_bound, beam_score
+from repro.dataflow import EngineOptions, beam_bound, beam_score
 
 
 def test_e15_baseline_comparison(benchmark, cifar_ds, cifar_problem_09):
@@ -142,13 +142,16 @@ def test_e17_dataflow_memory_claim(benchmark, cifar_ds):
 
     def compute():
         bound_result, bound_metrics = beam_bound(
-            problem, k, mode="approximate", p=0.3, num_shards=shards, seed=0
+            problem, k, mode="approximate", p=0.3, seed=0,
+            options=EngineOptions(num_shards=shards),
         )
         subset = bound_result.solution
         if subset.size < k:
             extra = bound_result.remaining[: k - subset.size]
             subset = np.sort(np.concatenate([subset, extra]))
-        score, score_metrics = beam_score(problem, subset, num_shards=shards)
+        score, score_metrics = beam_score(
+            problem, subset, options=EngineOptions(num_shards=shards)
+        )
         return bound_metrics, score_metrics, score
 
     bound_metrics, score_metrics, score = benchmark.pedantic(

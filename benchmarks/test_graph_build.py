@@ -12,6 +12,7 @@ import pytest
 from common import centralized_score, format_rows, report
 from repro.core.problem import SubsetProblem
 from repro.dataflow.knn_beam import beam_knn_graph
+from repro.dataflow.options import EngineOptions
 from repro.graph.knn import exact_knn
 
 
@@ -24,7 +25,8 @@ def test_e20_distributed_graph_build(benchmark, cifar_ds):
     def compute():
         exact_nbrs, exact_sims = exact_knn(x, k_nn)
         graph, beam_nbrs, _, metrics = beam_knn_graph(
-            x, k_nn, n_clusters=16, nprobe=6, num_shards=8, seed=0
+            x, k_nn, n_clusters=16, nprobe=6, seed=0,
+            options=EngineOptions(num_shards=8),
         )
         recall = float(np.mean([
             len(set(exact_nbrs[i]) & set(beam_nbrs[i])) / k_nn

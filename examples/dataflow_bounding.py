@@ -16,7 +16,7 @@ import numpy as np
 
 from repro import SubsetProblem, load_dataset
 from repro.core.bounding import bound
-from repro.dataflow import beam_bound, beam_score
+from repro.dataflow import EngineOptions, beam_bound, beam_score
 
 
 def main() -> None:
@@ -28,7 +28,7 @@ def main() -> None:
     total_records = problem.n + problem.graph.num_directed_edges
 
     result, metrics = beam_bound(
-        problem, k, mode="exact", num_shards=num_shards
+        problem, k, mode="exact", options=EngineOptions(num_shards=num_shards)
     )
     print(f"dataflow exact bounding over {num_shards} shards:")
     print(f"  included {result.n_included}, excluded {result.n_excluded}")
@@ -44,7 +44,9 @@ def main() -> None:
     subset = np.sort(
         np.concatenate([result.solution, result.remaining[: k - result.n_included]])
     )
-    score, score_metrics = beam_score(problem, subset, num_shards=num_shards)
+    score, score_metrics = beam_score(
+        problem, subset, options=EngineOptions(num_shards=num_shards)
+    )
     print(f"dataflow scoring: f(S) = {score:.3f}, "
           f"peak shard records {score_metrics.peak_shard_records:,}")
 

@@ -26,7 +26,15 @@ Examples
     python -m repro select --preset cifar100_tiny --k 200 \
         --engine dataflow --executor remote \
         --workers 10.0.0.1:7077,10.0.0.2:7077 --checkpoint-dir ckpt/
+    python -m repro select --preset cifar100_tiny --k 200 \
+        --engine dataflow --engine-options options.json
+    python -m repro select --preset cifar100_tiny --k 200 \
+        --engine dataflow --checkpoint-dir ckpt/ --checkpoint-gc
     python -m repro score --preset cifar100_tiny --subset ids.npy
+
+Engine flags are one shared block (:func:`repro.dataflow.options.
+add_engine_arguments`); resolution order is ``defaults < REPRO_ENGINE_*
+environment < --engine-options JSON file < explicit flags``.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ import numpy as np
 from repro.core.objective import PairwiseObjective
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
-from repro.dataflow.executor import executor_names
+from repro.dataflow.options import EngineOptions, add_engine_arguments
 from repro.data.classifier import margin_utilities
 from repro.data.registry import load_dataset
 from repro.graph.symmetrize import build_knn_graph
@@ -96,16 +104,8 @@ def cmd_select(args: argparse.Namespace) -> int:
         adaptive=args.adaptive,
         gamma=args.gamma,
         engine=args.engine,
-        executor=args.executor,
-        num_shards=args.num_shards,
-        spill_to_disk=args.spill_to_disk,
-        optimize=args.optimize,
-        stream_source=args.stream_source,
-        workers=(
-            tuple(w for w in args.workers.split(",") if w)
-            if args.workers else None
-        ),
-        checkpoint_dir=args.checkpoint_dir,
+        options=EngineOptions.from_namespace(args),
+        checkpoint_gc=args.checkpoint_gc,
     )
     report = DistributedSelector(problem, config).select(k, seed=args.seed)
     if args.out:
@@ -134,6 +134,9 @@ def cmd_select(args: argparse.Namespace) -> int:
             if metrics.checkpoint_hits or metrics.checkpoint_stores:
                 print(f"{stage} checkpoints: {metrics.checkpoint_hits} "
                       f"resumed, {metrics.checkpoint_stores} stored")
+    if "checkpoint_gc_removed" in report.extra:
+        print(f"checkpoint gc: removed {report.extra['checkpoint_gc_removed']} "
+              "stale entries")
     stats = report.extra.get("executor_stats")
     if stats:
         print("executor: " + ", ".join(
@@ -195,46 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_select.add_argument("--engine", choices=("memory", "dataflow"),
                           default="memory",
                           help="run stages in-memory or on the dataflow engine")
-    p_select.add_argument("--executor",
-                          choices=tuple(executor_names()),
-                          default="sequential",
-                          help="dataflow engine backend (--engine dataflow): "
-                               "sequential, persistent thread pool, "
-                               "persistent worker-process pool, or a "
-                               "remote TCP worker cluster")
-    p_select.add_argument("--workers", default=None,
-                          help="comma-separated host:port list of remote "
-                               "worker daemons (python -m "
-                               "repro.dataflow.remote.worker); with "
-                               "--executor remote and no list, two "
-                               "localhost workers are auto-spawned")
-    p_select.add_argument("--checkpoint-dir", default=None,
-                          help="persist dataflow stage outputs here (plan-"
-                               "digest keyed); rerunning an identical, "
-                               "killed job resumes from the last completed "
-                               "stage")
-    p_select.add_argument("--num-shards", type=int, default=8,
-                          help="dataflow logical worker count")
-    p_select.add_argument("--spill-to-disk", action="store_true",
-                          help="keep dataflow shards on disk "
-                               "(larger-than-memory mode)")
-    p_select.add_argument("--no-optimize", dest="optimize",
-                          action="store_false", default=None,
-                          help="disable the dataflow plan optimizer "
-                               "(combiner lifting, redundant-shuffle "
-                               "elision, post-shuffle fusion) and run the "
-                               "naive plan")
-    p_select.add_argument("--stream-source", dest="stream_source",
-                          action="store_true", default=None,
-                          help="ingest every dataflow source through "
-                               "chunked streaming (the driver never "
-                               "materializes the ground set); by default "
-                               "the bounding stage streams and the greedy "
-                               "stage ingests eagerly")
-    p_select.add_argument("--no-stream-source", dest="stream_source",
-                          action="store_false",
-                          help="force eager ingest everywhere (disables "
-                               "the bounding stage's default streaming)")
+    # One shared flag block for every engine knob (--executor,
+    # --num-shards, --spill-to-disk, --no-optimize, --stream-source,
+    # --workers, --checkpoint-dir, --engine-options, ...), resolved by
+    # EngineOptions.from_namespace with env/JSON-file layering.
+    add_engine_arguments(p_select)
+    p_select.add_argument("--checkpoint-gc", dest="checkpoint_gc",
+                          action="store_true",
+                          help="after a successful run, delete checkpoint "
+                               "entries this run's plans did not touch "
+                               "(requires --checkpoint-dir)")
     p_select.add_argument("--out", help="write selected ids to .npy")
     p_select.add_argument("--report", help="write JSON report")
     p_select.set_defaults(func=cmd_select)

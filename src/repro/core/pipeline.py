@@ -34,11 +34,12 @@ from repro.core.distributed import (
 )
 from repro.core.objective import PairwiseObjective
 from repro.core.problem import SubsetProblem
+from repro.dataflow.options import UNSET, EngineOptions, legacy_engine_options
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_cardinality
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class SelectorConfig:
     """Configuration mirroring the paper's experiment matrix.
 
@@ -55,38 +56,30 @@ class SelectorConfig:
         ``"memory"`` runs the in-memory reference implementations;
         ``"dataflow"`` runs both stages as jobs on the Beam-like engine
         (:mod:`repro.dataflow`), with per-shard memory metering.
-    executor / num_shards / spill_to_disk:
-        Dataflow-engine knobs (ignored by the memory engine): any
-        backend registered with the engine's executor registry —
-        ``"sequential"``, ``"thread"``, ``"multiprocess"``, or
-        ``"remote"`` — logical worker count, and disk-resident shards.
-        The selector creates one executor for the whole run — the
-        bounding and greedy stages share its (persistent) worker pool or
-        cluster — and closes it when the run finishes.
-    workers:
-        Remote-executor worker addresses (``"host:port"`` strings) of
-        daemons started with ``python -m repro.dataflow.remote.worker``.
-        Requires ``executor="remote"``; with ``executor="remote"`` and no
-        addresses, two localhost workers are auto-spawned for the run.
-    checkpoint_dir:
-        Persist both stages' materialization boundaries here, keyed by
-        deterministic plan digests: a killed run repeated with the same
-        configuration, data, and seed resumes from its last completed
-        stage with bit-identical results.  The directory survives the
-        run.
-    optimize / stream_source:
-        More dataflow-engine knobs: ``optimize=False`` (the CLI's
-        ``--no-optimize``) disables the plan optimizer (combiner lifting,
-        redundant-shuffle elision, post-shuffle fusion) so the naive plan
-        runs — ``None`` defers to the engine default, which the test
-        harness flips suite-wide via ``pytest --no-optimize``;
-        ``stream_source=True`` (``--stream-source``) ingests the ground
-        set through the engine's chunked streaming sources so the driver
-        never materializes it, ``False`` forces eager ingest everywhere,
-        and ``None`` (the default) keeps each beam's own default — the
-        bounding stage streams its graph/utility generators, the greedy
-        stage ingests its (array-backed) ground set eagerly.  Results are
-        identical either way.
+    options:
+        Every dataflow-engine knob, as one validated
+        :class:`~repro.dataflow.options.EngineOptions` (ignored by the
+        memory engine).  The selector opens one
+        :class:`~repro.dataflow.options.DataflowContext` from it per run
+        — the bounding and greedy stages share its (persistent) worker
+        pool or cluster, and it is closed when the run finishes.
+        ``options.stream_source=None`` (the default) keeps each beam's
+        own ingest default — the bounding stage streams its
+        graph/utility generators, the greedy stage ingests its
+        (array-backed) ground set eagerly; results are identical either
+        way.
+    checkpoint_gc:
+        After a successful run with ``options.checkpoint_dir``, delete
+        every checkpoint entry the run did not touch (see
+        :meth:`repro.dataflow.pcollection.Pipeline.gc_checkpoints`); the
+        removed-entry count lands in ``report.extra``.
+
+    The old flat engine keywords (``executor=``, ``num_shards=``,
+    ``spill_to_disk=``, ``optimize=``, ``stream_source=``, ``workers=``,
+    ``checkpoint_dir=``) are deprecated: they fold into an
+    ``EngineOptions`` with identical semantics and emit a
+    :class:`DeprecationWarning`.  Reading them back (``config.executor``
+    and friends) delegates to ``options``.
     """
 
     bounding: Optional[str] = None
@@ -97,47 +90,105 @@ class SelectorConfig:
     adaptive: bool = False
     gamma: float = 0.75
     engine: str = "memory"
-    executor: str = "sequential"
-    num_shards: int = 8
-    spill_to_disk: bool = False
-    optimize: Optional[bool] = None
-    stream_source: Optional[bool] = None
-    workers: Optional[tuple] = None
-    checkpoint_dir: Optional[str] = None
+    options: EngineOptions = field(default_factory=EngineOptions)
+    checkpoint_gc: bool = False
 
-    def __post_init__(self) -> None:
-        if self.bounding not in (None, "exact", "approximate"):
+    def __init__(
+        self,
+        bounding: Optional[str] = None,
+        sampler: str = "uniform",
+        sampling_fraction: float = 1.0,
+        machines: int = 1,
+        rounds: int = 1,
+        adaptive: bool = False,
+        gamma: float = 0.75,
+        engine: str = "memory",
+        options: Optional[EngineOptions] = None,
+        checkpoint_gc: bool = False,
+        *,
+        executor=UNSET,
+        num_shards=UNSET,
+        spill_to_disk=UNSET,
+        optimize=UNSET,
+        stream_source=UNSET,
+        workers=UNSET,
+        checkpoint_dir=UNSET,
+    ) -> None:
+        if bounding not in (None, "exact", "approximate"):
             raise ValueError(
-                f"bounding must be None/'exact'/'approximate', got {self.bounding!r}"
+                f"bounding must be None/'exact'/'approximate', got {bounding!r}"
             )
-        if self.machines < 1:
-            raise ValueError(f"machines must be >= 1, got {self.machines}")
-        if self.rounds < 1:
-            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
-        if self.engine not in ("memory", "dataflow"):
+        if machines < 1:
+            raise ValueError(f"machines must be >= 1, got {machines}")
+        if rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {rounds}")
+        if engine not in ("memory", "dataflow"):
             raise ValueError(
-                f"engine must be 'memory' or 'dataflow', got {self.engine!r}"
+                f"engine must be 'memory' or 'dataflow', got {engine!r}"
             )
-        # Single source of truth for backend names: the engine's executor
-        # registry (the old hardcoded tuple here went stale with every
-        # new backend).
-        from repro.dataflow.executor import executor_names
+        # The one shared legacy-kwarg shim (same as the beams):
+        # EngineOptions normalizes and validates (registry-backed executor
+        # names, host:port worker addresses) in one place — no
+        # frozen-dataclass mutation needed here anymore.
+        options = legacy_engine_options(
+            {
+                "executor": executor, "num_shards": num_shards,
+                "spill_to_disk": spill_to_disk, "optimize": optimize,
+                "stream_source": stream_source, "workers": workers,
+                "checkpoint_dir": checkpoint_dir,
+            },
+            options=options, context=None, api="SelectorConfig",
+            stacklevel=3,
+        )
+        object.__setattr__(self, "bounding", bounding)
+        object.__setattr__(self, "sampler", sampler)
+        object.__setattr__(self, "sampling_fraction", sampling_fraction)
+        object.__setattr__(self, "machines", machines)
+        object.__setattr__(self, "rounds", rounds)
+        object.__setattr__(self, "adaptive", adaptive)
+        object.__setattr__(self, "gamma", gamma)
+        object.__setattr__(self, "engine", engine)
+        options = options if options is not None else EngineOptions()
+        if checkpoint_gc and (
+            engine != "dataflow" or options.checkpoint_dir is None
+        ):
+            # A silent no-op would read as "stale checkpoints cleaned".
+            raise ValueError(
+                "checkpoint_gc requires engine='dataflow' and "
+                "options.checkpoint_dir"
+            )
+        object.__setattr__(self, "options", options)
+        object.__setattr__(self, "checkpoint_gc", bool(checkpoint_gc))
 
-        if self.executor not in executor_names():
-            raise ValueError(
-                f"executor must be one of {executor_names()}, "
-                f"got {self.executor!r}"
-            )
-        if self.num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
-        if self.workers is not None:
-            if self.executor != "remote":
-                raise ValueError(
-                    "workers requires executor='remote', "
-                    f"got executor={self.executor!r}"
-                )
-            # Normalize (frozen dataclass, so go through object.__setattr__).
-            object.__setattr__(self, "workers", tuple(self.workers))
+    # -- deprecated flat-knob read access (delegates to ``options``) -------
+
+    @property
+    def executor(self):
+        return self.options.executor
+
+    @property
+    def num_shards(self) -> int:
+        return self.options.num_shards
+
+    @property
+    def spill_to_disk(self) -> bool:
+        return self.options.spill_to_disk
+
+    @property
+    def optimize(self) -> Optional[bool]:
+        return self.options.optimize
+
+    @property
+    def stream_source(self) -> Optional[bool]:
+        return self.options.stream_source
+
+    @property
+    def workers(self) -> Optional[tuple]:
+        return self.options.workers
+
+    @property
+    def checkpoint_dir(self) -> Optional[str]:
+        return self.options.checkpoint_dir
 
 
 @dataclass
@@ -181,31 +232,32 @@ class DistributedSelector:
         k = check_cardinality(k, self.problem.n)
         rng = as_generator(seed)
         cfg = self.config
-        dataflow = cfg.engine == "dataflow"
-        executor = None
-        if dataflow:
-            # One executor for the whole run: the bounding and greedy
-            # pipelines share its persistent worker pool or cluster
-            # (pipelines never close a passed-in instance; the finally
-            # below does).
-            from repro.dataflow import resolve_executor
+        context = None
+        if cfg.engine == "dataflow":
+            # One DataflowContext for the whole run: the bounding and
+            # greedy pipelines share its resolved executor (a persistent
+            # worker pool or cluster), and it aggregates both stages'
+            # touched checkpoint digests for GC.  Closing the context
+            # releases the executor iff the context created it.
+            from repro.dataflow import DataflowContext
 
-            opts = {}
-            if cfg.workers:
-                opts["workers"] = list(cfg.workers)
-            executor = resolve_executor(cfg.executor, **opts)
+            context = DataflowContext(cfg.options)
         try:
             report = self._select(
-                k, rng=rng, partitioner=partitioner, executor=executor
+                k, rng=rng, partitioner=partitioner, context=context
             )
-            if executor is not None:
-                stats = executor.stats()
+            if context is not None:
+                stats = context.executor.stats()
                 if stats:
                     report.extra["executor_stats"] = stats
+                if cfg.checkpoint_gc and cfg.options.checkpoint_dir:
+                    report.extra["checkpoint_gc_removed"] = (
+                        context.gc_checkpoints()
+                    )
             return report
         finally:
-            if executor is not None:
-                executor.close()
+            if context is not None:
+                context.close()
 
     def _select(
         self,
@@ -213,10 +265,10 @@ class DistributedSelector:
         *,
         rng: np.random.Generator,
         partitioner: Partitioner,
-        executor,
+        context,
     ) -> SelectionReport:
         cfg = self.config
-        dataflow = cfg.engine == "dataflow"
+        dataflow = context is not None
         extra: dict = {}
         bounding_result: Optional[BoundingResult] = None
         solution = np.empty(0, dtype=np.int64)
@@ -233,15 +285,7 @@ class DistributedSelector:
                     mode=cfg.bounding,
                     sampler=cfg.sampler,
                     p=cfg.sampling_fraction,
-                    num_shards=cfg.num_shards,
-                    spill_to_disk=cfg.spill_to_disk,
-                    executor=executor,
-                    optimize=cfg.optimize,
-                    stream_source=(
-                        True if cfg.stream_source is None
-                        else cfg.stream_source
-                    ),
-                    checkpoint_dir=cfg.checkpoint_dir,
+                    context=context,
                     seed=rng,
                 )
                 extra["bounding_metrics"] = bound_metrics
@@ -276,14 +320,9 @@ class DistributedSelector:
                     rounds=cfg.rounds,
                     adaptive=cfg.adaptive,
                     gamma=cfg.gamma,
-                    num_shards=cfg.num_shards,
-                    executor=executor,
-                    spill_to_disk=cfg.spill_to_disk,
-                    optimize=cfg.optimize,
-                    stream_source=bool(cfg.stream_source),
-                    checkpoint_dir=cfg.checkpoint_dir,
                     candidates=candidates,
                     base_penalty=base_penalty,
+                    context=context,
                     seed=rng,
                 )
                 extra["greedy_metrics"] = greedy_metrics

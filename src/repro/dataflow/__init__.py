@@ -37,6 +37,25 @@ operator DAG** and a pluggable executor:
 The benches use those metrics to verify the paper's core claim: neither
 bounding nor scoring ever requires one worker to hold the ground set or the
 subset (``peak_shard_records ≪ n``).
+
+Public configuration surface
+----------------------------
+Every engine knob lives on one validated, frozen
+:class:`~repro.dataflow.options.EngineOptions` (constructible from
+kwargs, dict/JSON, ``REPRO_ENGINE_*`` environment variables, or argparse
+via :func:`~repro.dataflow.options.add_engine_arguments`), and a
+:class:`~repro.dataflow.options.DataflowContext` owns the resolved
+executor/cluster lifecycle for a whole multi-pipeline run::
+
+    with DataflowContext(EngineOptions("multiprocess", num_shards=16)) as ctx:
+        result, metrics = beam_bound(problem, k, context=ctx)
+        graph, *_ = beam_knn_graph(x, 10, context=ctx)   # same worker pool
+
+Reusable named composites (:class:`~repro.dataflow.pcollection.
+PTransform`; apply with ``pcoll.apply(...)`` or ``pcoll | ...``) live in
+:mod:`repro.dataflow.library` — ``ShardedKnn``, ``TopKPerKey``,
+``BoundingFilter``, ``PartitionedGreedy`` — and render as named groups in
+``PCollection.explain()``.
 """
 
 from repro.dataflow.executor import (
@@ -48,13 +67,24 @@ from repro.dataflow.executor import (
     register_executor,
     resolve_executor,
 )
+from repro.dataflow.options import (
+    DataflowContext,
+    EngineOptions,
+    add_engine_arguments,
+)
 from repro.dataflow.remote import LocalCluster, RemoteExecutor
 from repro.dataflow.metrics import PipelineMetrics
-from repro.dataflow.pcollection import Fold, PCollection, Pipeline
+from repro.dataflow.pcollection import Fold, PCollection, Pipeline, PTransform
 from repro.dataflow.transforms import (
     cogroup,
     distributed_kth_largest,
     flatten,
+)
+from repro.dataflow.library import (
+    BoundingFilter,
+    PartitionedGreedy,
+    ShardedKnn,
+    TopKPerKey,
 )
 from repro.dataflow.bounding_beam import BeamBoundingDriver, beam_bound
 from repro.dataflow.greedy_beam import beam_distributed_greedy
@@ -64,7 +94,11 @@ from repro.dataflow.scoring_beam import beam_score
 __all__ = [
     "Pipeline",
     "PCollection",
+    "PTransform",
     "Fold",
+    "EngineOptions",
+    "DataflowContext",
+    "add_engine_arguments",
     "PipelineMetrics",
     "Executor",
     "SequentialExecutor",
@@ -78,6 +112,10 @@ __all__ = [
     "cogroup",
     "flatten",
     "distributed_kth_largest",
+    "ShardedKnn",
+    "TopKPerKey",
+    "BoundingFilter",
+    "PartitionedGreedy",
     "beam_bound",
     "BeamBoundingDriver",
     "beam_score",

@@ -3,94 +3,101 @@
 The difficulty the paper highlights: when iterating over a point's neighbors
 there is no O(1) "is the neighbor in the subset?" check, because the subset
 is not in memory.  The implementation therefore works entirely through
-joins:
+joins, packaged as the :class:`~repro.dataflow.library.BoundingFilter`
+composite (fan out the graph by neighbor id → three-way cogroup with the
+partial solution and the unassigned set → cogroup with the utilities →
+per-point ``(lower, Umax)`` bounds); thresholds ``U^k`` come from
+:func:`~repro.dataflow.transforms.distributed_kth_largest` (bisection with
+distributed counts, O(1) driver state per probe).  The grow/shrink
+convergence driver mirrors Algorithm 5 exactly, and
+``tests/test_dataflow_bounding.py`` asserts bit-equal decisions against
+the in-memory reference (exact mode).
 
-1. *Fan out* the neighbor graph: ``(a, [(b, s)])`` → triples keyed by the
-   neighbor, ``(b → key a, value (b, s))`` — "the neighbor id becomes the
-   triple key".
-2. *Three-way cogroup* of the fanned graph, the partial solution, and the
-   unassigned set, keyed by ``a``: if ``a`` is neither in the solution nor
-   unassigned the edge dies (``a`` was shrunk away); otherwise re-emit the
-   original edges as 4-tuples ``(b, a, s(a,b), a_in_solution)`` keyed by
-   ``b``.
-3. *Cogroup* the 4-tuples with the unassigned set and the utilities, keyed
-   by ``b``: drop if ``b`` is assigned/discarded; otherwise (optionally
-   sampling the unassigned neighbors — approximate bounding) produce
-   ``(b, (lower, Umax))`` where ``lower`` is ``Umin`` or ``Uexp``.
-4. Thresholds ``U^k`` come from :func:`distributed_kth_largest` (bisection
-   with distributed counts, O(1) driver state per probe).
+Engine configuration is one :class:`~repro.dataflow.options.EngineOptions`
+(``options=``) or a shared :class:`~repro.dataflow.options.DataflowContext`
+(``context=`` — how the end-to-end selector shares a worker pool between
+bounding and greedy).  This beam streams its graph/utility generators by
+default (``options.stream_source=None``); the old per-call engine keywords
+are deprecated shims.
 
-The grow/shrink/convergence driver then mirrors Algorithm 5 exactly, and
-``tests/test_dataflow_bounding.py`` asserts bit-equal decisions against the
-in-memory reference (exact mode).
-
-Sampling here is *hash-based* (counter-based Bernoulli per edge per round)
-rather than generator-based: a distributed runner has no global RNG stream,
-and deterministic per-edge hashing is how one gets reproducible sampling in
+Sampling (approximate mode) is hash-based per edge per round rather than
+generator-based: a distributed runner has no global RNG stream, and
+deterministic per-edge hashing is how one gets reproducible sampling in
 Beam.  Statistical behaviour matches the in-memory sampler.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.bounding import BoundingResult
 from repro.core.distributed import fingerprint, problem_fingerprint
 from repro.core.problem import SubsetProblem
+from repro.dataflow.library import BoundingFilter
 from repro.dataflow.metrics import PipelineMetrics
-from repro.dataflow.pcollection import PCollection, Pipeline
-from repro.dataflow.transforms import cogroup, distributed_kth_largest, flatten
+from repro.dataflow.options import (
+    UNSET,
+    DataflowContext,
+    EngineOptions,
+    engine_context,
+    legacy_engine_options,
+)
+from repro.dataflow.pcollection import PCollection
+from repro.dataflow.transforms import distributed_kth_largest, flatten
 from repro.utils.rng import SeedLike, as_generator
 
 
-_MASK64 = (1 << 64) - 1
-
-
-def _edge_hash01(b: int, a: int, round_salt: int, seed_salt: int) -> float:
-    """Deterministic float in [0, 1) per (edge, round) — distributed-safe.
-
-    SplitMix64-style mixing over plain Python ints (wrap-around masked).
-    """
-    x = (b * 0x9E3779B97F4A7C15) & _MASK64
-    x = (x + a * 0xBF58476D1CE4E5B9) & _MASK64
-    x = (x + round_salt * 2654435761 + seed_salt) & _MASK64
-    x ^= x >> 30
-    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
-    x ^= x >> 27
-    x = (x * 0x94D049BB133111EB) & _MASK64
-    x ^= x >> 31
-    return (x >> 11) / float(1 << 53)
-
-
-@dataclass
+@dataclass(frozen=True, init=False)
 class BeamBoundingConfig:
-    """Knobs for the dataflow bounding driver.
+    """Algorithm knobs for the dataflow bounding driver.
 
-    ``optimize=None`` resolves to the engine default (the plan optimizer:
-    cogroup write-side fusion, redundant-reshard elision, post-shuffle
-    fusion); ``False`` runs the naive plan.  ``stream_source=True`` (the
-    default) ingests the graph and utility sources through the chunked
-    streaming path so the driver never holds them whole.
-    ``checkpoint_dir`` persists every materialization boundary keyed by a
-    plan digest (salted with the problem's content fingerprint, so the
-    streamed graph/utility sources checkpoint too): a killed bounding
-    drive rerun with the same directory resumes from its last completed
-    stage with bit-identical decisions.
+    Engine knobs (executor, shards, spill, …) no longer live here — they
+    come from the :class:`~repro.dataflow.options.EngineOptions` /
+    :class:`~repro.dataflow.options.DataflowContext` handed to
+    :class:`BeamBoundingDriver`.  The old engine keywords are still
+    accepted and folded into an ``EngineOptions`` by the driver (with a
+    ``DeprecationWarning``), matching every other legacy surface.
     """
 
     mode: str = "exact"
     sampler: str = "uniform"
     p: float = 1.0
-    num_shards: int = 8
     max_rounds: int = 10_000
-    spill_to_disk: bool = False
-    executor: "str | object" = "sequential"  # name or Executor instance
-    optimize: "bool | None" = None
-    stream_source: bool = True
-    checkpoint_dir: "str | None" = None
+
+    def __init__(
+        self,
+        mode: str = "exact",
+        sampler: str = "uniform",
+        p: float = 1.0,
+        max_rounds: int = 10_000,
+        *,
+        num_shards=UNSET,
+        executor=UNSET,
+        spill_to_disk=UNSET,
+        optimize=UNSET,
+        stream_source=UNSET,
+        checkpoint_dir=UNSET,
+    ) -> None:
+        object.__setattr__(self, "mode", mode)
+        object.__setattr__(self, "sampler", sampler)
+        object.__setattr__(self, "p", p)
+        object.__setattr__(self, "max_rounds", max_rounds)
+        # Deprecated engine knobs: validate and warn here (at the call
+        # site that wrote them), then ride along as a ready-made
+        # EngineOptions (not a field: excluded from eq/repr) for the
+        # driver to consume.
+        object.__setattr__(self, "_legacy_options", legacy_engine_options(
+            {
+                "num_shards": num_shards, "executor": executor,
+                "spill_to_disk": spill_to_disk, "optimize": optimize,
+                "stream_source": stream_source,
+                "checkpoint_dir": checkpoint_dir,
+            },
+            options=None, context=None, api="BeamBoundingConfig",
+        ))
 
 
 class BeamBoundingDriver:
@@ -98,6 +105,11 @@ class BeamBoundingDriver:
 
     Driver-resident state is limited to scalars (``k_remaining``, round
     counters, convergence flags); point sets live sharded in the pipeline.
+    The pipeline is built through the given context (or a private one from
+    ``options``); with a checkpoint directory, plan digests are salted
+    with the problem's content fingerprint so the streamed graph/utility
+    sources checkpoint too — a killed drive rerun with the same directory
+    resumes from its last completed stage with bit-identical decisions.
     """
 
     def __init__(
@@ -105,45 +117,75 @@ class BeamBoundingDriver:
         problem: SubsetProblem,
         config: Optional[BeamBoundingConfig] = None,
         *,
+        options: Optional[EngineOptions] = None,
+        context: Optional[DataflowContext] = None,
         seed: SeedLike = None,
     ) -> None:
         if problem.alpha <= 0:
             raise ValueError("bounding requires alpha > 0")
         self.problem = problem
         self.config = config or BeamBoundingConfig()
-        checkpoint_salt = None
-        if self.config.checkpoint_dir is not None:
-            # Salt the plan digests with the streamed sources' content so
-            # a resumed drive can only reuse checkpoints of its own data.
-            checkpoint_salt = fingerprint(
-                "bounding-sources", problem_fingerprint(problem)
+        legacy = getattr(self.config, "_legacy_options", None)
+        if legacy is not None:
+            if options is not None or context is not None:
+                raise TypeError(
+                    "BeamBoundingDriver: the config carries deprecated "
+                    "engine keywords; pass options=/context= OR legacy "
+                    "BeamBoundingConfig engine fields, not both"
+                )
+            options = legacy
+        private_context = context is None
+        self._context_guard = engine_context(options, context)
+        self.context = self._context_guard.__enter__()
+        try:
+            opts = self.context.options
+            pipeline_overrides = {}
+            if opts.checkpoint_dir is not None:
+                # Salt the plan digests with the streamed sources' content
+                # so a resumed drive can only reuse checkpoints of its own
+                # data.
+                pipeline_overrides["checkpoint_salt"] = fingerprint(
+                    "bounding-sources", problem_fingerprint(problem)
+                )
+            self.pipeline = self.context.pipeline(**pipeline_overrides)
+            if private_context:
+                # Historical drivers tore everything down through
+                # ``driver.pipeline.close()``; hand the private context's
+                # executor ownership to the (single) pipeline so that
+                # contract still holds.  ``close()`` below remains correct
+                # — executor ``close()`` is idempotent on every backend.
+                self.pipeline._owns_executor = self.context._owns_executor
+                self.context._owns_executor = False
+            self._seed_salt = int(as_generator(seed).integers(0, 2**31 - 1))
+            self._round_counter = 0
+            stream = opts.resolve_stream(True)
+            g = problem.graph
+            self.neighbors = self.pipeline.create_keyed(
+                (
+                    (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
+                                 g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
+                    for v in range(g.n)
+                ),
+                name="source/neighbors",
+                stream=stream,
             )
-        self.pipeline = Pipeline(
-            self.config.num_shards,
-            spill_to_disk=self.config.spill_to_disk,
-            executor=self.config.executor,
-            optimize=self.config.optimize,
-            checkpoint_dir=self.config.checkpoint_dir,
-            checkpoint_salt=checkpoint_salt,
-        )
-        self._seed_salt = int(as_generator(seed).integers(0, 2**31 - 1))
-        self._round_counter = 0
-        stream = bool(self.config.stream_source)
-        g = problem.graph
-        self.neighbors = self.pipeline.create_keyed(
-            (
-                (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
-                             g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
-                for v in range(g.n)
-            ),
-            name="source/neighbors",
-            stream=stream,
-        )
-        self.utilities = self.pipeline.create_keyed(
-            ((v, float(problem.utilities[v])) for v in range(problem.n)),
-            name="source/utilities",
-            stream=stream,
-        )
+            self.utilities = self.pipeline.create_keyed(
+                ((v, float(problem.utilities[v])) for v in range(problem.n)),
+                name="source/utilities",
+                stream=stream,
+            )
+        except BaseException:
+            # A privately-created context (and its executor / worker
+            # cluster) must not leak when construction fails after entry.
+            self._context_guard.__exit__(None, None, None)
+            raise
+
+    def close(self) -> None:
+        """Tear down the pipeline (and a privately-owned context)."""
+        try:
+            self.pipeline.close()
+        finally:
+            self._context_guard.__exit__(None, None, None)
 
     # -- the Section 5 join plan -----------------------------------------
 
@@ -152,76 +194,19 @@ class BeamBoundingDriver:
     ) -> PCollection:
         """Keyed ``(node, (lower, umax))`` over the remaining set."""
         cfg = self.config
-        ratio = self.problem.beta_over_alpha
         self._round_counter += 1
-        round_salt = self._round_counter
-
-        # (1) fan out: key by the *neighbor* id a; value (b, s) keeps the
-        # original source so edges can be inverted later.
-        fanned = self.neighbors.flat_map(
-            lambda kv: [(b, (kv[0], s)) for b, s in kv[1]],
-            name="bound/fan_out",
-        ).as_keyed(name="bound/fan_out_key")
-
-        # (2) three-way join keyed by a: filter dead edges, tag solution
-        # membership, invert back to key b.
-        def invert(kv) -> Iterable[Tuple[int, Tuple[int, float, bool]]]:
-            a, (edges, in_solution, in_remaining) = kv
-            if not edges:
-                return []
-            if in_solution:
-                flag = True
-            elif in_remaining:
-                flag = False
-            else:
-                return []  # a was discarded by a shrink step
-            return [(b, (a, s, flag)) for b, s in edges]
-
-        edges4 = cogroup(
-            [fanned, solution, remaining], name="bound/threeway_join"
-        ).flat_map(invert, name="bound/invert").as_keyed(name="bound/invert_key")
-
-        # (3) join with remaining + utilities keyed by b; sample and reduce.
-        sampler = cfg.sampler
-        p = cfg.p
-        approximate = cfg.mode == "approximate" and p < 1.0
-        seed_salt = self._seed_salt
-
-        def reduce_bounds(kv):
-            b, (partners, in_remaining, utility) = kv
-            if not in_remaining or not utility:
-                return []
-            u = utility[0]
-            mass_solution = 0.0
-            unassigned: List[Tuple[int, float]] = []
-            for a, s, a_in_solution in partners:
-                if a_in_solution:
-                    mass_solution += s
-                else:
-                    unassigned.append((a, s))
-            if approximate and unassigned:
-                if sampler == "weighted":
-                    mean_s = sum(s for _, s in unassigned) / len(unassigned)
-                else:
-                    mean_s = 0.0
-                mass_sampled = 0.0
-                for a, s in unassigned:
-                    if sampler == "weighted" and mean_s > 0:
-                        keep_p = min(1.0, p * s / mean_s)
-                    else:
-                        keep_p = p
-                    if _edge_hash01(b, a, round_salt, seed_salt) < keep_p:
-                        mass_sampled += s
-            else:
-                mass_sampled = sum(s for _, s in unassigned)
-            umax = u - ratio * mass_solution
-            lower = u - ratio * (mass_solution + mass_sampled)
-            return [(b, (lower, umax))]
-
-        return cogroup(
-            [edges4, remaining, self.utilities], name="bound/bounds_join"
-        ).flat_map(reduce_bounds, name="bound/reduce").as_keyed(
-            name="bound/reduce_key"
+        return remaining.apply(
+            BoundingFilter(
+                self.neighbors,
+                self.utilities,
+                solution,
+                ratio=self.problem.beta_over_alpha,
+                mode=cfg.mode,
+                sampler=cfg.sampler,
+                p=cfg.p,
+                round_salt=self._round_counter,
+                seed_salt=self._seed_salt,
+            )
         )
 
     # -- grow / shrink -----------------------------------------------------
@@ -229,6 +214,8 @@ class BeamBoundingDriver:
     @staticmethod
     def _minus(remaining: PCollection, removed: PCollection) -> PCollection:
         """Set difference via cogroup (no membership lookups)."""
+        from repro.dataflow.transforms import cogroup
+
         return cogroup([remaining, removed], name="bound/minus").flat_map(
             lambda kv: [(kv[0], True)] if kv[1][0] and not kv[1][1] else [],
             name="bound/minus_emit",
@@ -337,36 +324,40 @@ def beam_bound(
     mode: str = "exact",
     sampler: str = "uniform",
     p: float = 1.0,
-    num_shards: int = 8,
-    spill_to_disk: bool = False,
-    executor="sequential",
-    optimize: "bool | None" = None,
-    stream_source: bool = True,
-    checkpoint_dir: "str | None" = None,
     seed: SeedLike = None,
+    options: Optional[EngineOptions] = None,
+    context: Optional[DataflowContext] = None,
+    num_shards=UNSET,
+    executor=UNSET,
+    spill_to_disk=UNSET,
+    optimize=UNSET,
+    stream_source=UNSET,
+    checkpoint_dir=UNSET,
 ) -> Tuple[BoundingResult, PipelineMetrics]:
     """One-call wrapper over :class:`BeamBoundingDriver`.
 
-    ``spill_to_disk=True`` keeps every materialized shard on disk — the
-    literal larger-than-memory mode (one shard resident at a time).
-    ``executor`` selects the engine backend (name or Executor instance);
-    decisions are identical on every backend for a fixed seed.
-    ``optimize``/``stream_source`` are the plan-optimizer and streaming-
-    ingest escape hatches (see :class:`BeamBoundingConfig`); decisions are
-    identical either way.  ``checkpoint_dir`` makes the drive resumable
-    after a crash (see :class:`BeamBoundingConfig`).
+    Engine knobs live on ``options`` (or a shared ``context``); decisions
+    are identical on every backend, plan, and ingest mode for a fixed
+    seed.  ``options.spill_to_disk=True`` keeps every materialized shard
+    on disk — the literal larger-than-memory mode.  The old per-call
+    engine keywords are deprecated shims over ``EngineOptions``.
     """
+    options = legacy_engine_options(
+        {
+            "num_shards": num_shards, "executor": executor,
+            "spill_to_disk": spill_to_disk, "optimize": optimize,
+            "stream_source": stream_source, "checkpoint_dir": checkpoint_dir,
+        },
+        options=options, context=context, api="beam_bound",
+    )
     driver = BeamBoundingDriver(
         problem,
-        BeamBoundingConfig(
-            mode=mode, sampler=sampler, p=p, num_shards=num_shards,
-            spill_to_disk=spill_to_disk, executor=executor,
-            optimize=optimize, stream_source=stream_source,
-            checkpoint_dir=checkpoint_dir,
-        ),
+        BeamBoundingConfig(mode=mode, sampler=sampler, p=p),
+        options=options,
+        context=context,
         seed=seed,
     )
     try:
         return driver.run(k)
     finally:
-        driver.pipeline.close()
+        driver.close()

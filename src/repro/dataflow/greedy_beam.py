@@ -1,10 +1,11 @@
 """Distributed greedy (Alg. 6) expressed on the dataflow engine.
 
 Section 4.4 notes the multi-round algorithm maps onto data processing
-frameworks: the random partitioning is a shuffle, each partition's greedy is
-a per-group reduction, and the union "can be implemented without
+frameworks: the random partitioning is a shuffle, each partition's greedy
+is a per-group reduction, and the union "can be implemented without
 materializing all data in memory".  This module is that mapping on our
-Beam-like engine: each round is
+Beam-like engine: each round applies the
+:class:`~repro.dataflow.library.PartitionedGreedy` composite
 
     survivors ─ key_by(random partition id) ─ group_by_key
               ─ per-group centralized greedy ─ flatten
@@ -13,6 +14,13 @@ with per-shard memory metered.  Behaviour matches the in-memory
 implementation given the same partition assignment; partitioning here is
 hash-of-rng-draw based, so the two implementations are statistically (not
 bit-) identical.
+
+Engine configuration is one :class:`~repro.dataflow.options.EngineOptions`
+(``options=``) or a shared :class:`~repro.dataflow.options.DataflowContext`
+(``context=`` — how the end-to-end selector shares a worker pool between
+bounding and greedy).  This beam ingests its (array-backed) ground set
+eagerly by default (``options.stream_source=None``); the old per-call
+engine keywords are deprecated shims.
 """
 
 from __future__ import annotations
@@ -29,10 +37,16 @@ from repro.core.distributed import (
     problem_fingerprint,
     resolve_ground,
 )
-from repro.core.greedy import greedy_heap
 from repro.core.problem import SubsetProblem
+from repro.dataflow.library import PartitionedGreedy
 from repro.dataflow.metrics import PipelineMetrics
-from repro.dataflow.pcollection import Pipeline
+from repro.dataflow.options import (
+    UNSET,
+    DataflowContext,
+    EngineOptions,
+    engine_context,
+    legacy_engine_options,
+)
 from repro.utils.rng import SeedLike, as_generator
 
 
@@ -44,15 +58,17 @@ def beam_distributed_greedy(
     rounds: int = 1,
     adaptive: bool = False,
     gamma: float = 0.75,
-    num_shards: int = 8,
-    executor="sequential",
-    spill_to_disk: bool = False,
-    optimize: "bool | None" = None,
-    stream_source: bool = False,
-    checkpoint_dir: "str | None" = None,
     candidates: Optional[np.ndarray] = None,
     base_penalty: Optional[np.ndarray] = None,
     seed: SeedLike = None,
+    options: Optional[EngineOptions] = None,
+    context: Optional[DataflowContext] = None,
+    num_shards=UNSET,
+    executor=UNSET,
+    spill_to_disk=UNSET,
+    optimize=UNSET,
+    stream_source=UNSET,
+    checkpoint_dir=UNSET,
 ) -> Tuple[DistributedResult, PipelineMetrics]:
     """Algorithm 6 as a dataflow job; returns (result, engine metrics).
 
@@ -63,107 +79,103 @@ def beam_distributed_greedy(
     per-partition greedy with the penalty from an existing partial solution,
     mirroring :func:`repro.core.distributed.distributed_greedy`.
 
-    With ``optimize`` on (the default) each round's
-    ``key_by → group_by_key → flat_map(select)`` executes as one shuffle
-    (the ``key_by`` reshard is elided) plus one fused read stage (the
-    per-group greedy runs inside the shuffle read).  ``stream_source``
-    ingests the ground set through the chunked streaming source path, so
-    the driver never holds it whole.  ``checkpoint_dir`` persists each
-    round's materialization boundaries keyed by a plan digest (the round
-    DoFns capture the per-round seed draws, so a seeded rerun hits the
-    same keys): a killed drive resumes from its last completed round.
+    Engine knobs live on ``options`` (or a shared ``context``).  With
+    ``optimize`` on (the default) each round's composite executes as one
+    shuffle (the ``key_by`` reshard is elided) plus one fused read stage
+    (the per-group greedy runs inside the shuffle read).
+    ``options.stream_source=True`` ingests the ground set through the
+    chunked streaming source path, so the driver never holds it whole.
+    With a checkpoint directory, each round's boundaries key on a plan
+    digest (the round DoFns capture the per-round seed draws, so a seeded
+    rerun hits the same keys): a killed drive resumes from its last
+    completed round.
     """
+    options = legacy_engine_options(
+        {
+            "num_shards": num_shards, "executor": executor,
+            "spill_to_disk": spill_to_disk, "optimize": optimize,
+            "stream_source": stream_source, "checkpoint_dir": checkpoint_dir,
+        },
+        options=options, context=context, api="beam_distributed_greedy",
+    )
     if m < 1 or rounds < 1:
         raise ValueError("m and rounds must be >= 1")
     rng = as_generator(seed)
     ground, k = resolve_ground(problem.n, candidates, k)
     n0 = int(ground.size)
-    checkpoint_salt = None
-    if checkpoint_dir is not None:
-        # Pins the streamed ground set's content (the eager path hashes
-        # source contents directly, so this only matters for
-        # ``stream_source=True`` — but it must agree with that data).
-        checkpoint_salt = fingerprint(
-            "greedy-source", problem_fingerprint(problem), ground
-        )
-    pipeline = Pipeline(
-        num_shards, executor=executor, spill_to_disk=spill_to_disk,
-        optimize=optimize,
-        checkpoint_dir=checkpoint_dir, checkpoint_salt=checkpoint_salt,
-    )
     schedule = LinearDeltaSchedule(gamma)
 
-    try:
-        if k == 0:
+    with engine_context(options, context) as ctx:
+        opts = ctx.options
+        pipeline_overrides = {}
+        if opts.checkpoint_dir is not None:
+            # Pins the streamed ground set's content (the eager path hashes
+            # source contents directly, so this only matters for
+            # ``stream_source=True`` — but it must agree with that data).
+            pipeline_overrides["checkpoint_salt"] = fingerprint(
+                "greedy-source", problem_fingerprint(problem), ground
+            )
+        pipeline = ctx.pipeline(**pipeline_overrides)
+        try:
+            if k == 0:
+                return (
+                    DistributedResult(np.empty(0, dtype=np.int64)),
+                    pipeline.metrics,
+                )
+            # Streaming feeds a generator so the driver never materializes
+            # the ground list; int(v) matches tolist()'s Python ints
+            # bit-for-bit.
+            if opts.resolve_stream(False):
+                source: "Iterable[int]" = (int(v) for v in ground)
+            else:
+                source = ground.tolist()
+            survivors = pipeline.create(source, name="greedy/source")
+            partition_cap = int(np.ceil(n0 / m))
+            stats: List[RoundStats] = []
+
+            for round_idx in range(1, rounds + 1):
+                input_size = survivors.count()
+                if input_size == 0:
+                    break
+                n_round = min(schedule(n0, rounds, round_idx, k), input_size)
+                if adaptive:
+                    m_round = int(np.ceil(input_size / partition_cap))
+                else:
+                    m_round = m
+                m_round = max(1, min(m_round, input_size))
+                per_target = int(np.ceil(n_round / m_round))
+
+                # Random partition assignment: a per-round permutation-free
+                # draw (iid uniform partition ids; expected balance is fine
+                # for the shapes we reproduce and it is the natural
+                # dataflow formulation).
+                survivors = survivors.apply(
+                    PartitionedGreedy(
+                        problem,
+                        per_target=per_target,
+                        m_round=m_round,
+                        assignment_seed=int(rng.integers(0, 2**31 - 1)),
+                        base_penalty=base_penalty,
+                    ),
+                    name=f"PartitionedGreedy[round {round_idx}]",
+                )
+                stats.append(
+                    RoundStats(
+                        round_idx=round_idx,
+                        input_size=int(input_size),
+                        target_size=int(n_round),
+                        m_round=m_round,
+                        per_partition_target=per_target,
+                        output_size=int(survivors.count()),
+                    )
+                )
+
+            final = np.array(sorted(survivors.to_list()), dtype=np.int64)
+            if final.size > k:
+                final = np.sort(rng.choice(final, size=k, replace=False))
             return (
-                DistributedResult(np.empty(0, dtype=np.int64)),
+                DistributedResult(selected=final, rounds=stats),
                 pipeline.metrics,
             )
-        # Streaming feeds a generator so the driver never materializes the
-        # ground list; int(v) matches tolist()'s Python ints bit-for-bit.
-        if stream_source:
-            source: "Iterable[int]" = (int(v) for v in ground)
-        else:
-            source = ground.tolist()
-        survivors = pipeline.create(source, name="greedy/source")
-        partition_cap = int(np.ceil(n0 / m))
-        stats: List[RoundStats] = []
-
-        for round_idx in range(1, rounds + 1):
-            input_size = survivors.count()
-            if input_size == 0:
-                break
-            n_round = min(schedule(n0, rounds, round_idx, k), input_size)
-            if adaptive:
-                m_round = int(np.ceil(input_size / partition_cap))
-            else:
-                m_round = m
-            m_round = max(1, min(m_round, input_size))
-            per_target = int(np.ceil(n_round / m_round))
-
-            # Random partition assignment: a per-round random permutation-free
-            # draw (iid uniform partition ids; expected balance is fine for the
-            # shapes we reproduce and it is the natural dataflow formulation).
-            assignment_seed = int(rng.integers(0, 2**31 - 1))
-
-            def assign(v: int, s=assignment_seed, mr=m_round) -> int:
-                local = np.random.default_rng((s, v))
-                return int(local.integers(mr))
-
-            grouped = survivors.key_by(assign, name="greedy/partition").group_by_key(
-                name="greedy/group"
-            )
-
-            def select_in_partition(kv, target=per_target):
-                _pid, members = kv
-                part = np.array(sorted(members), dtype=np.int64)
-                sub = problem.restrict(part)
-                local_penalty = (
-                    base_penalty[part] if base_penalty is not None else None
-                )
-                local = greedy_heap(
-                    sub, min(target, part.size), base_penalty=local_penalty
-                )
-                return part[local.selected].tolist()
-
-            survivors = grouped.flat_map(select_in_partition, name="greedy/select")
-            stats.append(
-                RoundStats(
-                    round_idx=round_idx,
-                    input_size=int(input_size),
-                    target_size=int(n_round),
-                    m_round=m_round,
-                    per_partition_target=per_target,
-                    output_size=int(survivors.count()),
-                )
-            )
-
-        final = np.array(sorted(survivors.to_list()), dtype=np.int64)
-        if final.size > k:
-            final = np.sort(rng.choice(final, size=k, replace=False))
-        return (
-            DistributedResult(selected=final, rounds=stats),
-            pipeline.metrics,
-        )
-    finally:
-        pipeline.close()
+        finally:
+            pipeline.close()

@@ -2,29 +2,37 @@
 
 The paper builds its 10-NN graph with ScaNN over billions of embeddings —
 graph construction is itself a larger-than-memory problem.  This module
-expresses the standard IVF-sharded construction on the dataflow engine:
+expresses the standard IVF-sharded construction on the dataflow engine as
+a thin composition: fit a coarse quantizer on a driver-sized sample (the
+only centralized step), then apply the
+:class:`~repro.dataflow.library.ShardedKnn` composite (multi-probe
+assignment → per-cell brute force → per-point candidate merge) and take
+each point's global top-k on the way out.  Peak per-worker memory is the
+largest cell, not the corpus.
 
-1. fit a coarse quantizer (k-means-style centroids) on a driver-sized
-   sample — this is the only centralized step, O(n_clusters · dim);
-2. *assignment*: map each point to its own cell plus the ``nprobe − 1``
-   next-closest cells (multi-probe, so near-boundary neighbors are found);
-3. *per-cell kNN*: group by cell and brute-force each cell locally — a
-   worker only ever holds one cell;
-4. *merge*: combine per-cell candidate lists per point, keeping the global
-   top-k by similarity.
-
-Peak per-worker memory is the largest cell, not the corpus; recall matches
-the in-memory IVF index since both probe the same cells.
+Engine configuration comes from a single
+:class:`~repro.dataflow.options.EngineOptions` (``options=``) or a shared
+:class:`~repro.dataflow.options.DataflowContext` (``context=``, e.g. to
+reuse one worker pool across several builds).  The old per-call engine
+keywords (``executor=``, ``num_shards=``, …) still work but are
+deprecated — they fold into an ``EngineOptions`` and warn.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.dataflow.library import ShardedKnn
 from repro.dataflow.metrics import PipelineMetrics
-from repro.dataflow.pcollection import Fold, Pipeline
+from repro.dataflow.options import (
+    UNSET,
+    DataflowContext,
+    EngineOptions,
+    engine_context,
+    legacy_engine_options,
+)
 from repro.graph.csr import NeighborGraph
 from repro.graph.knn import l2_normalize
 from repro.graph.symmetrize import symmetrize_knn
@@ -54,38 +62,47 @@ def beam_knn_graph(
     embeddings: np.ndarray,
     k: int,
     *,
-    n_clusters: int | None = None,
+    n_clusters: "int | None" = None,
     nprobe: int = 3,
-    num_shards: int = 8,
     n_iter: int = 8,
-    executor="sequential",
-    spill_to_disk: bool = False,
-    optimize: "bool | None" = None,
-    stream_source: bool = False,
-    checkpoint_dir: "str | None" = None,
     seed: SeedLike = 0,
+    options: Optional[EngineOptions] = None,
+    context: Optional[DataflowContext] = None,
+    num_shards=UNSET,
+    executor=UNSET,
+    spill_to_disk=UNSET,
+    optimize=UNSET,
+    stream_source=UNSET,
+    checkpoint_dir=UNSET,
 ) -> Tuple[NeighborGraph, np.ndarray, np.ndarray, PipelineMetrics]:
     """Construct a symmetric kNN graph with the dataflow engine.
 
     Returns ``(graph, neighbors, similarities, metrics)`` matching
     :func:`repro.graph.symmetrize.build_knn_graph`'s outputs, plus the
     engine metrics that witness the bounded per-worker footprint.
-    ``executor`` picks the engine backend (``"sequential"`` / ``"thread"``
-    / ``"multiprocess"`` or an Executor instance); outputs are identical
-    on every backend for a fixed seed.
 
-    The per-point candidate merge is written as the naive
-    ``group_by_key().map_values(Fold)`` — with ``optimize`` on (the
-    default) the plan optimizer lifts it to ``combine_per_key`` (partial
-    dicts shuffle instead of full candidate lists) and elides the
-    redundant ``as_keyed`` reshards, so shuffle volume drops by more than
-    half versus ``optimize=False`` (the naive plan).  ``stream_source``
-    ingests the point ids through the chunked streaming source path.
-    ``checkpoint_dir`` persists materialization boundaries keyed by a
-    plan digest (the stage DoFns capture the embeddings and fitted
-    centroids, so only a bit-identical rerun hits) — a killed build
-    resumes from its last completed stage.
+    Engine knobs live on ``options`` (every backend produces identical
+    outputs for a fixed seed); ``context`` shares an existing executor /
+    checkpoint scope instead.  ``options.stream_source=None`` keeps this
+    beam's default of eager point-id ingest.  With a checkpoint
+    directory, boundaries key on a plan digest (the stage DoFns capture
+    the embeddings and fitted centroids, so only a bit-identical rerun
+    hits) — a killed build resumes from its last completed stage.
+
+    The candidate merge is written naively (``group_by_key`` + ``Fold``)
+    inside :class:`~repro.dataflow.library.ShardedKnn`; with ``optimize``
+    on the plan optimizer lifts it to ``combine_per_key`` and elides the
+    redundant reshards, so shuffle volume drops by more than half versus
+    the naive plan.
     """
+    options = legacy_engine_options(
+        {
+            "num_shards": num_shards, "executor": executor,
+            "spill_to_disk": spill_to_disk, "optimize": optimize,
+            "stream_source": stream_source, "checkpoint_dir": checkpoint_dir,
+        },
+        options=options, context=context, api="beam_knn_graph",
+    )
     x = l2_normalize(embeddings)
     n = x.shape[0]
     if not 1 <= k < n:
@@ -94,109 +111,39 @@ def beam_knn_graph(
     if n_clusters is None:
         n_clusters = max(1, int(np.sqrt(n)))
     centroids = _fit_centroids(x, n_clusters, n_iter, rng)
-    nprobe = min(max(1, nprobe), centroids.shape[0])
-
-    checkpoint_salt = None
-    if checkpoint_dir is not None:
-        from repro.core.distributed import fingerprint
-
-        # The streamed source is just ``range(n)``; the embeddings and
-        # centroids are captured by the stage DoFns and enter the plan
-        # digests through them.
-        checkpoint_salt = fingerprint("knn-source", int(n))
-    pipeline = Pipeline(
-        num_shards, executor=executor, spill_to_disk=spill_to_disk,
-        optimize=optimize,
-        checkpoint_dir=checkpoint_dir, checkpoint_salt=checkpoint_salt,
-    )
-    points = pipeline.create(
-        range(n), name="knn/source", stream=bool(stream_source)
-    )
-
-    # (2) multi-probe assignment: (cell, (point, is_home)).  Only the home
-    # cell *hosts* the point (appears as a potential neighbor); probe cells
-    # treat it as a query so boundary neighbors are still found.
-    def assign(v: int):
-        sims = centroids @ x[v]
-        order = np.argsort(-sims)[:nprobe]
-        return [
-            (int(cell), (v, probe_rank == 0))
-            for probe_rank, cell in enumerate(order)
-        ]
-
-    assigned = points.flat_map(assign, name="knn/assign").as_keyed(
-        name="knn/assign_key"
-    )
-
-    # (3) per-cell brute force: hosts are candidate neighbors, everyone in
-    # the group (host or probe) is a query.
-    def cell_knn(kv) -> List[Tuple[int, List[Tuple[int, float]]]]:
-        _cell, members = kv
-        hosts = np.array(sorted(v for v, is_home in members if is_home),
-                         dtype=np.int64)
-        queries = np.array(sorted({v for v, _ in members}), dtype=np.int64)
-        if hosts.size == 0:
-            return []
-        sims = x[queries] @ x[hosts].T
-        out = []
-        for qi, q in enumerate(queries.tolist()):
-            row = sims[qi]
-            mask = hosts != q
-            cand_hosts = hosts[mask]
-            cand_sims = row[mask]
-            take = min(k, cand_hosts.size)
-            if take == 0:
-                continue
-            top = np.argpartition(cand_sims, -take)[-take:]
-            out.append(
-                (q, list(zip(cand_hosts[top].tolist(),
-                             cand_sims[top].tolist())))
-            )
-        return out
-
-    candidates = assigned.group_by_key(name="knn/group").flat_map(
-        cell_knn, name="knn/cell_knn"
-    ).as_keyed(name="knn/cand_key")
-
-    # (4) merge per point: keep the global top-k, deduplicating hosts that
-    # appeared in several probed cells.  Written as the naive
-    # group-then-fold; the optimizer lifts it to combine_per_key (partial
-    # per-shard dicts shuffle instead of full candidate lists).  Max-merge
-    # is order-insensitive, so optimized and naive plans agree bit-for-bit.
-    def merge_zero():
-        return {}
-
-    def merge_add(acc, pairs):
-        for host, sim in pairs:
-            prev = acc.get(host)
-            if prev is None or sim > prev:
-                acc[host] = sim
-        return acc
-
-    def merge_merge(a, b):
-        for host, sim in b.items():
-            prev = a.get(host)
-            if prev is None or sim > prev:
-                a[host] = sim
-        return a
-
-    merged = candidates.group_by_key(name="knn/merge_group").map_values(
-        Fold(merge_zero, merge_add, merge_merge, label="knn/topk"),
-        name="knn/merge",
-    )
 
     neighbors = np.full((n, k), -1, dtype=np.int64)
     sims_out = np.full((n, k), -np.inf)
-    try:
-        for point, acc in (
-            pair for shard in merged.iter_shards() for pair in shard
-        ):
-            items = sorted(acc.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
-            for j, (host, sim) in enumerate(items):
-                neighbors[point, j] = host
-                sims_out[point, j] = sim
-    finally:
-        pipeline.close()
+    with engine_context(options, context) as ctx:
+        opts = ctx.options
+        pipeline_overrides = {}
+        if opts.checkpoint_dir is not None:
+            from repro.core.distributed import fingerprint
+
+            # The streamed source is just ``range(n)``; the embeddings and
+            # centroids are captured by the stage DoFns and enter the plan
+            # digests through them.
+            pipeline_overrides["checkpoint_salt"] = fingerprint(
+                "knn-source", int(n)
+            )
+        pipeline = ctx.pipeline(**pipeline_overrides)
+        try:
+            points = pipeline.create(
+                range(n), name="knn/source", stream=opts.resolve_stream(False)
+            )
+            merged = points.apply(
+                ShardedKnn(x, centroids, k=k, nprobe=nprobe)
+            )
+            for point, acc in (
+                pair for shard in merged.iter_shards() for pair in shard
+            ):
+                items = sorted(acc.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+                for j, (host, sim) in enumerate(items):
+                    neighbors[point, j] = host
+                    sims_out[point, j] = sim
+            metrics = pipeline.metrics
+        finally:
+            pipeline.close()
     # Points whose probed cells had < k hosts: pad with random distinct ids.
     for v in range(n):
         missing = neighbors[v] < 0
@@ -208,4 +155,4 @@ def beam_knn_graph(
             sims_out[v, missing] = x[fill] @ x[v]
     np.maximum(sims_out, 0.0, out=sims_out)
     graph = symmetrize_knn(neighbors, sims_out)
-    return graph, neighbors, sims_out, pipeline.metrics
+    return graph, neighbors, sims_out, metrics

@@ -1,0 +1,413 @@
+"""Reusable composite transforms (the engine's standard library).
+
+Each class here is a :class:`~repro.dataflow.pcollection.PTransform`
+extracted from a beam entry point: the multi-probe sharded kNN build
+(:class:`ShardedKnn`), the bounding pre-pass's join-based bound
+computation (:class:`BoundingFilter`), one round of the partition-based
+distributed greedy (:class:`PartitionedGreedy`), and the generic
+distributed per-key top-k (:class:`TopKPerKey`).  The beams are now thin
+compositions of these over a
+:class:`~repro.dataflow.options.DataflowContext`; anything else built on
+the engine can reuse them the same way::
+
+    merged = points.apply(ShardedKnn(x, centroids, k=10, nprobe=3))
+    best   = scored | TopKPerKey(5)
+
+Applying a composite tags its stages with the transform's name, so
+``explain()`` renders each application as a named, indented group —
+the pipeline-level structure stays legible as plans grow.
+
+Composites are organization, not semantics: each expands to exactly the
+primitive transforms the beams used to build by hand, so results,
+metrics, and optimizer rewrites (combiner lifting, reshard elision,
+post-shuffle fusion) are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dataflow.pcollection import Fold, PCollection, PTransform
+from repro.dataflow.transforms import cogroup
+
+__all__ = [
+    "ShardedKnn",
+    "TopKPerKey",
+    "BoundingFilter",
+    "PartitionedGreedy",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def edge_hash01(b: int, a: int, round_salt: int, seed_salt: int) -> float:
+    """Deterministic float in [0, 1) per (edge, round) — distributed-safe.
+
+    SplitMix64-style mixing over plain Python ints (wrap-around masked).
+    A distributed runner has no global RNG stream; counter-based hashing
+    is how reproducible per-edge sampling works in Beam.
+    """
+    x = (b * 0x9E3779B97F4A7C15) & _MASK64
+    x = (x + a * 0xBF58476D1CE4E5B9) & _MASK64
+    x = (x + round_salt * 2654435761 + seed_salt) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return (x >> 11) / float(1 << 53)
+
+
+class ShardedKnn(PTransform):
+    """IVF-sharded kNN candidate construction + per-point merge.
+
+    Input: an unkeyed collection of point ids.  Output: keyed
+    ``(point, {host: similarity})`` — each point's best-seen similarity
+    per candidate neighbor across every probed cell (the caller takes the
+    global top-k).  Three stages:
+
+    1. *assign*: each point maps to its home cell plus the ``nprobe - 1``
+       next-closest cells (multi-probe, so near-boundary neighbors are
+       found) — only the home cell *hosts* the point as a candidate;
+    2. *per-cell kNN*: group by cell and brute-force each cell locally —
+       a worker only ever holds one cell;
+    3. *merge*: combine candidate lists per point.  Written as the naive
+       ``group_by_key().map_values(Fold)`` so the plan optimizer lifts it
+       to ``combine_per_key`` (partial per-shard dicts shuffle instead of
+       full candidate lists).
+
+    ``x`` must be L2-normalized; ``centroids`` is the fitted coarse
+    quantizer.  The stage DoFns capture both arrays, so the payload
+    backends broadcast them once per worker.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        centroids: np.ndarray,
+        *,
+        k: int,
+        nprobe: int,
+        name: str = "ShardedKnn",
+    ) -> None:
+        super().__init__(name)
+        self.x = x
+        self.centroids = centroids
+        self.k = int(k)
+        self.nprobe = min(max(1, int(nprobe)), centroids.shape[0])
+
+    def expand(self, points: PCollection) -> PCollection:
+        x, centroids, k, nprobe = self.x, self.centroids, self.k, self.nprobe
+
+        # (1) multi-probe assignment: (cell, (point, is_home)).  Only the
+        # home cell hosts the point (appears as a potential neighbor);
+        # probe cells treat it as a query so boundary neighbors are found.
+        def assign(v: int):
+            sims = centroids @ x[v]
+            order = np.argsort(-sims)[:nprobe]
+            return [
+                (int(cell), (v, probe_rank == 0))
+                for probe_rank, cell in enumerate(order)
+            ]
+
+        assigned = points.flat_map(assign, name="knn/assign").as_keyed(
+            name="knn/assign_key"
+        )
+
+        # (2) per-cell brute force: hosts are candidate neighbors, everyone
+        # in the group (host or probe) is a query.
+        def cell_knn(kv) -> List[Tuple[int, List[Tuple[int, float]]]]:
+            _cell, members = kv
+            hosts = np.array(
+                sorted(v for v, is_home in members if is_home), dtype=np.int64
+            )
+            queries = np.array(sorted({v for v, _ in members}), dtype=np.int64)
+            if hosts.size == 0:
+                return []
+            sims = x[queries] @ x[hosts].T
+            out = []
+            for qi, q in enumerate(queries.tolist()):
+                row = sims[qi]
+                mask = hosts != q
+                cand_hosts = hosts[mask]
+                cand_sims = row[mask]
+                take = min(k, cand_hosts.size)
+                if take == 0:
+                    continue
+                top = np.argpartition(cand_sims, -take)[-take:]
+                out.append(
+                    (q, list(zip(cand_hosts[top].tolist(),
+                                 cand_sims[top].tolist())))
+                )
+            return out
+
+        candidates = assigned.group_by_key(name="knn/group").flat_map(
+            cell_knn, name="knn/cell_knn"
+        ).as_keyed(name="knn/cand_key")
+
+        # (3) merge per point, deduplicating hosts that appeared in several
+        # probed cells.  Max-merge is order-insensitive, so optimized and
+        # naive plans agree bit-for-bit.
+        def merge_zero():
+            return {}
+
+        def merge_add(acc, pairs):
+            for host, sim in pairs:
+                prev = acc.get(host)
+                if prev is None or sim > prev:
+                    acc[host] = sim
+            return acc
+
+        def merge_merge(a, b):
+            for host, sim in b.items():
+                prev = a.get(host)
+                if prev is None or sim > prev:
+                    a[host] = sim
+            return a
+
+        return candidates.group_by_key(name="knn/merge_group").map_values(
+            Fold(merge_zero, merge_add, merge_merge, label="knn/topk"),
+            name="knn/merge",
+        )
+
+
+class TopKPerKey(PTransform):
+    """Distributed per-key top-k: ``(key, (item, score))`` pairs in,
+    ``(key, [(item, score), ...])`` out — the k best-scoring distinct
+    items per key, sorted by ``(-score, item)``.
+
+    Duplicate items keep their maximum score.  Written as the naive
+    ``group_by_key().map_values(Fold)`` so the optimizer lifts it to
+    ``combine_per_key``: each shard ships at most ``k`` accumulator
+    entries per key instead of every pair.  The fold is associative —
+    trimming partials to ``k`` is safe because an entry dropped from a
+    partial was beaten by ``k`` better entries that also reach the merge.
+    """
+
+    def __init__(self, k: int, *, name: str = "TopKPerKey") -> None:
+        super().__init__(name)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def expand(self, pairs: PCollection) -> PCollection:
+        k = self.k
+
+        # The accumulator is the output itself: at most ``k`` ``(item,
+        # score)`` pairs kept sorted by ``(-score, item)``.  ``add``
+        # mutates it in place (the engine's Folds may — accumulators are
+        # stage-local, the same contract ShardedKnn's merge relies on),
+        # so per-record work is O(k) with no dict/list churn.
+        def add(acc, pair):
+            item, score = pair
+            for i, (existing, prev) in enumerate(acc):
+                if existing == item:
+                    if score <= prev:
+                        return acc
+                    del acc[i]
+                    break
+            rank = (-score, item)
+            lo, hi = 0, len(acc)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if (-acc[mid][1], acc[mid][0]) < rank:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < k:
+                acc.insert(lo, (item, score))
+                if len(acc) > k:
+                    acc.pop()
+            return acc
+
+        def merge(a, b):
+            for pair in b:
+                a = add(a, pair)
+            return a
+
+        return pairs.group_by_key(name="topk/group").map_values(
+            Fold(list, add, merge, label=f"topk/{k}"), name="topk/fold"
+        )
+
+
+class BoundingFilter(PTransform):
+    """One round of the bounding pre-pass's bound computation (Sec. 5).
+
+    Input: the keyed *remaining* set ``(id, True)``.  Output: keyed
+    ``(id, (lower, umax))`` bounds over it.  Expands to the paper's
+    join-only plan — no machine ever holds the subset:
+
+    1. fan out the neighbor graph, keying each edge by its *neighbor*;
+    2. three-way cogroup with the partial solution and the remaining set:
+       dead edges (endpoint shrunk away) drop, survivors re-key by their
+       source with a solution-membership tag;
+    3. cogroup with the remaining set and the utilities: per point, the
+       solution mass and the (optionally hash-sampled) unassigned mass
+       reduce to ``lower = u - ratio*(mass_sol + mass_unassigned)`` and
+       ``umax = u - ratio*mass_sol``.
+
+    Sampling (``mode="approximate"``, ``p < 1``) is counter-based
+    Bernoulli per edge per round (:func:`edge_hash01`) — a distributed
+    runner has no global RNG stream.
+    """
+
+    def __init__(
+        self,
+        neighbors: PCollection,
+        utilities: PCollection,
+        solution: PCollection,
+        *,
+        ratio: float,
+        mode: str = "exact",
+        sampler: str = "uniform",
+        p: float = 1.0,
+        round_salt: int = 0,
+        seed_salt: int = 0,
+        name: str = "BoundingFilter",
+    ) -> None:
+        super().__init__(name)
+        self.neighbors = neighbors
+        self.utilities = utilities
+        self.solution = solution
+        self.ratio = float(ratio)
+        self.mode = mode
+        self.sampler = sampler
+        self.p = float(p)
+        self.round_salt = int(round_salt)
+        self.seed_salt = int(seed_salt)
+
+    def expand(self, remaining: PCollection) -> PCollection:
+        ratio = self.ratio
+        sampler = self.sampler
+        p = self.p
+        approximate = self.mode == "approximate" and p < 1.0
+        round_salt = self.round_salt
+        seed_salt = self.seed_salt
+
+        # (1) fan out: key by the *neighbor* id a; value (b, s) keeps the
+        # original source so edges can be inverted later.
+        fanned = self.neighbors.flat_map(
+            lambda kv: [(b, (kv[0], s)) for b, s in kv[1]],
+            name="bound/fan_out",
+        ).as_keyed(name="bound/fan_out_key")
+
+        # (2) three-way join keyed by a: filter dead edges, tag solution
+        # membership, invert back to key b.
+        def invert(kv) -> Iterable[Tuple[int, Tuple[int, float, bool]]]:
+            a, (edges, in_solution, in_remaining) = kv
+            if not edges:
+                return []
+            if in_solution:
+                flag = True
+            elif in_remaining:
+                flag = False
+            else:
+                return []  # a was discarded by a shrink step
+            return [(b, (a, s, flag)) for b, s in edges]
+
+        edges4 = cogroup(
+            [fanned, self.solution, remaining], name="bound/threeway_join"
+        ).flat_map(invert, name="bound/invert").as_keyed(
+            name="bound/invert_key"
+        )
+
+        # (3) join with remaining + utilities keyed by b; sample and reduce.
+        def reduce_bounds(kv):
+            b, (partners, in_remaining, utility) = kv
+            if not in_remaining or not utility:
+                return []
+            u = utility[0]
+            mass_solution = 0.0
+            unassigned: List[Tuple[int, float]] = []
+            for a, s, a_in_solution in partners:
+                if a_in_solution:
+                    mass_solution += s
+                else:
+                    unassigned.append((a, s))
+            if approximate and unassigned:
+                if sampler == "weighted":
+                    mean_s = sum(s for _, s in unassigned) / len(unassigned)
+                else:
+                    mean_s = 0.0
+                mass_sampled = 0.0
+                for a, s in unassigned:
+                    if sampler == "weighted" and mean_s > 0:
+                        keep_p = min(1.0, p * s / mean_s)
+                    else:
+                        keep_p = p
+                    if edge_hash01(b, a, round_salt, seed_salt) < keep_p:
+                        mass_sampled += s
+            else:
+                mass_sampled = sum(s for _, s in unassigned)
+            umax = u - ratio * mass_solution
+            lower = u - ratio * (mass_solution + mass_sampled)
+            return [(b, (lower, umax))]
+
+        return cogroup(
+            [edges4, remaining, self.utilities], name="bound/bounds_join"
+        ).flat_map(reduce_bounds, name="bound/reduce").as_keyed(
+            name="bound/reduce_key"
+        )
+
+
+class PartitionedGreedy(PTransform):
+    """One round of the partition-based distributed greedy (Alg. 6).
+
+    Input: the unkeyed surviving ids.  Output: the round's survivors —
+    the union of each partition's local greedy selection.  Expands to
+    ``key_by(random partition) → group_by_key → flat_map(per-group
+    greedy)``; with the optimizer on, the whole round executes as one
+    shuffle plus one fused read stage (the reshard is elided and the
+    per-group greedy runs inside the shuffle read).
+
+    Partition assignment is seeded counter-based (iid uniform partition
+    ids), so a fixed ``assignment_seed`` reproduces the round exactly on
+    any backend.
+    """
+
+    def __init__(
+        self,
+        problem: Any,
+        *,
+        per_target: int,
+        m_round: int,
+        assignment_seed: int,
+        base_penalty: Optional[np.ndarray] = None,
+        name: str = "PartitionedGreedy",
+    ) -> None:
+        super().__init__(name)
+        self.problem = problem
+        self.per_target = int(per_target)
+        self.m_round = int(m_round)
+        self.assignment_seed = int(assignment_seed)
+        self.base_penalty = base_penalty
+
+    def expand(self, survivors: PCollection) -> PCollection:
+        from repro.core.greedy import greedy_heap
+
+        problem = self.problem
+        base_penalty = self.base_penalty
+
+        def assign(v: int, s=self.assignment_seed, mr=self.m_round) -> int:
+            local = np.random.default_rng((s, v))
+            return int(local.integers(mr))
+
+        grouped = survivors.key_by(assign, name="greedy/partition").group_by_key(
+            name="greedy/group"
+        )
+
+        def select_in_partition(kv, target=self.per_target):
+            _pid, members = kv
+            part = np.array(sorted(members), dtype=np.int64)
+            sub = problem.restrict(part)
+            local_penalty = (
+                base_penalty[part] if base_penalty is not None else None
+            )
+            local = greedy_heap(
+                sub, min(target, part.size), base_penalty=local_penalty
+            )
+            return part[local.selected].tolist()
+
+        return grouped.flat_map(select_in_partition, name="greedy/select")

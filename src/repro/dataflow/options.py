@@ -1,0 +1,768 @@
+"""The engine's unified public configuration: ``EngineOptions`` +
+``DataflowContext``.
+
+Four PRs grew the dataflow engine knob by knob — ``executor``,
+``num_shards``, ``spill_to_disk``, ``optimize``, ``stream_source``,
+``workers``, ``checkpoint_dir``, ``checkpoint_salt``,
+``broadcast_min_bytes`` — each threaded by hand through every beam entry
+point, ``SelectorConfig``, and the CLI, with its own defaulting and
+validation at every stop.  This module replaces that sprawl with two
+abstractions:
+
+:class:`EngineOptions`
+    One immutable, validated options object carrying every engine knob.
+    Constructible from plain kwargs, a dict (:meth:`EngineOptions.
+    from_dict`), a JSON blob (:meth:`~EngineOptions.from_json`),
+    environment variables (:meth:`~EngineOptions.from_env`, prefix
+    ``REPRO_ENGINE_``), or an argparse namespace populated by the shared
+    :func:`add_engine_arguments` helper (:meth:`~EngineOptions.
+    from_namespace`).  All validation — registry-backed executor names,
+    ``host:port`` worker addresses with port-range checks, checkpoint
+    settings — happens once, at construction.  :meth:`~EngineOptions.
+    derive` produces per-stage variants without re-stating the rest.
+
+:class:`DataflowContext`
+    A context manager owning the resolved executor (and, for the remote
+    backend, the worker cluster) plus the checkpoint directory for a whole
+    multi-pipeline run.  Beams build their pipelines through
+    :meth:`DataflowContext.pipeline`, so the bounding and greedy stages of
+    a selection share one persistent worker pool without any caller
+    hand-managing executor creation, sharing, or close.  The context also
+    aggregates every pipeline's touched checkpoint digests, which is what
+    makes :meth:`DataflowContext.gc_checkpoints` safe: it deletes exactly
+    the entries no stage of the current run produced or reused.
+
+Configuration precedence for :meth:`EngineOptions.from_namespace` (the
+CLI path) is ``defaults < environment < --engine-options JSON file <
+explicit flags``.
+
+The old per-function keyword knobs on the beams and ``SelectorConfig``
+still work through :func:`legacy_engine_options`, which folds them into an
+``EngineOptions`` and emits a :class:`DeprecationWarning` — results are
+bit-identical to the new API, but new code (and everything in this repo)
+should construct options explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.dataflow.executor import (
+    DEFAULT_BROADCAST_MIN_BYTES,
+    Executor,
+    executor_names,
+    resolve_executor,
+)
+
+__all__ = [
+    "EngineOptions",
+    "DataflowContext",
+    "add_engine_arguments",
+    "legacy_engine_options",
+    "parse_worker_address",
+    "UNSET",
+]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from every legal value
+    (``None`` is a legal value for several knobs)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<UNSET>"
+
+
+#: The "caller did not pass this keyword" sentinel used by the legacy
+#: compatibility shims.
+UNSET = _Unset()
+
+
+def parse_worker_address(spec: Any) -> Tuple[str, int]:
+    """Validate one remote-worker address; returns ``(host, port)``.
+
+    Accepts ``"host:port"`` strings and ``(host, port)`` pairs.  The port
+    must parse as an integer in ``[1, 65535]`` and the host must be
+    non-empty — checked here, at configuration time, instead of deep
+    inside ``RemoteExecutor`` at connect time.
+    """
+    if isinstance(spec, str):
+        host, sep, port_text = spec.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            raise ValueError(
+                f"worker address must look like 'host:port', got {spec!r}"
+            )
+        host, port = host, int(port_text)
+    else:
+        try:
+            host, port = spec
+        except (TypeError, ValueError):
+            raise ValueError(
+                "worker address must be a 'host:port' string or a "
+                f"(host, port) pair, got {spec!r}"
+            ) from None
+        host = str(host)
+        try:
+            port = int(port)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"worker port must be an integer, got {port!r}"
+            ) from None
+        if not host:
+            raise ValueError(f"worker host must be non-empty, got {spec!r}")
+    if not 1 <= port <= 65535:
+        raise ValueError(
+            f"worker port must be in [1, 65535], got {port} in {spec!r}"
+        )
+    return host, port
+
+
+def _as_opt_bool(value: Any, knob: str) -> Optional[bool]:
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return value
+    raise ValueError(f"{knob} must be True, False, or None, got {value!r}")
+
+
+class EngineOptions:
+    """Every dataflow-engine knob, validated once, frozen forever.
+
+    Parameters
+    ----------
+    executor:
+        Backend name from the executor registry (``"sequential"``,
+        ``"thread"``, ``"multiprocess"``, ``"remote"``, or anything
+        registered via :func:`~repro.dataflow.executor.register_executor`)
+        or an already-built :class:`~repro.dataflow.executor.Executor`
+        instance.  Instances are shared, never closed by the context that
+        receives them.
+    num_shards:
+        Logical worker count per pipeline (>= 1).
+    spill_to_disk:
+        Keep materialized shards on disk (the larger-than-memory mode).
+    optimize:
+        Run the plan optimizer.  ``None`` defers to the engine-wide
+        default (the test harness's ``--no-optimize`` flips it).
+    stream_source:
+        Force chunked streaming ingest everywhere (``True``), force eager
+        ingest (``False``), or keep each beam's own default (``None``).
+    workers:
+        Remote-worker addresses (``"host:port"`` strings or ``(host,
+        port)`` pairs, normalized to strings).  Requires
+        ``executor="remote"``; validated here, not at connect time.
+    checkpoint_dir:
+        Persist every materialization boundary here, keyed by plan
+        digests; a killed run resumes from its last completed stage.
+    checkpoint_salt:
+        Content fingerprint standing in for streaming sources in the plan
+        digest.  Requires ``checkpoint_dir``.  Beams usually derive their
+        own per-stage salt via :meth:`derive`.
+    broadcast_min_bytes:
+        Captured-object size threshold for one-time closure broadcast on
+        the payload-shipping backends (multiprocess, remote); ignored by
+        the in-process backends.
+    stream_chunk_size:
+        Records per chunk for streaming sources (bounds driver memory
+        during ingest).
+    fuse:
+        Collapse adjacent element-wise stages into one pass per shard
+        (leave on; ``False`` exists to reproduce the historical eager
+        engine's stage-by-stage metrics).
+    """
+
+    __slots__ = (
+        "executor", "num_shards", "spill_to_disk", "optimize",
+        "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
+        "broadcast_min_bytes", "stream_chunk_size", "fuse", "_frozen",
+    )
+
+    #: Knob names in declaration order — the single list every
+    #: constructor, serializer, and CLI helper iterates.
+    _FIELDS = (
+        "executor", "num_shards", "spill_to_disk", "optimize",
+        "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
+        "broadcast_min_bytes", "stream_chunk_size", "fuse",
+    )
+
+    def __init__(
+        self,
+        executor: "str | Executor" = "sequential",
+        *,
+        num_shards: int = 8,
+        spill_to_disk: bool = False,
+        optimize: Optional[bool] = None,
+        stream_source: Optional[bool] = None,
+        workers: Optional[Iterable[Any]] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_salt: Optional[str] = None,
+        broadcast_min_bytes: int = DEFAULT_BROADCAST_MIN_BYTES,
+        stream_chunk_size: int = 4096,
+        fuse: bool = True,
+    ) -> None:
+        if isinstance(executor, Executor):
+            resolved_executor: "str | Executor" = executor
+        else:
+            executor = str(executor)
+            if executor not in executor_names():
+                raise ValueError(
+                    f"executor must be one of {executor_names()} or an "
+                    f"Executor instance, got {executor!r}"
+                )
+            resolved_executor = executor
+        num_shards = int(num_shards)
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        stream_chunk_size = int(stream_chunk_size)
+        if stream_chunk_size < 1:
+            raise ValueError(
+                f"stream_chunk_size must be >= 1, got {stream_chunk_size}"
+            )
+        broadcast_min_bytes = int(broadcast_min_bytes)
+        if broadcast_min_bytes < 0:
+            raise ValueError(
+                f"broadcast_min_bytes must be >= 0, got {broadcast_min_bytes}"
+            )
+        normalized_workers: Optional[Tuple[str, ...]] = None
+        if workers is not None:
+            if isinstance(workers, str):
+                workers = [w for w in workers.split(",") if w]
+            normalized_workers = tuple(
+                "{}:{}".format(*parse_worker_address(w)) for w in workers
+            )
+            if not normalized_workers:
+                normalized_workers = None
+        if isinstance(resolved_executor, Executor):
+            # An already-built instance carries its own workers and
+            # broadcast threshold; accepting these knobs alongside it
+            # would silently drop them (mirrors resolve_executor's
+            # opts-with-an-instance error).
+            if normalized_workers is not None:
+                raise ValueError(
+                    "workers requires an executor *name* (e.g. 'remote'); "
+                    f"the passed {type(resolved_executor).__name__} "
+                    "instance was already built with its own workers"
+                )
+            if broadcast_min_bytes != DEFAULT_BROADCAST_MIN_BYTES:
+                raise ValueError(
+                    "broadcast_min_bytes requires an executor *name*; "
+                    f"the passed {type(resolved_executor).__name__} "
+                    "instance was already built with its own threshold"
+                )
+        elif normalized_workers is not None and resolved_executor != "remote":
+            raise ValueError(
+                f"workers requires executor='remote', got "
+                f"executor={resolved_executor!r}"
+            )
+        if checkpoint_dir is not None:
+            checkpoint_dir = str(checkpoint_dir)
+        if checkpoint_salt is not None:
+            checkpoint_salt = str(checkpoint_salt)
+            if checkpoint_dir is None:
+                raise ValueError(
+                    "checkpoint_salt requires checkpoint_dir (a salt keys "
+                    "streaming sources inside a checkpoint directory)"
+                )
+        object.__setattr__(self, "executor", resolved_executor)
+        object.__setattr__(self, "num_shards", num_shards)
+        object.__setattr__(self, "spill_to_disk", bool(spill_to_disk))
+        object.__setattr__(
+            self, "optimize", _as_opt_bool(optimize, "optimize")
+        )
+        object.__setattr__(
+            self, "stream_source", _as_opt_bool(stream_source, "stream_source")
+        )
+        object.__setattr__(self, "workers", normalized_workers)
+        object.__setattr__(self, "checkpoint_dir", checkpoint_dir)
+        object.__setattr__(self, "checkpoint_salt", checkpoint_salt)
+        object.__setattr__(self, "broadcast_min_bytes", broadcast_min_bytes)
+        object.__setattr__(self, "stream_chunk_size", stream_chunk_size)
+        object.__setattr__(self, "fuse", bool(fuse))
+        object.__setattr__(self, "_frozen", True)
+
+    # -- immutability ------------------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError(
+                f"EngineOptions is immutable; use derive({name}=...) to "
+                "build a modified copy"
+            )
+        object.__setattr__(self, name, value)
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("EngineOptions is immutable")
+
+    # Immutable: copies are the object itself (lets dataclasses.asdict and
+    # deepcopy traverse containers holding options without mutation traps).
+    def __copy__(self) -> "EngineOptions":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "EngineOptions":
+        return self
+
+    def __reduce__(self):
+        return (_rebuild_options, (self._state(),))
+
+    def _state(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, EngineOptions):
+            return NotImplemented
+        return self._state() == other._state()
+
+    def __hash__(self) -> int:
+        state = self._state()
+        executor = state["executor"]
+        if isinstance(executor, Executor):
+            state["executor"] = id(executor)
+        return hash(tuple(sorted(state.items(), key=lambda kv: kv[0])))
+
+    def __repr__(self) -> str:
+        defaults = _DEFAULT_STATE
+        shown = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in self._FIELDS
+            if getattr(self, name) != defaults[name]
+        )
+        return f"EngineOptions({shown})"
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "EngineOptions":
+        """Build options from a plain mapping; unknown keys are an error."""
+        cls._check_known(mapping, "mapping")
+        return cls(**dict(mapping))
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineOptions":
+        """Build options from a JSON object (the ``--engine-options`` blob)."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"engine options JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+    #: Environment knobs: ``REPRO_ENGINE_<NAME>``.  Booleans accept
+    #: 1/0, true/false, yes/no, on/off (case-insensitive); the optional
+    #: booleans additionally accept ``none`` for "engine default";
+    #: workers is a comma-separated ``host:port`` list; a set-but-empty
+    #: variable counts as unset.
+    ENV_PREFIX = "REPRO_ENGINE_"
+
+    @classmethod
+    def _check_known(cls, mapping: Mapping[str, Any], what: str) -> None:
+        unknown = sorted(set(mapping) - set(cls._FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown engine option(s) {unknown} in {what}; expected a "
+                f"subset of {list(cls._FIELDS)}"
+            )
+
+    @classmethod
+    def _env_overrides(
+        cls, env: Optional[Mapping[str, str]] = None
+    ) -> Dict[str, Any]:
+        """Parse ``REPRO_ENGINE_*`` variables into an overrides dict.
+
+        Set-but-empty variables are skipped (the common way scripts
+        "unset" a knob); unknown ``REPRO_ENGINE_*`` variables are an
+        error — a typoed knob should fail loudly, not silently configure
+        nothing.
+        """
+        if env is None:
+            env = os.environ
+        overrides: Dict[str, Any] = {}
+        for key, raw in env.items():
+            if not key.startswith(cls.ENV_PREFIX):
+                continue
+            name = key[len(cls.ENV_PREFIX):].lower()
+            if name not in cls._FIELDS:
+                raise ValueError(
+                    f"unknown engine environment variable {key!r}; expected "
+                    f"{cls.ENV_PREFIX}{{{', '.join(f.upper() for f in cls._FIELDS)}}}"
+                )
+            if not raw.strip():
+                continue
+            overrides[name] = _parse_env_value(name, raw, key)
+        return overrides
+
+    @classmethod
+    def from_env(
+        cls,
+        env: Optional[Mapping[str, str]] = None,
+        *,
+        base: Optional["EngineOptions"] = None,
+    ) -> "EngineOptions":
+        """Build options from ``REPRO_ENGINE_*`` environment variables.
+
+        Unset (or set-but-empty) variables keep ``base``'s value (or the
+        default).
+        """
+        base = base if base is not None else cls()
+        return base.derive(**cls._env_overrides(env))
+
+    @classmethod
+    def from_namespace(
+        cls,
+        args: Any,
+        *,
+        base: Optional["EngineOptions"] = None,
+    ) -> "EngineOptions":
+        """Build options from an argparse namespace populated by
+        :func:`add_engine_arguments`.
+
+        Precedence: ``defaults < environment < --engine-options JSON file
+        < explicit flags``.  Flags the user did not pass are ``None`` in
+        the namespace and leave the lower layers untouched.  All layers
+        are merged *before* the single validating construction, so
+        cross-field constraints (e.g. ``workers`` from the environment
+        with ``--executor remote`` on the command line) hold for the
+        combination, not per layer.
+        """
+        state = (base if base is not None else cls())._state()
+        state.update(cls._env_overrides())
+        blob_path = getattr(args, "engine_options", None)
+        if blob_path:
+            with open(blob_path) as fh:
+                blob = json.load(fh)
+            if not isinstance(blob, dict):
+                raise ValueError(
+                    f"{blob_path}: engine options JSON must be an object"
+                )
+            cls._check_known(blob, blob_path)
+            state.update(blob)
+        state.update(
+            (name, getattr(args, name))
+            for name in cls._FIELDS
+            if getattr(args, name, None) is not None
+        )
+        executor = state.pop("executor")
+        return cls(executor, **state)
+
+    # -- derivation & serialization ----------------------------------------
+
+    def derive(self, **overrides: Any) -> "EngineOptions":
+        """A new ``EngineOptions`` with ``overrides`` applied and the full
+        validation re-run — the per-stage tweak primitive."""
+        self._check_known(overrides, "derive()")
+        state = self._state()
+        state.update(overrides)
+        executor = state.pop("executor")
+        return type(self)(executor, **state)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able dict (round-trips through :meth:`from_dict` when the
+        executor is a name; instances serialize as their backend name)."""
+        state = self._state()
+        executor = state["executor"]
+        if isinstance(executor, Executor):
+            state["executor"] = executor.name
+        if state["workers"] is not None:
+            state["workers"] = list(state["workers"])
+        return state
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    # -- resolution helpers ------------------------------------------------
+
+    def resolve_stream(self, default: bool) -> bool:
+        """The effective streaming-ingest choice for a beam whose own
+        default is ``default`` (``stream_source=None`` defers to it)."""
+        return default if self.stream_source is None else self.stream_source
+
+    def executor_factory_options(self) -> Dict[str, Any]:
+        """Backend factory kwargs implied by these options (the remote
+        backend's worker list; the broadcast threshold for the
+        payload-shipping backends)."""
+        if isinstance(self.executor, Executor):
+            return {}
+        opts: Dict[str, Any] = {}
+        if self.executor == "remote" and self.workers:
+            opts["workers"] = list(self.workers)
+        if (
+            self.executor in ("multiprocess", "remote")
+            and self.broadcast_min_bytes != DEFAULT_BROADCAST_MIN_BYTES
+        ):
+            opts["broadcast_min_bytes"] = self.broadcast_min_bytes
+        return opts
+
+
+def _rebuild_options(state: Dict[str, Any]) -> EngineOptions:
+    executor = state.pop("executor")
+    return EngineOptions(executor, **state)
+
+
+_DEFAULT_STATE = EngineOptions()._state()
+
+
+def _parse_env_value(name: str, raw: str, key: str) -> Any:
+    text = raw.strip()
+    if name in ("num_shards", "broadcast_min_bytes", "stream_chunk_size"):
+        try:
+            return int(text)
+        except ValueError:
+            raise ValueError(f"{key} must be an integer, got {raw!r}") from None
+    if name in ("spill_to_disk", "fuse", "optimize", "stream_source"):
+        lowered = text.lower()
+        if name in ("optimize", "stream_source") and lowered == "none":
+            return None
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(
+            f"{key} must be a boolean (1/0, true/false, yes/no, on/off), "
+            f"got {raw!r}"
+        )
+    if name == "workers":
+        return tuple(w for w in text.split(",") if w) or None
+    if name in ("checkpoint_dir", "checkpoint_salt", "executor"):
+        return text or None
+    raise AssertionError(name)  # pragma: no cover - guarded by caller
+
+
+def add_engine_arguments(parser: Any) -> Any:
+    """Attach the shared engine flag block to an argparse parser.
+
+    One definition replaces the hand-copied flag blocks that used to live
+    in every CLI entry point.  All defaults are ``None`` ("not passed"),
+    so :meth:`EngineOptions.from_namespace` can layer explicit flags over
+    the environment and an optional ``--engine-options`` JSON file.
+    Returns the created argument group.
+    """
+    group = parser.add_argument_group(
+        "engine options",
+        "dataflow-engine configuration (defaults < REPRO_ENGINE_* env "
+        "< --engine-options JSON < explicit flags)",
+    )
+    group.add_argument(
+        "--engine-options", default=None, metavar="FILE",
+        help="JSON file of EngineOptions fields (e.g. "
+             '{"executor": "thread", "num_shards": 16})',
+    )
+    group.add_argument(
+        "--executor", choices=tuple(executor_names()), default=None,
+        help="dataflow engine backend: sequential, persistent thread "
+             "pool, persistent worker-process pool, or a remote TCP "
+             "worker cluster",
+    )
+    group.add_argument(
+        "--num-shards", dest="num_shards", type=int, default=None,
+        help="dataflow logical worker count",
+    )
+    group.add_argument(
+        "--spill-to-disk", dest="spill_to_disk", action="store_true",
+        default=None,
+        help="keep dataflow shards on disk (larger-than-memory mode)",
+    )
+    group.add_argument(
+        "--no-spill-to-disk", dest="spill_to_disk", action="store_false",
+        help="keep shards in memory (overrides a spill_to_disk set via "
+             "environment or --engine-options)",
+    )
+    group.add_argument(
+        "--no-optimize", dest="optimize", action="store_false", default=None,
+        help="disable the dataflow plan optimizer (combiner lifting, "
+             "redundant-shuffle elision, post-shuffle fusion) and run "
+             "the naive plan",
+    )
+    group.add_argument(
+        "--optimize", dest="optimize", action="store_true",
+        help="run the plan optimizer (overrides an optimize=false set "
+             "via environment or --engine-options)",
+    )
+    group.add_argument(
+        "--stream-source", dest="stream_source", action="store_true",
+        default=None,
+        help="ingest every dataflow source through chunked streaming "
+             "(the driver never materializes the ground set); by default "
+             "each beam keeps its own ingest mode",
+    )
+    group.add_argument(
+        "--no-stream-source", dest="stream_source", action="store_false",
+        help="force eager ingest everywhere (disables the bounding "
+             "stage's default streaming)",
+    )
+    group.add_argument(
+        "--workers", default=None,
+        help="comma-separated host:port list of remote worker daemons "
+             "(python -m repro.dataflow.remote.worker); with --executor "
+             "remote and no list, two localhost workers are auto-spawned",
+    )
+    group.add_argument(
+        "--checkpoint-dir", dest="checkpoint_dir", default=None,
+        help="persist dataflow stage outputs here (plan-digest keyed); "
+             "rerunning an identical, killed job resumes from the last "
+             "completed stage",
+    )
+    group.add_argument(
+        "--broadcast-min-bytes", dest="broadcast_min_bytes", type=int,
+        default=None,
+        help="closure-capture size threshold for one-time broadcast on "
+             "the multiprocess/remote backends",
+    )
+    group.add_argument(
+        "--stream-chunk-size", dest="stream_chunk_size", type=int,
+        default=None,
+        help="records per chunk for streaming sources",
+    )
+    return group
+
+
+def legacy_engine_options(
+    legacy: Mapping[str, Any],
+    *,
+    options: Optional[EngineOptions],
+    context: Optional["DataflowContext"],
+    api: str,
+    stacklevel: int = 3,
+) -> Optional[EngineOptions]:
+    """Fold deprecated per-function engine kwargs into an ``EngineOptions``.
+
+    ``legacy`` maps knob name → passed value, with :data:`UNSET` marking
+    "not passed".  When any knob was actually passed: warn
+    (``DeprecationWarning``), reject mixing with the new API, and build
+    the equivalent options object — results are bit-identical because the
+    new path consumes exactly the same values.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not UNSET}
+    if not passed:
+        return options
+    if options is not None or context is not None:
+        raise TypeError(
+            f"{api}: pass engine configuration either through the new "
+            f"API (options=EngineOptions(...) / a shared context) or "
+            f"through the deprecated keywords {sorted(passed)}, not both"
+        )
+    warnings.warn(
+        f"{api}: the engine keyword(s) {sorted(passed)} are deprecated; "
+        f"pass options=EngineOptions(...) (or share a DataflowContext) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return EngineOptions.from_dict(passed)
+
+
+class DataflowContext:
+    """Owns the resolved executor + checkpoint directory for a run.
+
+    ``DataflowContext(options)`` resolves the executor once (spawning the
+    worker cluster for the remote backend); every pipeline built through
+    :meth:`pipeline` shares it.  ``close()`` — or exiting the ``with``
+    block — tears the executor down *iff* the context created it: an
+    :class:`~repro.dataflow.executor.Executor` instance passed in via
+    ``options.executor`` is shared and left running, exactly as pipelines
+    treat passed-in executors.
+
+    The context also aggregates the checkpoint digests every pipeline of
+    the run touched (computed, stored, or resumed), so
+    :meth:`gc_checkpoints` can drop exactly the stale entries.
+    """
+
+    def __init__(self, options: Optional[EngineOptions] = None, **kwargs: Any):
+        if options is None:
+            options = EngineOptions(**kwargs)
+        elif kwargs:
+            options = options.derive(**kwargs)
+        self.options = options
+        self.executor = resolve_executor(
+            options.executor, **options.executor_factory_options()
+        )
+        self._owns_executor = not isinstance(options.executor, Executor)
+        self.touched_checkpoint_digests: "set[str]" = set()
+        self._closed = False
+
+    def pipeline(self, **overrides: Any):
+        """A :class:`~repro.dataflow.pcollection.Pipeline` wired to this
+        context's executor and options.
+
+        ``overrides`` are per-pipeline :class:`EngineOptions` tweaks
+        (``checkpoint_salt=...`` is the common one — each beam derives its
+        own salt from the data it streams).  The pipeline never owns the
+        executor; closing it leaves the context's executor running.
+        """
+        from repro.dataflow.pcollection import Pipeline
+
+        if self._closed:
+            raise RuntimeError("DataflowContext closed")
+        o = self.options.derive(**overrides) if overrides else self.options
+        return Pipeline(
+            o.num_shards,
+            spill_to_disk=o.spill_to_disk,
+            executor=self.executor,
+            fuse=o.fuse,
+            optimize=o.optimize,
+            stream_chunk_size=o.stream_chunk_size,
+            checkpoint_dir=o.checkpoint_dir,
+            checkpoint_salt=o.checkpoint_salt,
+            touched_digests=self.touched_checkpoint_digests,
+        )
+
+    def gc_checkpoints(self, keep: Iterable[str] = ()) -> int:
+        """Delete checkpoint entries no pipeline of this run touched.
+
+        Returns the number of entries removed.  ``keep`` protects extra
+        digests (e.g. from a sibling run sharing the directory).  A
+        context without a checkpoint directory has nothing to collect.
+        """
+        from repro.dataflow.pcollection import gc_checkpoint_entries
+
+        return gc_checkpoint_entries(
+            self.options.checkpoint_dir,
+            self.touched_checkpoint_digests | set(keep),
+        )
+
+    def close(self) -> None:
+        """Release the executor (only if this context created it)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "DataflowContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _SharedContext:
+    """Context-manager view of a caller-owned :class:`DataflowContext`
+    (exiting does not close it) — what beams use when handed a context."""
+
+    def __init__(self, context: DataflowContext) -> None:
+        self._context = context
+
+    def __enter__(self) -> DataflowContext:
+        return self._context
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+def engine_context(
+    options: Optional[EngineOptions],
+    context: Optional[DataflowContext],
+):
+    """The beams' entry contract: yield a usable ``DataflowContext``.
+
+    A passed-in ``context`` is shared (never closed here); otherwise a
+    fresh context is built from ``options`` (or pure defaults) and closed
+    when the beam finishes.
+    """
+    if context is not None:
+        if options is not None:
+            raise TypeError("pass either options= or context=, not both")
+        return _SharedContext(context)
+    return DataflowContext(options if options is not None else EngineOptions())

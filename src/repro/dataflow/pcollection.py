@@ -130,6 +130,7 @@ import tempfile
 import uuid
 import weakref
 from collections.abc import Collection
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.dataflow.executor import (
@@ -211,6 +212,35 @@ class Fold:
         )
 
 
+class PTransform:
+    """A named composite transform: a reusable sub-pipeline.
+
+    Subclasses implement :meth:`expand`, building an arbitrary chain of
+    primitive transforms (and other composites) on the input collection.
+    Applying one — ``pcoll.apply(MyTransform(...))`` or the Beam-style
+    ``pcoll | MyTransform(...)`` — runs :meth:`expand` inside a *composite
+    scope*: every node built during expansion is tagged with the
+    transform's name, and :meth:`PCollection.explain` renders those nodes
+    as a collapsible named group.  Results, metrics, and plan rewrites are
+    exactly those of the expanded primitives; composites are organization,
+    not semantics.
+
+    The reusable composites extracted from the beam entry points live in
+    :mod:`repro.dataflow.library`.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name if name is not None else type(self).__name__
+
+    def expand(self, pcoll: "PCollection") -> "PCollection":
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement expand(pcoll)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
 class _PipelineState:
     """Shared liveness flag, visible to spilled shards (even across fork)."""
 
@@ -268,6 +298,36 @@ class _ShardGroup:
         for part in self.parts:
             out.extend(_resolve(part))
         return out
+
+
+def gc_checkpoint_entries(
+    checkpoint_dir: Optional[str], protected: "set[str]"
+) -> int:
+    """Delete every ``.ckpt`` entry whose digest is not in ``protected``,
+    plus orphaned ``.ckpt.tmp-*`` write leftovers from killed runs.
+
+    The single scan-and-unlink loop behind both
+    :meth:`Pipeline.gc_checkpoints` and
+    :meth:`repro.dataflow.options.DataflowContext.gc_checkpoints`.
+    Returns the number of entries removed.  (GC is a post-run operation;
+    a tmp file unlinked under a *concurrent* writer merely skips that
+    writer's store — stores are best-effort by design.)
+    """
+    if checkpoint_dir is None or not os.path.isdir(checkpoint_dir):
+        return 0
+    removed = 0
+    for entry in os.listdir(checkpoint_dir):
+        if entry.endswith(".ckpt"):
+            if entry[: -len(".ckpt")] in protected:
+                continue
+        elif ".ckpt.tmp-" not in entry:
+            continue
+        try:
+            os.unlink(os.path.join(checkpoint_dir, entry))
+            removed += 1
+        except OSError:  # pragma: no cover - concurrent GC
+            pass
+    return removed
 
 
 def _stable_shard(key: Any, num_shards: int) -> int:
@@ -328,12 +388,12 @@ class _Node:
 
     __slots__ = (
         "kind", "name", "deps", "fn", "extra", "cached", "consumers",
-        "claims_released", "lifted_from", "__weakref__"
+        "claims_released", "lifted_from", "scope", "__weakref__"
     )
 
     def __init__(
         self, kind: str, deps: tuple = (), fn=None, extra=None,
-        name: str = "",
+        name: str = "", scope: tuple = (),
     ) -> None:
         self.kind = kind
         self.name = name
@@ -344,6 +404,9 @@ class _Node:
         self.consumers = 0
         self.claims_released = False
         self.lifted_from: Optional[str] = None
+        #: Composite-scope tokens ``(label, seq)`` — which named composite
+        #: application(s) built this node; ``explain()`` groups by it.
+        self.scope = scope
 
     def release_claims(self) -> None:
         """Drop this node's claim on its deps' ``consumers`` counts.
@@ -591,6 +654,7 @@ class Pipeline:
         stream_chunk_size: int = 4096,
         checkpoint_dir: Optional[str] = None,
         checkpoint_salt: Optional[str] = None,
+        touched_digests: "Optional[set]" = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -608,6 +672,16 @@ class Pipeline:
         self.checkpoint_salt = checkpoint_salt
         self.executor = resolve_executor(executor)
         self._owns_executor = not isinstance(executor, Executor)
+        #: Checkpoint digests this run computed, stored, or resumed —
+        #: the "still live" set :meth:`gc_checkpoints` protects.  A
+        #: caller-supplied set (``touched_digests``) lets a
+        #: :class:`~repro.dataflow.options.DataflowContext` aggregate
+        #: across every pipeline of a multi-stage run.
+        self.touched_checkpoint_digests: "set[str]" = (
+            touched_digests if touched_digests is not None else set()
+        )
+        self._scope: tuple = ()
+        self._scope_seq = 0
         self._state = _PipelineState()
         self._nodes: "weakref.WeakSet[_Node]" = weakref.WeakSet()
         self._digest_memo: "weakref.WeakKeyDictionary[_Node, Optional[str]]" = (
@@ -716,11 +790,27 @@ class Pipeline:
     def _new_node(
         self, kind: str, deps: tuple = (), fn=None, extra=None, name: str = ""
     ) -> _Node:
-        node = _Node(kind, deps, fn, extra, name=name)
+        node = _Node(kind, deps, fn, extra, name=name, scope=self._scope)
         for dep in deps:
             dep.consumers += 1
         self._nodes.add(node)
         return node
+
+    @contextmanager
+    def composite_scope(self, label: str):
+        """Tag every node built inside the block with composite ``label``.
+
+        Entered by :meth:`PCollection.apply`; scopes nest.  Each entry is
+        a distinct application (two applications of the same composite
+        render as two groups), hence the sequence token.
+        """
+        self._scope_seq += 1
+        prev = self._scope
+        self._scope = prev + ((str(label), self._scope_seq),)
+        try:
+            yield
+        finally:
+            self._scope = prev
 
     def _from_materialized(
         self, shards: List[list], *, keyed: bool, name: str = "source"
@@ -888,6 +978,25 @@ class Pipeline:
             # in the spill dir until close() — harmless.)
             return None
 
+    def gc_checkpoints(self, keep: Iterable[str] = ()) -> int:
+        """Drop checkpoint entries whose plan digest this run never touched.
+
+        Checkpoint directories only grow: every plan change (new data,
+        different shard count, edited DoFns) keys fresh boundaries and
+        strands the old ones.  After a successful run, this deletes every
+        ``.ckpt`` entry the run neither computed, stored, nor resumed —
+        i.e. everything no longer reachable from the current plan.
+        ``keep`` protects extra digests (e.g. a sibling configuration
+        sharing the directory).  Returns the number of entries removed.
+
+        For multi-pipeline runs, prefer
+        :meth:`repro.dataflow.options.DataflowContext.gc_checkpoints`,
+        which aggregates the touched sets of every stage first.
+        """
+        return gc_checkpoint_entries(
+            self.checkpoint_dir, self.touched_checkpoint_digests | set(keep)
+        )
+
     # -- plan optimization -------------------------------------------------
 
     def _lift_combiners(self, node: _Node) -> None:
@@ -1018,6 +1127,7 @@ class Pipeline:
             # a hit skips the whole subtree below this boundary.
             digest = self._node_digest(node)
             if digest is not None:
+                self.touched_checkpoint_digests.add(digest)
                 loaded = self._checkpoint_load(digest)
                 if loaded is not None:
                     self.metrics.observe_checkpoint_hit()
@@ -1275,10 +1385,16 @@ class Pipeline:
     # -- plan rendering ----------------------------------------------------
 
     def _explain(self, node: _Node) -> str:
-        """Render the physical plan that a sink on ``node`` would execute."""
+        """Render the physical plan that a sink on ``node`` would execute.
+
+        Stages built by a named composite (:meth:`PCollection.apply`)
+        render indented under a ``[composite '<name>']`` header — one
+        group per application, nesting with nested composites.  Plans
+        without composites render exactly as before.
+        """
         if self.optimize and node.cached is None:
             self._lift_combiners(node)
-        lines: List[str] = []
+        lines: List[Tuple[tuple, str]] = []
         memo: dict = {}
         ref = self._render_plan(node, lines, memo)
         header = (
@@ -1286,18 +1402,44 @@ class Pipeline:
             f"fuse={'on' if self.fuse else 'off'}, "
             f"shards={self.num_shards})"
         )
-        return "\n".join([header] + lines + [f"result <- {ref}"])
+        rendered: List[str] = [header]
+        open_scope: tuple = ()
+        opened: set = set()
+        for scope, text in lines:
+            common = 0
+            for ours, theirs in zip(open_scope, scope):
+                if ours != theirs:
+                    break
+                common += 1
+            for depth in range(common, len(scope)):
+                token = scope[depth]
+                # An out-of-scope line (e.g. another input's source) can
+                # interleave with a composite's stages; re-entering the
+                # same application is marked, not shown as a new one.
+                marker = " (resumed)" if token in opened else ""
+                opened.add(token)
+                rendered.append(
+                    "  " * depth + f"[composite '{token[0]}'{marker}]"
+                )
+            open_scope = scope
+            rendered.append("  " * len(scope) + text)
+        rendered.append(f"result <- {ref}")
+        return "\n".join(rendered)
 
-    def _emit(self, lines: List[str], text: str) -> str:
+    def _emit(
+        self, lines: List[Tuple[tuple, str]], text: str, scope: tuple = ()
+    ) -> str:
         ref = f"S{len(lines) + 1}"
-        lines.append(f"{ref}: {text}")
+        lines.append((scope, f"{ref}: {text}"))
         return ref
 
     @staticmethod
     def _describe(node: _Node) -> str:
         return f"{node.kind} '{node.name}'" if node.name else node.kind
 
-    def _render_plan(self, node: _Node, lines: List[str], memo: dict) -> str:
+    def _render_plan(
+        self, node: _Node, lines: List[Tuple[tuple, str]], memo: dict
+    ) -> str:
         key = id(node)
         if key in memo:
             return memo[key]
@@ -1311,6 +1453,7 @@ class Pipeline:
                 lines,
                 f"stream source '{node.name}' "
                 f"(chunks of {self.stream_chunk_size})",
+                node.scope,
             )
         elif kind in _ELEMENTWISE:
             chain, base, base_live, _ = self._peek_chain(node.deps[0])
@@ -1320,14 +1463,20 @@ class Pipeline:
                 ref = self._render_shuffle(base, lines, memo, post=desc)
             else:
                 base_ref = self._render_plan(base, lines, memo)
-                ref = self._emit(lines, f"{desc} <- {base_ref}")
+                ref = self._emit(lines, f"{desc} <- {base_ref}", node.scope)
         else:
             ref = self._render_shuffle(node, lines, memo, post="")
         memo[key] = ref
         return ref
 
     def _render_write(
-        self, dep: _Node, lines: List[str], memo: dict, *, label: str
+        self,
+        dep: _Node,
+        lines: List[Tuple[tuple, str]],
+        memo: dict,
+        *,
+        label: str,
+        scope: tuple = (),
     ) -> str:
         """Render one shuffle write (with fused producers / elided reshards)."""
         chain, base, _, elided = self._peek_chain(dep, for_shuffle=True)
@@ -1339,17 +1488,19 @@ class Pipeline:
             ) + "]"
         for elided_node in elided:
             text += f" (elided {self._describe(elided_node)})"
-        return self._emit(lines, f"{text} <- {base_ref}")
+        return self._emit(lines, f"{text} <- {base_ref}", scope)
 
     def _render_shuffle(
-        self, node: _Node, lines: List[str], memo: dict, *, post: str
+        self, node: _Node, lines: List[Tuple[tuple, str]], memo: dict,
+        *, post: str
     ) -> str:
         kind = node.kind
+        scope = node.scope
         fused_note = f" + {post} [post-shuffle fused]" if post else ""
         if kind == "reshard":
             return self._render_write(
                 node.deps[0], lines, memo,
-                label=f"shuffle {self._describe(node)}",
+                label=f"shuffle {self._describe(node)}", scope=scope,
             )
         if kind == "reshuffle":
             chain, base, _, _ = self._peek_chain(node.deps[0])
@@ -1359,23 +1510,28 @@ class Pipeline:
                 text += " [fused: " + " + ".join(
                     self._describe(n) for n in chain
                 ) + "]"
-            return self._emit(lines, f"{text} <- {base_ref}")
+            return self._emit(lines, f"{text} <- {base_ref}", scope)
         if kind == "group":
             write = self._render_write(
                 node.deps[0], lines, memo,
-                label=f"shuffle-write {self._describe(node)}",
+                label=f"shuffle-write {self._describe(node)}", scope=scope,
             )
             return self._emit(
-                lines, f"group-read {self._describe(node)}{fused_note} <- {write}"
+                lines,
+                f"group-read {self._describe(node)}{fused_note} <- {write}",
+                scope,
             )
         if kind == "combine_per_key":
             label = f"combine-write {self._describe(node)}"
             if node.lifted_from is not None:
                 label += f" (lifted from group '{node.lifted_from}')"
-            write = self._render_write(node.deps[0], lines, memo, label=label)
+            write = self._render_write(
+                node.deps[0], lines, memo, label=label, scope=scope
+            )
             return self._emit(
                 lines,
                 f"combine-read {self._describe(node)}{fused_note} <- {write}",
+                scope,
             )
         if kind == "cogroup":
             writes = []
@@ -1385,6 +1541,7 @@ class Pipeline:
                         self._render_write(
                             dep, lines, memo,
                             label=f"cogroup-write #{tag} {self._describe(node)}",
+                            scope=scope,
                         )
                     )
                 else:
@@ -1394,12 +1551,14 @@ class Pipeline:
                             lines,
                             f"cogroup-write #{tag} {self._describe(node)} "
                             f"<- {dep_ref}",
+                            scope,
                         )
                     )
             return self._emit(
                 lines,
                 f"cogroup-read {self._describe(node)}{fused_note} <- "
                 + ", ".join(writes),
+                scope,
             )
         if kind == "flatten":
             dep_refs = [
@@ -1409,9 +1568,10 @@ class Pipeline:
                 lines,
                 f"flatten {self._describe(node)}{fused_note} <- "
                 + ", ".join(dep_refs),
+                scope,
             )
         if kind == "source":  # uncached source: pipeline was closed
-            return self._emit(lines, f"read source '{node.name}'")
+            return self._emit(lines, f"read source '{node.name}'", scope)
         raise AssertionError(  # pragma: no cover - construction bug
             f"unknown node kind {kind!r}"
         )
@@ -1481,6 +1641,37 @@ class PCollection:
     def cache(self) -> "PCollection":
         """Materialize and pin this collection's shards (alias of run())."""
         return self.run()
+
+    # -- composite transforms ----------------------------------------------
+
+    def apply(self, transform: "PTransform", *, name: Optional[str] = None) -> "PCollection":
+        """Apply a named composite transform (see :class:`PTransform`).
+
+        Expands the transform inside a composite scope, so
+        :meth:`explain` renders its stages as a named group.  ``name``
+        overrides the transform's own label for this application.
+        ``pcoll | transform`` is sugar for ``pcoll.apply(transform)``.
+        """
+        expand = getattr(transform, "expand", None)
+        if not callable(expand):
+            raise TypeError(
+                "apply() takes a PTransform (an object with "
+                f"expand(pcoll)), got {type(transform).__name__}"
+            )
+        label = name if name is not None else (
+            getattr(transform, "name", None) or type(transform).__name__
+        )
+        with self.pipeline.composite_scope(label):
+            result = expand(self)
+        if not isinstance(result, PCollection):
+            raise TypeError(
+                f"composite '{label}' must expand to a PCollection, "
+                f"got {type(result).__name__}"
+            )
+        return result
+
+    def __or__(self, transform: "PTransform") -> "PCollection":
+        return self.apply(transform)
 
     # -- element-wise transforms (no shuffle) --------------------------------
 

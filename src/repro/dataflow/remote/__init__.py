@@ -21,9 +21,11 @@ makes it cross process — and machine — boundaries:
 
 The backend registers as ``"remote"`` in
 :func:`repro.dataflow.executor.resolve_executor`, so
-``Pipeline(executor="remote")``, ``SelectorConfig(executor="remote",
-workers=(...))`` and ``--executor remote --workers host:port,...`` all
-reach it without touching engine code.
+``EngineOptions("remote", workers=(...))`` — and therefore every beam,
+``SelectorConfig``, and ``--executor remote --workers host:port,...`` —
+reaches it without touching engine code.  Worker addresses are validated
+(``host:port`` shape, port range) at ``EngineOptions`` construction, not
+at connect time.
 """
 
 from repro.dataflow.remote.client import RemoteExecutor

@@ -57,16 +57,17 @@ from repro.dataflow.remote.protocol import (
 
 
 def _parse_address(spec) -> Tuple[str, int]:
-    """``"host:port"`` / ``(host, port)`` → ``(host, port)``."""
-    if isinstance(spec, str):
-        host, _, port = spec.rpartition(":")
-        if not host or not port.isdigit():
-            raise ValueError(
-                f"worker address must look like 'host:port', got {spec!r}"
-            )
-        return host, int(port)
-    host, port = spec
-    return str(host), int(port)
+    """``"host:port"`` / ``(host, port)`` → ``(host, port)``.
+
+    Delegates to the engine's single address validator
+    (:func:`repro.dataflow.options.parse_worker_address`), so malformed
+    addresses and out-of-range ports fail identically whether they arrive
+    here or at :class:`~repro.dataflow.options.EngineOptions`
+    construction.
+    """
+    from repro.dataflow.options import parse_worker_address
+
+    return parse_worker_address(spec)
 
 
 class _Channel:

@@ -4,91 +4,52 @@ Computes ``f(S)`` without holding ``S`` on any machine: fan out the neighbor
 graph, join against the solution to keep edges whose *neighbor* endpoint is
 selected, invert, join against the solution again to keep edges whose
 *source* endpoint is selected, reduce to a per-point score, and sum — "our
-function is decomposable".
+function is decomposable".  The pairwise chain is packaged as the
+:class:`SelectedEdgeMass` composite, so ``explain()`` renders it as one
+named group.
+
+Engine configuration is one :class:`~repro.dataflow.options.EngineOptions`
+(``options=``) or a shared :class:`~repro.dataflow.options.DataflowContext`
+(``context=``).  This beam streams its graph/utility/solution generators
+by default (``options.stream_source=None``); the old per-call engine
+keywords are deprecated shims.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.core.distributed import fingerprint, problem_fingerprint
 from repro.core.problem import SubsetProblem
 from repro.dataflow.metrics import PipelineMetrics
-from repro.dataflow.pcollection import Pipeline
+from repro.dataflow.options import (
+    UNSET,
+    DataflowContext,
+    EngineOptions,
+    engine_context,
+    legacy_engine_options,
+)
+from repro.dataflow.pcollection import PCollection, PTransform
 from repro.dataflow.transforms import cogroup, sum_globally
 
 
-def beam_score(
-    problem: SubsetProblem,
-    subset_ids: np.ndarray,
-    *,
-    num_shards: int = 8,
-    executor="sequential",
-    spill_to_disk: bool = False,
-    optimize: "bool | None" = None,
-    stream_source: bool = True,
-    checkpoint_dir: "str | None" = None,
-) -> Tuple[float, PipelineMetrics]:
-    """Distributed evaluation of the pairwise submodular objective.
+class SelectedEdgeMass(PTransform):
+    """Per-point pairwise mass restricted to a selected subset.
 
-    Returns ``(f(S), metrics)``; the metrics witness that no shard held more
-    than ~``(n + nnz) / num_shards`` records.  The graph/utility/solution
-    sources are generator-fed and stream in bounded chunks by default
-    (``stream_source=False`` forces eager ingest); ``optimize`` toggles
-    the plan optimizer (cogroup write-side fusion, reshard elision,
-    post-shuffle fusion of the join consumers).  ``checkpoint_dir``
-    persists the join boundaries keyed by a plan digest salted with the
-    problem and subset contents, so a rerun of the same scoring job skips
-    completed stages.
+    Input: the keyed neighbor lists ``(v, [(neighbor, weight), ...])``.
+    Output: one float per selected point — the summed weight of its edges
+    whose *both* endpoints are selected.  Two membership joins against the
+    solution (no machine ever holds the subset as a lookup table).
     """
-    subset_ids = np.asarray(subset_ids, dtype=np.int64)
-    if subset_ids.size and (
-        subset_ids.min() < 0 or subset_ids.max() >= problem.n
-    ):
-        raise ValueError("subset ids out of range")
-    checkpoint_salt = None
-    if checkpoint_dir is not None:
-        checkpoint_salt = fingerprint(
-            "score-sources", problem_fingerprint(problem), subset_ids
-        )
-    pipeline = Pipeline(
-        num_shards, executor=executor, spill_to_disk=spill_to_disk,
-        optimize=optimize,
-        checkpoint_dir=checkpoint_dir, checkpoint_salt=checkpoint_salt,
-    )
-    stream = bool(stream_source)
-    g = problem.graph
-    try:
-        neighbors = pipeline.create_keyed(
-            (
-                (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
-                             g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
-                for v in range(g.n)
-            ),
-            name="score/neighbors",
-            stream=stream,
-        )
-        utilities = pipeline.create_keyed(
-            ((v, float(problem.utilities[v])) for v in range(problem.n)),
-            name="score/utilities",
-            stream=stream,
-        )
-        solution = pipeline.create_keyed(
-            ((int(v), True) for v in subset_ids), name="score/solution",
-            stream=stream,
-        )
 
-        # Unary term: utilities of selected points.
-        unary = cogroup([utilities, solution], name="score/unary_join").flat_map(
-            lambda kv: [kv[1][0][0]] if kv[1][1] else [], name="score/unary"
-        )
-        unary_sum = sum_globally(unary)
+    def __init__(self, solution: PCollection, *, name: str = "SelectedEdgeMass") -> None:
+        super().__init__(name)
+        self.solution = solution
 
-        # Pairwise term.  Fan out keyed by the neighbor endpoint, keep edges
-        # whose neighbor is selected, invert, keep edges whose source is
-        # selected; each surviving (a, b, s) has both endpoints in S.
+    def expand(self, neighbors: PCollection) -> PCollection:
+        solution = self.solution
         fanned = neighbors.flat_map(
             lambda kv: [(b, (kv[0], s)) for b, s in kv[1]], name="score/fan_out"
         ).as_keyed(name="score/fan_out_key")
@@ -99,7 +60,9 @@ def beam_score(
                 return []
             return [(b, s) for b, s in edges]
 
-        half_edges = cogroup([fanned, solution], name="score/neighbor_join").flat_map(
+        half_edges = cogroup(
+            [fanned, solution], name="score/neighbor_join"
+        ).flat_map(
             keep_selected_neighbor, name="score/invert"
         ).as_keyed(name="score/invert_key")
 
@@ -109,13 +72,90 @@ def beam_score(
                 return []
             return [float(sum(sims))]
 
-        pair_mass = cogroup([half_edges, solution], name="score/source_join").flat_map(
-            per_point_mass, name="score/per_point"
-        )
-        # Symmetric CSR double-counts each undirected edge.
-        pairwise_sum = sum_globally(pair_mass) / 2.0
+        return cogroup(
+            [half_edges, solution], name="score/source_join"
+        ).flat_map(per_point_mass, name="score/per_point")
 
-        score = problem.alpha * unary_sum - problem.beta * pairwise_sum
-        return float(score), pipeline.metrics
-    finally:
-        pipeline.close()
+
+def beam_score(
+    problem: SubsetProblem,
+    subset_ids: np.ndarray,
+    *,
+    options: Optional[EngineOptions] = None,
+    context: Optional[DataflowContext] = None,
+    num_shards=UNSET,
+    executor=UNSET,
+    spill_to_disk=UNSET,
+    optimize=UNSET,
+    stream_source=UNSET,
+    checkpoint_dir=UNSET,
+) -> Tuple[float, PipelineMetrics]:
+    """Distributed evaluation of the pairwise submodular objective.
+
+    Returns ``(f(S), metrics)``; the metrics witness that no shard held more
+    than ~``(n + nnz) / num_shards`` records.  Engine knobs live on
+    ``options`` (or a shared ``context``); with a checkpoint directory the
+    join boundaries key on a plan digest salted with the problem and
+    subset contents, so a rerun of the same scoring job skips completed
+    stages.
+    """
+    options = legacy_engine_options(
+        {
+            "num_shards": num_shards, "executor": executor,
+            "spill_to_disk": spill_to_disk, "optimize": optimize,
+            "stream_source": stream_source, "checkpoint_dir": checkpoint_dir,
+        },
+        options=options, context=context, api="beam_score",
+    )
+    subset_ids = np.asarray(subset_ids, dtype=np.int64)
+    if subset_ids.size and (
+        subset_ids.min() < 0 or subset_ids.max() >= problem.n
+    ):
+        raise ValueError("subset ids out of range")
+    g = problem.graph
+    with engine_context(options, context) as ctx:
+        opts = ctx.options
+        pipeline_overrides = {}
+        if opts.checkpoint_dir is not None:
+            pipeline_overrides["checkpoint_salt"] = fingerprint(
+                "score-sources", problem_fingerprint(problem), subset_ids
+            )
+        pipeline = ctx.pipeline(**pipeline_overrides)
+        stream = opts.resolve_stream(True)
+        try:
+            neighbors = pipeline.create_keyed(
+                (
+                    (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
+                                 g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
+                    for v in range(g.n)
+                ),
+                name="score/neighbors",
+                stream=stream,
+            )
+            utilities = pipeline.create_keyed(
+                ((v, float(problem.utilities[v])) for v in range(problem.n)),
+                name="score/utilities",
+                stream=stream,
+            )
+            solution = pipeline.create_keyed(
+                ((int(v), True) for v in subset_ids), name="score/solution",
+                stream=stream,
+            )
+
+            # Unary term: utilities of selected points.
+            unary = cogroup(
+                [utilities, solution], name="score/unary_join"
+            ).flat_map(
+                lambda kv: [kv[1][0][0]] if kv[1][1] else [], name="score/unary"
+            )
+            unary_sum = sum_globally(unary)
+
+            # Pairwise term; the symmetric CSR double-counts each
+            # undirected edge.
+            pair_mass = neighbors.apply(SelectedEdgeMass(solution))
+            pairwise_sum = sum_globally(pair_mass) / 2.0
+
+            score = problem.alpha * unary_sum - problem.beta * pairwise_sum
+            return float(score), pipeline.metrics
+        finally:
+            pipeline.close()

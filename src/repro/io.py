@@ -85,11 +85,15 @@ def load_dataset_file(path: str) -> SelectionDataset:
 
 def report_to_dict(report: SelectionReport) -> Dict[str, Any]:
     """JSON-serializable summary of a selection run."""
+    config = asdict(report.config)
+    # EngineOptions is not a dataclass; serialize it through its own
+    # JSON-able form (an executor *instance* serializes as its name).
+    config["options"] = report.config.options.to_dict()
     out: Dict[str, Any] = {
         "version": _FORMAT_VERSION,
         "selected": report.selected.tolist(),
         "objective": report.objective,
-        "config": asdict(report.config),
+        "config": config,
     }
     if report.bounding is not None:
         b = report.bounding

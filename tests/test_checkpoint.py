@@ -20,7 +20,7 @@ import pytest
 
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
-from repro.dataflow import beam_bound, beam_distributed_greedy
+from repro.dataflow import EngineOptions, beam_bound, beam_distributed_greedy
 from repro.dataflow.executor import MultiprocessExecutor
 from repro.dataflow.pcollection import Fold, Pipeline
 
@@ -195,16 +195,17 @@ class TestBeamCheckpointing:
         ckpt = str(tmp_path / "ckpt")
         k = problem.n // 10
         reference, ref_metrics = beam_bound(
-            problem, k, mode="exact", num_shards=4, seed=0
+            problem, k, mode="exact", seed=0,
+            options=EngineOptions(num_shards=4),
         )
         first, m1 = beam_bound(
-            problem, k, mode="exact", num_shards=4, seed=0,
-            checkpoint_dir=ckpt,
+            problem, k, mode="exact", seed=0,
+            options=EngineOptions(num_shards=4, checkpoint_dir=ckpt),
         )
         assert m1.checkpoint_stores > 0
         second, m2 = beam_bound(
-            problem, k, mode="exact", num_shards=4, seed=0,
-            checkpoint_dir=ckpt,
+            problem, k, mode="exact", seed=0,
+            options=EngineOptions(num_shards=4, checkpoint_dir=ckpt),
         )
         for result in (first, second):
             np.testing.assert_array_equal(result.solution, reference.solution)
@@ -218,14 +219,15 @@ class TestBeamCheckpointing:
         match a fresh run exactly."""
         ckpt = str(tmp_path / "ckpt")
         k = problem.n // 10
-        beam_bound(problem, k, mode="approximate", p=0.5, num_shards=4,
-                   seed=0, checkpoint_dir=ckpt)
+        beam_bound(problem, k, mode="approximate", p=0.5, seed=0,
+                   options=EngineOptions(num_shards=4, checkpoint_dir=ckpt))
         resumed, _ = beam_bound(
-            problem, k, mode="approximate", p=0.5, num_shards=4, seed=1,
-            checkpoint_dir=ckpt,
+            problem, k, mode="approximate", p=0.5, seed=1,
+            options=EngineOptions(num_shards=4, checkpoint_dir=ckpt),
         )
         fresh, _ = beam_bound(
-            problem, k, mode="approximate", p=0.5, num_shards=4, seed=1
+            problem, k, mode="approximate", p=0.5, seed=1,
+            options=EngineOptions(num_shards=4),
         )
         np.testing.assert_array_equal(resumed.solution, fresh.solution)
         np.testing.assert_array_equal(resumed.remaining, fresh.remaining)
@@ -233,15 +235,16 @@ class TestBeamCheckpointing:
     def test_greedy_drive_resumes(self, tmp_path, problem):
         ckpt = str(tmp_path / "ckpt")
         reference, _ = beam_distributed_greedy(
-            problem, 20, m=4, rounds=2, num_shards=4, seed=7
+            problem, 20, m=4, rounds=2, seed=7,
+            options=EngineOptions(num_shards=4),
         )
         first, _ = beam_distributed_greedy(
-            problem, 20, m=4, rounds=2, num_shards=4, seed=7,
-            checkpoint_dir=ckpt,
+            problem, 20, m=4, rounds=2, seed=7,
+            options=EngineOptions(num_shards=4, checkpoint_dir=ckpt),
         )
         second, m2 = beam_distributed_greedy(
-            problem, 20, m=4, rounds=2, num_shards=4, seed=7,
-            checkpoint_dir=ckpt,
+            problem, 20, m=4, rounds=2, seed=7,
+            options=EngineOptions(num_shards=4, checkpoint_dir=ckpt),
         )
         np.testing.assert_array_equal(first.selected, reference.selected)
         np.testing.assert_array_equal(second.selected, reference.selected)
@@ -252,9 +255,10 @@ class TestBeamCheckpointing:
 
         def run(checkpoint_dir=None):
             config = SelectorConfig(
-                bounding="exact", machines=2, rounds=2,
-                engine="dataflow", num_shards=4,
-                checkpoint_dir=checkpoint_dir,
+                bounding="exact", machines=2, rounds=2, engine="dataflow",
+                options=EngineOptions(
+                    num_shards=4, checkpoint_dir=checkpoint_dir
+                ),
             )
             return DistributedSelector(problem, config).select(12, seed=3)
 
@@ -294,8 +298,9 @@ _KILL_SCRIPT = textwrap.dedent(
 
     ds = load_dataset("cifar100_tiny", n_points=120, seed=0)
     problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
-    beam_bound(problem, 12, mode="exact", num_shards=4,
-               checkpoint_dir=ckpt, seed=0)
+    from repro.dataflow import EngineOptions
+    beam_bound(problem, 12, mode="exact", seed=0,
+               options=EngineOptions(num_shards=4, checkpoint_dir=ckpt))
     print("COMPLETED-WITHOUT-KILL")
     """
 )
@@ -329,11 +334,12 @@ class TestCrashResume:
         assert not [f for f in os.listdir(ckpt) if ".tmp-" in f]
 
         reference, ref_metrics = beam_bound(
-            problem, 12, mode="exact", num_shards=4, seed=0
+            problem, 12, mode="exact", seed=0,
+            options=EngineOptions(num_shards=4),
         )
         resumed, metrics = beam_bound(
-            problem, 12, mode="exact", num_shards=4, seed=0,
-            checkpoint_dir=ckpt,
+            problem, 12, mode="exact", seed=0,
+            options=EngineOptions(num_shards=4, checkpoint_dir=ckpt),
         )
         np.testing.assert_array_equal(resumed.solution, reference.solution)
         np.testing.assert_array_equal(resumed.remaining, reference.remaining)

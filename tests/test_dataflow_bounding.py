@@ -6,7 +6,7 @@ import pytest
 from repro.core.bounding import bound
 from repro.core.objective import PairwiseObjective
 from repro.core.problem import SubsetProblem
-from repro.dataflow import beam_bound, beam_score
+from repro.dataflow import EngineOptions, beam_bound, beam_score
 from tests.conftest import random_problem
 
 
@@ -23,7 +23,7 @@ class TestBeamBoundingEquivalence:
     def test_exact_mode_matches_memory(self, problem, k_fraction):
         k = int(problem.n * k_fraction)
         mem = bound(problem, k, mode="exact")
-        beam, _ = beam_bound(problem, k, mode="exact", num_shards=4)
+        beam, _ = beam_bound(problem, k, mode="exact", options=EngineOptions(num_shards=4))
         np.testing.assert_array_equal(mem.solution, beam.solution)
         np.testing.assert_array_equal(mem.remaining, beam.remaining)
         assert mem.grow_rounds == beam.grow_rounds
@@ -35,7 +35,7 @@ class TestBeamBoundingEquivalence:
             p = random_problem(80, seed=seed, avg_degree=5)
             k = 12
             mem = bound(p, k, mode="exact")
-            beam, _ = beam_bound(p, k, mode="exact", num_shards=3)
+            beam, _ = beam_bound(p, k, mode="exact", options=EngineOptions(num_shards=3))
             np.testing.assert_array_equal(mem.solution, beam.solution)
             np.testing.assert_array_equal(mem.remaining, beam.remaining)
 
@@ -44,7 +44,8 @@ class TestBeamBoundingEquivalence:
         k = problem.n // 10
         mem = bound(problem, k, mode="approximate", p=0.3, seed=0)
         beam, _ = beam_bound(
-            problem, k, mode="approximate", p=0.3, num_shards=4, seed=0
+            problem, k, mode="approximate", p=0.3, seed=0,
+            options=EngineOptions(num_shards=4),
         )
         # Different sampling streams, same qualitative outcome: both decide
         # far more than exact bounding does.
@@ -60,14 +61,15 @@ class TestBeamBoundingEquivalence:
         k = problem.n // 10
         beam, _ = beam_bound(
             problem, k, mode="approximate", sampler="weighted", p=0.3,
-            num_shards=4, seed=1,
+            seed=1, options=EngineOptions(num_shards=4),
         )
         assert beam.n_included + beam.k_remaining == k
 
     def test_memory_bound_claim(self, problem):
         """No shard ever holds anything near the whole ground set + edges."""
         total_records = problem.n + problem.graph.num_directed_edges
-        _, metrics = beam_bound(problem, problem.n // 10, num_shards=8)
+        _, metrics = beam_bound(problem, problem.n // 10,
+                                options=EngineOptions(num_shards=8))
         assert metrics.peak_shard_records < total_records / 2
         assert metrics.shuffled_records > 0
 
@@ -82,12 +84,12 @@ class TestBeamScoring:
         rng = np.random.default_rng(0)
         for k in (0, 1, 25, 200):
             ids = np.sort(rng.choice(problem.n, size=k, replace=False))
-            beam_value, _ = beam_score(problem, ids, num_shards=4)
+            beam_value, _ = beam_score(problem, ids, options=EngineOptions(num_shards=4))
             assert beam_value == pytest.approx(obj.value(ids), abs=1e-9)
 
     def test_memory_bound(self, problem):
         ids = np.arange(0, problem.n, 2)
-        _, metrics = beam_score(problem, ids, num_shards=8)
+        _, metrics = beam_score(problem, ids, options=EngineOptions(num_shards=8))
         total = problem.n + problem.graph.num_directed_edges
         assert metrics.peak_shard_records < total / 2
 

@@ -7,6 +7,7 @@ from repro.core.distributed import distributed_greedy
 from repro.core.greedy import greedy_heap
 from repro.core.objective import PairwiseObjective
 from repro.dataflow.greedy_beam import beam_distributed_greedy
+from repro.dataflow.options import EngineOptions
 
 
 class TestBeamDistributedGreedy:
@@ -43,7 +44,8 @@ class TestBeamDistributedGreedy:
 
     def test_memory_metered(self, tiny_problem):
         _, metrics = beam_distributed_greedy(
-            tiny_problem, 40, m=4, rounds=2, num_shards=8, seed=0
+            tiny_problem, 40, m=4, rounds=2, seed=0,
+            options=EngineOptions(num_shards=8),
         )
         assert metrics.peak_shard_records < tiny_problem.n
         assert metrics.shuffled_records > 0

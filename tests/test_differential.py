@@ -30,6 +30,7 @@ import numpy as np
 import pytest
 
 from repro.dataflow.executor import MultiprocessExecutor, ThreadExecutor
+from repro.dataflow.options import DataflowContext, EngineOptions
 from repro.dataflow.pcollection import Fold, Pipeline
 from repro.dataflow.remote import LocalCluster, RemoteExecutor
 from repro.dataflow.transforms import cogroup, flatten
@@ -187,7 +188,10 @@ def _run_program(seed: int, pipeline: Pipeline):
 def _run_cell(
     seed: int, optimize: bool, executor_name: str, spill: bool, cluster=None
 ):
-    """One configuration cell: fresh pipeline + executor, canonical results."""
+    """One configuration cell, driven through the public configuration
+    surface: an ``EngineOptions`` (holding the cell's backend, plan, and
+    storage knobs) resolved by a ``DataflowContext`` that owns the
+    executor lifecycle and builds the pipeline."""
     if executor_name == "thread":
         executor = ThreadExecutor(min_parallel_records=0)
     elif executor_name == "multiprocess":
@@ -196,19 +200,23 @@ def _run_cell(
         executor = RemoteExecutor(workers=cluster.addresses)
     else:
         executor = "sequential"
+    options = EngineOptions(
+        executor,
+        num_shards=N_SHARDS,
+        spill_to_disk=spill,
+        optimize=optimize,
+        stream_chunk_size=STREAM_CHUNK,
+    )
     try:
-        pipeline = Pipeline(
-            num_shards=N_SHARDS,
-            executor=executor,
-            spill_to_disk=spill,
-            optimize=optimize,
-            stream_chunk_size=STREAM_CHUNK,
-        )
-        try:
-            return _run_program(seed, pipeline)
-        finally:
-            pipeline.close()
+        with DataflowContext(options) as ctx:
+            pipeline = ctx.pipeline()
+            try:
+                return _run_program(seed, pipeline)
+            finally:
+                pipeline.close()
     finally:
+        # The context closes only executors it resolved from a name; the
+        # instance-backed cells tear their executor down here.
         if not isinstance(executor, str):
             executor.close()
 

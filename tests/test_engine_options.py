@@ -1,0 +1,698 @@
+"""The unified engine API: ``EngineOptions``, ``DataflowContext``,
+composite transforms, checkpoint GC, and the deprecated-kwarg shims.
+
+Covers the API-redesign contract end to end:
+
+- ``EngineOptions`` round-trips between every construction surface
+  (kwargs ↔ dict/JSON ↔ ``REPRO_ENGINE_*`` environment ↔ argparse), with
+  all validation — registry-backed executor names, ``host:port`` worker
+  addresses with port-range checks, checkpoint settings — at
+  construction time;
+- ``DataflowContext`` owns the executor lifecycle (shares passed-in
+  instances, closes name-resolved ones) and aggregates touched
+  checkpoint digests across pipelines for :meth:`gc_checkpoints`;
+- named composites render as collapsible groups in ``explain()`` on the
+  real kNN and bounding plans;
+- the deprecated flat keywords on the beams and ``SelectorConfig`` warn
+  and produce **bit-identical results and metrics** to the new API.
+"""
+
+import json
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DistributedSelector, SelectorConfig
+from repro.core.problem import SubsetProblem
+from repro.dataflow import (
+    DataflowContext,
+    EngineOptions,
+    Fold,
+    Pipeline,
+    SequentialExecutor,
+    ShardedKnn,
+    TopKPerKey,
+    beam_bound,
+    beam_knn_graph,
+)
+from repro.dataflow.bounding_beam import BeamBoundingDriver
+from repro.dataflow.options import (
+    add_engine_arguments,
+    parse_worker_address,
+)
+from tests.conftest import random_problem
+from tests.test_knn import clustered_points
+
+
+class TestEngineOptionsValidation:
+    def test_defaults(self):
+        o = EngineOptions()
+        assert o.executor == "sequential"
+        assert o.num_shards == 8
+        assert o.optimize is None and o.stream_source is None
+        assert o.workers is None
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            EngineOptions("threads")
+
+    def test_executor_instance_accepted(self):
+        executor = SequentialExecutor()
+        assert EngineOptions(executor).executor is executor
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_shards=0),
+        dict(stream_chunk_size=0),
+        dict(broadcast_min_bytes=-1),
+    ])
+    def test_range_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineOptions(**kwargs)
+
+    def test_workers_require_remote(self):
+        with pytest.raises(ValueError, match="remote"):
+            EngineOptions("thread", workers=("localhost:7077",))
+
+    def test_instance_executor_rejects_factory_only_knobs(self):
+        """workers / broadcast_min_bytes configure the executor *factory*;
+        pairing them with an already-built instance would silently drop
+        them, so it is an error instead."""
+        executor = SequentialExecutor()
+        with pytest.raises(ValueError, match="instance"):
+            EngineOptions(executor, workers=("h:1",))
+        with pytest.raises(ValueError, match="instance"):
+            EngineOptions(executor, broadcast_min_bytes=1024)
+
+    def test_worker_addresses_validated_at_construction(self):
+        """Satellite bugfix: a malformed address fails here, not deep
+        inside RemoteExecutor at connect time."""
+        for bad in ("localhost", "host:", ":7077", "host:port", "host:0",
+                    "host:65536", "host:-1"):
+            with pytest.raises(ValueError):
+                EngineOptions("remote", workers=(bad,))
+
+    def test_worker_addresses_normalized(self):
+        o = EngineOptions("remote", workers=[("10.0.0.1", 7077), "h:80"])
+        assert o.workers == ("10.0.0.1:7077", "h:80")
+        # A comma-separated string (the CLI/env form) also parses.
+        assert EngineOptions("remote", workers="a:1,b:2").workers == (
+            "a:1", "b:2"
+        )
+
+    def test_parse_worker_address_port_range(self):
+        assert parse_worker_address("h:65535") == ("h", 65535)
+        with pytest.raises(ValueError, match="65535"):
+            parse_worker_address("h:99999")
+        with pytest.raises(ValueError):
+            parse_worker_address(("h", "nope"))
+
+    def test_checkpoint_salt_requires_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            EngineOptions(checkpoint_salt="s")
+
+    def test_immutable(self):
+        o = EngineOptions()
+        with pytest.raises(AttributeError, match="derive"):
+            o.num_shards = 4
+
+    def test_derive_revalidates(self):
+        o = EngineOptions("remote", workers=("h:1",))
+        assert o.derive(num_shards=2).num_shards == 2
+        with pytest.raises(ValueError, match="remote"):
+            o.derive(executor="thread")  # workers now orphaned
+        with pytest.raises(ValueError, match="unknown engine option"):
+            o.derive(shards=2)
+
+
+class TestEngineOptionsRoundTrips:
+    OPTIONS = EngineOptions(
+        "remote", num_shards=16, spill_to_disk=True, optimize=False,
+        stream_source=True, workers=("10.0.0.1:7077", "10.0.0.2:7078"),
+        checkpoint_dir="ckpt", checkpoint_salt="v1",
+        broadcast_min_bytes=1024, stream_chunk_size=512, fuse=True,
+    )
+
+    def test_dict_round_trip(self):
+        assert EngineOptions.from_dict(self.OPTIONS.to_dict()) == self.OPTIONS
+        with pytest.raises(ValueError, match="unknown engine option"):
+            EngineOptions.from_dict({"shards": 4})
+
+    def test_json_round_trip(self):
+        assert EngineOptions.from_json(self.OPTIONS.to_json()) == self.OPTIONS
+        with pytest.raises(ValueError, match="object"):
+            EngineOptions.from_json("[1, 2]")
+
+    def test_env_round_trip(self):
+        env = {
+            "REPRO_ENGINE_EXECUTOR": "remote",
+            "REPRO_ENGINE_NUM_SHARDS": "16",
+            "REPRO_ENGINE_SPILL_TO_DISK": "yes",
+            "REPRO_ENGINE_OPTIMIZE": "false",
+            "REPRO_ENGINE_STREAM_SOURCE": "1",
+            "REPRO_ENGINE_WORKERS": "10.0.0.1:7077,10.0.0.2:7078",
+            "REPRO_ENGINE_CHECKPOINT_DIR": "ckpt",
+            "REPRO_ENGINE_CHECKPOINT_SALT": "v1",
+            "REPRO_ENGINE_BROADCAST_MIN_BYTES": "1024",
+            "REPRO_ENGINE_STREAM_CHUNK_SIZE": "512",
+            "REPRO_ENGINE_FUSE": "on",
+            "UNRELATED": "ignored",
+        }
+        assert EngineOptions.from_env(env) == self.OPTIONS
+
+    def test_env_rejects_unknown_and_bad_values(self):
+        with pytest.raises(ValueError, match="REPRO_ENGINE_SHARDS"):
+            EngineOptions.from_env({"REPRO_ENGINE_SHARDS": "4"})
+        with pytest.raises(ValueError, match="boolean"):
+            EngineOptions.from_env({"REPRO_ENGINE_FUSE": "maybe"})
+        with pytest.raises(ValueError, match="integer"):
+            EngineOptions.from_env({"REPRO_ENGINE_NUM_SHARDS": "many"})
+
+    def test_env_optional_bool_none(self):
+        o = EngineOptions.from_env({"REPRO_ENGINE_OPTIMIZE": "none"})
+        assert o.optimize is None
+
+    def test_argparse_round_trip(self):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        args = parser.parse_args([
+            "--executor", "remote", "--num-shards", "16", "--spill-to-disk",
+            "--no-optimize", "--stream-source",
+            "--workers", "10.0.0.1:7077,10.0.0.2:7078",
+            "--checkpoint-dir", "ckpt",
+            "--broadcast-min-bytes", "1024", "--stream-chunk-size", "512",
+        ])
+        got = EngineOptions.from_namespace(args)
+        # --checkpoint-salt is not a CLI flag; everything else matches.
+        assert got == self.OPTIONS.derive(checkpoint_salt=None)
+
+    def test_namespace_precedence_env_json_flags(self, tmp_path, monkeypatch):
+        """defaults < environment < --engine-options JSON < explicit flags."""
+        import argparse
+
+        monkeypatch.setenv("REPRO_ENGINE_NUM_SHARDS", "2")
+        monkeypatch.setenv("REPRO_ENGINE_SPILL_TO_DISK", "1")
+        blob = tmp_path / "options.json"
+        blob.write_text(json.dumps({"num_shards": 4, "executor": "thread"}))
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+
+        args = parser.parse_args(["--engine-options", str(blob)])
+        o = EngineOptions.from_namespace(args)
+        assert (o.num_shards, o.executor, o.spill_to_disk) == (4, "thread", True)
+
+        args = parser.parse_args(
+            ["--engine-options", str(blob), "--num-shards", "6"]
+        )
+        assert EngineOptions.from_namespace(args).num_shards == 6
+
+        args = parser.parse_args([])
+        assert EngineOptions.from_namespace(args).num_shards == 2
+
+    def test_namespace_cross_layer_constraints(self, tmp_path, monkeypatch):
+        """Cross-field validation runs on the merged layers, not per
+        layer: workers from the environment plus --executor remote from
+        the command line is a valid combination."""
+        import argparse
+
+        monkeypatch.setenv("REPRO_ENGINE_WORKERS", "10.0.0.1:7077")
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        args = parser.parse_args(["--executor", "remote"])
+        o = EngineOptions.from_namespace(args)
+        assert (o.executor, o.workers) == ("remote", ("10.0.0.1:7077",))
+        # checkpoint_salt from a JSON file + --checkpoint-dir flag, too.
+        monkeypatch.delenv("REPRO_ENGINE_WORKERS")
+        blob = tmp_path / "options.json"
+        blob.write_text(json.dumps({"checkpoint_salt": "v1"}))
+        args = parser.parse_args(
+            ["--engine-options", str(blob), "--checkpoint-dir", "ckpt"]
+        )
+        o = EngineOptions.from_namespace(args)
+        assert (o.checkpoint_dir, o.checkpoint_salt) == ("ckpt", "v1")
+
+    def test_boolean_flags_override_lower_layers_both_ways(self, monkeypatch):
+        """--no-spill-to-disk / --optimize can undo env/JSON settings, so
+        the documented precedence holds in both directions."""
+        import argparse
+
+        monkeypatch.setenv("REPRO_ENGINE_SPILL_TO_DISK", "1")
+        monkeypatch.setenv("REPRO_ENGINE_OPTIMIZE", "0")
+        parser = argparse.ArgumentParser()
+        add_engine_arguments(parser)
+        args = parser.parse_args(["--no-spill-to-disk", "--optimize"])
+        o = EngineOptions.from_namespace(args)
+        assert (o.spill_to_disk, o.optimize) == (False, True)
+
+    def test_env_empty_value_is_unset(self, monkeypatch):
+        """A set-but-empty variable (how scripts 'unset' knobs) keeps the
+        default instead of crashing validation."""
+        o = EngineOptions.from_env({
+            "REPRO_ENGINE_EXECUTOR": "",
+            "REPRO_ENGINE_NUM_SHARDS": " ",
+            "REPRO_ENGINE_OPTIMIZE": "",
+        })
+        assert o == EngineOptions()
+
+
+class TestDataflowContext:
+    def test_owns_named_executor(self):
+        ctx = DataflowContext(EngineOptions("sequential"))
+        executor = ctx.executor
+        ctx.close()
+        with pytest.raises(RuntimeError):
+            ctx.pipeline()
+        assert executor is not None
+
+    def test_shares_instance_executor(self):
+        executor = SequentialExecutor()
+        with DataflowContext(EngineOptions(executor)) as ctx:
+            assert ctx.executor is executor
+        # Shared instances survive the context.
+        assert executor.run_stage(len, [[1, 2]]) == [2]
+
+    def test_pipelines_share_the_executor(self):
+        executor = SequentialExecutor()
+        with DataflowContext(EngineOptions(executor, num_shards=3)) as ctx:
+            first = ctx.pipeline()
+            second = ctx.pipeline()
+            assert first.executor is executor is second.executor
+            assert first.num_shards == 3
+            assert sorted(first.create(range(5)).to_list()) == list(range(5))
+            first.close()
+            # Closing one pipeline leaves the shared executor usable.
+            assert second.create(range(4)).count() == 4
+            second.close()
+
+    def test_per_pipeline_overrides(self, tmp_path):
+        options = EngineOptions(checkpoint_dir=str(tmp_path / "ckpt"))
+        with DataflowContext(options) as ctx:
+            pipeline = ctx.pipeline(checkpoint_salt="stage-a")
+            assert pipeline.checkpoint_salt == "stage-a"
+            assert pipeline.checkpoint_dir == options.checkpoint_dir
+            pipeline.close()
+
+    def test_bounding_driver_closes_private_context_on_init_failure(
+        self, small_problem, monkeypatch
+    ):
+        """A constructor failure after the driver entered its private
+        context must not leak the context (or its executor/cluster)."""
+        closed = []
+        original = DataflowContext.close
+
+        def spying_close(self):
+            closed.append(1)
+            original(self)
+
+        monkeypatch.setattr(DataflowContext, "close", spying_close)
+        with pytest.raises(TypeError):
+            BeamBoundingDriver(
+                small_problem, options=EngineOptions(num_shards=4),
+                seed=object(),
+            )
+        assert closed
+
+
+def _checkpointed_job(pipeline, n):
+    return sorted(
+        pipeline.create(range(n), name="src")
+        .key_by(lambda x: x % 5)
+        .group_by_key()
+        .map_values(Fold.sum())
+        .to_list()
+    )
+
+
+class TestCheckpointGc:
+    def test_untouched_entries_dropped(self, tmp_path):
+        """ROADMAP follow-up: directories only grow — GC drops entries
+        whose plan digest the current run never touched."""
+        ckpt = str(tmp_path / "ckpt")
+
+        def run(n, gc=False):
+            pipeline = Pipeline(num_shards=4, checkpoint_dir=ckpt)
+            try:
+                out = _checkpointed_job(pipeline, n)
+                removed = pipeline.gc_checkpoints() if gc else 0
+                return out, pipeline.metrics, removed
+            finally:
+                pipeline.close()
+
+        run(100)
+        stale = set(os.listdir(ckpt))
+        assert stale
+        # A different input keys entirely new boundaries...
+        _, m2, removed = run(101, gc=True)
+        assert m2.checkpoint_hits == 0
+        # ...so GC drops exactly the first run's entries.
+        assert removed == len(stale)
+        assert not (set(os.listdir(ckpt)) & stale)
+        # The second run still resumes from its own (kept) entries.
+        out3, m3, _ = run(101)
+        assert m3.checkpoint_hits > 0
+
+    def test_touched_entries_survive(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        pipeline = Pipeline(num_shards=4, checkpoint_dir=ckpt)
+        try:
+            first = _checkpointed_job(pipeline, 80)
+            assert pipeline.gc_checkpoints() == 0
+        finally:
+            pipeline.close()
+        rerun = Pipeline(num_shards=4, checkpoint_dir=ckpt)
+        try:
+            assert _checkpointed_job(rerun, 80) == first
+            assert rerun.metrics.checkpoint_hits > 0
+        finally:
+            rerun.close()
+
+    def test_orphaned_tmp_files_collected(self, tmp_path):
+        """A run killed mid-store leaves '.ckpt.tmp-*' leftovers; GC must
+        collect them (they are the same unbounded-growth problem)."""
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "aaaa.ckpt.tmp-deadbeef").write_bytes(b"partial")
+        pipeline = Pipeline(num_shards=2, checkpoint_dir=str(ckpt))
+        try:
+            assert pipeline.gc_checkpoints() == 1
+            assert os.listdir(ckpt) == []
+        finally:
+            pipeline.close()
+
+    def test_keep_protects_foreign_digests(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "aaaa.ckpt").write_bytes(b"x")
+        (ckpt / "bbbb.ckpt").write_bytes(b"x")
+        pipeline = Pipeline(num_shards=2, checkpoint_dir=str(ckpt))
+        try:
+            assert pipeline.gc_checkpoints(keep=["aaaa"]) == 1
+            assert os.listdir(ckpt) == ["aaaa.ckpt"]
+        finally:
+            pipeline.close()
+
+    def test_context_aggregates_across_pipelines(self, tmp_path):
+        """The selector scenario: bounding and greedy each run their own
+        pipeline; GC through the context must protect both stages'
+        entries."""
+        ckpt = str(tmp_path / "ckpt")
+        with DataflowContext(EngineOptions(checkpoint_dir=ckpt)) as ctx:
+            a = ctx.pipeline()
+            _checkpointed_job(a, 60)
+            a.close()
+            b = ctx.pipeline()
+            sorted(b.create(range(40), name="other").map(lambda x: -x).to_list())
+            b.close()
+            assert ctx.gc_checkpoints() == 0
+        survivors = set(os.listdir(ckpt))
+        # Both stages' boundaries are still on disk.
+        assert len(survivors) >= 2
+
+    def test_checkpoint_gc_requires_dataflow_and_dir(self):
+        """A checkpoint_gc run that could never collect anything is a
+        configuration error, not a silent no-op."""
+        with pytest.raises(ValueError, match="checkpoint_gc"):
+            SelectorConfig(engine="dataflow", checkpoint_gc=True)
+        with pytest.raises(ValueError, match="checkpoint_gc"):
+            SelectorConfig(
+                checkpoint_gc=True,
+                options=EngineOptions(checkpoint_dir="ckpt"),
+            )
+
+    def test_selector_checkpoint_gc_flag(self, tmp_path):
+        ds_problem = random_problem(60, seed=7)
+        ckpt = str(tmp_path / "ckpt")
+
+        def config(**kwargs):
+            return SelectorConfig(
+                bounding="exact", machines=2, rounds=2, engine="dataflow",
+                options=EngineOptions(num_shards=4, checkpoint_dir=ckpt),
+                **kwargs,
+            )
+
+        DistributedSelector(ds_problem, config()).select(10, seed=0)
+        # Strand some entries by changing the budget (different plans).
+        before = set(os.listdir(ckpt))
+        report = DistributedSelector(
+            ds_problem, config(checkpoint_gc=True)
+        ).select(12, seed=0)
+        assert report.extra["checkpoint_gc_removed"] > 0
+        assert set(os.listdir(ckpt)) != before
+
+
+class TestCompositeGroups:
+    """Acceptance: explain() shows named composite groups on the real
+    kNN and bounding plans."""
+
+    def test_knn_plan_shows_sharded_knn_group(self):
+        x, _ = clustered_points(n=80, n_clusters=4)
+        from repro.graph.knn import l2_normalize
+
+        xn = l2_normalize(x)
+        centroids = xn[:4]
+        pipeline = Pipeline(num_shards=4)
+        try:
+            merged = pipeline.create(range(80), name="knn/source").apply(
+                ShardedKnn(xn, centroids, k=5, nprobe=2)
+            )
+            plan = merged.explain()
+        finally:
+            pipeline.close()
+        assert "[composite 'ShardedKnn']" in plan
+        # Stages inside the group are indented under the header.
+        header = plan.index("[composite 'ShardedKnn']")
+        assert "\n  S" in plan[header:]
+
+    def test_bounding_plan_shows_bounding_filter_group(self, small_problem):
+        driver = BeamBoundingDriver(
+            small_problem, options=EngineOptions(num_shards=4)
+        )
+        try:
+            solution = driver.pipeline.create_keyed([], name="state/solution")
+            remaining = driver.pipeline.create_keyed(
+                [(v, True) for v in range(small_problem.n)],
+                name="state/remaining",
+            )
+            plan = driver._compute_bounds(solution, remaining).explain()
+        finally:
+            driver.close()
+        assert "[composite 'BoundingFilter']" in plan
+        assert "bound/threeway_join" in plan
+        # One application is one group: interleaved out-of-scope lines
+        # (the streamed utility source) mark re-entry as resumed instead
+        # of opening what reads like a second application.
+        assert plan.count("[composite 'BoundingFilter']") == 1
+        resumed = plan.count("[composite 'BoundingFilter' (resumed)]")
+        headers = plan.count("composite 'BoundingFilter'")
+        assert headers == 1 + resumed
+
+    def test_greedy_round_group_named_per_round(self, small_problem):
+        from repro.dataflow import beam_distributed_greedy
+
+        result, metrics = beam_distributed_greedy(
+            small_problem, 8, m=2, rounds=2, seed=0,
+            options=EngineOptions(num_shards=4),
+        )
+        assert len(result) == 8  # composites are organization, not semantics
+
+    def test_unscoped_plans_render_unchanged(self):
+        pipeline = Pipeline(num_shards=2)
+        try:
+            plan = pipeline.create(range(4)).map(lambda x: x).explain()
+        finally:
+            pipeline.close()
+        assert "composite" not in plan
+
+    def test_apply_rejects_non_transforms(self):
+        pipeline = Pipeline(num_shards=2)
+        try:
+            with pytest.raises(TypeError, match="PTransform"):
+                pipeline.create(range(4)).apply(lambda c: c)
+        finally:
+            pipeline.close()
+
+    def test_or_sugar(self):
+        pipeline = Pipeline(num_shards=2)
+        try:
+            pairs = pipeline.create_keyed(
+                [(i % 2, (i, float(i))) for i in range(10)]
+            )
+            best = pairs | TopKPerKey(2)
+            out = dict(best.to_list())
+        finally:
+            pipeline.close()
+        assert out[0] == [(8, 8.0), (6, 6.0)]
+        assert out[1] == [(9, 9.0), (7, 7.0)]
+
+
+class TestTopKPerKey:
+    def test_matches_brute_force_and_lifts(self):
+        rng = np.random.default_rng(0)
+        pairs = [
+            (int(rng.integers(5)), (int(rng.integers(40)), float(rng.integers(100))))
+            for _ in range(300)
+        ]
+        expected = {}
+        for key, (item, score) in pairs:
+            best = expected.setdefault(key, {})
+            if item not in best or score > best[item]:
+                best[item] = score
+        expected = {
+            key: sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+            for key, best in expected.items()
+        }
+        for optimize in (True, False):
+            pipeline = Pipeline(num_shards=4, optimize=optimize)
+            try:
+                got = dict(
+                    pipeline.create_keyed(pairs).apply(TopKPerKey(3)).to_list()
+                )
+                lifted = pipeline.metrics.lifted_combiners
+            finally:
+                pipeline.close()
+            assert got == expected, optimize
+            assert lifted == (1 if optimize else 0)
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            TopKPerKey(0)
+
+
+class TestDeprecatedKwargShims:
+    """Satellite: the old flat keywords warn and are bit-identical —
+    results *and* metrics — to the new API (these are the only tests
+    that may catch the DeprecationWarning)."""
+
+    @staticmethod
+    def _semantic(metrics):
+        return (
+            metrics.peak_shard_records, metrics.shuffled_records,
+            metrics.executed_stages, metrics.fused_stages,
+            metrics.lifted_combiners, metrics.elided_shuffles,
+        )
+
+    def test_knn_beam_legacy_path_bit_identical(self):
+        x, _ = clustered_points(n=120, n_clusters=4)
+        _, new_nbrs, new_sims, new_metrics = beam_knn_graph(
+            x, 5, seed=0, options=EngineOptions(num_shards=4),
+        )
+        with pytest.deprecated_call():
+            _, old_nbrs, old_sims, old_metrics = beam_knn_graph(
+                x, 5, seed=0, num_shards=4,
+            )
+        np.testing.assert_array_equal(old_nbrs, new_nbrs)
+        np.testing.assert_array_equal(old_sims, new_sims)
+        assert self._semantic(old_metrics) == self._semantic(new_metrics)
+
+    def test_bounding_beam_legacy_path_bit_identical(self, small_problem):
+        k = small_problem.n // 6
+        new, new_metrics = beam_bound(
+            small_problem, k, mode="exact",
+            options=EngineOptions(num_shards=4, spill_to_disk=True),
+        )
+        with pytest.deprecated_call():
+            old, old_metrics = beam_bound(
+                small_problem, k, mode="exact", num_shards=4,
+                spill_to_disk=True,
+            )
+        np.testing.assert_array_equal(old.solution, new.solution)
+        np.testing.assert_array_equal(old.remaining, new.remaining)
+        assert self._semantic(old_metrics) == self._semantic(new_metrics)
+
+    def test_selector_config_legacy_kwargs(self):
+        with pytest.deprecated_call():
+            old = SelectorConfig(engine="dataflow", executor="thread",
+                                 num_shards=4, spill_to_disk=True)
+        new = SelectorConfig(
+            engine="dataflow",
+            options=EngineOptions("thread", num_shards=4, spill_to_disk=True),
+        )
+        assert old == new
+        assert old.executor == "thread" and old.num_shards == 4
+
+    def test_selector_config_legacy_workers_validated(self):
+        """Satellite bugfix: bad worker addresses fail at config time —
+        and no object.__setattr__ normalization hack is involved."""
+        with pytest.deprecated_call():
+            cfg = SelectorConfig(engine="dataflow", executor="remote",
+                                 workers=["h:1", ("g", 2)])
+        assert cfg.workers == ("h:1", "g:2")
+        with pytest.deprecated_call(), pytest.raises(ValueError):
+            SelectorConfig(engine="dataflow", executor="remote",
+                           workers=["h:99999"])
+
+    def test_bounding_config_legacy_engine_kwargs(self, small_problem):
+        """BeamBoundingConfig's old engine fields still work through the
+        same deprecation shim as every other legacy surface."""
+        from repro.dataflow.bounding_beam import BeamBoundingConfig
+
+        with pytest.deprecated_call():
+            config = BeamBoundingConfig(mode="exact", num_shards=4)
+        driver = BeamBoundingDriver(small_problem, config)
+        try:
+            assert driver.pipeline.num_shards == 4
+        finally:
+            driver.close()
+        # Without legacy kwargs, no warning and fields compare normally.
+        assert BeamBoundingConfig(mode="exact") == BeamBoundingConfig(
+            mode="exact"
+        )
+
+    def test_bounding_config_legacy_path_keeps_pipeline_teardown(
+        self, small_problem
+    ):
+        """Historical drivers called driver.pipeline.close() to tear
+        everything down; on the legacy-config path that must still close
+        the executor (no leaked pools/clusters)."""
+        from repro.dataflow.bounding_beam import BeamBoundingConfig
+
+        with pytest.deprecated_call():
+            config = BeamBoundingConfig(executor="thread", num_shards=4)
+        driver = BeamBoundingDriver(small_problem, config)
+        executor = driver.pipeline.executor
+        driver.pipeline.close()
+        with pytest.raises(RuntimeError, match="executor closed"):
+            executor.run_stage(len, [[1], [2]])
+        driver.close()  # idempotent on the already-closed executor
+
+    def test_mixing_old_and_new_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            SelectorConfig(options=EngineOptions(), num_shards=4)
+        with pytest.raises(TypeError, match="not both"):
+            beam_bound(
+                random_problem(20, seed=0), 3,
+                options=EngineOptions(), num_shards=4,
+            )
+
+
+class TestCliIntegration:
+    def test_engine_options_json_smoke(self, tmp_path, capsys):
+        """The CI smoke path: ``select --engine-options options.json``."""
+        from repro.cli import main
+
+        blob = tmp_path / "options.json"
+        blob.write_text(json.dumps({"executor": "thread", "num_shards": 4}))
+        code = main([
+            "select", "--preset", "cifar100_tiny", "--n-points", "200",
+            "--k", "20", "--engine", "dataflow",
+            "--engine-options", str(blob),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected 20 of 200" in out
+        assert "engine:" in out
+
+    def test_checkpoint_gc_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ckpt = str(tmp_path / "ckpt")
+        args = [
+            "select", "--preset", "cifar100_tiny", "--n-points", "150",
+            "--engine", "dataflow", "--checkpoint-dir", ckpt, "--seed", "0",
+        ]
+        assert main(args + ["--k", "10"]) == 0
+        assert main(args + ["--k", "12", "--checkpoint-gc"]) == 0
+        assert "checkpoint gc: removed" in capsys.readouterr().out

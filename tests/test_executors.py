@@ -17,7 +17,12 @@ import pytest
 
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
-from repro.dataflow import beam_bound, beam_distributed_greedy, beam_knn_graph
+from repro.dataflow import (
+    EngineOptions,
+    beam_bound,
+    beam_distributed_greedy,
+    beam_knn_graph,
+)
 from repro.dataflow.executor import (
     MultiprocessExecutor,
     SequentialExecutor,
@@ -65,8 +70,10 @@ class TestKnnBeamInvariance:
                 executor = _fresh_executor(name)
                 try:
                     _, nbrs, sims, metrics = beam_knn_graph(
-                        x, 5, num_shards=4, seed=0,
-                        executor=executor, spill_to_disk=spill,
+                        x, 5, seed=0,
+                        options=EngineOptions(
+                            executor, num_shards=4, spill_to_disk=spill
+                        ),
                     )
                 finally:
                     executor.close()
@@ -85,8 +92,10 @@ class TestBoundingBeamInvariance:
         for spill in (False, True):
             for executor in EXECUTOR_NAMES:
                 result, metrics = beam_bound(
-                    problem, k, mode="exact", num_shards=4,
-                    spill_to_disk=spill, executor=executor, seed=0,
+                    problem, k, mode="exact", seed=0,
+                    options=EngineOptions(
+                        executor, num_shards=4, spill_to_disk=spill
+                    ),
                 )
                 runs[(spill, executor)] = (
                     result.solution, result.remaining, _semantic(metrics)
@@ -98,7 +107,9 @@ class TestBoundingBeamInvariance:
             assert semantic == baseline[2], key
 
     def test_fusion_reports_on_bounding(self, problem):
-        _, metrics = beam_bound(problem, problem.n // 10, num_shards=4)
+        _, metrics = beam_bound(
+            problem, problem.n // 10, options=EngineOptions(num_shards=4)
+        )
         assert metrics.fused_stages > 0
 
 
@@ -180,8 +191,8 @@ class TestGreedyBeamInvariance:
     def test_selected_identical_across_executors(self, problem):
         results = [
             beam_distributed_greedy(
-                problem, 20, m=4, rounds=2, num_shards=4,
-                executor=executor, seed=7,
+                problem, 20, m=4, rounds=2, seed=7,
+                options=EngineOptions(executor, num_shards=4),
             )[0].selected
             for executor in EXECUTOR_NAMES
         ]
@@ -199,8 +210,9 @@ class TestGreedyBeamInvariance:
         candidates = np.arange(0, problem.n, 2, dtype=np.int64)
         penalty = np.zeros(problem.n)
         result, _ = beam_distributed_greedy(
-            problem, 15, m=2, rounds=2, num_shards=4,
+            problem, 15, m=2, rounds=2,
             candidates=candidates, base_penalty=penalty, seed=3,
+            options=EngineOptions(num_shards=4),
         )
         assert len(result) == 15
         assert np.isin(result.selected, candidates).all()
@@ -340,8 +352,8 @@ class TestSelectorDataflowEngine:
         reports = []
         for executor in EXECUTOR_NAMES:
             config = SelectorConfig(
-                bounding="exact", machines=4, rounds=2,
-                engine="dataflow", executor=executor, num_shards=4,
+                bounding="exact", machines=4, rounds=2, engine="dataflow",
+                options=EngineOptions(executor, num_shards=4),
             )
             reports.append(
                 DistributedSelector(problem, config).select(20, seed=0)
@@ -356,8 +368,8 @@ class TestSelectorDataflowEngine:
         the full selector and matches the sequential reference."""
         def run(executor):
             config = SelectorConfig(
-                bounding="exact", machines=2, rounds=2,
-                engine="dataflow", executor=executor, num_shards=4,
+                bounding="exact", machines=2, rounds=2, engine="dataflow",
+                options=EngineOptions(executor, num_shards=4),
             )
             return DistributedSelector(problem, config).select(15, seed=2)
 
@@ -367,8 +379,8 @@ class TestSelectorDataflowEngine:
 
     def test_dataflow_engine_selects_valid_subset(self, problem):
         config = SelectorConfig(
-            bounding="exact", machines=2, rounds=2,
-            engine="dataflow", num_shards=4, spill_to_disk=True,
+            bounding="exact", machines=2, rounds=2, engine="dataflow",
+            options=EngineOptions(num_shards=4, spill_to_disk=True),
         )
         report = DistributedSelector(problem, config).select(25, seed=1)
         assert len(report) == 25
@@ -380,7 +392,7 @@ class TestSelectorDataflowEngine:
         with pytest.raises(ValueError):
             SelectorConfig(engine="spark")
         with pytest.raises(ValueError):
-            SelectorConfig(executor="threads")
+            SelectorConfig(options=EngineOptions("threads"))
         with pytest.raises(ValueError):
-            SelectorConfig(num_shards=0)
-        SelectorConfig(executor="thread")  # new backend accepted
+            SelectorConfig(options=EngineOptions(num_shards=0))
+        SelectorConfig(options=EngineOptions("thread"))  # backend accepted

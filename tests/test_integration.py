@@ -16,7 +16,13 @@ from repro.core.greedy import greedy_heap
 from repro.core.objective import PairwiseObjective
 from repro.core.theory import approximation_factor
 from repro.data.perturbed import PerturbedDataset
-from repro.dataflow import beam_bound, beam_distributed_greedy, beam_score
+from repro.dataflow import (
+    DataflowContext,
+    EngineOptions,
+    beam_bound,
+    beam_distributed_greedy,
+    beam_score,
+)
 from repro.graph.csr import NeighborGraph
 from repro.io import load_dataset_file, save_dataset
 
@@ -97,14 +103,16 @@ class TestEndToEndPipelines:
         ds = load_dataset("cifar100_tiny", n_points=300, seed=0)
         problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
         k = 30
-        bound_result, _ = beam_bound(problem, k, mode="exact", num_shards=4)
-        greedy_result, _ = beam_distributed_greedy(
-            problem, bound_result.k_remaining or k, m=2, rounds=2, seed=0
-        )
-        subset = np.unique(
-            np.concatenate([bound_result.solution, greedy_result.selected])
-        )[:k]
-        beam_value, _ = beam_score(problem, subset, num_shards=4)
+        with DataflowContext(EngineOptions(num_shards=4)) as ctx:
+            bound_result, _ = beam_bound(problem, k, mode="exact", context=ctx)
+            greedy_result, _ = beam_distributed_greedy(
+                problem, bound_result.k_remaining or k, m=2, rounds=2, seed=0,
+                context=ctx,
+            )
+            subset = np.unique(
+                np.concatenate([bound_result.solution, greedy_result.selected])
+            )[:k]
+            beam_value, _ = beam_score(problem, subset, context=ctx)
         memory_value = PairwiseObjective(problem).value(subset)
         assert beam_value == pytest.approx(memory_value, abs=1e-9)
 

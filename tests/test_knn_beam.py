@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dataflow.knn_beam import beam_knn_graph
+from repro.dataflow.options import EngineOptions
 from repro.graph.knn import exact_knn
 from tests.test_knn import clustered_points
 
@@ -42,7 +43,8 @@ class TestBeamKnnGraph:
     def test_memory_bounded(self):
         x, _ = clustered_points(n=400, n_clusters=8)
         _, _, _, metrics = beam_knn_graph(
-            x, 5, n_clusters=16, nprobe=2, num_shards=8, seed=0
+            x, 5, n_clusters=16, nprobe=2, seed=0,
+            options=EngineOptions(num_shards=8),
         )
         # Workers hold per-cell groups, never the corpus.
         assert metrics.peak_shard_records < 400

@@ -8,7 +8,12 @@ beams' own metrics (``lifted_combiners`` / ``elided_shuffles`` /
 
 import numpy as np
 
-from repro.dataflow import beam_distributed_greedy, beam_knn_graph, beam_score
+from repro.dataflow import (
+    EngineOptions,
+    beam_distributed_greedy,
+    beam_knn_graph,
+    beam_score,
+)
 from repro.dataflow.pcollection import Fold, Pipeline
 from repro.dataflow.transforms import cogroup
 from tests.conftest import random_problem
@@ -300,10 +305,10 @@ class TestBeamMetrics:
     def test_knn_beam_lifts_and_shrinks_shuffle(self):
         x, _ = clustered_points(n=200, n_clusters=4)
         _, nbrs_on, sims_on, m_on = beam_knn_graph(
-            x, 5, num_shards=4, seed=0, optimize=True
+            x, 5, seed=0, options=EngineOptions(num_shards=4, optimize=True)
         )
         _, nbrs_off, sims_off, m_off = beam_knn_graph(
-            x, 5, num_shards=4, seed=0, optimize=False
+            x, 5, seed=0, options=EngineOptions(num_shards=4, optimize=False)
         )
         np.testing.assert_array_equal(nbrs_on, nbrs_off)
         np.testing.assert_array_equal(sims_on, sims_off)
@@ -319,10 +324,12 @@ class TestBeamMetrics:
     def test_greedy_beam_fuses_rounds(self):
         problem = random_problem(80, seed=3)
         result_on, m_on = beam_distributed_greedy(
-            problem, 12, m=3, rounds=2, num_shards=4, seed=5, optimize=True
+            problem, 12, m=3, rounds=2, seed=5,
+            options=EngineOptions(num_shards=4, optimize=True),
         )
         result_off, m_off = beam_distributed_greedy(
-            problem, 12, m=3, rounds=2, num_shards=4, seed=5, optimize=False
+            problem, 12, m=3, rounds=2, seed=5,
+            options=EngineOptions(num_shards=4, optimize=False),
         )
         np.testing.assert_array_equal(result_on.selected, result_off.selected)
         assert m_on.lifted_combiners == 0  # per-group greedy is a flat_map
@@ -334,10 +341,11 @@ class TestBeamMetrics:
         problem = random_problem(60, seed=11)
         subset = np.arange(0, 60, 3, dtype=np.int64)
         score_on, m_on = beam_score(
-            problem, subset, num_shards=4, optimize=True
+            problem, subset, options=EngineOptions(num_shards=4, optimize=True)
         )
         score_off, m_off = beam_score(
-            problem, subset, num_shards=4, optimize=False
+            problem, subset,
+            options=EngineOptions(num_shards=4, optimize=False),
         )
         assert score_on == score_off
         assert m_on.elided_shuffles == 2   # fan_out_key + invert_key

@@ -22,7 +22,7 @@ import pytest
 
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
-from repro.dataflow import beam_bound, beam_knn_graph
+from repro.dataflow import EngineOptions, beam_bound, beam_knn_graph
 from repro.dataflow.executor import (
     MultiprocessExecutor,
     _resolve,
@@ -222,14 +222,15 @@ class TestClosureBroadcast:
         by several DoFns — broadcasts to each worker exactly once."""
         x, _ = clustered_points(n=200, n_clusters=4)
         _, ref_nbrs, _, _ = beam_knn_graph(
-            x, 5, num_shards=4, seed=0, executor="sequential"
+            x, 5, seed=0, options=EngineOptions(num_shards=4)
         )
         executor = RemoteExecutor(
             workers=cluster.addresses, broadcast_min_bytes=4096
         )
         try:
             _, nbrs, _, _ = beam_knn_graph(
-                x, 5, num_shards=4, seed=0, executor=executor
+                x, 5, seed=0,
+                options=EngineOptions(executor, num_shards=4),
             )
             stats = executor.stats()
         finally:
@@ -368,12 +369,13 @@ class TestRemoteBeamEquivalence:
     def test_knn_beam_matches_sequential(self, cluster):
         x, _ = clustered_points(n=200, n_clusters=4)
         _, ref_nbrs, ref_sims, ref_metrics = beam_knn_graph(
-            x, 5, num_shards=4, seed=0, executor="sequential"
+            x, 5, seed=0, options=EngineOptions(num_shards=4)
         )
         executor = RemoteExecutor(workers=cluster.addresses)
         try:
             _, nbrs, sims, metrics = beam_knn_graph(
-                x, 5, num_shards=4, seed=0, executor=executor
+                x, 5, seed=0,
+                options=EngineOptions(executor, num_shards=4),
             )
         finally:
             executor.close()
@@ -392,13 +394,14 @@ class TestRemoteBeamEquivalence:
     def test_bounding_beam_matches_sequential(self, cluster, problem):
         k = problem.n // 10
         ref, ref_metrics = beam_bound(
-            problem, k, mode="exact", num_shards=4, seed=0
+            problem, k, mode="exact", seed=0,
+            options=EngineOptions(num_shards=4),
         )
         executor = RemoteExecutor(workers=cluster.addresses)
         try:
             result, metrics = beam_bound(
-                problem, k, mode="exact", num_shards=4,
-                executor=executor, seed=0,
+                problem, k, mode="exact", seed=0,
+                options=EngineOptions(executor, num_shards=4),
             )
         finally:
             executor.close()
@@ -413,8 +416,8 @@ class TestRemoteBeamEquivalence:
         matches the sequential reference exactly."""
         def run(executor):
             config = SelectorConfig(
-                bounding="exact", machines=2, rounds=2,
-                engine="dataflow", executor=executor, num_shards=4,
+                bounding="exact", machines=2, rounds=2, engine="dataflow",
+                options=EngineOptions(executor, num_shards=4),
             )
             return DistributedSelector(problem, config).select(15, seed=2)
 

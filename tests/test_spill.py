@@ -64,13 +64,14 @@ class TestSpillToDisk:
     def test_bounding_on_spilled_pipeline(self):
         """The full Section-5 join plan works with disk-resident shards."""
         from repro.data.registry import load_dataset
-        from repro.dataflow import beam_bound
+        from repro.dataflow import EngineOptions, beam_bound
 
         ds = load_dataset("cifar100_tiny", n_points=200, seed=0)
         problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
         mem = bound(problem, 20, mode="exact")
         result, _ = beam_bound(
-            problem, 20, mode="exact", num_shards=4, spill_to_disk=True
+            problem, 20, mode="exact",
+            options=EngineOptions(num_shards=4, spill_to_disk=True),
         )
         np.testing.assert_array_equal(result.solution, mem.solution)
         np.testing.assert_array_equal(result.remaining, mem.remaining)

@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.pipeline import DistributedSelector, SelectorConfig
 from repro.core.problem import SubsetProblem
+from repro.dataflow.options import EngineOptions
 from repro.dataflow.pcollection import Pipeline, _ShardGroup
 
 
@@ -209,9 +210,10 @@ class TestSelectorStreamingInvariance:
     def test_selected_invariant(self, problem):
         def run(stream_source):
             config = SelectorConfig(
-                bounding="exact", machines=2, rounds=2,
-                engine="dataflow", num_shards=4,
-                stream_source=stream_source,
+                bounding="exact", machines=2, rounds=2, engine="dataflow",
+                options=EngineOptions(
+                    num_shards=4, stream_source=stream_source
+                ),
             )
             return DistributedSelector(problem, config).select(15, seed=4)
 
@@ -225,10 +227,12 @@ class TestSelectorStreamingInvariance:
         from repro.dataflow import beam_bound
 
         on, _ = beam_bound(
-            problem, 15, num_shards=4, seed=0, stream_source=True
+            problem, 15, seed=0,
+            options=EngineOptions(num_shards=4, stream_source=True),
         )
         off, _ = beam_bound(
-            problem, 15, num_shards=4, seed=0, stream_source=False
+            problem, 15, seed=0,
+            options=EngineOptions(num_shards=4, stream_source=False),
         )
         np.testing.assert_array_equal(on.solution, off.solution)
         np.testing.assert_array_equal(on.remaining, off.remaining)
@@ -239,10 +243,12 @@ class TestSelectorStreamingInvariance:
 
         x, _ = clustered_points(n=150, n_clusters=3)
         _, on, sims_on, _ = beam_knn_graph(
-            x, 5, num_shards=4, seed=0, stream_source=True
+            x, 5, seed=0,
+            options=EngineOptions(num_shards=4, stream_source=True),
         )
         _, off, sims_off, _ = beam_knn_graph(
-            x, 5, num_shards=4, seed=0, stream_source=False
+            x, 5, seed=0,
+            options=EngineOptions(num_shards=4, stream_source=False),
         )
         np.testing.assert_array_equal(on, off)
         np.testing.assert_array_equal(sims_on, sims_off)
