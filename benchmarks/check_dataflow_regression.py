@@ -32,6 +32,16 @@ Two checks, both read from the record ``test_dataflow_engine.py`` emits:
    side by the stage count and fails here even though results stay
    correct.
 
+4. **Columnar-runtime gate** (``--columnar-candidate`` vs
+   ``--columnar-baseline``, default ``knn_columnar`` vs
+   ``knn_sequential``): the vectorized shard runtime must beat the
+   row-path sequential kNN build by at least 20% wall time
+   (``knn_columnar <= 0.8 x knn_sequential``) and must have actually
+   vectorized something (``vectorized_stages > 0``).  Both modes are
+   best-of-3 of the same compute-heavy build in the same process, so the
+   ratio is stable where absolute walls are not; a silent fallback to
+   the row path shows up as a ratio near 1.0 and fails here.
+
 Usage::
 
     python benchmarks/check_dataflow_regression.py \
@@ -64,6 +74,14 @@ def main(argv=None) -> int:
     parser.add_argument("--broadcast-mode", default="knn_remote",
                         help="mode whose closure-broadcast volume is gated "
                              "(empty string skips the gate)")
+    parser.add_argument("--columnar-baseline", default="knn_sequential",
+                        help="row-runtime mode the columnar build must beat "
+                             "(empty string skips the gate)")
+    parser.add_argument("--columnar-candidate", default="knn_columnar",
+                        help="columnar-runtime mode whose wall time is gated")
+    parser.add_argument("--max-columnar-ratio", type=float, default=0.8,
+                        help="fail when columnar wall exceeds this fraction "
+                             "of the row baseline's wall")
     args = parser.parse_args(argv)
 
     with open(args.record) as fh:
@@ -158,6 +176,43 @@ def main(argv=None) -> int:
             )
             return 1
         print("OK: closure broadcast ships each blob once per worker")
+
+    if args.columnar_baseline:
+        try:
+            row_wall = float(modes[args.columnar_baseline]["wall_ms"])
+            col = modes[args.columnar_candidate]
+            col_wall = float(col["wall_ms"])
+            vectorized = int(col["vectorized_stages"])
+        except KeyError as missing:
+            print(
+                f"columnar-gate mode/field {missing} not found in "
+                f"{args.record}",
+                file=sys.stderr,
+            )
+            return 2
+        ratio = col_wall / row_wall if row_wall > 0 else float("inf")
+        print(
+            f"{args.columnar_candidate}: {col_wall:.1f} ms, "
+            f"{args.columnar_baseline}: {row_wall:.1f} ms — ratio "
+            f"{ratio:.3f} (max allowed {args.max_columnar_ratio:.2f}), "
+            f"{vectorized} vectorized stages"
+        )
+        if vectorized == 0:
+            print(
+                "FAIL: columnar mode executed zero vectorized stages — "
+                "the batch kernels silently fell back to the row path",
+                file=sys.stderr,
+            )
+            return 1
+        if ratio > args.max_columnar_ratio:
+            print(
+                f"FAIL: columnar wall ratio {ratio:.3f} exceeds "
+                f"{args.max_columnar_ratio:.2f} — the vectorized shard "
+                "runtime no longer pays for itself on the kNN build",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: columnar runtime beats the row baseline")
     return 0
 
 

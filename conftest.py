@@ -11,7 +11,16 @@ plan optimizer, so every test whose pipelines leave ``optimize`` unset
 runs against the naive plan (CI runs a matrix entry with this on).  Tests
 that assert optimizer behavior pass ``optimize=True`` explicitly and are
 unaffected; the differential harness always exercises both plans.
+
+``--no-columnar``/``--columnar`` do the same for the columnar shard
+runtime's module default (``DEFAULT_COLUMNAR``): ``--no-columnar`` forces
+the pure row path everywhere a pipeline leaves ``columnar`` unset;
+``--columnar`` forces it on (the default is already "auto: on", so the
+flag mostly documents intent in CI matrix entries).  The differential
+harness always exercises both layouts regardless.
 """
+
+import pytest
 
 
 def pytest_addoption(parser):
@@ -30,6 +39,21 @@ def pytest_addoption(parser):
         help="run the whole suite against the naive (unoptimized) "
              "dataflow plan",
     )
+    parser.addoption(
+        "--no-columnar",
+        action="store_true",
+        default=False,
+        help="run the whole suite against the pure row runtime "
+             "(disables whole-shard vectorized execution)",
+    )
+    parser.addoption(
+        "--columnar",
+        action="store_true",
+        default=False,
+        help="run the whole suite under the columnar shard runtime "
+             "(already the default; rejects combination with "
+             "--no-columnar)",
+    )
 
 
 def pytest_configure(config):
@@ -37,3 +61,10 @@ def pytest_configure(config):
         from repro.dataflow import pcollection
 
         pcollection.DEFAULT_OPTIMIZE = False
+    no_columnar = config.getoption("--no-columnar")
+    if no_columnar and config.getoption("--columnar"):
+        raise pytest.UsageError("--columnar and --no-columnar conflict")
+    if no_columnar:
+        from repro.dataflow import pcollection
+
+        pcollection.DEFAULT_COLUMNAR = False

@@ -15,6 +15,12 @@ operator DAG** and a pluggable executor:
   and ``PCollection.explain()`` renders the physical plan,
 - adjacent element-wise stages fuse into one pass per shard (Beam's
   producer–consumer fusion; ``metrics.fused_stages`` counts the savings),
+- a columnar shard runtime (:mod:`repro.dataflow.columnar`) executes
+  operators that declare whole-shard NumPy implementations
+  (:class:`~repro.dataflow.columnar.BatchDoFn`, ``Fold(batch=...)``)
+  over struct-of-arrays :class:`~repro.dataflow.columnar.ColumnarShard`
+  s, with automatic per-record fallback and bit-identical results
+  (``columnar=False`` forces the pure row path),
 - sources stream: ``create()``/``create_keyed()`` shard generators lazily
   in bounded chunks, so the driver never materializes the ground set,
 - hash-shards every keyed operation across ``num_shards`` logical workers,
@@ -73,6 +79,7 @@ from repro.dataflow.options import (
     add_engine_arguments,
 )
 from repro.dataflow.remote import LocalCluster, RemoteExecutor
+from repro.dataflow.columnar import BatchDoFn, ColumnarShard
 from repro.dataflow.metrics import PipelineMetrics
 from repro.dataflow.pcollection import Fold, PCollection, Pipeline, PTransform
 from repro.dataflow.transforms import (
@@ -96,6 +103,8 @@ __all__ = [
     "PCollection",
     "PTransform",
     "Fold",
+    "BatchDoFn",
+    "ColumnarShard",
     "EngineOptions",
     "DataflowContext",
     "add_engine_arguments",

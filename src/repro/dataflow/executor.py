@@ -44,10 +44,15 @@ and registered in a driver-side :class:`BroadcastRegistry`.  The blob
 itself ships to each worker **once** — the first stage that references
 it — and later stages send only the small per-stage delta (the closure
 code plus references).  This is how a DoFn capturing the embedding
-matrix stops re-shipping it for every stage.  Workers cache blobs for
-the lifetime of their channel; the correctness contract is the same
-purity assumption the engine already makes everywhere: DoFns never
-mutate their captures.
+matrix stops re-shipping it for every stage.  The same channel carries
+*columnar task shards*: a :class:`~repro.dataflow.columnar
+.ColumnarShard` whose ndarray columns clear the broadcast threshold is
+dispatched as blob references (``_MSG_TASK_B`` / ``MSG_TASK_COL``), so
+a large column a worker has already seen — e.g. a cached shard
+re-dispatched by a later stage — never crosses the pipe twice.  Workers
+cache blobs for the lifetime of their channel; the correctness contract
+is the same purity assumption the engine already makes everywhere:
+DoFns never mutate their captures (and never mutate shard columns).
 
 All backends process each shard with the same per-shard function and return
 results in shard order, so outputs — and therefore every engine metric —
@@ -87,6 +92,8 @@ import weakref
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
+
+from repro.dataflow.columnar import ColumnarShard
 
 try:  # Closure-capable serializer for the per-stage payload channel.
     import cloudpickle as _cloudpickle
@@ -265,6 +272,24 @@ def load_blob(blob: bytes) -> Any:
     return pickle.loads(blob)
 
 
+def columnar_task_eligible(shard: Any, registry: BroadcastRegistry) -> bool:
+    """Should this task shard ship through the broadcast channel?
+
+    True for an in-memory :class:`~repro.dataflow.columnar.ColumnarShard`
+    whose key column or any value column is at least
+    ``registry.min_bytes`` — exactly the arrays ``dumps_with_broadcast``
+    would extract into content-addressed blobs.  A shard below the
+    threshold (or any row shard, or a spilled shard) ships as a plain
+    task frame: the broadcast bookkeeping would cost more than the
+    pickle-copy it avoids.
+    """
+    if not isinstance(shard, ColumnarShard):
+        return False
+    if shard.keys is not None and shard.keys.nbytes >= registry.min_bytes:
+        return True
+    return any(col.nbytes >= registry.min_bytes for col in shard.columns)
+
+
 # Worker-channel message tags.
 _MSG_FN = 0
 _MSG_TASK = 1
@@ -272,6 +297,10 @@ _MSG_EXIT = 2
 _MSG_OK = 3
 _MSG_ERR = 4
 _MSG_BLOB = 5
+#: A task whose shard was serialized with the broadcast-aware pickler —
+#: its large ndarray columns travel as content-addressed blob references
+#: (shipped to each worker at most once) instead of inline bytes.
+_MSG_TASK_B = 6
 
 
 def _persistent_worker_main(conn) -> None:
@@ -313,10 +342,18 @@ def _persistent_worker_main(conn) -> None:
             except BaseException:
                 fn, fn_error = None, traceback.format_exc()
             continue
-        index, shard = msg[1], msg[2]
+        index = msg[1]
         try:
             if fn_error is not None:
                 raise RuntimeError(f"stage fn failed to deserialize:\n{fn_error}")
+            # _MSG_TASK_B shards reference broadcast blobs by digest (the
+            # driver ships any unseen blob first); a missing blob raises
+            # here and ships back as this task's error reply.
+            shard = (
+                loads_with_broadcast(msg[2], blob_cache)
+                if tag == _MSG_TASK_B
+                else msg[2]
+            )
             reply = (_MSG_OK, index, fn(_resolve(shard)))
             reply_bytes = pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL)
         except BaseException as exc:
@@ -543,10 +580,10 @@ class MultiprocessExecutor(Executor):
                 self.pools_created += 1
             return self._workers
 
-    def _send_stage_payload(
-        self, worker: _PoolWorker, fn_blob: bytes, digests: "frozenset[str]"
+    def _ship_blobs(
+        self, worker: _PoolWorker, digests: "frozenset[str]"
     ) -> None:
-        """Ship not-yet-seen broadcast blobs, then the stage function."""
+        """Ship the blobs this worker has not seen yet (once each, ever)."""
         for digest in sorted(digests - worker.shipped):
             blob = self._registry.blobs[digest]
             worker.conn.send_bytes(
@@ -558,6 +595,12 @@ class MultiprocessExecutor(Executor):
             worker.shipped.add(digest)
             self.broadcast_bytes += len(blob)
             self.broadcast_blobs += 1
+
+    def _send_stage_payload(
+        self, worker: _PoolWorker, fn_blob: bytes, digests: "frozenset[str]"
+    ) -> None:
+        """Ship not-yet-seen broadcast blobs, then the stage function."""
+        self._ship_blobs(worker, digests)
         worker.conn.send_bytes(fn_blob)
         self.stage_payload_bytes += len(fn_blob)
 
@@ -589,17 +632,41 @@ class MultiprocessExecutor(Executor):
         results: List[Any] = [None] * len(shards)
         failure: "tuple | None" = None
         indices = iter(range(len(shards)))
+        evictable = set(digests)
 
-        def next_task_blob() -> "bytes | None":
+        def next_task_blob() -> "Tuple[bytes, frozenset] | None":
             """Serialize the next pending task at dispatch time (one blob
-            in flight per worker, never the whole stage input at once).  A
-            shard whose records don't stdlib-pickle runs in-process right
-            here — nothing is sent for it, so the channels stay clean."""
+            in flight per worker, never the whole stage input at once),
+            returning ``(frame, task_digests)``.  Columnar shards with
+            broadcast-sized ndarray columns go through the broadcast
+            pickler — the caller ships any blob the target worker lacks
+            before the frame, so a column a worker has already seen never
+            crosses the pipe again.  A shard whose records don't
+            stdlib-pickle runs in-process right here — nothing is sent
+            for it, so the channels stay clean."""
             for index in indices:
+                shard = shards[index]
+                if columnar_task_eligible(shard, self._registry):
+                    try:
+                        payload, task_digests = dumps_with_broadcast(
+                            shard, self._registry
+                        )
+                        return (
+                            pickle.dumps(
+                                (_MSG_TASK_B, index, payload),
+                                protocol=pickle.HIGHEST_PROTOCOL,
+                            ),
+                            task_digests,
+                        )
+                    except Exception:
+                        pass  # degrade to the plain inline task frame
                 try:
-                    return pickle.dumps(
-                        (_MSG_TASK, index, shards[index]),
-                        protocol=pickle.HIGHEST_PROTOCOL,
+                    return (
+                        pickle.dumps(
+                            (_MSG_TASK, index, shard),
+                            protocol=pickle.HIGHEST_PROTOCOL,
+                        ),
+                        frozenset(),
                     )
                 except Exception:
                     results[index] = fn(_resolve(shards[index]))
@@ -615,10 +682,14 @@ class MultiprocessExecutor(Executor):
             conns = {worker.conn: worker for worker in workers}
             outstanding = {conn: 0 for conn in conns}
             for conn, worker in conns.items():
-                blob = next_task_blob()
-                if blob is None:
+                task = next_task_blob()
+                if task is None:
                     break
+                blob, task_digests = task
                 self._send_stage_payload(worker, fn_blob, digests)
+                if task_digests:
+                    self._ship_blobs(worker, task_digests)
+                    evictable.update(task_digests)
                 conn.send_bytes(blob)
                 outstanding[conn] += 1
             while any(outstanding.values()):
@@ -649,8 +720,12 @@ class MultiprocessExecutor(Executor):
                     else:
                         results[reply[1]] = reply[2]
                     if failure is None:
-                        blob = next_task_blob()
-                        if blob is not None:
+                        task = next_task_blob()
+                        if task is not None:
+                            blob, task_digests = task
+                            if task_digests:
+                                self._ship_blobs(conns[conn], task_digests)
+                                evictable.update(task_digests)
                             conn.send_bytes(blob)
                             outstanding[conn] += 1
         except BaseException as exc:
@@ -670,8 +745,11 @@ class MultiprocessExecutor(Executor):
         finally:
             self._stage_active = False
         # Blob bytes whose every reader now holds them are dead weight on
-        # the driver; the worker set is fixed after the one fork.
-        for digest in digests:
+        # the driver; the worker set is fixed after the one fork.  Eviction
+        # must stay this conservative: ``maybe_register``'s identity fast
+        # path returns a digest without repopulating ``blobs``, so a blob
+        # some worker has never seen must keep its bytes for a later ship.
+        for digest in evictable:
             if all(digest in worker.shipped for worker in workers):
                 self._registry.evict(digest)
         if failure is not None:

@@ -20,7 +20,7 @@ deprecated — they fold into an ``EngineOptions`` and warn.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -134,25 +134,59 @@ def beam_knn_graph(
             merged = points.apply(
                 ShardedKnn(x, centroids, k=k, nprobe=nprobe)
             )
+            # Drain the per-point candidate dicts into flat columns and
+            # rank them with one lexsort instead of one ``sorted`` per
+            # point.  Sort order (point, -sim, host) reproduces the
+            # per-point ``sorted(..., key=(-sim, host))`` bit-for-bit:
+            # float negation is exact and each (point, host) pair is
+            # unique, so the order is total.
+            point_ids: List[int] = []
+            counts: List[int] = []
+            flat_hosts: List[int] = []
+            flat_sims: List[float] = []
             for point, acc in (
                 pair for shard in merged.iter_shards() for pair in shard
             ):
-                items = sorted(acc.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
-                for j, (host, sim) in enumerate(items):
-                    neighbors[point, j] = host
-                    sims_out[point, j] = sim
+                point_ids.append(point)
+                counts.append(len(acc))
+                flat_hosts.extend(acc.keys())
+                flat_sims.extend(acc.values())
+            if flat_hosts:
+                pts = np.repeat(
+                    np.asarray(point_ids, dtype=np.int64),
+                    np.asarray(counts, dtype=np.int64),
+                )
+                hosts_col = np.asarray(flat_hosts, dtype=np.int64)
+                sims_col = np.asarray(flat_sims, dtype=np.float64)
+                order = np.lexsort((hosts_col, -sims_col, pts))
+                pts = pts[order]
+                # Rank within each point's run (points are unique per
+                # record, so runs are contiguous after the sort).
+                run_start = np.empty(pts.size, dtype=bool)
+                run_start[0] = True
+                np.not_equal(pts[1:], pts[:-1], out=run_start[1:])
+                starts = np.flatnonzero(run_start)
+                ranks = np.arange(pts.size, dtype=np.int64) - np.repeat(
+                    starts, np.diff(np.append(starts, pts.size))
+                )
+                keep = ranks < k
+                pts = pts[keep]
+                ranks = ranks[keep]
+                neighbors[pts, ranks] = hosts_col[order][keep]
+                sims_out[pts, ranks] = sims_col[order][keep]
             metrics = pipeline.metrics
         finally:
             pipeline.close()
     # Points whose probed cells had < k hosts: pad with random distinct ids.
-    for v in range(n):
+    # (One whole-matrix scan finds them; the RNG is only drawn for rows
+    # that actually pad, exactly as the per-row loop did.)
+    for v in np.flatnonzero((neighbors < 0).any(axis=1)).tolist():
         missing = neighbors[v] < 0
-        if missing.any():
-            used = set(neighbors[v][~missing].tolist()) | {v}
-            pool = [c for c in rng.permutation(n).tolist() if c not in used]
-            fill = pool[: int(missing.sum())]
-            neighbors[v, missing] = fill
-            sims_out[v, missing] = x[fill] @ x[v]
+        used = set(neighbors[v][~missing].tolist()) | {v}
+        pool = [c for c in rng.permutation(n).tolist() if c not in used]
+        fill = pool[: int(missing.sum())]
+        neighbors[v, missing] = fill
+        sims_out[v, missing] = x[fill] @ x[v]
     np.maximum(sims_out, 0.0, out=sims_out)
     graph = symmetrize_knn(neighbors, sims_out)
     return graph, neighbors, sims_out, metrics

@@ -29,6 +29,7 @@ from typing import Any, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.dataflow.columnar import BatchDoFn, ColumnarShard, as_records
 from repro.dataflow.pcollection import Fold, PCollection, PTransform
 from repro.dataflow.transforms import cogroup
 
@@ -58,6 +59,26 @@ def edge_hash01(b: int, a: int, round_salt: int, seed_salt: int) -> float:
     x = (x * 0x94D049BB133111EB) & _MASK64
     x ^= x >> 31
     return (x >> 11) / float(1 << 53)
+
+
+def edge_hash01_column(
+    b: int, a: np.ndarray, round_salt: int, seed_salt: int
+) -> np.ndarray:
+    """Vectorized :func:`edge_hash01` over a source-id column.
+
+    uint64 arithmetic wraps exactly like the masked Python ints, and the
+    53-bit mantissa division is exact in float64 — bit-identical to the
+    scalar hash for every edge (property-tested in ``test_columnar.py``).
+    """
+    x = np.asarray(a, dtype=np.uint64) * np.uint64(0xBF58476D1CE4E5B9)
+    x = x + np.uint64((int(b) * 0x9E3779B97F4A7C15) & _MASK64)
+    x = x + np.uint64((int(round_salt) * 2654435761 + int(seed_salt)) & _MASK64)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return (x >> np.uint64(11)) / float(1 << 53)
 
 
 class ShardedKnn(PTransform):
@@ -112,18 +133,54 @@ class ShardedKnn(PTransform):
                 for probe_rank, cell in enumerate(order)
             ]
 
-        assigned = points.flat_map(assign, name="knn/assign").as_keyed(
-            name="knn/assign_key"
-        )
+        def assign_batch(shard):
+            # One matmul for the whole shard; emitted columnar so the
+            # downstream shuffle routes the cell keys without ever
+            # building row tuples.
+            if isinstance(shard, ColumnarShard):
+                ids = shard.columns[0].astype(np.int64, copy=False)
+            else:
+                ids = np.fromiter(shard, dtype=np.int64, count=len(shard))
+            if ids.size == 0:
+                return []
+            sims = x[ids] @ centroids.T
+            order = np.argsort(-sims, axis=1)[:, :nprobe]
+            cells = order.astype(np.int64, copy=False).ravel()
+            hosts = np.repeat(ids, nprobe)
+            is_home = np.zeros(cells.size, dtype=bool)
+            is_home[::nprobe] = True
+            return ColumnarShard(cells, (hosts, is_home))
+
+        assigned = points.flat_map(
+            BatchDoFn(assign, assign_batch, label="knn/assign"),
+            name="knn/assign",
+        ).as_keyed(name="knn/assign_key")
 
         # (2) per-cell brute force: hosts are candidate neighbors, everyone
         # in the group (host or probe) is a query.
-        def cell_knn(kv) -> List[Tuple[int, List[Tuple[int, float]]]]:
-            _cell, members = kv
-            hosts = np.array(
-                sorted(v for v, is_home in members if is_home), dtype=np.int64
+        def _cell_arrays(members):
+            """(sorted hosts, sorted-unique queries) for one cell.
+
+            Hosts are distinct within a cell (each point is home in
+            exactly one cell), so ``np.sort`` equals the seed's
+            ``sorted(...)``; ``np.unique`` equals ``sorted(set(...))``.
+            """
+            n_members = len(members)
+            ids = np.fromiter(
+                (m[0] for m in members), dtype=np.int64, count=n_members
             )
-            queries = np.array(sorted({v for v, _ in members}), dtype=np.int64)
+            home = np.fromiter(
+                (m[1] for m in members), dtype=bool, count=n_members
+            )
+            return np.sort(ids[home]), np.unique(ids)
+
+        def cell_knn(kv) -> List[Tuple[int, List[Tuple[int, float]]]]:
+            # Row-path reference: one candidate mask + argpartition per
+            # query.  This is the oracle the vectorized batch kernel is
+            # checked against (same top-k sets; ties don't arise with
+            # continuous similarities).
+            _cell, members = kv
+            hosts, queries = _cell_arrays(members)
             if hosts.size == 0:
                 return []
             sims = x[queries] @ x[hosts].T
@@ -143,8 +200,57 @@ class ShardedKnn(PTransform):
                 )
             return out
 
+        def cell_knn_batch(shard) -> List[Tuple[int, List[Tuple[int, float]]]]:
+            # Columnar kernel: per cell, mask each query's self to -inf
+            # and run ONE argpartition over the whole cell instead of
+            # one per query.  A masked self can only enter the selection
+            # when the cell has <= k real candidates — i.e. when the
+            # selection is "all of them" — so dropping -inf entries
+            # afterwards yields exactly the per-query top-k sets of
+            # ``cell_knn`` (pair order within a list may differ; the
+            # downstream max-merge is order-insensitive).
+            out: List[Tuple[int, List[Tuple[int, float]]]] = []
+            for kv in as_records(shard):
+                _cell, members = kv
+                hosts, queries = _cell_arrays(members)
+                if hosts.size == 0:
+                    continue
+                sims = x[queries] @ x[hosts].T
+                self_pos = np.searchsorted(hosts, queries)
+                q_rows = np.flatnonzero(
+                    (self_pos < hosts.size)
+                    & (hosts[np.minimum(self_pos, hosts.size - 1)] == queries)
+                )
+                sims[q_rows, self_pos[q_rows]] = -np.inf
+                kk = min(k, int(hosts.size))
+                top = np.argpartition(sims, -kk, axis=1)[:, -kk:]
+                top_sims = np.take_along_axis(sims, top, axis=1)
+                top_hosts = hosts[top]
+                # One whole-matrix validity count + tolist, then a plain
+                # Python zip per query: the usual case (every slot real)
+                # skips all per-row ndarray traffic.
+                n_valid = (top_sims != -np.inf).sum(axis=1).tolist()
+                host_rows = top_hosts.tolist()
+                sim_rows = top_sims.tolist()
+                neg_inf = float("-inf")
+                for qi, q in enumerate(queries.tolist()):
+                    nv = n_valid[qi]
+                    if nv == kk:
+                        pairs = list(zip(host_rows[qi], sim_rows[qi]))
+                    elif nv:
+                        pairs = [
+                            (h, s)
+                            for h, s in zip(host_rows[qi], sim_rows[qi])
+                            if s != neg_inf
+                        ]
+                    else:
+                        continue
+                    out.append((q, pairs))
+            return out
+
         candidates = assigned.group_by_key(name="knn/group").flat_map(
-            cell_knn, name="knn/cell_knn"
+            BatchDoFn(cell_knn, cell_knn_batch, label="knn/cell_knn"),
+            name="knn/cell_knn",
         ).as_keyed(name="knn/cand_key")
 
         # (3) merge per point, deduplicating hosts that appeared in several
@@ -154,6 +260,13 @@ class ShardedKnn(PTransform):
             return {}
 
         def merge_add(acc, pairs):
+            if not acc:
+                # First pairs list for this key: hosts within one cell's
+                # top-k are distinct, so ``dict(pairs)`` is the loop's
+                # exact result (same values, same insertion order) at C
+                # speed — and almost every key sees exactly one list per
+                # shard.
+                return dict(pairs)
             for host, sim in pairs:
                 prev = acc.get(host)
                 if prev is None or sim > prev:
@@ -167,6 +280,9 @@ class ShardedKnn(PTransform):
                     a[host] = sim
             return a
 
+        # No ``batch`` on this fold: merging pair lists is dict work
+        # either way, so a whole-value-list impl would only add a
+        # grouping pass on top of the scalar merge.
         return candidates.group_by_key(name="knn/merge_group").map_values(
             Fold(merge_zero, merge_add, merge_merge, label="knn/topk"),
             name="knn/merge",
@@ -227,8 +343,25 @@ class TopKPerKey(PTransform):
                 a = add(a, pair)
             return a
 
+        def batch(values):
+            # Equal to folding ``add`` over ``values`` from ``[]``: the
+            # incremental top-k keeps exactly the k best (item, max-score)
+            # pairs — an entry of that set is never evicted (fewer than k
+            # better entries exist to push it out) and always admitted
+            # (when its maximal pair arrives, at most k - 1 better entries
+            # occupy the accumulator) — so one dedupe-to-max + sort + trim
+            # reproduces the fold's result without the per-record churn.
+            best: dict = {}
+            for item, score in values:
+                prev = best.get(item)
+                if prev is None or score > prev:
+                    best[item] = score
+            ranked = sorted(best.items(), key=lambda pair: (-pair[1], pair[0]))
+            return ranked[:k]
+
         return pairs.group_by_key(name="topk/group").map_values(
-            Fold(list, add, merge, label=f"topk/{k}"), name="topk/fold"
+            Fold(list, add, merge, label=f"topk/{k}", batch=batch),
+            name="topk/fold",
         )
 
 
@@ -288,8 +421,37 @@ class BoundingFilter(PTransform):
 
         # (1) fan out: key by the *neighbor* id a; value (b, s) keeps the
         # original source so edges can be inverted later.
+        def fan_out(kv):
+            return [(b, (kv[0], s)) for b, s in kv[1]]
+
+        def fan_out_batch(shard):
+            # Emit the edge table columnar — (neighbor, source, weight)
+            # arrays — so the join shuffle hashes and routes the neighbor
+            # column without materializing one tuple per edge.
+            records = (
+                shard.to_records() if isinstance(shard, ColumnarShard)
+                else shard
+            )
+            neighbor_ids: List[int] = []
+            sources: List[int] = []
+            weights: List[float] = []
+            for a, edges in records:
+                for b, s in edges:
+                    neighbor_ids.append(b)
+                    sources.append(a)
+                    weights.append(s)
+            if not neighbor_ids:
+                return []
+            return ColumnarShard(
+                np.asarray(neighbor_ids, dtype=np.int64),
+                (
+                    np.asarray(sources, dtype=np.int64),
+                    np.asarray(weights, dtype=np.float64),
+                ),
+            )
+
         fanned = self.neighbors.flat_map(
-            lambda kv: [(b, (kv[0], s)) for b, s in kv[1]],
+            BatchDoFn(fan_out, fan_out_batch, label="bound/fan_out"),
             name="bound/fan_out",
         ).as_keyed(name="bound/fan_out_key")
 
@@ -327,17 +489,32 @@ class BoundingFilter(PTransform):
                 else:
                     unassigned.append((a, s))
             if approximate and unassigned:
+                # One vectorized hash over the edge column (bit-identical
+                # to per-edge edge_hash01); the kept-mass accumulation
+                # stays a sequential Python-float sum in edge order so the
+                # bound matches the scalar path to the last bit.
+                source_col = np.fromiter(
+                    (a for a, _ in unassigned),
+                    dtype=np.int64,
+                    count=len(unassigned),
+                )
+                hashes = edge_hash01_column(b, source_col, round_salt, seed_salt)
                 if sampler == "weighted":
                     mean_s = sum(s for _, s in unassigned) / len(unassigned)
                 else:
                     mean_s = 0.0
+                if sampler == "weighted" and mean_s > 0:
+                    weight_col = np.fromiter(
+                        (s for _, s in unassigned),
+                        dtype=np.float64,
+                        count=len(unassigned),
+                    )
+                    keep = hashes < np.minimum(1.0, p * weight_col / mean_s)
+                else:
+                    keep = hashes < p
                 mass_sampled = 0.0
-                for a, s in unassigned:
-                    if sampler == "weighted" and mean_s > 0:
-                        keep_p = min(1.0, p * s / mean_s)
-                    else:
-                        keep_p = p
-                    if edge_hash01(b, a, round_salt, seed_salt) < keep_p:
+                for (_a, s), kept in zip(unassigned, keep.tolist()):
+                    if kept:
                         mass_sampled += s
             else:
                 mass_sampled = sum(s for _, s in unassigned)

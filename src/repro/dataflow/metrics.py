@@ -32,6 +32,15 @@ Checkpoint counters (``Pipeline(checkpoint_dir=...)`` only):
     stages (so ``executed_stages`` shrinks accordingly).
 ``checkpoint_stores``
     Boundary outputs persisted to the checkpoint directory this run.
+
+Columnar-runtime counters (``Pipeline(columnar=...)``):
+
+``vectorized_stages``
+    Physical stages whose fused chain (or lifted fold) ran at least one
+    whole-shard batch implementation instead of the per-record row loop.
+``columnar_rows``
+    Records that reached a materialization or shuffle boundary in
+    columnar (struct-of-arrays) layout rather than as Python row tuples.
 """
 
 from __future__ import annotations
@@ -54,11 +63,15 @@ class PipelineMetrics:
     elided_shuffles: int = 0
     checkpoint_hits: int = 0
     checkpoint_stores: int = 0
+    vectorized_stages: int = 0
+    columnar_rows: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
 
-    def observe_shard(self, n_records: int) -> None:
+    def observe_shard(self, n_records: int, *, columnar: bool = False) -> None:
         if n_records > self.peak_shard_records:
             self.peak_shard_records = n_records
+        if columnar:
+            self.columnar_rows += n_records
 
     def observe_shuffle(
         self, n_records: int, pre_records: Optional[int] = None
@@ -77,6 +90,9 @@ class PipelineMetrics:
         """One physical stage ran; ``fused`` logical stages were folded in."""
         self.executed_stages += 1
         self.fused_stages += fused
+
+    def observe_vectorized_stage(self) -> None:
+        self.vectorized_stages += 1
 
     def observe_lifted_combiner(self) -> None:
         self.lifted_combiners += 1
@@ -104,6 +120,8 @@ class PipelineMetrics:
         self.elided_shuffles = 0
         self.checkpoint_hits = 0
         self.checkpoint_stores = 0
+        self.vectorized_stages = 0
+        self.columnar_rows = 0
         self.stage_counts.clear()
 
     def snapshot(self) -> "PipelineMetrics":
@@ -119,5 +137,7 @@ class PipelineMetrics:
             elided_shuffles=self.elided_shuffles,
             checkpoint_hits=self.checkpoint_hits,
             checkpoint_stores=self.checkpoint_stores,
+            vectorized_stages=self.vectorized_stages,
+            columnar_rows=self.columnar_rows,
             stage_counts=dict(self.stage_counts),
         )

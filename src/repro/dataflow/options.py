@@ -148,6 +148,12 @@ class EngineOptions:
     optimize:
         Run the plan optimizer.  ``None`` defers to the engine-wide
         default (the test harness's ``--no-optimize`` flips it).
+    columnar:
+        Run the columnar shard runtime (whole-shard NumPy execution of
+        operators that declare a batch implementation, with automatic
+        per-record fallback).  ``None`` defers to the engine-wide
+        default — "auto", i.e. on where vectorized impls exist (the
+        test harness's ``--no-columnar`` flips it).
     stream_source:
         Force chunked streaming ingest everywhere (``True``), force eager
         ingest (``False``), or keep each beam's own default (``None``).
@@ -176,7 +182,7 @@ class EngineOptions:
     """
 
     __slots__ = (
-        "executor", "num_shards", "spill_to_disk", "optimize",
+        "executor", "num_shards", "spill_to_disk", "optimize", "columnar",
         "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
         "broadcast_min_bytes", "stream_chunk_size", "fuse", "_frozen",
     )
@@ -184,7 +190,7 @@ class EngineOptions:
     #: Knob names in declaration order — the single list every
     #: constructor, serializer, and CLI helper iterates.
     _FIELDS = (
-        "executor", "num_shards", "spill_to_disk", "optimize",
+        "executor", "num_shards", "spill_to_disk", "optimize", "columnar",
         "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
         "broadcast_min_bytes", "stream_chunk_size", "fuse",
     )
@@ -196,6 +202,7 @@ class EngineOptions:
         num_shards: int = 8,
         spill_to_disk: bool = False,
         optimize: Optional[bool] = None,
+        columnar: Optional[bool] = None,
         stream_source: Optional[bool] = None,
         workers: Optional[Iterable[Any]] = None,
         checkpoint_dir: Optional[str] = None,
@@ -272,6 +279,9 @@ class EngineOptions:
         object.__setattr__(self, "spill_to_disk", bool(spill_to_disk))
         object.__setattr__(
             self, "optimize", _as_opt_bool(optimize, "optimize")
+        )
+        object.__setattr__(
+            self, "columnar", _as_opt_bool(columnar, "columnar")
         )
         object.__setattr__(
             self, "stream_source", _as_opt_bool(stream_source, "stream_source")
@@ -511,9 +521,9 @@ def _parse_env_value(name: str, raw: str, key: str) -> Any:
             return int(text)
         except ValueError:
             raise ValueError(f"{key} must be an integer, got {raw!r}") from None
-    if name in ("spill_to_disk", "fuse", "optimize", "stream_source"):
+    if name in ("spill_to_disk", "fuse", "optimize", "columnar", "stream_source"):
         lowered = text.lower()
-        if name in ("optimize", "stream_source") and lowered == "none":
+        if name in ("optimize", "columnar", "stream_source") and lowered == "none":
             return None
         if lowered in ("1", "true", "yes", "on"):
             return True
@@ -579,6 +589,17 @@ def add_engine_arguments(parser: Any) -> Any:
         "--optimize", dest="optimize", action="store_true",
         help="run the plan optimizer (overrides an optimize=false set "
              "via environment or --engine-options)",
+    )
+    group.add_argument(
+        "--no-columnar", dest="columnar", action="store_false", default=None,
+        help="disable the columnar shard runtime (whole-shard vectorized "
+             "execution of batch-declared operators) and run the pure "
+             "row path",
+    )
+    group.add_argument(
+        "--columnar", dest="columnar", action="store_true",
+        help="run the columnar shard runtime (overrides a columnar=false "
+             "set via environment or --engine-options)",
     )
     group.add_argument(
         "--stream-source", dest="stream_source", action="store_true",
@@ -702,6 +723,7 @@ class DataflowContext:
             executor=self.executor,
             fuse=o.fuse,
             optimize=o.optimize,
+            columnar=o.columnar,
             stream_chunk_size=o.stream_chunk_size,
             checkpoint_dir=o.checkpoint_dir,
             checkpoint_salt=o.checkpoint_salt,

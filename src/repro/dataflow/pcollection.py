@@ -122,7 +122,6 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-import numbers
 import os
 import pickle
 import shutil
@@ -133,6 +132,17 @@ from collections.abc import Collection
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
+from repro.dataflow.columnar import (
+    BatchDoFn,
+    ColumnarShard,
+    as_records,
+    batch_prefix_len,
+    bucket_keyed_items,
+    merge_bucket_parts,
+    route_columnar,
+    run_batch_prefix,
+)
+from repro.dataflow.columnar import stable_shard as _stable_shard
 from repro.dataflow.executor import (
     Executor,
     _dumps_payload,
@@ -145,6 +155,15 @@ from repro.dataflow.metrics import PipelineMetrics
 #: this via the ``--no-optimize`` pytest option so the whole tier-1 suite
 #: can run against the naive plan.
 DEFAULT_OPTIMIZE = True
+
+#: Module default for ``Pipeline(columnar=None)`` — the "auto" setting of
+#: the columnar runtime: on, which means *on where vectorized
+#: implementations exist* (batch execution only ever fires on ops declared
+#: as :class:`~repro.dataflow.columnar.BatchDoFn` / ``Fold(batch=...)``;
+#: plain callables always run the row path).  The test harness flips this
+#: via the ``--no-columnar`` pytest option so the whole tier-1 suite can
+#: run against the pure row runtime.
+DEFAULT_COLUMNAR = True
 
 
 class Fold:
@@ -161,9 +180,18 @@ class Fold:
     A ``Fold`` is also a plain callable over a grouped value list, so the
     unoptimized plan (``optimize=False``) applies it directly to the
     output of ``group_by_key`` with identical results.
+
+    ``batch`` optionally declares a whole-list (vectorized)
+    implementation: ``batch(values)`` must equal folding ``add`` over
+    ``values`` from ``zero()`` — bit-identically, value order respected.
+    Under the columnar runtime the lifted combiner's pre-combine stage
+    applies ``batch`` once per key instead of ``add`` once per record;
+    everywhere else (row runtime, naive plan) the scalar fold runs, so a
+    ``batch`` fold is subject to the same differential bit-identity bar
+    as every other rewrite.
     """
 
-    __slots__ = ("zero", "add", "merge", "label")
+    __slots__ = ("zero", "add", "merge", "label", "batch")
 
     def __init__(
         self,
@@ -172,11 +200,13 @@ class Fold:
         merge: Optional[Callable[[Any, Any], Any]] = None,
         *,
         label: str = "fold",
+        batch: Optional[Callable[[list], Any]] = None,
     ) -> None:
         self.zero = zero
         self.add = add
         self.merge = merge if merge is not None else add
         self.label = label
+        self.batch = batch
 
     def __call__(self, values: Iterable[Any]) -> Any:
         acc = self.zero()
@@ -330,25 +360,9 @@ def gc_checkpoint_entries(
     return removed
 
 
-def _stable_shard(key: Any, num_shards: int) -> int:
-    """Deterministic shard assignment (Python hash is salted for str only).
-
-    Integral keys — Python ``int`` and NumPy integer scalars alike — shard
-    by value, so ``5`` and ``np.int64(5)`` always land on the same shard.
-    """
-    if isinstance(key, numbers.Integral):
-        return int(key) % num_shards
-    if isinstance(key, tuple):
-        acc = 0
-        for part in key:
-            acc = (acc * 1_000_003 + _stable_shard(part, 2**61 - 1)) % (2**61 - 1)
-        return acc % num_shards
-    # Fall back to a stable string hash (FNV-1a).
-    data = str(key).encode()
-    h = 0xCBF29CE484222325
-    for byte in data:
-        h = ((h ^ byte) * 0x100000001B3) % (1 << 64)
-    return h % num_shards
+# ``_stable_shard`` now lives in :mod:`repro.dataflow.columnar` (as
+# ``stable_shard``, next to its vectorized column twin); the engine-internal
+# name is kept as an alias via the import above.
 
 
 # -- operator DAG ----------------------------------------------------------
@@ -455,37 +469,77 @@ def _chain_iter(records, ops: tuple):
     return it
 
 
-def _make_chain_fn(ops):
+def _split_batch_prefix(ops: tuple, columnar: bool) -> Tuple[int, tuple]:
+    """``(n_batch, row_ops)``: how much of a fused chain runs whole-shard.
+
+    With the columnar runtime off the prefix is always empty — every op
+    runs the scalar row path, which is the differential reference.
+    """
+    n_batch = batch_prefix_len(ops) if columnar else 0
+    return n_batch, ops[n_batch:]
+
+
+def _chain_shard(records, ops: tuple, n_batch: int, row_ops: tuple):
+    """One shard through a chain: batch prefix, then the row remainder.
+
+    Returns a :class:`ColumnarShard` when the whole chain stayed batch
+    and produced one (so the downstream stage — or the stored boundary —
+    keeps the columns); otherwise a plain row list.  The transition from
+    the batch prefix to the first row op is the *fallback boundary*:
+    ``as_records`` materializes the exact scalar records there.
+    """
+    shard = run_batch_prefix(records, ops, n_batch)
+    if not row_ops:
+        if isinstance(shard, (list, ColumnarShard)):
+            return shard
+        return list(shard)
+    return list(_chain_iter(as_records(shard), row_ops))
+
+
+def _make_chain_fn(ops, columnar=False):
     """Stage: fused element-wise chain, one pass per shard."""
     ops = tuple(ops)
+    n_batch, row_ops = _split_batch_prefix(ops, columnar)
 
-    def run_chain(records, _ops=ops):
-        return list(_chain_iter(records, _ops))
+    def run_chain(records, _ops=ops, _n=n_batch, _rest=row_ops):
+        return _chain_shard(records, _ops, _n, _rest)
 
     return run_chain
 
 
-def _compose_post_ops(fn, ops):
+def _compose_post_ops(fn, ops, columnar=False):
     """Wrap a shuffle-read stage with a fused element-wise consumer chain
     (post-shuffle fusion): one pass produces the chain's output directly,
     so the shuffle-read intermediate never exists as a stored shard."""
     if not ops:
         return fn
     ops = tuple(ops)
+    n_batch, row_ops = _split_batch_prefix(ops, columnar)
 
-    def read_and_chain(records, _fn=fn, _ops=ops):
-        return list(_chain_iter(_fn(records), _ops))
+    def read_and_chain(records, _fn=fn, _ops=ops, _n=n_batch, _rest=row_ops):
+        return _chain_shard(_fn(records), _ops, _n, _rest)
 
     return read_and_chain
 
 
-def _make_keyed_bucketer(ops, num_shards):
-    """Stage: shuffle write — fuse the producing chain into key routing."""
-    ops = tuple(ops)
+def _make_keyed_bucketer(ops, num_shards, columnar=False):
+    """Stage: shuffle write — fuse the producing chain into key routing.
 
-    def route(records, _ops=ops, _num=num_shards):
+    When the whole producing chain ran batch and left a keyed
+    :class:`ColumnarShard`, routing is vectorized too: one column hash +
+    one stable argsort replace the per-record ``_stable_shard`` loop
+    (:func:`~repro.dataflow.columnar.route_columnar`), and the buckets
+    stay columnar through the driver merge.
+    """
+    ops = tuple(ops)
+    n_batch, row_ops = _split_batch_prefix(ops, columnar)
+
+    def route(records, _ops=ops, _num=num_shards, _n=n_batch, _rest=row_ops):
+        shard = run_batch_prefix(records, _ops, _n)
+        if not _rest and isinstance(shard, ColumnarShard) and shard.keys is not None:
+            return route_columnar(shard, _num)
         buckets: List[list] = [[] for _ in range(_num)]
-        for element in _chain_iter(records, _ops):
+        for element in _chain_iter(as_records(shard), _rest):
             buckets[_stable_shard(element[0], _num)].append(element)
         return buckets
 
@@ -500,25 +554,60 @@ class _MissingKey:
     workers."""
 
 
-def _make_precombiner(ops, zero, add, num_shards):
+def _make_precombiner(ops, zero, add, num_shards, columnar=False, batch=None):
     """Stage: combiner lifting — local pre-combine, then bucket partials.
 
     Returns ``(n_pre, buckets)`` so the driver can meter the pre-shuffle
     record volume the local aggregation absorbed (the payload the executor
     ships back is the partials plus one int).
+
+    Under the columnar runtime, a fold that declares ``batch`` is applied
+    once per key over that key's (order-preserved) value list instead of
+    once per record; key order — and therefore every downstream insertion
+    order — matches the scalar dict's first-appearance order exactly.
     """
     ops = tuple(ops)
+    n_batch, row_ops = _split_batch_prefix(ops, columnar)
+    if not columnar:
+        batch = None
 
-    def precombine(records, _ops=ops, _zero=zero, _add=add, _num=num_shards):
+    def precombine(
+        records, _ops=ops, _zero=zero, _add=add, _num=num_shards,
+        _n=n_batch, _rest=row_ops, _batch=batch, _columnar=columnar,
+    ):
+        shard = run_batch_prefix(records, _ops, _n)
         local: dict = {}
         n_pre = 0
-        for key, value in _chain_iter(records, _ops):
-            n_pre += 1
-            acc = local.get(key, _MissingKey)
-            local[key] = _add(_zero() if acc is _MissingKey else acc, value)
-        buckets: List[list] = [[] for _ in range(_num)]
-        for key, acc in local.items():
-            buckets[_stable_shard(key, _num)].append((key, acc))
+        if (
+            _batch is not None
+            and not _rest
+            and isinstance(shard, ColumnarShard)
+            and shard.keys is not None
+        ):
+            grouped: dict = {}
+            for key, value in zip(shard.keys_list(), shard.values_list()):
+                grouped.setdefault(key, []).append(value)
+            n_pre = len(shard)
+            for key, values in grouped.items():
+                local[key] = _batch(values)
+        elif _batch is not None:
+            grouped = {}
+            for key, value in _chain_iter(as_records(shard), _rest):
+                n_pre += 1
+                grouped.setdefault(key, []).append(value)
+            for key, values in grouped.items():
+                local[key] = _batch(values)
+        else:
+            for key, value in _chain_iter(as_records(shard), _rest):
+                n_pre += 1
+                acc = local.get(key, _MissingKey)
+                local[key] = _add(_zero() if acc is _MissingKey else acc, value)
+        if _columnar:
+            buckets = bucket_keyed_items(list(local.items()), _num)
+        else:
+            buckets = [[] for _ in range(_num)]
+            for key, acc in local.items():
+                buckets[_stable_shard(key, _num)].append((key, acc))
         return n_pre, buckets
 
     return precombine
@@ -544,20 +633,36 @@ def _flatten_shard(records):
 
 
 def _group_shard(records):
-    """Stage: GroupByKey's per-shard grouping (input already key-routed)."""
+    """Stage: GroupByKey's per-shard grouping (input already key-routed).
+
+    Accepts a :class:`ColumnarShard` (zipping the key/value columns keeps
+    the first-appearance insertion order identical to the row loop) or a
+    plain row list.
+    """
     groups: dict = {}
-    for key, value in records:
-        groups.setdefault(key, []).append(value)
+    if isinstance(records, ColumnarShard) and records.keys is not None:
+        for key, value in zip(records.keys_list(), records.values_list()):
+            groups.setdefault(key, []).append(value)
+    else:
+        for key, value in records:
+            groups.setdefault(key, []).append(value)
     return list(groups.items())
 
 
-def _make_cogroup_bucketer(tag, num_shards, ops=()):
-    """Stage: tagged shuffle write for CoGroupByKey (producing chain fused)."""
-    ops = tuple(ops)
+def _make_cogroup_bucketer(tag, num_shards, ops=(), columnar=False):
+    """Stage: tagged shuffle write for CoGroupByKey (producing chain fused).
 
-    def route(records, _tag=tag, _num=num_shards, _ops=ops):
+    The tagged ``(key, tag, value)`` triple has no columnar layout, so this
+    write is always a fallback boundary: a vectorized producing chain runs
+    in batch, then rows are routed one at a time.
+    """
+    ops = tuple(ops)
+    n_batch, row_ops = _split_batch_prefix(ops, columnar)
+
+    def route(records, _tag=tag, _num=num_shards, _ops=ops, _n=n_batch, _rest=row_ops):
+        shard = run_batch_prefix(records, _ops, _n)
         buckets: List[list] = [[] for _ in range(_num)]
-        for key, value in _chain_iter(records, _ops):
+        for key, value in _chain_iter(as_records(shard), _rest):
             buckets[_stable_shard(key, _num)].append((key, _tag, value))
         return buckets
 
@@ -641,6 +746,16 @@ class Pipeline:
         (e.g. :func:`repro.core.distributed.problem_fingerprint`);
         without it, streaming sources — and everything derived from
         them — are simply not checkpointed.
+    columnar:
+        Enable the columnar shard runtime: operators that declare a
+        whole-shard batch implementation (:class:`BatchDoFn`, ``Fold``
+        with ``batch=``) run vectorized over :class:`ColumnarShard`
+        struct-of-arrays, falling back to per-record rows at the first
+        non-batch operator.  ``None`` (the default) resolves to the
+        module default ``DEFAULT_COLUMNAR`` — "auto": on wherever
+        vectorized implementations exist, a no-op everywhere else.
+        Results are bit-identical either way; ``False`` forces the pure
+        row path (the CLI's ``--no-columnar``).
     """
 
     def __init__(
@@ -655,6 +770,7 @@ class Pipeline:
         checkpoint_dir: Optional[str] = None,
         checkpoint_salt: Optional[str] = None,
         touched_digests: "Optional[set]" = None,
+        columnar: Optional[bool] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -667,6 +783,7 @@ class Pipeline:
         self.spill_to_disk = bool(spill_to_disk)
         self.fuse = bool(fuse)
         self.optimize = DEFAULT_OPTIMIZE if optimize is None else bool(optimize)
+        self.columnar = DEFAULT_COLUMNAR if columnar is None else bool(columnar)
         self.stream_chunk_size = int(stream_chunk_size)
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_salt = checkpoint_salt
@@ -848,7 +965,9 @@ class Pipeline:
         if checkpoint_digest is not None:
             self._checkpoint_store(checkpoint_digest, kept)
         for shard in kept:
-            self.metrics.observe_shard(len(shard))
+            self.metrics.observe_shard(
+                len(shard), columnar=isinstance(shard, ColumnarShard)
+            )
         node.cached = kept
         node.release_claims()
         node.deps = ()
@@ -1028,7 +1147,7 @@ class Pipeline:
                     fold = cur.fn
                     cur.kind = "combine_per_key"
                     cur.fn = None
-                    cur.extra = (fold.zero, fold.add, fold.merge)
+                    cur.extra = (fold.zero, fold.add, fold.merge, fold.batch)
                     cur.deps = dep.deps
                     cur.lifted_from = dep.name
                     # The combine inherits the group's claim on its dep;
@@ -1152,10 +1271,21 @@ class Pipeline:
             raise AssertionError(f"unknown node kind {kind!r}")
         return self._finish_node(node, raw, checkpoint_digest=digest)
 
-    def _run_stage(self, fn, shards, *, fused: int = 0) -> List[Any]:
+    def _run_stage(
+        self, fn, shards, *, fused: int = 0, vectorized: bool = False
+    ) -> List[Any]:
         out = self.executor.run_stage(fn, shards)
         self.metrics.observe_stage_execution(fused=fused)
+        if vectorized:
+            self.metrics.observe_vectorized_stage()
         return out
+
+    def _vector_prefix(self, ops) -> int:
+        """How many leading ops of a fused chain run vectorized (0 when
+        the columnar runtime is off)."""
+        if not self.columnar:
+            return 0
+        return batch_prefix_len(tuple(ops))
 
     def _upstream_chain(self, dep: _Node, *, for_shuffle: bool = False):
         """Collect (and consume) the fusable chain above ``dep``.
@@ -1255,7 +1385,10 @@ class Pipeline:
             return raw
         base_shards = self._materialize_node(base)
         return self._run_stage(
-            _make_chain_fn(ops), base_shards, fused=len(ops) - 1
+            _make_chain_fn(ops, columnar=self.columnar),
+            base_shards,
+            fused=len(ops) - 1,
+            vectorized=self._vector_prefix(ops) > 0,
         )
 
     def _exec_shuffle_read(self, base: _Node, post_ops) -> List[list]:
@@ -1277,14 +1410,22 @@ class Pipeline:
         base_shards = self._materialize_node(base)
         num = self.num_shards
         bucket_lists = self._run_stage(
-            _make_keyed_bucketer(ops, num), base_shards, fused=len(ops)
+            _make_keyed_bucketer(ops, num, columnar=self.columnar),
+            base_shards,
+            fused=len(ops),
+            vectorized=self._vector_prefix(ops) > 0,
         )
-        shards: List[list] = [[] for _ in range(num)]
+        # Merge per input-shard part order (identical to the old
+        # ``extend`` sequence); columnar buckets concatenate column-wise,
+        # mixed destinations degrade to rows.
+        parts: List[List[Any]] = [[] for _ in range(num)]
         moved = 0
         for buckets in bucket_lists:
             for i, bucket in enumerate(buckets):
-                shards[i].extend(bucket)
-                moved += len(bucket)
+                if len(bucket):
+                    parts[i].append(bucket)
+                    moved += len(bucket)
+        shards: List[Any] = [merge_bucket_parts(p) for p in parts]
         self.metrics.observe_shuffle(moved)
         return shards
 
@@ -1294,7 +1435,9 @@ class Pipeline:
         # eager engine materialized it); meter it even though it is never
         # stored.
         for shard in resharded:
-            self.metrics.observe_shard(len(shard))
+            self.metrics.observe_shard(
+                len(shard), columnar=isinstance(shard, ColumnarShard)
+            )
         return self._run_stage(
             _compose_post_ops(_group_shard, post_ops),
             resharded,
@@ -1302,14 +1445,25 @@ class Pipeline:
         )
 
     def _exec_combine_per_key(self, node: _Node, post_ops=()) -> List[list]:
-        zero, add, merge = node.extra
+        # ``extra`` is a 3-tuple from ``combine_per_key`` calls predating
+        # vectorized folds, a 4-tuple (with the fold's batch impl) since.
+        zero, add, merge = node.extra[:3]
+        fold_batch = node.extra[3] if len(node.extra) > 3 else None
         if node.lifted_from is not None:
             self.metrics.observe_lifted_combiner()
         ops, base, _ = self._upstream_chain(node.deps[0], for_shuffle=True)
         base_shards = self._materialize_node(base)
         num = self.num_shards
         stage_out = self._run_stage(
-            _make_precombiner(ops, zero, add, num), base_shards, fused=len(ops)
+            _make_precombiner(
+                ops, zero, add, num,
+                columnar=self.columnar,
+                batch=fold_batch,
+            ),
+            base_shards,
+            fused=len(ops),
+            vectorized=self.columnar
+            and (fold_batch is not None or self._vector_prefix(ops) > 0),
         )
         partials: List[list] = [[] for _ in range(num)]
         moved = 0
@@ -1330,7 +1484,10 @@ class Pipeline:
         ops, base, _ = self._upstream_chain(node.deps[0])
         base_shards = self._materialize_node(base)
         transformed = self._run_stage(
-            _make_chain_fn(ops), base_shards, fused=len(ops)
+            _make_chain_fn(ops, columnar=self.columnar),
+            base_shards,
+            fused=len(ops),
+            vectorized=self._vector_prefix(ops) > 0,
         )
         num = self.num_shards
         shards: List[list] = [[] for _ in range(num)]
@@ -1369,7 +1526,10 @@ class Pipeline:
                 ops, base = [], dep
             stored = self._materialize_node(base)
             bucket_lists = self._run_stage(
-                _make_cogroup_bucketer(tag, num, ops), stored, fused=len(ops)
+                _make_cogroup_bucketer(tag, num, ops, columnar=self.columnar),
+                stored,
+                fused=len(ops),
+                vectorized=self._vector_prefix(ops) > 0,
             )
             for buckets in bucket_lists:
                 for i, bucket in enumerate(buckets):
@@ -1437,6 +1597,27 @@ class Pipeline:
     def _describe(node: _Node) -> str:
         return f"{node.kind} '{node.name}'" if node.name else node.kind
 
+    def _vector_note(self, nodes) -> str:
+        """Annotation for a fused chain's vectorized prefix.
+
+        Empty when the columnar runtime is off or no op in the chain is
+        batch-capable — plans built from plain callables render exactly
+        as before.  A partial prefix names the first row-fallback op so a
+        silently-degraded plan is visible in :meth:`PCollection.explain`.
+        """
+        nodes = list(nodes)
+        if not self.columnar or not nodes:
+            return ""
+        prefix = batch_prefix_len(tuple((n.kind, n.fn) for n in nodes))
+        if prefix == 0:
+            return ""
+        if prefix == len(nodes):
+            return " [vectorized]"
+        return (
+            f" [vectorized x{prefix}, "
+            f"row fallback at {self._describe(nodes[prefix])}]"
+        )
+
     def _render_plan(
         self, node: _Node, lines: List[Tuple[tuple, str]], memo: dict
     ) -> str:
@@ -1459,6 +1640,7 @@ class Pipeline:
             chain, base, base_live, _ = self._peek_chain(node.deps[0])
             ops = chain + [node]
             desc = " + ".join(self._describe(n) for n in ops)
+            desc += self._vector_note(ops)
             if self._fuses_post_shuffle(base, base_live):
                 ref = self._render_shuffle(base, lines, memo, post=desc)
             else:
@@ -1485,7 +1667,7 @@ class Pipeline:
         if chain:
             text += " [fused: " + " + ".join(
                 self._describe(n) for n in chain
-            ) + "]"
+            ) + "]" + self._vector_note(chain)
         for elided_node in elided:
             text += f" (elided {self._describe(elided_node)})"
         return self._emit(lines, f"{text} <- {base_ref}", scope)
@@ -1509,7 +1691,7 @@ class Pipeline:
             if chain:
                 text += " [fused: " + " + ".join(
                     self._describe(n) for n in chain
-                ) + "]"
+                ) + "]" + self._vector_note(chain)
             return self._emit(lines, f"{text} <- {base_ref}", scope)
         if kind == "group":
             write = self._render_write(
@@ -1525,6 +1707,13 @@ class Pipeline:
             label = f"combine-write {self._describe(node)}"
             if node.lifted_from is not None:
                 label += f" (lifted from group '{node.lifted_from}')"
+            if (
+                self.columnar
+                and node.extra is not None
+                and len(node.extra) > 3
+                and node.extra[3] is not None
+            ):
+                label += " [vectorized fold]"
             write = self._render_write(
                 node.deps[0], lines, memo, label=label, scope=scope
             )
@@ -1629,9 +1818,13 @@ class PCollection:
         return out
 
     def iter_shards(self) -> Iterator[List[Any]]:
-        """Yield each shard's records (loading spilled shards one at a time)."""
+        """Yield each shard's records (loading spilled shards one at a time).
+
+        Columnar shards convert to rows here — the driver-facing contract
+        is always a list of records, whatever layout the stage produced.
+        """
         for shard in self._shards:
-            yield _resolve(shard)
+            yield as_records(_resolve(shard))
 
     def run(self) -> "PCollection":
         """Force execution of this collection's DAG; returns self."""
@@ -1745,18 +1938,23 @@ class PCollection:
         add: Callable[[Any, Any], Any],
         merge: Callable[[Any, Any], Any],
         *,
+        batch: Optional[Callable[[list], Any]] = None,
         name: str = "combine_per_key",
     ) -> "PCollection":
         """Beam CombinePerKey with combiner lifting.
 
         Each input shard pre-combines locally (``zero``/``add``), then only
         per-key accumulators shuffle (``merge``) — the same record-volume
-        optimization Beam's combiner lifting performs.
+        optimization Beam's combiner lifting performs.  ``batch``, when
+        given and the columnar runtime is on, replaces the per-record
+        ``add`` loop with one whole-value-list call per key (must be
+        bit-identical to folding ``add`` from ``zero()``).
         """
         self._require_keyed("combine_per_key")
         self.pipeline.metrics.count_stage(name)
         return self._derive(
-            "combine_per_key", None, keyed=True, extra=(zero, add, merge),
+            "combine_per_key", None, keyed=True,
+            extra=(zero, add, merge, batch),
             name=name,
         )
 

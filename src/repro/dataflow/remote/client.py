@@ -40,6 +40,7 @@ from repro.dataflow.executor import (
     BroadcastRegistry,
     Executor,
     _resolve,
+    columnar_task_eligible,
     dumps_with_broadcast,
 )
 from repro.dataflow.remote import protocol
@@ -53,6 +54,7 @@ from repro.dataflow.remote.protocol import (
     MSG_RESULT,
     MSG_STAGE,
     MSG_TASK,
+    MSG_TASK_COL,
 )
 
 
@@ -307,10 +309,21 @@ class RemoteExecutor(Executor):
             # identical results, like the multiprocess backend.
             return [fn(_resolve(shard)) for shard in shards]
         state = _StageState(len(shards))
+        # Task-shard broadcast digests, accumulated by the channel loops
+        # (under ``_stats_lock``) so stage-end eviction sees them too.
+        task_digests_seen: "set[str]" = set()
         threads = [
             threading.Thread(
                 target=self._channel_loop,
-                args=(channel, payload, digests, fn, shards, state),
+                args=(
+                    channel,
+                    payload,
+                    digests,
+                    fn,
+                    shards,
+                    state,
+                    task_digests_seen,
+                ),
                 daemon=True,
                 name=f"repro-remote-{channel.address[1]}",
             )
@@ -330,8 +343,12 @@ class RemoteExecutor(Executor):
         # Single-threaded again (channel loops joined): drop blob bytes
         # every live channel has received — no further reader exists, so
         # long drives don't pile their capture history on the driver.
+        # Eviction must stay this conservative — ``maybe_register``'s
+        # identity fast path returns a digest without repopulating
+        # ``blobs``, so bytes a live channel has never seen must survive
+        # for a later ship.
         live = [ch for ch in self._channels if ch.alive]
-        for digest in digests:
+        for digest in digests | frozenset(task_digests_seen):
             if live and all(digest in ch.shipped for ch in live):
                 self._registry.evict(digest)
         missing = state.missing()
@@ -350,6 +367,7 @@ class RemoteExecutor(Executor):
         fn,
         shards: List[Any],
         state: _StageState,
+        task_digests_seen: "set[str]",
     ) -> None:
         """Drive one worker through the stage; never raises."""
         in_flight: Optional[int] = None
@@ -363,9 +381,30 @@ class RemoteExecutor(Executor):
                 shard = shards[index]
                 if self.resolve_before_send:
                     shard = _resolve(shard)
-                try:
-                    task_frame = protocol.dumps((MSG_TASK, index, shard))
-                except Exception:
+                task_frame = None
+                if columnar_task_eligible(shard, self._registry):
+                    # Zero-copy columnar dispatch: broadcast-sized ndarray
+                    # columns travel as content-addressed blobs, shipped
+                    # to this worker only if it has not seen them yet.
+                    try:
+                        col_payload, task_digests = dumps_with_broadcast(
+                            shard, self._registry
+                        )
+                        task_frame = protocol.dumps(
+                            (MSG_TASK_COL, index, col_payload)
+                        )
+                    except Exception:
+                        task_frame = None  # degrade to the inline frame
+                    else:
+                        self._ship_blobs(channel, task_digests)
+                        with self._stats_lock:
+                            task_digests_seen.update(task_digests)
+                if task_frame is None:
+                    try:
+                        task_frame = protocol.dumps((MSG_TASK, index, shard))
+                    except Exception:
+                        task_frame = None
+                if task_frame is None:
                     # Unserializable shard: compute on the driver (nothing
                     # was sent, so the channel stays in lockstep).  A DoFn
                     # exception here is a deterministic stage failure, the
@@ -428,10 +467,10 @@ class RemoteExecutor(Executor):
                 "processed):\n" + traceback.format_exc(),
             )
 
-    def _send_stage(
-        self, channel: _Channel, payload: bytes, digests: "frozenset[str]"
+    def _ship_blobs(
+        self, channel: _Channel, digests: "frozenset[str]"
     ) -> None:
-        """One-time blob broadcast, then the per-stage delta."""
+        """Ship the blobs this channel has not seen yet (once each, ever)."""
         for digest in sorted(digests - channel.shipped):
             blob = self._registry.blobs[digest]
             protocol.send_msg(channel.sock, (MSG_BLOB, digest, blob))
@@ -439,6 +478,12 @@ class RemoteExecutor(Executor):
             with self._stats_lock:
                 self.broadcast_bytes += len(blob)
                 self.broadcast_blobs += 1
+
+    def _send_stage(
+        self, channel: _Channel, payload: bytes, digests: "frozenset[str]"
+    ) -> None:
+        """One-time blob broadcast, then the per-stage delta."""
+        self._ship_blobs(channel, digests)
         protocol.send_msg(channel.sock, (MSG_STAGE, payload))
         with self._stats_lock:
             self.stage_payload_bytes += len(payload)

@@ -23,6 +23,12 @@ Driver → worker messages
     One shard of work.  Exactly one reply per task — ``(MSG_RESULT,
     index, value)`` or ``(MSG_ERROR, index, exc, traceback_str)`` — which
     keeps each channel in lockstep even through failing stages.
+``(MSG_TASK_COL, index, payload_bytes)``
+    One columnar shard of work, serialized with the broadcast-aware
+    pickler: its large ndarray columns are blob references resolved
+    against the channel's cache (the driver ships any unseen blob
+    first), so a column the worker already holds never crosses the wire
+    again.  Reply contract is identical to ``MSG_TASK``.
 ``(MSG_BYE,)``
     Close this channel; the worker daemon keeps serving other channels.
 ``(MSG_SHUTDOWN,)``
@@ -64,6 +70,9 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
     MSG_BYE,
     MSG_SHUTDOWN,
 ) = range(10)
+
+#: Appended after the original block so existing tag values never shift.
+MSG_TASK_COL = 10
 
 _HEADER = struct.Struct(">Q")
 

@@ -53,6 +53,7 @@ from repro.dataflow.remote.protocol import (
     MSG_SHUTDOWN,
     MSG_STAGE,
     MSG_TASK,
+    MSG_TASK_COL,
 )
 
 
@@ -113,6 +114,29 @@ class WorkerServer:
                         fn, fn_error = None, traceback.format_exc()
                 elif tag == MSG_TASK:
                     self._run_task(sock, fn, fn_error, message[1], message[2])
+                elif tag == MSG_TASK_COL:
+                    # Columnar task: the shard's ndarray columns are blob
+                    # references against this channel's cache.  A resolve
+                    # failure is this task's (one and only) error reply,
+                    # keeping the channel in lockstep.
+                    try:
+                        shard = loads_with_broadcast(message[2], blobs)
+                    except BaseException:
+                        protocol.send_frame(
+                            sock,
+                            protocol.dumps(
+                                (
+                                    MSG_ERROR,
+                                    message[1],
+                                    None,
+                                    "columnar task payload failed to "
+                                    "load on the worker:\n"
+                                    + traceback.format_exc(),
+                                )
+                            ),
+                        )
+                    else:
+                        self._run_task(sock, fn, fn_error, message[1], shard)
                 elif tag == MSG_BYE:
                     return
                 elif tag == MSG_SHUTDOWN:

@@ -20,10 +20,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Sequence, Tuple
 
+from repro.dataflow.columnar import BatchDoFn, ColumnarShard
 from repro.dataflow.pcollection import Fold, PCollection, Pipeline
 
 __all__ = [
     "Fold",
+    "BatchDoFn",
+    "ColumnarShard",
     "flatten",
     "cogroup",
     "sum_globally",

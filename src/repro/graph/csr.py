@@ -288,9 +288,19 @@ class NeighborGraph:
                 raise ValueError("graph must be symmetric (see symmetrize_knn)")
 
     def _is_symmetric(self) -> bool:
-        rows = np.repeat(np.arange(self._n), np.diff(self.indptr))
-        fwd = set(zip(rows.tolist(), self.indices.tolist()))
-        return all((b, a) in fwd for a, b in fwd)
+        # Edge-set symmetry via sorted integer codes instead of a Python
+        # set of tuples: the distinct (a, b) codes must equal the
+        # distinct (b, a) codes.  ``np.unique`` makes this a set (not
+        # multiset) comparison, matching the tuple-set semantics even if
+        # a row carries duplicate neighbor entries.
+        rows = np.repeat(
+            np.arange(self._n, dtype=np.int64), np.diff(self.indptr)
+        )
+        cols = self.indices.astype(np.int64, copy=False)
+        n = np.int64(self._n)
+        return np.array_equal(
+            np.unique(rows * n + cols), np.unique(cols * n + rows)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -6,10 +6,12 @@ map_values — plain and :class:`Fold` — group_by_key / combine_per_key /
 flatten / cogroup, with shared intermediates and explicit ``cache()``),
 then executes each program across the full configuration matrix
 
-    {optimized, unoptimized} x {sequential, thread, multiprocess, remote}
-                             x {spill off, spill on}
+    {columnar, row} x {optimized, unoptimized}
+                    x {sequential, thread, multiprocess, remote}
+                    x {spill off, spill on}
 
-— 16 cells — asserting **identical results in every cell**.  The remote
+— 24 cells (the row-runtime axis skips the orthogonal spill knob) —
+asserting **identical results in every cell**.  The remote
 cells run on two localhost worker daemons shared across the module (one
 :class:`LocalCluster`; each cell connects its own executor), so the
 socket/RPC backend is held to the same bit-identical bar as the
@@ -39,12 +41,19 @@ N_PROGRAMS = 8
 N_SHARDS = 4
 STREAM_CHUNK = 16
 
-#: The 16-cell configuration matrix.
+#: The configuration matrix: the columnar runtime across every
+#: {optimize} x {executor} x {spill} combination, plus the row runtime
+#: across {optimize} x {executor} (spill is a storage knob orthogonal to
+#: the shard representation, so the row axis skips it).
 CELLS = [
-    (optimize, executor, spill)
+    (optimize, executor, spill, True)
     for optimize in (True, False)
     for executor in ("sequential", "thread", "multiprocess", "remote")
     for spill in (False, True)
+] + [
+    (optimize, executor, False, False)
+    for optimize in (True, False)
+    for executor in ("sequential", "thread", "multiprocess", "remote")
 ]
 
 
@@ -186,7 +195,12 @@ def _run_program(seed: int, pipeline: Pipeline):
 
 
 def _run_cell(
-    seed: int, optimize: bool, executor_name: str, spill: bool, cluster=None
+    seed: int,
+    optimize: bool,
+    executor_name: str,
+    spill: bool,
+    columnar: bool = True,
+    cluster=None,
 ):
     """One configuration cell, driven through the public configuration
     surface: an ``EngineOptions`` (holding the cell's backend, plan, and
@@ -205,6 +219,7 @@ def _run_cell(
         num_shards=N_SHARDS,
         spill_to_disk=spill,
         optimize=optimize,
+        columnar=columnar,
         stream_chunk_size=STREAM_CHUNK,
     )
     try:
@@ -223,16 +238,23 @@ def _run_cell(
 
 @pytest.mark.parametrize("seed", range(N_PROGRAMS))
 def test_differential_matrix(seed, remote_cluster):
-    """Every one of the 16 configuration cells is bit-identical to the
-    naive sequential in-memory reference."""
-    reference = _run_cell(seed, False, "sequential", False)
-    for optimize, executor_name, spill in CELLS:
+    """Every configuration cell is bit-identical to the naive sequential
+    in-memory *row-runtime* reference (the engine's original
+    record-at-a-time semantics)."""
+    reference = _run_cell(seed, False, "sequential", False, columnar=False)
+    for optimize, executor_name, spill, columnar in CELLS:
         got = _run_cell(
-            seed, optimize, executor_name, spill, cluster=remote_cluster
+            seed,
+            optimize,
+            executor_name,
+            spill,
+            columnar=columnar,
+            cluster=remote_cluster,
         )
         assert got == reference, (
             f"seed {seed}: cell (optimize={optimize}, "
-            f"executor={executor_name}, spill={spill}) diverged"
+            f"executor={executor_name}, spill={spill}, "
+            f"columnar={columnar}) diverged"
         )
 
 
@@ -261,3 +283,40 @@ def test_programs_exercise_the_optimizer():
     assert elided > 0, "no program elided a shuffle"
     assert fused > 0, "no program fused stages"
     assert streamed > 0, "no program used a streaming source"
+
+
+def test_vectorized_path_fires_on_library_beams():
+    """Meta-test for the columnar axis: under ``columnar=True`` the
+    library's kNN and bounding plans actually execute vectorized stages
+    (otherwise the row/columnar matrix would be comparing the row path
+    against itself)."""
+    from repro.core.problem import SubsetProblem
+    from repro.data.registry import load_dataset
+    from repro.dataflow import beam_bound
+    from repro.dataflow.knn_beam import beam_knn_graph
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((120, 8))
+    _, _, _, knn_metrics = beam_knn_graph(
+        x, 4, n_clusters=4,
+        options=EngineOptions(num_shards=4, columnar=True),
+    )
+    assert knn_metrics.vectorized_stages > 0, "kNN beam never vectorized"
+    assert knn_metrics.columnar_rows > 0
+
+    ds = load_dataset("cifar100_tiny", n_points=200, seed=0)
+    problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+    _, bound_metrics = beam_bound(
+        problem, problem.n // 4,
+        options=EngineOptions(num_shards=4, columnar=True),
+    )
+    assert bound_metrics.vectorized_stages > 0, "bounding beam never vectorized"
+
+    # And the row axis really is the row path: columnar=False must not
+    # meter a single vectorized stage.
+    _, _, _, row_metrics = beam_knn_graph(
+        x, 4, n_clusters=4,
+        options=EngineOptions(num_shards=4, columnar=False),
+    )
+    assert row_metrics.vectorized_stages == 0
+    assert row_metrics.columnar_rows == 0

@@ -14,6 +14,7 @@ from repro.dataflow import (
     beam_knn_graph,
     beam_score,
 )
+from repro.dataflow.columnar import BatchDoFn, as_records
 from repro.dataflow.pcollection import Fold, Pipeline
 from repro.dataflow.transforms import cogroup
 from tests.conftest import random_problem
@@ -130,6 +131,107 @@ class TestGoldenPlans:
         unary.run()
         assert pipeline.metrics.elided_shuffles == 1
         assert pipeline.metrics.fused_stages >= 2
+
+
+class TestColumnarPlanRendering:
+    """Golden snapshots of the columnar runtime's ``explain()`` notes: a
+    fully-batch chain, a partial prefix with its row-fallback boundary,
+    and the row runtime rendering exactly as before."""
+
+    @staticmethod
+    def _batch_double():
+        return BatchDoFn(
+            lambda x: x * 2,
+            lambda s: [x * 2 for x in as_records(s)],
+            label="double",
+        )
+
+    @staticmethod
+    def _batch_even():
+        return BatchDoFn(
+            lambda x: x % 2 == 0,
+            lambda s: [x % 2 == 0 for x in as_records(s)],
+            label="even",
+        )
+
+    def _mixed_chain(self, pipeline):
+        """Two batch ops, then a plain lambda: the fallback boundary."""
+        return (
+            pipeline.create(range(32), name="col/source")
+            .map(self._batch_double(), name="col/double")
+            .filter(self._batch_even(), name="col/even")
+            .map(lambda x: x + 1, name="col/bump")
+        )
+
+    def test_fallback_boundary_snapshot(self):
+        pipeline = Pipeline(num_shards=4, optimize=True, columnar=True)
+        out = self._mixed_chain(pipeline)
+        assert out.explain() == (
+            "plan (optimize=on, fuse=on, shards=4)\n"
+            "S1: map 'col/double' + filter 'col/even' + map 'col/bump' "
+            "[vectorized x2, row fallback at map 'col/bump'] "
+            "<- [materialized source 'col/source']\n"
+            "result <- S1"
+        )
+        assert sorted(out.to_list()) == sorted(
+            x * 2 + 1 for x in range(32) if (x * 2) % 2 == 0
+        )
+        assert pipeline.metrics.vectorized_stages == 1
+
+    def test_row_runtime_renders_unannotated(self):
+        """``columnar=False`` must render the identical chain exactly as
+        the pre-columnar engine did — no note, no metered stages."""
+        pipeline = Pipeline(num_shards=4, optimize=True, columnar=False)
+        out = self._mixed_chain(pipeline)
+        assert out.explain() == (
+            "plan (optimize=on, fuse=on, shards=4)\n"
+            "S1: map 'col/double' + filter 'col/even' + map 'col/bump' "
+            "<- [materialized source 'col/source']\n"
+            "result <- S1"
+        )
+        out.run()
+        assert pipeline.metrics.vectorized_stages == 0
+
+    def test_fully_vectorized_chain_snapshot(self):
+        pipeline = Pipeline(num_shards=4, optimize=True, columnar=True)
+        out = (
+            pipeline.create(range(32), name="col/source")
+            .map(self._batch_double(), name="col/double")
+            .filter(self._batch_even(), name="col/even")
+        )
+        assert out.explain() == (
+            "plan (optimize=on, fuse=on, shards=4)\n"
+            "S1: map 'col/double' + filter 'col/even' [vectorized] "
+            "<- [materialized source 'col/source']\n"
+            "result <- S1"
+        )
+
+    def test_fused_shuffle_write_renders_boundary(self):
+        """The write-side fused chain carries the same annotation; the
+        key-assigning plain map is the boundary."""
+        pipeline = Pipeline(num_shards=4, optimize=True, columnar=True)
+        out = (
+            pipeline.create(range(32), name="col/source")
+            .map(self._batch_double(), name="col/double")
+            .key_by(lambda x: x % 3, name="col/key")
+            .group_by_key(name="col/group")
+            .map_values(Fold.sum(), name="col/sum")
+        )
+        assert out.explain() == (
+            "plan (optimize=on, fuse=on, shards=4)\n"
+            "S1: combine-write combine_per_key 'col/sum' "
+            "(lifted from group 'col/group') "
+            "[fused: map 'col/double' + map 'col/key'] "
+            "[vectorized x1, row fallback at map 'col/key'] "
+            "(elided reshard 'col/key') "
+            "<- [materialized source 'col/source']\n"
+            "S2: combine-read combine_per_key 'col/sum' <- S1\n"
+            "result <- S2"
+        )
+        naive = {}
+        for x in range(32):
+            naive[x * 2 % 3] = naive.get(x * 2 % 3, 0) + x * 2
+        assert dict(out.to_list()) == naive
 
 
 class TestRewriteGuards:
