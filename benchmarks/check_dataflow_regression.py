@@ -42,6 +42,18 @@ Two checks, both read from the record ``test_dataflow_engine.py`` emits:
    ratio is stable where absolute walls are not; a silent fallback to
    the row path shows up as a ratio near 1.0 and fails here.
 
+5. **Adaptive-planning gate** (``--adaptive-candidate`` vs
+   ``--adaptive-baseline``, default ``knn_adaptive`` vs ``knn_columnar``):
+   letting the cost-model planner choose the engine knobs must stay
+   within 10% of the hand-tuned columnar build
+   (``knn_adaptive <= 1.1 x knn_columnar``), and after one calibration
+   drive the model must actually track the machine — the median
+   per-stage symmetric relative error between ``predicted_ms`` and
+   ``actual_ms`` must stay under ``--max-adaptive-rel-err``.  A planner
+   that picks pathological shard counts fails the ratio; a calibration
+   regression (constants no longer fitted from the observed profiles)
+   fails the error bound.
+
 Usage::
 
     python benchmarks/check_dataflow_regression.py \
@@ -82,6 +94,18 @@ def main(argv=None) -> int:
     parser.add_argument("--max-columnar-ratio", type=float, default=0.8,
                         help="fail when columnar wall exceeds this fraction "
                              "of the row baseline's wall")
+    parser.add_argument("--adaptive-baseline", default="knn_columnar",
+                        help="hand-tuned mode the adaptive build is gated "
+                             "against (empty string skips the gate)")
+    parser.add_argument("--adaptive-candidate", default="knn_adaptive",
+                        help="planner-driven mode whose wall time and "
+                             "prediction error are gated")
+    parser.add_argument("--max-adaptive-ratio", type=float, default=1.1,
+                        help="fail when adaptive wall exceeds this fraction "
+                             "of the hand-tuned baseline's wall")
+    parser.add_argument("--max-adaptive-rel-err", type=float, default=0.9,
+                        help="fail when the median predicted-vs-actual "
+                             "symmetric relative error exceeds this")
     args = parser.parse_args(argv)
 
     with open(args.record) as fh:
@@ -213,6 +237,46 @@ def main(argv=None) -> int:
             )
             return 1
         print("OK: columnar runtime beats the row baseline")
+
+    if args.adaptive_baseline:
+        try:
+            tuned_wall = float(modes[args.adaptive_baseline]["wall_ms"])
+            adaptive = modes[args.adaptive_candidate]
+            adaptive_wall = float(adaptive["wall_ms"])
+            median_rel_err = float(adaptive["median_rel_err"])
+        except KeyError as missing:
+            print(
+                f"adaptive-gate mode/field {missing} not found in "
+                f"{args.record}",
+                file=sys.stderr,
+            )
+            return 2
+        ratio = adaptive_wall / tuned_wall if tuned_wall > 0 else float("inf")
+        print(
+            f"{args.adaptive_candidate}: {adaptive_wall:.1f} ms, "
+            f"{args.adaptive_baseline}: {tuned_wall:.1f} ms — ratio "
+            f"{ratio:.3f} (max allowed {args.max_adaptive_ratio:.2f}), "
+            f"median predicted-vs-actual rel err {median_rel_err:.3f} "
+            f"(max allowed {args.max_adaptive_rel_err:.2f})"
+        )
+        if ratio > args.max_adaptive_ratio:
+            print(
+                f"FAIL: adaptive wall ratio {ratio:.3f} exceeds "
+                f"{args.max_adaptive_ratio:.2f} — the planner's knob "
+                "choices regressed vs the hand-tuned configuration",
+                file=sys.stderr,
+            )
+            return 1
+        if median_rel_err > args.max_adaptive_rel_err:
+            print(
+                f"FAIL: median predicted-vs-actual relative error "
+                f"{median_rel_err:.3f} exceeds "
+                f"{args.max_adaptive_rel_err:.2f} — cost-model calibration "
+                "no longer tracks the machine",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: adaptive planning within budget and calibrated")
     return 0
 
 

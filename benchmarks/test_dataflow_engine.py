@@ -31,7 +31,14 @@ workload:
   made the old fork-per-stage multiprocess backend a net slowdown, and the
   probe the CI wall-time gate runs on (small stages measure the executor
   architecture, not compute, so the ratio is stable on noisy shared
-  runners).
+  runners);
+- *adaptive planning*: the same kNN build with ``adaptive=True`` — the
+  cost-model planner chooses ``num_shards`` itself, output must stay
+  bit-identical, and after one calibration drive the model's per-stage
+  ``predicted_ms`` is recorded next to the measured ``actual_ms``
+  (``check_dataflow_regression.py`` gates CI on
+  ``knn_adaptive <= 1.1 x knn_columnar`` wall time and on the median
+  predicted-vs-actual relative error).
 
 Emits ``BENCH_dataflow.json`` under ``benchmarks/results/`` via
 :func:`common.report_json` alongside the human-readable table;
@@ -44,12 +51,14 @@ import numpy as np
 
 from common import format_rows, report, report_json
 from repro.dataflow import (
+    DataflowContext,
     EngineOptions,
     MultiprocessExecutor,
     Pipeline,
     RemoteExecutor,
     ThreadExecutor,
     beam_knn_graph,
+    predicted_vs_actual,
 )
 from conftest import BENCH_SCALE
 
@@ -325,6 +334,50 @@ def test_e21_dataflow_engine():
         "retried_shards": col_remote_stats["retried_shards"],
     }
 
+    # -- adaptive axis: cost-model-driven planning ------------------------
+    # The planner picks num_shards itself (no explicit engine knobs), the
+    # first drive calibrates the cost model from observed StageProfiles,
+    # and the timed best-of-3 then runs against the calibrated constants —
+    # so the recorded predicted_ms/actual_ms pairs measure how well one
+    # calibration drive tracks this machine.  Output must stay
+    # bit-identical to the fixed-8-shard baseline (the kNN top-k is a
+    # total order, so shard count never changes selections).
+    adapt_elapsed = None
+    with DataflowContext(EngineOptions(adaptive=True)) as ctx:
+        beam_knn_graph(x, 10, n_clusters=16, nprobe=4, seed=0, context=ctx)
+        model = ctx.planner.recalibrate()
+        for _rep in range(3):
+            start = time.perf_counter()
+            _, nbrs, _, adapt_metrics = beam_knn_graph(
+                x, 10, n_clusters=16, nprobe=4, seed=0, context=ctx
+            )
+            rep_elapsed = time.perf_counter() - start
+            adapt_elapsed = (
+                rep_elapsed if adapt_elapsed is None
+                else min(adapt_elapsed, rep_elapsed)
+            )
+            np.testing.assert_array_equal(nbrs, knn_baseline)
+        planned_shards = ctx.planner.choose_num_shards(int(x.shape[0]))
+    stage_costs = predicted_vs_actual(adapt_metrics.stage_profiles, model)
+    rel_errs = sorted(r["rel_err"] for r in stage_costs)
+    median_rel_err = rel_errs[len(rel_errs) // 2] if rel_errs else 0.0
+    rows.append((
+        "knn build adaptive", adapt_elapsed * 1e3,
+        adapt_metrics.executed_stages, adapt_metrics.fused_stages,
+        adapt_metrics.peak_shard_records,
+    ))
+    record["modes"]["knn_adaptive"] = {
+        "wall_ms": adapt_elapsed * 1e3,
+        "executed_stages": adapt_metrics.executed_stages,
+        "fused_stages": adapt_metrics.fused_stages,
+        "peak_shard_records": adapt_metrics.peak_shard_records,
+        "shuffled_records": adapt_metrics.shuffled_records,
+        "vectorized_stages": adapt_metrics.vectorized_stages,
+        "planned_num_shards": planned_shards,
+        "stage_costs": stage_costs,
+        "median_rel_err": median_rel_err,
+    }
+
     # -- pool-persistence axis: many small stages -------------------------
     # min_parallel_records=0 forces even tiny stages onto the pool; the
     # point is per-stage pool overhead, not compute.
@@ -384,6 +437,14 @@ def test_e21_dataflow_engine():
     assert remote["broadcast_bytes"] <= (
         remote["unique_broadcast_bytes"] * remote["n_workers"]
     )
+    # Adaptive planning: the planner actually re-planned (chose more
+    # shards than the 8-shard default), profiles were recorded, and every
+    # predicted/actual pair carries a well-formed symmetric error (the
+    # wall-ratio and rel-err CI gates live in check_dataflow_regression.py).
+    adaptive = record["modes"]["knn_adaptive"]
+    assert adaptive["planned_num_shards"] > 8
+    assert adaptive["stage_costs"]
+    assert all(0.0 <= r["rel_err"] <= 1.0 for r in adaptive["stage_costs"])
 
     path = report_json("dataflow", record)
     report(

@@ -18,6 +18,11 @@ the pure row path everywhere a pipeline leaves ``columnar`` unset;
 ``--columnar`` forces it on (the default is already "auto: on", so the
 flag mostly documents intent in CI matrix entries).  The differential
 harness always exercises both layouts regardless.
+
+``--adaptive`` flips ``DEFAULT_ADAPTIVE`` in the engine options, so every
+test whose options leave ``adaptive`` unset runs with the cost-model
+planner choosing the engine knobs (results are bit-identical by design —
+this matrix entry proves it suite-wide).
 """
 
 import pytest
@@ -54,6 +59,13 @@ def pytest_addoption(parser):
              "(already the default; rejects combination with "
              "--no-columnar)",
     )
+    parser.addoption(
+        "--adaptive",
+        action="store_true",
+        default=False,
+        help="run the whole suite with cost-model-driven adaptive "
+             "planning on by default (results must stay bit-identical)",
+    )
 
 
 def pytest_configure(config):
@@ -68,3 +80,7 @@ def pytest_configure(config):
         from repro.dataflow import pcollection
 
         pcollection.DEFAULT_COLUMNAR = False
+    if config.getoption("--adaptive"):
+        from repro.dataflow import options
+
+        options.DEFAULT_ADAPTIVE = True

@@ -5,7 +5,12 @@ Commands
 ``select``
     Run the full pipeline on embeddings (+ optional utilities) from ``.npy``
     files, or on a named synthetic preset, and write the selected ids (and
-    optionally a JSON report).
+    optionally a JSON report).  ``--explain`` prints the physical dataflow
+    plans (with the cost model's predicted wall time per stage) and exits
+    without executing anything.
+``plan``
+    Render those physical plans directly — the ``--explain`` view as its
+    own command.
 ``score``
     Evaluate the pairwise submodular objective of a given subset.
 ``info``
@@ -92,8 +97,79 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _print_plans(problem, embeddings, args: argparse.Namespace) -> int:
+    """Render the dataflow plans a run would execute — no stage runs.
+
+    Builds the kNN-construction and bounding-round plans on streaming
+    sources (never consumed) and prints :meth:`PCollection.explain` with
+    the cost model's predicted wall time per stage.  With
+    ``--adaptive-plan`` the predictions come from the planner's
+    calibrated constants (persisted next to ``--checkpoint-dir``).
+    """
+    from repro.dataflow import DataflowContext
+    from repro.dataflow.library import BoundingFilter, ShardedKnn
+    from repro.graph.knn import l2_normalize
+
+    options = EngineOptions.from_namespace(args)
+    n = problem.n
+    with DataflowContext(options) as ctx:
+        pipeline = ctx.pipeline(plan_records=n)
+        try:
+            x = l2_normalize(embeddings)
+            n_clusters = max(1, min(n, int(np.sqrt(n))))
+            # The plan's shape (and cost) does not depend on centroid
+            # values, so the k-means fit is skipped here.
+            centroids = np.ascontiguousarray(x[:n_clusters])
+            points = pipeline.create(range(n), name="knn/source", stream=True)
+            knn = points.apply(
+                ShardedKnn(x, centroids, k=args.knn_k, nprobe=1)
+            )
+            print("kNN build plan:")
+            print(knn.explain(costs=True))
+
+            g = problem.graph
+            neighbors = pipeline.create_keyed(
+                (
+                    (v, list(zip(g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
+                                 g.weights[g.indptr[v]:g.indptr[v + 1]].tolist())))
+                    for v in range(g.n)
+                ),
+                name="source/neighbors", stream=True,
+            )
+            utilities = pipeline.create_keyed(
+                ((v, float(problem.utilities[v])) for v in range(problem.n)),
+                name="source/utilities", stream=True,
+            )
+            solution = pipeline.create_keyed(
+                iter(()), name="source/solution", stream=True
+            )
+            remaining = pipeline.create_keyed(
+                ((v, True) for v in range(problem.n)),
+                name="source/remaining", stream=True,
+            )
+            bounds = remaining.apply(
+                BoundingFilter(
+                    neighbors, utilities, solution,
+                    ratio=problem.beta_over_alpha,
+                )
+            )
+            print()
+            print("bounding round plan:")
+            print(bounds.explain(costs=True))
+        finally:
+            pipeline.close()
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    problem, embeddings = _build_problem(args)
+    return _print_plans(problem, embeddings, args)
+
+
 def cmd_select(args: argparse.Namespace) -> int:
-    problem, _ = _build_problem(args)
+    problem, embeddings = _build_problem(args)
+    if args.explain:
+        return _print_plans(problem, embeddings, args)
     k = args.k if args.k is not None else max(1, int(problem.n * args.fraction))
     config = SelectorConfig(
         bounding=None if args.bounding == "none" else args.bounding,
@@ -210,7 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "(requires --checkpoint-dir)")
     p_select.add_argument("--out", help="write selected ids to .npy")
     p_select.add_argument("--report", help="write JSON report")
+    p_select.add_argument("--explain", action="store_true",
+                          help="print the physical dataflow plans with "
+                               "predicted per-stage costs and exit without "
+                               "executing")
     p_select.set_defaults(func=cmd_select)
+
+    p_plan = sub.add_parser(
+        "plan", help="render the physical dataflow plans (no execution)"
+    )
+    _add_common(p_plan)
+    add_engine_arguments(p_plan)
+    p_plan.set_defaults(func=cmd_plan)
 
     p_score = sub.add_parser("score", help="score a subset")
     _add_common(p_score)

@@ -20,8 +20,10 @@ subsets cost more than 10 % ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +33,16 @@ from repro.core.distributed import LinearDeltaSchedule
 
 @dataclass(frozen=True)
 class CostModel:
-    """Throughput and overhead constants of the modeled cluster."""
+    """Throughput and overhead constants of the modeled cluster.
+
+    Two families of constants live here.  The *cluster-scale* ones
+    (``machine``, ``per_round_overhead_sec``, ...) parameterize the Table 4
+    analytic model above.  The *engine-scale* trio below parameterizes the
+    in-process dataflow engine's per-stage prediction
+    (:meth:`predict_stage_seconds`) and is what
+    :meth:`calibrate` refits from observed ``StageProfile`` histories —
+    the cluster constants stay pinned to the paper's calibration.
+    """
 
     machine: MachineSpec = field(default_factory=MachineSpec)
     bytes_per_record: int = 176  # one point: key/value + 10 neighbors
@@ -42,6 +53,11 @@ class CostModel:
     # Pops touch hot cached entries; profiled implementations see them an
     # order of magnitude cheaper than the build, hence the small factor.
     pop_cost_factor: float = 0.05
+    # -- engine-scale constants (refit by ``calibrate``) -------------------
+    stage_overhead_sec: float = 2.0e-4  # dispatch + bookkeeping per stage
+    records_per_sec: float = 1_500_000.0  # row-path per-record throughput
+    vectorized_records_per_sec: float = 8_000_000.0  # batch-path throughput
+    disk_bytes_per_sec: float = 400_000_000.0  # checkpoint store/load
 
     # -- building blocks ---------------------------------------------------
 
@@ -57,6 +73,121 @@ class CostModel:
         """Repartitioning ``n_records`` across ``m`` machines in parallel."""
         volume = n_records * self.bytes_per_record
         return float(volume / (self.machine.shuffle_bytes_per_sec * max(m, 1)))
+
+    # -- engine-scale prediction -------------------------------------------
+
+    def predict_stage_seconds(
+        self,
+        rows: int,
+        *,
+        vectorized: bool = False,
+        shuffled_records: int = 0,
+        payload_bytes: int = 0,
+    ) -> float:
+        """Predicted wall-clock of one physical engine stage.
+
+        ``overhead + rows / throughput`` plus the serialization cost of
+        anything the stage ships (shuffled records at ``bytes_per_record``
+        each, and the closure payload on payload-shipping backends).
+        """
+        throughput = (
+            self.vectorized_records_per_sec
+            if vectorized
+            else self.records_per_sec
+        )
+        seconds = self.stage_overhead_sec + max(rows, 0) / throughput
+        moved = shuffled_records * self.bytes_per_record + payload_bytes
+        if moved > 0:
+            seconds += moved / self.disk_bytes_per_sec
+        return float(seconds)
+
+    def checkpoint_store_load_seconds(self, n_bytes: int) -> float:
+        """One store plus one later load of a checkpoint of ``n_bytes``."""
+        return float(
+            2.0 * self.stage_overhead_sec
+            + 2.0 * max(n_bytes, 0) / self.disk_bytes_per_sec
+        )
+
+    # -- calibration from observed stage profiles --------------------------
+
+    def calibrate(self, profiles: Iterable[object]) -> "CostModel":
+        """Refit the engine-scale constants from observed stage profiles.
+
+        Each profile needs ``wall_ms``, ``rows_in``, and ``vectorized``
+        attributes (a :class:`repro.dataflow.metrics.StageProfile` or any
+        duck-typed record).  The fit is an ordinary least-squares line
+        ``wall_sec ≈ overhead + rows / throughput`` per path (row vs
+        vectorized); degenerate samples (too few points, no row-count
+        spread, non-positive slope) leave the corresponding constant
+        unchanged.  Cluster-scale constants are never touched.
+        """
+        rows_pts: List[tuple] = []
+        vec_pts: List[tuple] = []
+        for p in profiles:
+            rows_in = int(getattr(p, "rows_in", 0))
+            wall_sec = float(getattr(p, "wall_ms", 0.0)) / 1000.0
+            if wall_sec < 0:
+                continue
+            (vec_pts if getattr(p, "vectorized", False) else rows_pts).append(
+                (rows_in, wall_sec)
+            )
+
+        def fit(points: Sequence[tuple]) -> Optional[tuple]:
+            if len(points) < 2:
+                return None
+            xs = np.asarray([r for r, _ in points], dtype=np.float64)
+            ys = np.asarray([w for _, w in points], dtype=np.float64)
+            if float(xs.max() - xs.min()) <= 0:
+                return None
+            slope, intercept = np.polyfit(xs, ys, 1)
+            if slope <= 0 or not math.isfinite(slope):
+                return None
+            overhead = float(intercept) if intercept > 0 else 0.0
+            return 1.0 / float(slope), overhead
+
+        updates: Dict[str, float] = {}
+        row_fit = fit(rows_pts)
+        if row_fit is not None:
+            updates["records_per_sec"] = row_fit[0]
+            if row_fit[1] > 0:
+                updates["stage_overhead_sec"] = row_fit[1]
+        vec_fit = fit(vec_pts)
+        if vec_fit is not None:
+            updates["vectorized_records_per_sec"] = vec_fit[0]
+            if "stage_overhead_sec" not in updates and vec_fit[1] > 0:
+                updates["stage_overhead_sec"] = vec_fit[1]
+        return replace(self, **updates) if updates else self
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "machine": self.machine.to_dict(),
+            "bytes_per_record": self.bytes_per_record,
+            "per_round_overhead_sec": self.per_round_overhead_sec,
+            "straggler_factor": self.straggler_factor,
+            "bounding_pass_sec_per_record": self.bounding_pass_sec_per_record,
+            "pop_cost_factor": self.pop_cost_factor,
+            "stage_overhead_sec": self.stage_overhead_sec,
+            "records_per_sec": self.records_per_sec,
+            "vectorized_records_per_sec": self.vectorized_records_per_sec,
+            "disk_bytes_per_sec": self.disk_bytes_per_sec,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CostModel":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        machine = known.get("machine")
+        if isinstance(machine, dict):
+            known["machine"] = MachineSpec.from_dict(machine)
+        return cls(**known)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CostModel":
+        return cls.from_dict(json.loads(text))
 
     # -- end-to-end estimates ----------------------------------------------
 
@@ -121,7 +252,15 @@ class Table4Scenario:
 
     @property
     def ratio(self) -> float:
-        return self.hours / self.paper_hours if self.paper_hours else float("nan")
+        """Model-to-paper wall-clock ratio, ``hours / paper_hours``.
+
+        Only a positive, finite paper baseline yields a meaningful ratio;
+        anything else (zero, negative, nan/inf) returns ``nan`` instead of
+        a sign-flipped or infinite quotient.
+        """
+        if not (self.paper_hours > 0.0 and math.isfinite(self.paper_hours)):
+            return float("nan")
+        return self.hours / self.paper_hours
 
 
 def table4_rows(

@@ -32,6 +32,18 @@ class MachineSpec:
         if self.greedy_points_per_sec <= 0 or self.shuffle_bytes_per_sec <= 0:
             raise ValueError("throughput constants must be > 0")
 
+    def to_dict(self) -> dict:
+        return {
+            "dram_bytes": self.dram_bytes,
+            "greedy_points_per_sec": self.greedy_points_per_sec,
+            "shuffle_bytes_per_sec": self.shuffle_bytes_per_sec,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineSpec":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)
+
 
 def greedy_state_bytes(
     n_points: int,

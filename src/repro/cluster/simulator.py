@@ -29,6 +29,23 @@ class PartitionTooLargeError(RuntimeError):
     """A partition's greedy state exceeds the machine's DRAM."""
 
 
+@dataclass(frozen=True)
+class WhatIfOutcome:
+    """Predicted outcome of one ``(m, rounds)`` configuration.
+
+    Produced by :meth:`ClusterSimulator.what_if` without running the
+    selection algorithm — the round sizes follow the Δ-schedule in closed
+    form, so the prediction is deterministic and CI-cheap.
+    """
+
+    m: int
+    rounds: int
+    feasible: bool
+    predicted_hours: float
+    per_round_hours: List[float] = field(default_factory=list)
+    peak_partition_bytes: int = 0
+
+
 @dataclass
 class SimulatedRun:
     """A distributed-greedy run plus its simulated cluster telemetry."""
@@ -138,3 +155,102 @@ class ClusterSimulator:
             peak_partition_bytes=peak_bytes,
             preemptions=preemptions,
         )
+
+    # -- what-if planning (no algorithm run) -------------------------------
+
+    def what_if(
+        self,
+        n_points: int,
+        k: int,
+        *,
+        m: int,
+        rounds: int = 1,
+        adaptive: bool = False,
+        gamma: float = 0.75,
+        avg_degree: float = 10.0,
+    ) -> WhatIfOutcome:
+        """Predict a configuration's makespan without running anything.
+
+        Walks the same round structure :meth:`run` bills — round targets
+        from the Δ-schedule, partition sizes from ``m_round`` — but takes
+        every round's output at its target size instead of executing the
+        greedy, so the answer is closed-form.  Infeasible configurations
+        (a partition's greedy state exceeding DRAM) come back with
+        ``feasible=False`` rather than raising, so sweeps can rank every
+        candidate.
+        """
+        if n_points < 1 or not 0 <= k <= n_points:
+            raise ValueError(f"need 0 <= k <= n_points, got k={k}, n={n_points}")
+        if m < 1 or rounds < 1:
+            raise ValueError("m and rounds must be >= 1")
+        schedule = LinearDeltaSchedule(gamma)
+        partition_cap = int(np.ceil(n_points / m))
+        survivors = int(n_points)
+        per_round_hours: List[float] = []
+        peak_bytes = 0
+        feasible = True
+        for round_idx in range(1, rounds + 1):
+            n_round = min(schedule(n_points, rounds, round_idx, k), survivors)
+            if adaptive:
+                m_round = int(np.ceil(survivors / partition_cap))
+            else:
+                m_round = m
+            m_round = max(1, min(m_round, survivors))
+            partition_size = int(np.ceil(survivors / m_round))
+            state = greedy_state_bytes(
+                partition_size, neighbors_per_point=self.neighbors_per_point
+            )
+            peak_bytes = max(peak_bytes, state)
+            if state > self.machine.dram_bytes:
+                feasible = False
+            per_target = int(np.ceil(n_round / m_round))
+            compute = self.cost_model.greedy_partition_seconds(
+                partition_size, per_target, avg_degree
+            )
+            shuffle = self.cost_model.shuffle_seconds(survivors, m_round)
+            per_round_hours.append(
+                (
+                    self.cost_model.straggler_factor * compute
+                    + shuffle
+                    + self.cost_model.per_round_overhead_sec
+                )
+                / 3600.0
+            )
+            survivors = n_round
+        return WhatIfOutcome(
+            m=m,
+            rounds=rounds,
+            feasible=feasible,
+            predicted_hours=float(sum(per_round_hours)),
+            per_round_hours=per_round_hours,
+            peak_partition_bytes=peak_bytes,
+        )
+
+    def best_configuration(
+        self,
+        n_points: int,
+        k: int,
+        *,
+        m_candidates: "List[int]",
+        rounds_candidates: "List[int]" = (1,),
+        adaptive: bool = False,
+        gamma: float = 0.75,
+        avg_degree: float = 10.0,
+    ) -> Optional[WhatIfOutcome]:
+        """Fastest *feasible* configuration over the candidate grid.
+
+        Returns ``None`` when no candidate fits the machine — the caller
+        needs more machines, not a different schedule.
+        """
+        best: Optional[WhatIfOutcome] = None
+        for rounds in rounds_candidates:
+            for m in m_candidates:
+                outcome = self.what_if(
+                    n_points, k, m=m, rounds=rounds,
+                    adaptive=adaptive, gamma=gamma, avg_degree=avg_degree,
+                )
+                if not outcome.feasible:
+                    continue
+                if best is None or outcome.predicted_hours < best.predicted_hours:
+                    best = outcome
+        return best

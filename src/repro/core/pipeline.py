@@ -250,6 +250,21 @@ class DistributedSelector:
                 stats = context.executor.stats()
                 if stats:
                     report.extra["executor_stats"] = stats
+                if context.planner is not None:
+                    # Predicted vs observed wall time for every stage the
+                    # drive ran — the adaptive planner's feedback table.
+                    from repro.dataflow.planner import predicted_vs_actual
+
+                    profiles = [
+                        p
+                        for key in ("bounding_metrics", "greedy_metrics")
+                        for m in (report.extra.get(key),)
+                        if m is not None
+                        for p in m.stage_profiles
+                    ]
+                    report.extra["plan_costs"] = predicted_vs_actual(
+                        profiles, context.planner.cost_model
+                    )
                 if cfg.checkpoint_gc and cfg.options.checkpoint_dir:
                     report.extra["checkpoint_gc_removed"] = (
                         context.gc_checkpoints()

@@ -80,7 +80,8 @@ from repro.dataflow.options import (
 )
 from repro.dataflow.remote import LocalCluster, RemoteExecutor
 from repro.dataflow.columnar import BatchDoFn, ColumnarShard
-from repro.dataflow.metrics import PipelineMetrics
+from repro.dataflow.metrics import PipelineMetrics, StageProfile
+from repro.dataflow.planner import AdaptivePlanner, predicted_vs_actual
 from repro.dataflow.pcollection import Fold, PCollection, Pipeline, PTransform
 from repro.dataflow.transforms import (
     cogroup,
@@ -109,6 +110,9 @@ __all__ = [
     "DataflowContext",
     "add_engine_arguments",
     "PipelineMetrics",
+    "StageProfile",
+    "AdaptivePlanner",
+    "predicted_vs_actual",
     "Executor",
     "SequentialExecutor",
     "ThreadExecutor",

@@ -139,7 +139,8 @@ class BeamBoundingDriver:
         self.context = self._context_guard.__enter__()
         try:
             opts = self.context.options
-            pipeline_overrides = {}
+            # Input-size hint for the adaptive planner's cost gates.
+            pipeline_overrides = {"plan_records": int(problem.n)}
             if opts.checkpoint_dir is not None:
                 # Salt the plan digests with the streamed sources' content
                 # so a resumed drive can only reuse checkpoints of its own

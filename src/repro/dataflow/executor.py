@@ -379,6 +379,11 @@ class Executor:
 
     name = "base"
 
+    #: Stages dispatched through this executor; the engine increments it
+    #: at its dispatch choke point so every backend (including custom
+    #: subclasses) gets the count for free.
+    stages_run = 0
+
     def run_stage(self, fn: StageFn, shards: Sequence[Any]) -> List[Any]:
         """Apply ``fn`` to every shard, returning results in shard order."""
         raise NotImplementedError
@@ -394,11 +399,11 @@ class Executor:
     def stats(self) -> Dict[str, Any]:
         """Executor-specific counters (broadcast volume, failures, …).
 
-        Empty for backends with nothing to report; keys are
-        backend-specific and end up in ``SelectionReport.extra
-        ["executor_stats"]``.
+        Empty for backends that have run nothing and have nothing else to
+        report; keys are backend-specific and end up in
+        ``SelectionReport.extra["executor_stats"]``.
         """
-        return {}
+        return {"stages_run": self.stages_run} if self.stages_run else {}
 
     def __enter__(self) -> "Executor":
         return self
@@ -548,6 +553,7 @@ class MultiprocessExecutor(Executor):
 
     def stats(self) -> Dict[str, Any]:
         return {
+            "stages_run": self.stages_run,
             "broadcast_bytes": self.broadcast_bytes,
             "broadcast_blobs": self.broadcast_blobs,
             "unique_broadcast_bytes": self._registry.unique_bytes,

@@ -107,7 +107,8 @@ def beam_distributed_greedy(
 
     with engine_context(options, context) as ctx:
         opts = ctx.options
-        pipeline_overrides = {}
+        # Input-size hint for the adaptive planner's cost gates.
+        pipeline_overrides = {"plan_records": n0}
         if opts.checkpoint_dir is not None:
             # Pins the streamed ground set's content (the eager path hashes
             # source contents directly, so this only matters for

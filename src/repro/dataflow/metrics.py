@@ -41,12 +41,60 @@ Columnar-runtime counters (``Pipeline(columnar=...)``):
 ``columnar_rows``
     Records that reached a materialization or shuffle boundary in
     columnar (struct-of-arrays) layout rather than as Python row tuples.
+
+Per-stage observations (``stage_profiles``):
+
+Each physical stage the executor runs appends one :class:`StageProfile` —
+wall time, input rows, executor payload bytes, attributed shuffle volume,
+and the vectorized/fused flags.  Profiles are what the adaptive planner's
+cost model calibrates against (``CostModel.calibrate``) and what the
+feedback layer renders as predicted-vs-actual in
+``report.extra["plan_costs"]``.  They carry wall-clock noise, so they are
+deliberately excluded from the counter-style equality tests above.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StageProfile:
+    """One physical stage execution, as observed by the engine.
+
+    ``digest`` is the plan digest of the materialization boundary the
+    stage ran under (when the pipeline computes digests — i.e. whenever a
+    checkpoint directory or an adaptive planner is attached), so repeated
+    drives of the same plan accumulate a history keyed the same way
+    checkpoints are.
+    """
+
+    label: str
+    wall_ms: float = 0.0
+    rows_in: int = 0
+    fused: int = 0
+    vectorized: bool = False
+    payload_bytes: int = 0
+    shuffled_records: int = 0
+    digest: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "wall_ms": self.wall_ms,
+            "rows_in": self.rows_in,
+            "fused": self.fused,
+            "vectorized": self.vectorized,
+            "payload_bytes": self.payload_bytes,
+            "shuffled_records": self.shuffled_records,
+            "digest": self.digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StageProfile":
+        known = {f: data[f] for f in cls.__dataclass_fields__ if f in data}
+        return cls(**known)  # type: ignore[arg-type]
 
 
 @dataclass
@@ -66,6 +114,7 @@ class PipelineMetrics:
     vectorized_stages: int = 0
     columnar_rows: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
+    stage_profiles: List[StageProfile] = field(default_factory=list)
 
     def observe_shard(self, n_records: int, *, columnar: bool = False) -> None:
         if n_records > self.peak_shard_records:
@@ -93,6 +142,18 @@ class PipelineMetrics:
 
     def observe_vectorized_stage(self) -> None:
         self.vectorized_stages += 1
+
+    def observe_stage_profile(self, profile: StageProfile) -> None:
+        self.stage_profiles.append(profile)
+
+    def attribute_shuffle_to_last_stage(self, n_records: int) -> None:
+        """Credit a shuffle's moved volume to the stage that wrote it.
+
+        Called right after the shuffle-write stage's profile was appended,
+        so ``stage_profiles[-1]`` is that write stage.
+        """
+        if self.stage_profiles:
+            self.stage_profiles[-1].shuffled_records += n_records
 
     def observe_lifted_combiner(self) -> None:
         self.lifted_combiners += 1
@@ -123,6 +184,7 @@ class PipelineMetrics:
         self.vectorized_stages = 0
         self.columnar_rows = 0
         self.stage_counts.clear()
+        self.stage_profiles.clear()
 
     def snapshot(self) -> "PipelineMetrics":
         """Copy for before/after comparisons in tests."""
@@ -140,4 +202,7 @@ class PipelineMetrics:
             vectorized_stages=self.vectorized_stages,
             columnar_rows=self.columnar_rows,
             stage_counts=dict(self.stage_counts),
+            stage_profiles=[
+                StageProfile(**p.to_dict()) for p in self.stage_profiles
+            ],
         )

@@ -64,7 +64,13 @@ __all__ = [
     "legacy_engine_options",
     "parse_worker_address",
     "UNSET",
+    "DEFAULT_ADAPTIVE",
 ]
+
+#: Engine-wide default for ``EngineOptions.adaptive=None`` — the test
+#: harness's ``--adaptive`` matrix flag flips this, mirroring
+#: ``DEFAULT_OPTIMIZE``/``DEFAULT_COLUMNAR`` in ``pcollection``.
+DEFAULT_ADAPTIVE = False
 
 
 class _Unset:
@@ -179,12 +185,25 @@ class EngineOptions:
         Collapse adjacent element-wise stages into one pass per shard
         (leave on; ``False`` exists to reproduce the historical eager
         engine's stage-by-stage metrics).
+    adaptive:
+        Let the cost-model-driven :class:`~repro.dataflow.planner.
+        AdaptivePlanner` choose the performance knobs the caller left
+        unset (``num_shards``, executor backend, ``broadcast_min_bytes``,
+        checkpoint placement, optimizer lift/elide decisions).  Every
+        knob passed explicitly overrides the planner; results are
+        bit-identical either way.  ``None`` defers to the engine-wide
+        default (the test harness's ``--adaptive`` flips it).
+
+    Knobs the caller actually passed are tracked (:meth:`is_explicit`) so
+    the adaptive planner knows which decisions are pinned — passing a
+    knob's default value explicitly still pins it.
     """
 
     __slots__ = (
         "executor", "num_shards", "spill_to_disk", "optimize", "columnar",
         "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
-        "broadcast_min_bytes", "stream_chunk_size", "fuse", "_frozen",
+        "broadcast_min_bytes", "stream_chunk_size", "fuse", "adaptive",
+        "_explicit", "_frozen",
     )
 
     #: Knob names in declaration order — the single list every
@@ -192,25 +211,77 @@ class EngineOptions:
     _FIELDS = (
         "executor", "num_shards", "spill_to_disk", "optimize", "columnar",
         "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
-        "broadcast_min_bytes", "stream_chunk_size", "fuse",
+        "broadcast_min_bytes", "stream_chunk_size", "fuse", "adaptive",
     )
+
+    #: Default value per knob, applied when the keyword is not passed
+    #: (keywords default to :data:`UNSET` so explicitness is observable).
+    _DEFAULTS: Dict[str, Any] = {
+        "executor": "sequential",
+        "num_shards": 8,
+        "spill_to_disk": False,
+        "optimize": None,
+        "columnar": None,
+        "stream_source": None,
+        "workers": None,
+        "checkpoint_dir": None,
+        "checkpoint_salt": None,
+        "broadcast_min_bytes": DEFAULT_BROADCAST_MIN_BYTES,
+        "stream_chunk_size": 4096,
+        "fuse": True,
+        "adaptive": None,
+    }
 
     def __init__(
         self,
-        executor: "str | Executor" = "sequential",
+        executor: Any = UNSET,
         *,
-        num_shards: int = 8,
-        spill_to_disk: bool = False,
-        optimize: Optional[bool] = None,
-        columnar: Optional[bool] = None,
-        stream_source: Optional[bool] = None,
-        workers: Optional[Iterable[Any]] = None,
-        checkpoint_dir: Optional[str] = None,
-        checkpoint_salt: Optional[str] = None,
-        broadcast_min_bytes: int = DEFAULT_BROADCAST_MIN_BYTES,
-        stream_chunk_size: int = 4096,
-        fuse: bool = True,
+        num_shards: Any = UNSET,
+        spill_to_disk: Any = UNSET,
+        optimize: Any = UNSET,
+        columnar: Any = UNSET,
+        stream_source: Any = UNSET,
+        workers: Any = UNSET,
+        checkpoint_dir: Any = UNSET,
+        checkpoint_salt: Any = UNSET,
+        broadcast_min_bytes: Any = UNSET,
+        stream_chunk_size: Any = UNSET,
+        fuse: Any = UNSET,
+        adaptive: Any = UNSET,
     ) -> None:
+        passed = {
+            "executor": executor,
+            "num_shards": num_shards,
+            "spill_to_disk": spill_to_disk,
+            "optimize": optimize,
+            "columnar": columnar,
+            "stream_source": stream_source,
+            "workers": workers,
+            "checkpoint_dir": checkpoint_dir,
+            "checkpoint_salt": checkpoint_salt,
+            "broadcast_min_bytes": broadcast_min_bytes,
+            "stream_chunk_size": stream_chunk_size,
+            "fuse": fuse,
+            "adaptive": adaptive,
+        }
+        explicit = frozenset(k for k, v in passed.items() if v is not UNSET)
+        resolved = {
+            k: (self._DEFAULTS[k] if v is UNSET else v)
+            for k, v in passed.items()
+        }
+        executor = resolved["executor"]
+        num_shards = resolved["num_shards"]
+        spill_to_disk = resolved["spill_to_disk"]
+        optimize = resolved["optimize"]
+        columnar = resolved["columnar"]
+        stream_source = resolved["stream_source"]
+        workers = resolved["workers"]
+        checkpoint_dir = resolved["checkpoint_dir"]
+        checkpoint_salt = resolved["checkpoint_salt"]
+        broadcast_min_bytes = resolved["broadcast_min_bytes"]
+        stream_chunk_size = resolved["stream_chunk_size"]
+        fuse = resolved["fuse"]
+        adaptive = resolved["adaptive"]
         if isinstance(executor, Executor):
             resolved_executor: "str | Executor" = executor
         else:
@@ -292,6 +363,10 @@ class EngineOptions:
         object.__setattr__(self, "broadcast_min_bytes", broadcast_min_bytes)
         object.__setattr__(self, "stream_chunk_size", stream_chunk_size)
         object.__setattr__(self, "fuse", bool(fuse))
+        object.__setattr__(
+            self, "adaptive", _as_opt_bool(adaptive, "adaptive")
+        )
+        object.__setattr__(self, "_explicit", explicit)
         object.__setattr__(self, "_frozen", True)
 
     # -- immutability ------------------------------------------------------
@@ -316,10 +391,25 @@ class EngineOptions:
         return self
 
     def __reduce__(self):
-        return (_rebuild_options, (self._state(),))
+        return (_rebuild_options, (self._state(), sorted(self._explicit)))
 
     def _state(self) -> Dict[str, Any]:
         return {name: getattr(self, name) for name in self._FIELDS}
+
+    def is_explicit(self, name: str) -> bool:
+        """Was ``name`` passed by the caller (vs defaulted)?
+
+        The adaptive planner only decides knobs that are *not* explicit —
+        a knob set to its default value on purpose is still pinned.
+        Explicitness is provenance, not value: it does not participate in
+        equality or hashing.
+        """
+        if name not in self._FIELDS:
+            raise ValueError(
+                f"unknown engine option {name!r}; expected one of "
+                f"{list(self._FIELDS)}"
+            )
+        return name in self._explicit
 
     def __eq__(self, other: Any) -> bool:
         if not isinstance(other, EngineOptions):
@@ -437,8 +527,12 @@ class EngineOptions:
         with ``--executor remote`` on the command line) hold for the
         combination, not per layer.
         """
-        state = (base if base is not None else cls())._state()
-        state.update(cls._env_overrides())
+        base = base if base is not None else cls()
+        state = base._state()
+        explicit = set(base._explicit)
+        env_overrides = cls._env_overrides()
+        state.update(env_overrides)
+        explicit.update(env_overrides)
         blob_path = getattr(args, "engine_options", None)
         if blob_path:
             with open(blob_path) as fh:
@@ -449,24 +543,37 @@ class EngineOptions:
                 )
             cls._check_known(blob, blob_path)
             state.update(blob)
-        state.update(
-            (name, getattr(args, name))
+            explicit.update(blob)
+        flag_overrides = {
+            name: getattr(args, _FLAG_DESTS.get(name, name))
             for name in cls._FIELDS
-            if getattr(args, name, None) is not None
-        )
+            if getattr(args, _FLAG_DESTS.get(name, name), None) is not None
+        }
+        state.update(flag_overrides)
+        explicit.update(flag_overrides)
         executor = state.pop("executor")
-        return cls(executor, **state)
+        built = cls(executor, **state)
+        object.__setattr__(built, "_explicit", frozenset(explicit))
+        return built
 
     # -- derivation & serialization ----------------------------------------
 
     def derive(self, **overrides: Any) -> "EngineOptions":
         """A new ``EngineOptions`` with ``overrides`` applied and the full
-        validation re-run — the per-stage tweak primitive."""
+        validation re-run — the per-stage tweak primitive.
+
+        Explicitness carries over: the copy's explicit set is this
+        object's plus the overridden knobs.
+        """
         self._check_known(overrides, "derive()")
         state = self._state()
         state.update(overrides)
         executor = state.pop("executor")
-        return type(self)(executor, **state)
+        derived = type(self)(executor, **state)
+        object.__setattr__(
+            derived, "_explicit", self._explicit | frozenset(overrides)
+        )
+        return derived
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able dict (round-trips through :meth:`from_dict` when the
@@ -489,6 +596,11 @@ class EngineOptions:
         default is ``default`` (``stream_source=None`` defers to it)."""
         return default if self.stream_source is None else self.stream_source
 
+    def resolve_adaptive(self) -> bool:
+        """The effective adaptive-planning choice (``None`` defers to the
+        engine-wide :data:`DEFAULT_ADAPTIVE`)."""
+        return DEFAULT_ADAPTIVE if self.adaptive is None else self.adaptive
+
     def executor_factory_options(self) -> Dict[str, Any]:
         """Backend factory kwargs implied by these options (the remote
         backend's worker list; the broadcast threshold for the
@@ -506,12 +618,22 @@ class EngineOptions:
         return opts
 
 
-def _rebuild_options(state: Dict[str, Any]) -> EngineOptions:
+def _rebuild_options(
+    state: Dict[str, Any], explicit: Optional[Iterable[str]] = None
+) -> EngineOptions:
     executor = state.pop("executor")
-    return EngineOptions(executor, **state)
+    options = EngineOptions(executor, **state)
+    if explicit is not None:
+        object.__setattr__(options, "_explicit", frozenset(explicit))
+    return options
 
 
 _DEFAULT_STATE = EngineOptions()._state()
+
+#: Field -> argparse dest for the flags whose natural dest is taken by a
+#: non-engine argument on a host CLI (the selector's --adaptive owns
+#: ``args.adaptive`` for the greedy algorithm's adaptive partitioning).
+_FLAG_DESTS = {"adaptive": "adaptive_plan"}
 
 
 def _parse_env_value(name: str, raw: str, key: str) -> Any:
@@ -521,9 +643,15 @@ def _parse_env_value(name: str, raw: str, key: str) -> Any:
             return int(text)
         except ValueError:
             raise ValueError(f"{key} must be an integer, got {raw!r}") from None
-    if name in ("spill_to_disk", "fuse", "optimize", "columnar", "stream_source"):
+    if name in (
+        "spill_to_disk", "fuse", "optimize", "columnar", "stream_source",
+        "adaptive",
+    ):
         lowered = text.lower()
-        if name in ("optimize", "columnar", "stream_source") and lowered == "none":
+        if (
+            name in ("optimize", "columnar", "stream_source", "adaptive")
+            and lowered == "none"
+        ):
             return None
         if lowered in ("1", "true", "yes", "on"):
             return True
@@ -636,6 +764,23 @@ def add_engine_arguments(parser: Any) -> Any:
         default=None,
         help="records per chunk for streaming sources",
     )
+    # Named --adaptive-plan, with a matching distinct dest, because the
+    # selector CLI already owns --adaptive (and the args.adaptive slot)
+    # for the greedy algorithm's adaptive partitioning — a shared dest
+    # would let either flag silently flip the other's feature.
+    group.add_argument(
+        "--adaptive-plan", dest="adaptive_plan", action="store_true",
+        default=None,
+        help="let the cost-model-driven planner choose the engine knobs "
+             "left unset (num_shards, executor backend, "
+             "broadcast_min_bytes, checkpoint placement); explicit flags "
+             "always win, results are bit-identical",
+    )
+    group.add_argument(
+        "--no-adaptive-plan", dest="adaptive_plan", action="store_false",
+        help="disable adaptive planning (overrides an adaptive=true set "
+             "via environment or --engine-options)",
+    )
     return group
 
 
@@ -695,6 +840,31 @@ class DataflowContext:
             options = EngineOptions(**kwargs)
         elif kwargs:
             options = options.derive(**kwargs)
+        self.planner = None
+        if options.resolve_adaptive():
+            from repro.dataflow.planner import AdaptivePlanner
+
+            self.planner = AdaptivePlanner(
+                history_dir=options.checkpoint_dir
+            )
+            # Context-level decisions happen before the executor is
+            # resolved; the planner only touches knobs the caller left
+            # unset, so explicit configuration always wins.
+            planned: Dict[str, Any] = {}
+            if not options.is_explicit("executor") and not isinstance(
+                options.executor, Executor
+            ):
+                choice = self.planner.choose_executor(options.executor)
+                if choice != options.executor:
+                    planned["executor"] = choice
+            if not options.is_explicit("broadcast_min_bytes"):
+                choice = self.planner.choose_broadcast_min_bytes(
+                    options.broadcast_min_bytes
+                )
+                if choice != options.broadcast_min_bytes:
+                    planned["broadcast_min_bytes"] = choice
+            if planned:
+                options = options.derive(**planned)
         self.options = options
         self.executor = resolve_executor(
             options.executor, **options.executor_factory_options()
@@ -711,14 +881,25 @@ class DataflowContext:
         (``checkpoint_salt=...`` is the common one — each beam derives its
         own salt from the data it streams).  The pipeline never owns the
         executor; closing it leaves the context's executor running.
+
+        ``plan_records`` (not an options knob) is the beam's estimate of
+        the pipeline's input size; with adaptive planning on it lets the
+        planner size ``num_shards`` and cost the optimizer's rewrites —
+        an explicit ``num_shards`` still wins.
         """
         from repro.dataflow.pcollection import Pipeline
 
         if self._closed:
             raise RuntimeError("DataflowContext closed")
+        plan_records = overrides.pop("plan_records", None)
         o = self.options.derive(**overrides) if overrides else self.options
+        num_shards = o.num_shards
+        if self.planner is not None and not o.is_explicit("num_shards"):
+            num_shards = self.planner.choose_num_shards(
+                plan_records, base=o.num_shards
+            )
         return Pipeline(
-            o.num_shards,
+            num_shards,
             spill_to_disk=o.spill_to_disk,
             executor=self.executor,
             fuse=o.fuse,
@@ -728,6 +909,8 @@ class DataflowContext:
             checkpoint_dir=o.checkpoint_dir,
             checkpoint_salt=o.checkpoint_salt,
             touched_digests=self.touched_checkpoint_digests,
+            planner=self.planner,
+            plan_records=plan_records,
         )
 
     def gc_checkpoints(self, keep: Iterable[str] = ()) -> int:
@@ -745,10 +928,17 @@ class DataflowContext:
         )
 
     def close(self) -> None:
-        """Release the executor (only if this context created it)."""
+        """Release the executor (only if this context created it).
+
+        With adaptive planning on, first persist the planner's profile
+        history and recalibrated cost-model constants next to the
+        checkpoints so the next drive starts calibrated.
+        """
         if self._closed:
             return
         self._closed = True
+        if self.planner is not None:
+            self.planner.flush()
         if self._owns_executor:
             self.executor.close()
 

@@ -124,8 +124,10 @@ import hashlib
 import itertools
 import os
 import pickle
+import re
 import shutil
 import tempfile
+import time
 import uuid
 import weakref
 from collections.abc import Collection
@@ -149,7 +151,7 @@ from repro.dataflow.executor import (
     _resolve,
     resolve_executor,
 )
-from repro.dataflow.metrics import PipelineMetrics
+from repro.dataflow.metrics import PipelineMetrics, StageProfile
 
 #: Module default for ``Pipeline(optimize=None)``.  The test harness flips
 #: this via the ``--no-optimize`` pytest option so the whole tier-1 suite
@@ -756,6 +758,15 @@ class Pipeline:
         vectorized implementations exist, a no-op everywhere else.
         Results are bit-identical either way; ``False`` forces the pure
         row path (the CLI's ``--no-columnar``).
+    planner:
+        An :class:`~repro.dataflow.planner.AdaptivePlanner` to consult for
+        cost-gated optimizer rewrites and checkpoint placement, and to
+        feed per-stage profiles.  ``None`` (the default) keeps every
+        rewrite unconditional — the exact pre-adaptive behavior.
+    plan_records:
+        Caller's estimate of the input size in records; used by the
+        planner's cost gates and by ``explain``'s predicted-cost
+        rendering when sources stream (eager sources are simply counted).
     """
 
     def __init__(
@@ -771,6 +782,8 @@ class Pipeline:
         checkpoint_salt: Optional[str] = None,
         touched_digests: "Optional[set]" = None,
         columnar: Optional[bool] = None,
+        planner=None,
+        plan_records: Optional[int] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -797,6 +810,17 @@ class Pipeline:
         self.touched_checkpoint_digests: "set[str]" = (
             touched_digests if touched_digests is not None else set()
         )
+        #: Adaptive planner consulted by the optimizer (lift/elide cost
+        #: gates) and the checkpoint-placement gate; ``None`` — the
+        #: default — preserves the unconditional seed behavior exactly.
+        self.planner = planner
+        #: The caller's estimate of this pipeline's input size (records);
+        #: what the planner costs rewrites against and what ``explain``'s
+        #: predicted-cost rendering uses for streaming sources.
+        self.plan_records = plan_records
+        #: Plan digest of the boundary currently executing — stamps the
+        #: stage profiles recorded under it (checkpointed runs only).
+        self._current_digest: Optional[str] = None
         self._scope: tuple = ()
         self._scope_seq = 0
         self._state = _PipelineState()
@@ -1143,6 +1167,13 @@ class Pipeline:
                     and dep.cached is None
                     and dep.consumers == 1
                     and not dep.claims_released
+                    # Adaptive runs consult the cost model: a lift whose
+                    # modeled shuffle saving cannot repay its pre-combine
+                    # pass stays a plain group (non-adaptive: always lift).
+                    and (
+                        self.planner is None
+                        or self.planner.should_lift(self.plan_records)
+                    )
                 ):
                     fold = cur.fn
                     cur.kind = "combine_per_key"
@@ -1200,6 +1231,14 @@ class Pipeline:
                 and cur.cached is None
                 and cur.consumers <= 1
                 and keys_stable
+                # Adaptive runs consult the predicted shuffle cost; an
+                # elision strictly removes a routing pass, so the model
+                # always approves — the consult keeps every rewrite
+                # flowing through one policy point.
+                and (
+                    self.planner is None
+                    or self.planner.should_elide(self.plan_records)
+                )
             ):
                 elided.append(cur)
                 cur = cur.deps[0]
@@ -1252,32 +1291,84 @@ class Pipeline:
                     self.metrics.observe_checkpoint_hit()
                     return self._finish_node(node, loaded, stored=True)
         if kind == "stream_source":
+            # Always checkpointed when a digest exists: the source iterator
+            # is spent after one consumption, so its recompute cost is
+            # effectively infinite — no placement decision to make.
             return self._exec_stream_source(node, checkpoint_digest=digest)
-        if kind in _ELEMENTWISE:
-            raw = self._exec_elementwise(node)
-        elif kind == "reshard":
-            raw = self._shuffle_by_key(node.deps[0])
-        elif kind == "group":
-            raw = self._exec_group(node)
-        elif kind == "combine_per_key":
-            raw = self._exec_combine_per_key(node)
-        elif kind == "reshuffle":
-            raw = self._exec_reshuffle(node)
-        elif kind == "flatten":
-            raw = self._exec_flatten(node)
-        elif kind == "cogroup":
-            raw = self._exec_cogroup(node)
-        else:  # pragma: no cover - construction bug
-            raise AssertionError(f"unknown node kind {kind!r}")
+        prev_digest = self._current_digest
+        if digest is not None:
+            self._current_digest = digest
+        started = time.perf_counter()
+        try:
+            if kind in _ELEMENTWISE:
+                raw = self._exec_elementwise(node)
+            elif kind == "reshard":
+                raw = self._shuffle_by_key(
+                    node.deps[0], label=f"shuffle {self._describe(node)}"
+                )
+            elif kind == "group":
+                raw = self._exec_group(node)
+            elif kind == "combine_per_key":
+                raw = self._exec_combine_per_key(node)
+            elif kind == "reshuffle":
+                raw = self._exec_reshuffle(node)
+            elif kind == "flatten":
+                raw = self._exec_flatten(node)
+            elif kind == "cogroup":
+                raw = self._exec_cogroup(node)
+            else:  # pragma: no cover - construction bug
+                raise AssertionError(f"unknown node kind {kind!r}")
+        finally:
+            self._current_digest = prev_digest
+        if digest is not None and self.planner is not None:
+            # Adaptive checkpoint placement: store the boundary only when
+            # its (measured, subtree-inclusive — conservative on the side
+            # of durability) recompute cost beats the modeled store+load.
+            try:
+                n_records = sum(len(shard) for shard in raw)
+            except TypeError:
+                n_records = 0
+            if not self.planner.should_checkpoint(
+                recompute_sec=time.perf_counter() - started,
+                n_records=n_records,
+            ):
+                digest = None
         return self._finish_node(node, raw, checkpoint_digest=digest)
 
     def _run_stage(
-        self, fn, shards, *, fused: int = 0, vectorized: bool = False
+        self,
+        fn,
+        shards,
+        *,
+        fused: int = 0,
+        vectorized: bool = False,
+        label: str = "",
     ) -> List[Any]:
+        payload_before = self.executor.stats().get("stage_payload_bytes", 0)
+        self.executor.stages_run += 1
+        start = time.perf_counter()
         out = self.executor.run_stage(fn, shards)
+        wall_ms = (time.perf_counter() - start) * 1000.0
         self.metrics.observe_stage_execution(fused=fused)
         if vectorized:
             self.metrics.observe_vectorized_stage()
+        try:
+            rows_in = sum(len(shard) for shard in shards)
+        except TypeError:
+            rows_in = 0
+        payload_after = self.executor.stats().get("stage_payload_bytes", 0)
+        profile = StageProfile(
+            label=label,
+            wall_ms=wall_ms,
+            rows_in=rows_in,
+            fused=fused,
+            vectorized=vectorized,
+            payload_bytes=max(0, payload_after - payload_before),
+            digest=self._current_digest,
+        )
+        self.metrics.observe_stage_profile(profile)
+        if self.planner is not None:
+            self.planner.record_profile(profile)
         return out
 
     def _vector_prefix(self, ops) -> int:
@@ -1389,6 +1480,7 @@ class Pipeline:
             base_shards,
             fused=len(ops) - 1,
             vectorized=self._vector_prefix(ops) > 0,
+            label=self._describe(node),
         )
 
     def _exec_shuffle_read(self, base: _Node, post_ops) -> List[list]:
@@ -1404,7 +1496,7 @@ class Pipeline:
             f"not a post-shuffle-fusable kind: {base.kind!r}"
         )
 
-    def _shuffle_by_key(self, dep: _Node) -> List[list]:
+    def _shuffle_by_key(self, dep: _Node, *, label: str = "") -> List[list]:
         """Shuffle write + driver-side merge; fuses the producing chain."""
         ops, base, _ = self._upstream_chain(dep, for_shuffle=True)
         base_shards = self._materialize_node(base)
@@ -1414,6 +1506,7 @@ class Pipeline:
             base_shards,
             fused=len(ops),
             vectorized=self._vector_prefix(ops) > 0,
+            label=label or f"shuffle {self._describe(dep)}",
         )
         # Merge per input-shard part order (identical to the old
         # ``extend`` sequence); columnar buckets concatenate column-wise,
@@ -1427,10 +1520,15 @@ class Pipeline:
                     moved += len(bucket)
         shards: List[Any] = [merge_bucket_parts(p) for p in parts]
         self.metrics.observe_shuffle(moved)
+        # The write stage above produced the routed buckets; credit the
+        # moved volume to it so the cost model sees the shuffle.
+        self.metrics.attribute_shuffle_to_last_stage(moved)
         return shards
 
     def _exec_group(self, node: _Node, post_ops=()) -> List[list]:
-        resharded = self._shuffle_by_key(node.deps[0])
+        resharded = self._shuffle_by_key(
+            node.deps[0], label=f"shuffle-write {self._describe(node)}"
+        )
         # The key-routed intermediate is a real per-worker footprint (the
         # eager engine materialized it); meter it even though it is never
         # stored.
@@ -1442,6 +1540,7 @@ class Pipeline:
             _compose_post_ops(_group_shard, post_ops),
             resharded,
             fused=len(post_ops),
+            label=f"group-read {self._describe(node)}",
         )
 
     def _exec_combine_per_key(self, node: _Node, post_ops=()) -> List[list]:
@@ -1464,6 +1563,7 @@ class Pipeline:
             fused=len(ops),
             vectorized=self.columnar
             and (fold_batch is not None or self._vector_prefix(ops) > 0),
+            label=f"combine-write {self._describe(node)}",
         )
         partials: List[list] = [[] for _ in range(num)]
         moved = 0
@@ -1474,10 +1574,12 @@ class Pipeline:
                 partials[i].extend(bucket)
                 moved += len(bucket)
         self.metrics.observe_shuffle(moved, pre_records=offered)
+        self.metrics.attribute_shuffle_to_last_stage(moved)
         return self._run_stage(
             _compose_post_ops(_make_combiner_merger(merge), post_ops),
             partials,
             fused=len(post_ops),
+            label=f"combine-read {self._describe(node)}",
         )
 
     def _exec_reshuffle(self, node: _Node) -> List[list]:
@@ -1488,6 +1590,7 @@ class Pipeline:
             base_shards,
             fused=len(ops),
             vectorized=self._vector_prefix(ops) > 0,
+            label=f"rebalance {self._describe(node)}",
         )
         num = self.num_shards
         shards: List[list] = [[] for _ in range(num)]
@@ -1497,6 +1600,7 @@ class Pipeline:
                 shards[moved % num].append(element)
                 moved += 1
         self.metrics.observe_shuffle(moved)
+        self.metrics.attribute_shuffle_to_last_stage(moved)
         return shards
 
     def _exec_flatten(self, node: _Node, post_ops=()) -> List[list]:
@@ -1509,6 +1613,7 @@ class Pipeline:
             _compose_post_ops(_flatten_shard, post_ops),
             groups,
             fused=len(post_ops),
+            label=f"flatten {self._describe(node)}",
         )
 
     def _exec_cogroup(self, node: _Node, post_ops=()) -> List[list]:
@@ -1530,28 +1635,38 @@ class Pipeline:
                 stored,
                 fused=len(ops),
                 vectorized=self._vector_prefix(ops) > 0,
+                label=f"cogroup-write #{tag} {self._describe(node)}",
             )
             for buckets in bucket_lists:
                 for i, bucket in enumerate(buckets):
                     routed[i].extend(bucket)
                     moved += len(bucket)
         self.metrics.observe_shuffle(moved)
+        self.metrics.attribute_shuffle_to_last_stage(moved)
         return self._run_stage(
             _compose_post_ops(_make_cogroup_grouper(n_inputs), post_ops),
             routed,
             fused=len(post_ops),
+            label=f"cogroup-read {self._describe(node)}",
         )
 
     # -- plan rendering ----------------------------------------------------
 
-    def _explain(self, node: _Node) -> str:
+    def _explain(self, node: _Node, *, costs: Optional[bool] = None) -> str:
         """Render the physical plan that a sink on ``node`` would execute.
 
         Stages built by a named composite (:meth:`PCollection.apply`)
         render indented under a ``[composite '<name>']`` header — one
         group per application, nesting with nested composites.  Plans
         without composites render exactly as before.
+
+        With ``costs`` (defaulting to on exactly when the pipeline has an
+        adaptive planner), every stage line is annotated with the cost
+        model's predicted wall time — the same prediction the planner
+        bases its decisions on.
         """
+        if costs is None:
+            costs = self.planner is not None
         if self.optimize and node.cached is None:
             self._lift_combiners(node)
         lines: List[Tuple[tuple, str]] = []
@@ -1584,7 +1699,64 @@ class Pipeline:
             open_scope = scope
             rendered.append("  " * len(scope) + text)
         rendered.append(f"result <- {ref}")
+        if costs:
+            rendered = self._annotate_costs(rendered, node)
         return "\n".join(rendered)
+
+    def _estimate_plan_rows(self, node: _Node) -> int:
+        """Plan-wide input-row estimate for pre-run cost prediction.
+
+        Sums the sizes of every materialized/eager source reachable from
+        ``node``; stream sources contribute the pipeline's declared
+        ``plan_records`` hint (or one chunk when no hint was given).
+        Deliberately coarse — predictions before any run exists only need
+        the right order of magnitude to rank plans.
+        """
+        seen: set = set()
+        total = 0
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if id(cur) in seen:
+                continue
+            seen.add(id(cur))
+            if cur.cached is not None:
+                total += sum(len(shard) for shard in cur.cached)
+                continue
+            if cur.kind == "stream_source":
+                total += self.plan_records or self.stream_chunk_size
+                continue
+            stack.extend(cur.deps)
+        return total
+
+    def _annotate_costs(self, rendered: List[str], node: _Node) -> List[str]:
+        """Append the model's predicted wall time to every stage line.
+
+        Works on the rendered text so the base rendering (pinned by
+        golden-plan tests when costs are off) stays byte-identical.
+        """
+        from repro.cluster.costmodel import CostModel
+
+        model = (
+            self.planner.cost_model if self.planner is not None else CostModel()
+        )
+        rows = self._estimate_plan_rows(node)
+        out: List[str] = []
+        stage_re = re.compile(r"S\d+: ")
+        for line in rendered:
+            body = line.lstrip()
+            if not stage_re.match(body):
+                out.append(line)
+                continue
+            vectorized = "[vectorized" in body
+            shuffled = 0
+            if any(tok in body for tok in ("-write", "shuffle ", "rebalance")):
+                shuffled = rows
+            predicted_ms = 1000.0 * model.predict_stage_seconds(
+                rows, vectorized=vectorized, shuffled_records=shuffled
+            )
+            out.append(f"{line} [cost ~{predicted_ms:.2f}ms]")
+        return out
 
     def _emit(
         self, lines: List[Tuple[tuple, str]], text: str, scope: tuple = ()
@@ -1790,15 +1962,19 @@ class PCollection:
         """The stored shards, materializing on first access."""
         return self.pipeline._materialize(self._node)
 
-    def explain(self) -> str:
+    def explain(self, *, costs: Optional[bool] = None) -> str:
         """Render the optimized physical plan for this collection.
 
         Does not execute anything, but does apply the same logical
         rewrites (combiner lifting) a sink would, so the rendered plan is
         exactly what :meth:`run` will execute.  Intended for golden-plan
         tests and debugging.
+
+        ``costs`` appends the cost model's predicted wall time to every
+        stage line; it defaults to on exactly when the pipeline runs with
+        an adaptive planner, so existing golden plans are unaffected.
         """
-        return self.pipeline._explain(self._node)
+        return self.pipeline._explain(self._node, costs=costs)
 
     def count(self) -> int:
         """Total element count (a distributed aggregate, O(1) driver state)."""

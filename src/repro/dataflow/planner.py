@@ -1,0 +1,319 @@
+"""Cost-model-driven adaptive planning for the dataflow engine.
+
+Every performance knob the engine exposes (``num_shards``, executor
+backend, ``broadcast_min_bytes``, optimizer lift/elide decisions,
+checkpoint placement) was historically hand-tuned per beam.  This module
+closes the loop described in the paper's Sec. 4.4 complexity analysis:
+the cluster :class:`~repro.cluster.costmodel.CostModel` predicts what
+each decision costs, and the engine's own per-stage observations
+(:class:`~repro.dataflow.metrics.StageProfile`) calibrate the model so
+the predictions track the machine actually running the drive.
+
+Three layers cooperate:
+
+*Observation* — every physical stage the engine runs appends a
+:class:`StageProfile` (wall time, rows, payload bytes, shuffle volume,
+vectorized flag) to ``PipelineMetrics.stage_profiles``, keyed by the same
+plan digests that key checkpoints.  The planner accumulates them into a
+history persisted next to the checkpoints (``stage_profiles.json``), and
+``CostModel.calibrate`` refits the engine-scale throughput constants from
+that history; the calibrated constants persist too (``cost_model.json``),
+so repeated drives sharpen the model instead of restarting it.
+
+*Planning* — :class:`AdaptivePlanner` answers the engine's questions:
+how many shards amortize per-stage dispatch for this input size, which
+executor backend is predicted fastest, what broadcast threshold, whether
+a combiner lift's shuffle saving repays its pre-aggregation pass, and
+whether a boundary's predicted recompute cost exceeds its checkpoint
+store+load cost.  It is wired up by ``EngineOptions(adaptive=True)`` /
+``--adaptive-plan``; any knob the caller sets explicitly always overrides the
+planner (the engine's results are bit-identical across every decision
+the planner may take, so adaptivity is purely a wall-clock matter).
+
+*Feedback* — ``explain()`` renders the model's predicted cost per stage,
+and :func:`predicted_vs_actual` turns a drive's profiles into the
+``report.extra["plan_costs"]`` table comparing prediction to observed
+wall time — the number the bench gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.cluster.costmodel import CostModel
+from repro.cluster.machine import MachineSpec
+from repro.dataflow.metrics import PipelineMetrics, StageProfile
+
+__all__ = [
+    "AdaptivePlanner",
+    "predicted_vs_actual",
+    "PROFILE_HISTORY_FILE",
+    "COST_MODEL_FILE",
+]
+
+PROFILE_HISTORY_FILE = "stage_profiles.json"
+COST_MODEL_FILE = "cost_model.json"
+
+# Profiles kept per plan digest; old observations age out so the model
+# tracks the machine's current behavior.
+_MAX_HISTORY_PER_KEY = 32
+# Hard ceiling on planner-chosen shard counts.
+_MAX_SHARDS = 64
+# Checkpoint placement only overrides durability when the modeled saving
+# is material; below this, storing is cheap insurance for crash-resume.
+_MIN_CHECKPOINT_SAVING_SEC = 0.05
+# Median observed stage wall above which a GIL-releasing thread pool is
+# predicted to beat in-process dispatch.
+_EXECUTOR_SWITCH_STAGE_SEC = 0.25
+
+
+def predicted_vs_actual(
+    profiles: Iterable[StageProfile], model: CostModel
+) -> List[Dict[str, object]]:
+    """Per-stage predicted vs observed wall time for a finished drive.
+
+    Returns one row per profile: ``label``, ``rows``, ``vectorized``,
+    ``predicted_ms``, ``actual_ms``, and ``rel_err`` (relative to the
+    larger of the two, so it is symmetric and bounded by 1).
+    """
+    rows: List[Dict[str, object]] = []
+    for p in profiles:
+        predicted_ms = 1000.0 * model.predict_stage_seconds(
+            p.rows_in,
+            vectorized=p.vectorized,
+            shuffled_records=p.shuffled_records,
+            payload_bytes=p.payload_bytes,
+        )
+        denom = max(predicted_ms, p.wall_ms, 1e-9)
+        rows.append(
+            {
+                "label": p.label,
+                "rows": p.rows_in,
+                "vectorized": p.vectorized,
+                "predicted_ms": predicted_ms,
+                "actual_ms": p.wall_ms,
+                "rel_err": abs(predicted_ms - p.wall_ms) / denom,
+            }
+        )
+    return rows
+
+
+class AdaptivePlanner:
+    """Chooses engine knobs by querying the (calibrated) cost model.
+
+    One planner serves one :class:`~repro.dataflow.options.DataflowContext`
+    — it loads any persisted history/constants from ``history_dir`` (the
+    context's checkpoint directory) at construction, calibrates, collects
+    this drive's profiles via :meth:`record_profile`, and persists the
+    merged history plus recalibrated constants on :meth:`flush`.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        *,
+        machine: Optional[MachineSpec] = None,
+        history_dir: Optional[str] = None,
+    ) -> None:
+        base = cost_model or CostModel(machine=machine or MachineSpec())
+        self.history_dir = history_dir
+        self.history: Dict[str, List[StageProfile]] = {}
+        if history_dir is not None:
+            loaded_model = self._load_model(history_dir)
+            if loaded_model is not None and cost_model is None:
+                base = loaded_model
+            self.history = self._load_history(history_dir)
+        if self.history:
+            base = base.calibrate(
+                p for history in self.history.values() for p in history
+            )
+        self.cost_model = base
+
+    # -- observation -------------------------------------------------------
+
+    @property
+    def calibrated(self) -> bool:
+        """True once at least one profile history backs the constants."""
+        return bool(self.history)
+
+    def record_profile(self, profile: StageProfile) -> None:
+        key = profile.digest or f"label:{profile.label}"
+        bucket = self.history.setdefault(key, [])
+        bucket.append(profile)
+        if len(bucket) > _MAX_HISTORY_PER_KEY:
+            del bucket[: len(bucket) - _MAX_HISTORY_PER_KEY]
+
+    def recalibrate(self) -> CostModel:
+        """Refit the engine-scale constants from the accumulated history."""
+        self.cost_model = self.cost_model.calibrate(
+            p for history in self.history.values() for p in history
+        )
+        return self.cost_model
+
+    def flush(self) -> None:
+        """Recalibrate and persist history + constants next to checkpoints."""
+        if self.history_dir is None:
+            return
+        self.recalibrate()
+        os.makedirs(self.history_dir, exist_ok=True)
+        payload = {
+            "version": 1,
+            "profiles": {
+                key: [p.to_dict() for p in history]
+                for key, history in sorted(self.history.items())
+            },
+        }
+        self._write_atomic(
+            os.path.join(self.history_dir, PROFILE_HISTORY_FILE),
+            json.dumps(payload, sort_keys=True),
+        )
+        self._write_atomic(
+            os.path.join(self.history_dir, COST_MODEL_FILE),
+            self.cost_model.to_json(),
+        )
+
+    # -- planning decisions ------------------------------------------------
+
+    def choose_num_shards(
+        self, plan_records: Optional[int], *, base: int = 8
+    ) -> int:
+        """Shard count whose per-shard batch amortizes stage dispatch.
+
+        The break-even shard size is where per-shard compute matches the
+        modeled dispatch overhead; the planner targets twice that much
+        parallel slack but never drops below ``base`` (more shards only
+        shrink per-shard peaks — the memory-safe direction) and never
+        exceeds ``_MAX_SHARDS``.
+        """
+        if not plan_records or plan_records <= 0:
+            return base
+        per_shard = max(
+            64,
+            int(
+                0.5
+                * self.cost_model.stage_overhead_sec
+                * self.cost_model.records_per_sec
+            ),
+        )
+        need = math.ceil(plan_records / per_shard)
+        return max(base, min(_MAX_SHARDS, need))
+
+    def choose_executor(self, base: str = "sequential") -> str:
+        """Backend predicted fastest; results are identical either way.
+
+        The in-process backend pays zero payload shipping, so it wins
+        until the observed history shows per-stage compute heavy enough
+        (numpy kernels that release the GIL) to amortize pool dispatch.
+        """
+        walls_ms = [
+            p.wall_ms for history in self.history.values() for p in history
+        ]
+        if not walls_ms or (os.cpu_count() or 1) < 2:
+            return base
+        median_sec = sorted(walls_ms)[len(walls_ms) // 2] / 1000.0
+        if base == "sequential" and median_sec > _EXECUTOR_SWITCH_STAGE_SEC:
+            return "thread"
+        return base
+
+    def choose_broadcast_min_bytes(self, base: int) -> int:
+        """Broadcast threshold sized to the observed stage payloads.
+
+        When history shows stages repeatedly shipping payloads below the
+        current threshold, halving down to the median payload turns the
+        per-stage inline cost into a one-time content-addressed ship.
+        """
+        payloads = [
+            p.payload_bytes
+            for history in self.history.values()
+            for p in history
+            if p.payload_bytes > 0
+        ]
+        if not payloads:
+            return base
+        median = sorted(payloads)[len(payloads) // 2]
+        if 0 < median < base:
+            return max(4096, median // 2)
+        return base
+
+    def should_lift(self, plan_records: Optional[int]) -> bool:
+        """Is a combiner lift's shuffle saving worth its pre-aggregation?
+
+        Lifting fuses into the shuffle write (no extra stage), so its
+        marginal cost is a small fraction of a stage dispatch; the lift
+        is skipped only when the modeled volume saving cannot repay even
+        that.  Unknown input sizes lift, matching the seed behavior.
+        """
+        if plan_records is None or plan_records <= 0:
+            return True
+        saving_sec = (
+            plan_records
+            * self.cost_model.bytes_per_record
+            / self.cost_model.disk_bytes_per_sec
+        )
+        return saving_sec >= 0.01 * self.cost_model.stage_overhead_sec
+
+    def should_elide(self, plan_records: Optional[int]) -> bool:
+        """Is eliding a redundant reshard predicted profitable?
+
+        Elision strictly removes a routing pass, so the modeled saving is
+        never negative — the consult exists so the optimizer's rewrites
+        all flow through one policy point.
+        """
+        n = plan_records or 0
+        return self.cost_model.shuffle_seconds(n, 1) >= 0.0
+
+    def should_checkpoint(
+        self, *, recompute_sec: float, n_records: int
+    ) -> bool:
+        """Store this boundary, or prefer recomputing it on resume?
+
+        Skips the store only when the modeled store+load cost exceeds the
+        observed recompute cost by a material margin
+        (``_MIN_CHECKPOINT_SAVING_SEC``); below that, durability wins.
+        """
+        store_load = self.cost_model.checkpoint_store_load_seconds(
+            n_records * self.cost_model.bytes_per_record
+        )
+        return store_load - recompute_sec <= _MIN_CHECKPOINT_SAVING_SEC
+
+    # -- feedback ----------------------------------------------------------
+
+    def plan_costs(
+        self, metrics: PipelineMetrics
+    ) -> List[Dict[str, object]]:
+        """``report.extra["plan_costs"]`` rows for a finished drive."""
+        return predicted_vs_actual(metrics.stage_profiles, self.cost_model)
+
+    # -- persistence helpers -----------------------------------------------
+
+    @staticmethod
+    def _write_atomic(path: str, text: str) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _load_model(history_dir: str) -> Optional[CostModel]:
+        path = os.path.join(history_dir, COST_MODEL_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return CostModel.from_json(fh.read())
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+    @staticmethod
+    def _load_history(history_dir: str) -> Dict[str, List[StageProfile]]:
+        path = os.path.join(history_dir, PROFILE_HISTORY_FILE)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            return {
+                key: [StageProfile.from_dict(d) for d in entries]
+                for key, entries in payload.get("profiles", {}).items()
+            }
+        except (OSError, ValueError, TypeError, KeyError):
+            return {}

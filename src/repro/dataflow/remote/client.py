@@ -278,6 +278,7 @@ class RemoteExecutor(Executor):
 
     def stats(self) -> Dict[str, Any]:
         return {
+            "stages_run": self.stages_run,
             "n_workers": len(self._channels),
             "worker_failures": self.worker_failures,
             "retried_shards": self.retried_shards,

@@ -115,7 +115,8 @@ def beam_score(
     g = problem.graph
     with engine_context(options, context) as ctx:
         opts = ctx.options
-        pipeline_overrides = {}
+        # Input-size hint for the adaptive planner's cost gates.
+        pipeline_overrides = {"plan_records": int(problem.n)}
         if opts.checkpoint_dir is not None:
             pipeline_overrides["checkpoint_salt"] = fingerprint(
                 "score-sources", problem_fingerprint(problem), subset_ids

@@ -1,0 +1,106 @@
+"""Beam-style assertion helpers for pipeline tests.
+
+Apache Beam ships ``apache_beam.testing.util`` (``assert_that`` /
+``equal_to``) so tests state *what* a PCollection must contain without
+caring how the runner produced it.  This module provides the same idiom
+for this engine, plus :func:`plan_matches` for the golden-plan tests that
+pin the optimizer's physical plans::
+
+    assert_that(pcoll, equal_to([(0, 3), (1, 4)]))
+    assert_that(pcoll, plan_matches("plan (optimize=on, ...)\\n..."))
+
+Matchers are plain callables raising ``AssertionError`` on mismatch;
+:func:`assert_that` feeds content matchers the materialized elements and
+plan matchers (marked with ``wants_plan``) the rendered ``explain()``
+text — rendering a plan never executes a stage, so plan assertions stay
+side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence, Union
+
+__all__ = ["assert_that", "equal_to", "is_empty", "plan_matches"]
+
+
+def assert_that(
+    pcoll, matcher: Callable[[Any], None], label: str = "assert_that"
+) -> None:
+    """Apply ``matcher`` to ``pcoll`` (Beam's ``assert_that`` idiom).
+
+    Content matchers (:func:`equal_to`, :func:`is_empty`) receive the
+    collection's materialized elements; matchers flagged ``wants_plan``
+    (:func:`plan_matches`) receive ``pcoll.explain(costs=False)`` instead
+    and execute nothing.  ``label`` prefixes the failure message.
+    """
+    if getattr(matcher, "wants_plan", False):
+        actual: Any = pcoll.explain(costs=False)
+    else:
+        actual = pcoll.to_list()
+    try:
+        matcher(actual)
+    except AssertionError as exc:
+        raise AssertionError(f"{label}: {exc}") from None
+
+
+def equal_to(expected: Iterable[Any]) -> Callable[[List[Any]], None]:
+    """Matcher: same elements as ``expected``, in any order.
+
+    Order across shards is an execution detail (it changes with shard
+    count and executor), so the comparison is order-insensitive — sorted
+    when the elements are orderable, multiset-by-repr otherwise.
+    """
+    expected_list = list(expected)
+
+    def _match(actual: List[Any]) -> None:
+        try:
+            same = sorted(actual) == sorted(expected_list)
+        except TypeError:  # unorderable / mixed types: compare as multisets
+            same = sorted(map(repr, actual)) == sorted(map(repr, expected_list))
+        assert same, f"expected {expected_list!r}, got {actual!r}"
+
+    return _match
+
+
+def is_empty() -> Callable[[List[Any]], None]:
+    """Matcher: the collection materializes to no elements."""
+
+    def _match(actual: List[Any]) -> None:
+        assert actual == [], f"expected no elements, got {actual!r}"
+
+    return _match
+
+
+def plan_matches(
+    expected: Union[str, Sequence[str]]
+) -> Callable[[str], None]:
+    """Matcher: the rendered physical plan is exactly ``expected``.
+
+    ``expected`` is the full ``explain()`` text (or its lines, joined
+    with newlines).  Rendered without cost annotations so the golden
+    text is stable whether or not the pipeline carries a planner.  On
+    mismatch the message shows a line-by-line diff, which reads far
+    better than a single-string comparison for multi-stage plans.
+    """
+    expected_text = (
+        expected if isinstance(expected, str) else "\n".join(expected)
+    )
+
+    def _match(actual: str) -> None:
+        if actual == expected_text:
+            return
+        import difflib
+
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected_text.splitlines(),
+                actual.splitlines(),
+                fromfile="expected plan",
+                tofile="actual plan",
+                lineterm="",
+            )
+        )
+        raise AssertionError(f"plan mismatch:\n{diff}")
+
+    _match.wants_plan = True  # type: ignore[attr-defined]
+    return _match

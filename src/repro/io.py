@@ -115,6 +115,11 @@ def report_to_dict(report: SelectionReport) -> Dict[str, Any]:
     }
     if engine_metrics:
         out["engine_metrics"] = engine_metrics
+    # The adaptive planner's predicted-vs-actual table is already a list
+    # of plain dicts; pass it through so saved reports carry the feedback.
+    plan_costs = report.extra.get("plan_costs")
+    if plan_costs is not None:
+        out["plan_costs"] = plan_costs
     return out
 
 

@@ -16,6 +16,7 @@ from repro.dataflow import (
 )
 from repro.dataflow.columnar import BatchDoFn, as_records
 from repro.dataflow.pcollection import Fold, Pipeline
+from repro.dataflow.testing import assert_that, equal_to, plan_matches
 from repro.dataflow.transforms import cogroup
 from tests.conftest import random_problem
 from tests.test_knn import clustered_points
@@ -42,8 +43,8 @@ class TestGoldenPlans:
 
     def test_knn_shape_optimized_snapshot(self):
         pipeline = Pipeline(num_shards=4, optimize=True)
-        plan = self._knn_shape(pipeline).explain()
-        assert plan == (
+        out = self._knn_shape(pipeline)
+        assert_that(out, plan_matches(
             "plan (optimize=on, fuse=on, shards=4)\n"
             "S1: shuffle-write group 'knn/group' "
             "[fused: flat_map 'knn/assign'] "
@@ -56,12 +57,14 @@ class TestGoldenPlans:
             "(elided reshard 'knn/cand_key') <- S2\n"
             "S4: combine-read combine_per_key 'knn/merge' <- S3\n"
             "result <- S4"
-        )
+        ))
+        # The optimized plan must not change what the DAG computes.
+        assert_that(out, equal_to([(x, x % 8) for x in range(64)]))
 
     def test_knn_shape_naive_snapshot(self):
         pipeline = Pipeline(num_shards=4, optimize=False)
-        plan = self._knn_shape(pipeline).explain()
-        assert plan == (
+        out = self._knn_shape(pipeline)
+        assert_that(out, plan_matches(
             "plan (optimize=off, fuse=on, shards=4)\n"
             "S1: shuffle reshard 'knn/assign_key' "
             "[fused: flat_map 'knn/assign'] "
@@ -74,7 +77,8 @@ class TestGoldenPlans:
             "S6: group-read group 'knn/merge_group' <- S5\n"
             "S7: map_values 'knn/merge' <- S6\n"
             "result <- S7"
-        )
+        ))
+        assert_that(out, equal_to([(x, x % 8) for x in range(64)]))
 
     def test_greedy_shape_post_shuffle_fusion(self):
         """``key_by → group_by_key → flat_map(select)`` (one greedy round):

@@ -1,0 +1,378 @@
+"""Cost-model-driven adaptive planning: calibration, precedence, identity.
+
+The adaptive planner's contract has three load-bearing clauses, each
+pinned here:
+
+1. *Calibration round-trips*: synthetic StageProfiles with exactly linear
+   wall times recover the generating constants, and the calibrated model
+   (plus its profile history) survives a JSON persistence round-trip.
+2. *Explicit knobs always win*: a knob the caller passed — even at its
+   default value — is never overridden by the planner.
+3. *Bit-identical results*: ``adaptive=True`` may change shard counts,
+   executor, and checkpoint placement, but never what any beam computes.
+"""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster.costmodel import CostModel, Table4Scenario
+from repro.cluster.machine import MachineSpec
+from repro.cluster.simulator import ClusterSimulator
+from repro.dataflow import (
+    AdaptivePlanner,
+    DataflowContext,
+    EngineOptions,
+    StageProfile,
+    beam_knn_graph,
+    beam_score,
+    predicted_vs_actual,
+)
+from repro.dataflow.planner import COST_MODEL_FILE, PROFILE_HISTORY_FILE
+from tests.conftest import random_problem
+from tests.test_knn import clustered_points
+
+
+def _linear_profiles(
+    *, overhead_sec=5.0e-4, records_per_sec=2_000_000.0, vectorized=False
+):
+    """Profiles whose wall times lie exactly on the model's own line."""
+    return [
+        StageProfile(
+            label=f"stage-{rows}",
+            wall_ms=1000.0 * (overhead_sec + rows / records_per_sec),
+            rows_in=rows,
+            vectorized=vectorized,
+        )
+        for rows in (1_000, 4_000, 16_000, 64_000)
+    ]
+
+
+class TestCalibration:
+    def test_recovers_row_path_constants(self):
+        model = CostModel().calibrate(
+            _linear_profiles(records_per_sec=2_000_000.0)
+        )
+        assert model.records_per_sec == pytest.approx(2_000_000.0, rel=1e-6)
+        assert model.stage_overhead_sec == pytest.approx(5.0e-4, rel=1e-6)
+        # The vectorized path saw no samples and keeps its default.
+        assert model.vectorized_records_per_sec == (
+            CostModel().vectorized_records_per_sec
+        )
+
+    def test_recovers_vectorized_path_constants(self):
+        model = CostModel().calibrate(
+            _linear_profiles(records_per_sec=9_000_000.0, vectorized=True)
+        )
+        assert model.vectorized_records_per_sec == pytest.approx(
+            9_000_000.0, rel=1e-6
+        )
+        assert model.records_per_sec == CostModel().records_per_sec
+
+    def test_degenerate_histories_leave_constants_unchanged(self):
+        base = CostModel()
+        # Too few points; no row spread; zero slope — all no-ops.
+        assert base.calibrate([]) is base
+        one = [StageProfile(label="s", wall_ms=1.0, rows_in=100)]
+        assert base.calibrate(one).records_per_sec == base.records_per_sec
+        flat = [
+            StageProfile(label="s", wall_ms=1.0, rows_in=100)
+            for _ in range(4)
+        ]
+        assert base.calibrate(flat).records_per_sec == base.records_per_sec
+
+    def test_calibrated_predictions_match_generating_line(self):
+        profiles = _linear_profiles()
+        model = CostModel().calibrate(profiles)
+        rows = predicted_vs_actual(profiles, model)
+        assert len(rows) == len(profiles)
+        assert all(r["rel_err"] < 1e-6 for r in rows)
+
+    def test_json_round_trip_preserves_all_constants(self):
+        model = CostModel(
+            machine=MachineSpec(dram_bytes=7, greedy_points_per_sec=3.0,
+                                shuffle_bytes_per_sec=11.0),
+        ).calibrate(_linear_profiles())
+        restored = CostModel.from_json(model.to_json())
+        assert restored == model
+        # to_dict is JSON-clean (no arrays / dataclass leftovers).
+        json.dumps(model.to_dict())
+
+    def test_planner_flush_and_reload(self, tmp_path):
+        history_dir = str(tmp_path)
+        planner = AdaptivePlanner(history_dir=history_dir)
+        assert not planner.calibrated
+        for p in _linear_profiles(records_per_sec=2_000_000.0):
+            planner.record_profile(p)
+        planner.flush()
+        assert os.path.exists(os.path.join(history_dir, PROFILE_HISTORY_FILE))
+        assert os.path.exists(os.path.join(history_dir, COST_MODEL_FILE))
+
+        reloaded = AdaptivePlanner(history_dir=history_dir)
+        assert reloaded.calibrated
+        assert reloaded.cost_model.records_per_sec == pytest.approx(
+            2_000_000.0, rel=1e-6
+        )
+
+    def test_history_is_bounded_per_key(self):
+        planner = AdaptivePlanner()
+        for i in range(100):
+            planner.record_profile(
+                StageProfile(label="hot", wall_ms=1.0, rows_in=i)
+            )
+        (bucket,) = planner.history.values()
+        assert len(bucket) == 32
+        assert bucket[-1].rows_in == 99
+
+
+class TestPlanningDecisions:
+    def test_choose_num_shards_scales_with_input(self):
+        planner = AdaptivePlanner()
+        assert planner.choose_num_shards(None) == 8
+        assert planner.choose_num_shards(100) == 8  # never below base
+        big = planner.choose_num_shards(2000)
+        assert big > 8
+        assert planner.choose_num_shards(10**9) == 64  # hard ceiling
+
+    def test_explicit_base_is_respected_as_floor(self):
+        planner = AdaptivePlanner()
+        assert planner.choose_num_shards(100, base=16) == 16
+
+    def test_checkpoint_gate_prefers_durability_when_cheap(self):
+        planner = AdaptivePlanner()
+        # Tiny store cost, expensive recompute: store.
+        assert planner.should_checkpoint(recompute_sec=10.0, n_records=100)
+        # Storing is modeled cheap even vs a free recompute — within the
+        # material-saving margin, durability wins.
+        assert planner.should_checkpoint(recompute_sec=0.0, n_records=100)
+        # Hugely expensive store for a free recompute: skip.
+        assert not planner.should_checkpoint(
+            recompute_sec=0.0, n_records=10**9
+        )
+
+    def test_optimizer_gates_default_open(self):
+        planner = AdaptivePlanner()
+        assert planner.should_lift(None)
+        assert planner.should_lift(10_000)
+        assert planner.should_elide(10_000)
+
+
+class TestKnobPrecedence:
+    def test_passed_knob_is_explicit_even_at_default_value(self):
+        assert EngineOptions(num_shards=8).is_explicit("num_shards")
+        assert not EngineOptions().is_explicit("num_shards")
+        with pytest.raises(ValueError):
+            EngineOptions().is_explicit("not_a_knob")
+
+    def test_derive_and_pickle_preserve_explicitness(self):
+        import pickle
+
+        o = EngineOptions(num_shards=4).derive(fuse=True)
+        assert o.is_explicit("num_shards") and o.is_explicit("fuse")
+        assert not o.is_explicit("executor")
+        o2 = pickle.loads(pickle.dumps(o))
+        assert o2.is_explicit("num_shards") and not o2.is_explicit("executor")
+
+    def test_planner_never_overrides_explicit_num_shards(self):
+        with DataflowContext(
+            EngineOptions(adaptive=True, num_shards=8)
+        ) as ctx:
+            assert ctx.planner is not None
+            pipeline = ctx.pipeline(plan_records=100_000)
+            try:
+                assert pipeline.num_shards == 8
+            finally:
+                pipeline.close()
+
+    def test_planner_chooses_num_shards_when_unset(self):
+        with DataflowContext(EngineOptions(adaptive=True)) as ctx:
+            pipeline = ctx.pipeline(plan_records=100_000)
+            try:
+                assert pipeline.num_shards > 8
+            finally:
+                pipeline.close()
+
+    def test_cli_adaptive_plan_flag_is_isolated_from_selector_adaptive(self):
+        """--adaptive-plan (engine) and --adaptive (greedy algorithm) must
+        not share an argparse dest — either flag silently flipping the
+        other changes *selections*, not just wall-clock."""
+        import argparse
+
+        from repro.dataflow.options import add_engine_arguments
+
+        parser = argparse.ArgumentParser()
+        parser.add_argument("--adaptive", action="store_true")
+        add_engine_arguments(parser)
+
+        args = parser.parse_args(["--adaptive-plan"])
+        assert args.adaptive is False
+        assert EngineOptions.from_namespace(args).resolve_adaptive() is True
+
+        args = parser.parse_args(["--adaptive"])
+        assert args.adaptive is True
+        assert not EngineOptions.from_namespace(args).is_explicit("adaptive")
+
+    def test_adaptive_off_means_no_planner(self):
+        # Explicit off beats even a flipped module default (--adaptive).
+        with DataflowContext(EngineOptions(adaptive=False)) as ctx:
+            assert ctx.planner is None
+
+
+class TestBitIdenticalUnderAdaptive:
+    """The planner may change shard counts, never contents."""
+
+    def test_knn_graph_identical_with_planner_chosen_shards(self):
+        x, _ = clustered_points(2000, dim=16, seed=3)
+        base_graph, base_nb, base_sims, _ = beam_knn_graph(
+            x, 10, seed=0, options=EngineOptions()
+        )
+        with DataflowContext(EngineOptions(adaptive=True)) as ctx:
+            pipeline = ctx.pipeline(plan_records=x.shape[0])
+            pipeline.close()
+            assert pipeline.num_shards > 8  # the planner actually re-planned
+            adapt_graph, adapt_nb, adapt_sims, _ = beam_knn_graph(
+                x, 10, seed=0, context=ctx
+            )
+        np.testing.assert_array_equal(base_nb, adapt_nb)
+        np.testing.assert_array_equal(base_sims, adapt_sims)
+        np.testing.assert_array_equal(base_graph.indptr, adapt_graph.indptr)
+        np.testing.assert_array_equal(base_graph.indices, adapt_graph.indices)
+        np.testing.assert_array_equal(base_graph.weights, adapt_graph.weights)
+
+    def test_score_identical_under_adaptive(self):
+        problem = random_problem(300, seed=11)
+        subset = np.arange(0, 300, 7, dtype=np.int64)
+        base, _ = beam_score(problem, subset, options=EngineOptions())
+        adaptive, _ = beam_score(
+            problem, subset, options=EngineOptions(adaptive=True)
+        )
+        assert base == adaptive
+
+    def test_selector_identical_and_reports_plan_costs(self):
+        from repro.core.pipeline import DistributedSelector, SelectorConfig
+
+        problem = random_problem(120, seed=5)
+        base = DistributedSelector(
+            problem,
+            SelectorConfig(
+                engine="dataflow", options=EngineOptions(adaptive=False)
+            ),
+        ).select(12, seed=0)
+        adaptive = DistributedSelector(
+            problem,
+            SelectorConfig(
+                engine="dataflow", options=EngineOptions(adaptive=True)
+            ),
+        ).select(12, seed=0)
+        np.testing.assert_array_equal(base.selected, adaptive.selected)
+        assert base.objective == adaptive.objective
+        costs = adaptive.extra["plan_costs"]
+        assert costs and all(r["predicted_ms"] > 0 for r in costs)
+        assert "plan_costs" not in base.extra
+
+
+class TestPredictedVsActual:
+    def test_calibrated_error_bounded_on_knn_shape(self, tmp_path):
+        """After one calibration drive, the model tracks the machine."""
+        x, _ = clustered_points(2000, dim=16, seed=3)
+        opts = EngineOptions(adaptive=True, checkpoint_dir=None)
+        # Drive 1: collect profiles and calibrate in-process.
+        with DataflowContext(opts) as ctx:
+            beam_knn_graph(x, 10, seed=0, context=ctx)
+            model = ctx.planner.recalibrate()
+            # Drive 2 against the calibrated constants.
+            _, _, _, metrics = beam_knn_graph(x, 10, seed=0, context=ctx)
+        rows = predicted_vs_actual(metrics.stage_profiles, model)
+        assert rows
+        errs = sorted(r["rel_err"] for r in rows)
+        assert all(0.0 <= e <= 1.0 for e in errs)
+        # Median bound is deliberately loose: CI machines are noisy, and
+        # rel_err is symmetric (worst case 1.0). The bench records the
+        # actual value per run.
+        assert errs[len(errs) // 2] <= 0.9
+
+    def test_explain_renders_cost_per_stage_on_knn_and_bounding_plans(self):
+        from repro.dataflow.library import BoundingFilter, ShardedKnn
+
+        problem = random_problem(200, seed=2)
+        x, _ = clustered_points(200, dim=8, seed=4)
+        with DataflowContext(EngineOptions(adaptive=True)) as ctx:
+            pipeline = ctx.pipeline(plan_records=200)
+            try:
+                pts = pipeline.create(range(200), name="knn/source")
+                knn_plan = pts.apply(
+                    ShardedKnn(x, x[:14], k=10, nprobe=1)
+                ).explain()
+                g = problem.graph
+                neighbors = pipeline.create_keyed(
+                    (
+                        (v, list(zip(
+                            g.indices[g.indptr[v]:g.indptr[v + 1]].tolist(),
+                            g.weights[g.indptr[v]:g.indptr[v + 1]].tolist(),
+                        )))
+                        for v in range(g.n)
+                    ),
+                    name="src/neighbors", stream=True,
+                )
+                utilities = pipeline.create_keyed(
+                    ((v, 1.0) for v in range(200)),
+                    name="src/utilities", stream=True,
+                )
+                solution = pipeline.create_keyed(
+                    iter(()), name="src/solution", stream=True
+                )
+                remaining = pipeline.create_keyed(
+                    ((v, True) for v in range(200)),
+                    name="src/remaining", stream=True,
+                )
+                bound_plan = remaining.apply(
+                    BoundingFilter(neighbors, utilities, solution, ratio=0.1)
+                ).explain()
+            finally:
+                pipeline.close()
+        for plan in (knn_plan, bound_plan):
+            stage_lines = [
+                ln for ln in plan.splitlines() if ln.lstrip().startswith("S")
+            ]
+            assert stage_lines
+            assert all("[cost ~" in ln for ln in stage_lines)
+        # Without a planner the same render carries no annotations.
+        import repro.dataflow.pcollection as pc
+
+        p2 = pc.Pipeline(num_shards=4)
+        out = p2.create(range(8), name="s").map(lambda v: v + 1, name="m")
+        assert "[cost ~" not in out.explain()
+        assert "[cost ~" in out.explain(costs=True)
+        p2.close()
+
+
+class TestScenarioRatioAndWhatIf:
+    def test_ratio_guards_non_positive_and_non_finite_baselines(self):
+        good = Table4Scenario(label="ok", hours=5.0, paper_hours=10.0)
+        assert good.ratio == 0.5
+        for bad_hours in (0.0, -3.0, float("nan"), float("inf")):
+            bad = Table4Scenario(label="bad", hours=5.0, paper_hours=bad_hours)
+            assert math.isnan(bad.ratio)
+
+    def test_what_if_matches_feasibility_and_ranks(self):
+        sim = ClusterSimulator(machine=MachineSpec(dram_bytes=10**8))
+        tight = sim.what_if(5_000_000, 50_000, m=2)
+        assert not tight.feasible  # 440 MB of greedy state >> 100 MB DRAM
+        roomy = sim.what_if(5_000_000, 50_000, m=64)
+        assert roomy.feasible
+        assert roomy.peak_partition_bytes < tight.peak_partition_bytes
+        best = sim.best_configuration(
+            5_000_000, 50_000, m_candidates=[2, 16, 64]
+        )
+        assert best is not None and best.feasible
+        assert best.predicted_hours <= roomy.predicted_hours
+
+    def test_what_if_returns_none_when_nothing_fits(self):
+        sim = ClusterSimulator(machine=MachineSpec(dram_bytes=1_000))
+        assert (
+            sim.best_configuration(10**6, 10**3, m_candidates=[1, 2, 4])
+            is None
+        )
