@@ -42,7 +42,16 @@ Two checks, both read from the record ``test_dataflow_engine.py`` emits:
    ratio is stable where absolute walls are not; a silent fallback to
    the row path shows up as a ratio near 1.0 and fails here.
 
-5. **Adaptive-planning gate** (``--adaptive-candidate`` vs
+5. **Worker-shuffle gate** (``--p2p-mode``, default ``knn_remote_p2p``):
+   the remote kNN build under ``shuffle="worker"`` must have moved its
+   shuffle buckets peer-to-peer (``p2p_shuffle_bytes > 0``) with **zero**
+   bucket bytes crossing the driver on the fault-free path
+   (``driver_shuffle_bytes == 0`` and ``bucket_refetches == 0``).  A
+   regression that silently routes buckets back through the driver —
+   the exchange declining, a worker fetch quietly failing over — keeps
+   results bit-identical and fails only here.
+
+6. **Adaptive-planning gate** (``--adaptive-candidate`` vs
    ``--adaptive-baseline``, default ``knn_adaptive`` vs ``knn_columnar``):
    letting the cost-model planner choose the engine knobs must stay
    within 10% of the hand-tuned columnar build
@@ -94,6 +103,9 @@ def main(argv=None) -> int:
     parser.add_argument("--max-columnar-ratio", type=float, default=0.8,
                         help="fail when columnar wall exceeds this fraction "
                              "of the row baseline's wall")
+    parser.add_argument("--p2p-mode", default="knn_remote_p2p",
+                        help="worker-shuffle mode whose byte routing is "
+                             "gated (empty string skips the gate)")
     parser.add_argument("--adaptive-baseline", default="knn_columnar",
                         help="hand-tuned mode the adaptive build is gated "
                              "against (empty string skips the gate)")
@@ -237,6 +249,40 @@ def main(argv=None) -> int:
             )
             return 1
         print("OK: columnar runtime beats the row baseline")
+
+    if args.p2p_mode:
+        try:
+            mode = modes[args.p2p_mode]
+            p2p_bytes = int(mode["p2p_shuffle_bytes"])
+            driver_bytes = int(mode["driver_shuffle_bytes"])
+            refetches = int(mode["bucket_refetches"])
+        except KeyError as missing:
+            print(
+                f"p2p-gate mode/field {missing} not found in {args.record}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"{args.p2p_mode}: {p2p_bytes} bucket bytes peer-to-peer, "
+            f"{driver_bytes} through the driver, {refetches} refetches"
+        )
+        if p2p_bytes == 0:
+            print(
+                "FAIL: zero peer-to-peer shuffle bytes — the worker "
+                "exchange silently declined and every bucket crossed the "
+                "driver again",
+                file=sys.stderr,
+            )
+            return 1
+        if driver_bytes != 0 or refetches != 0:
+            print(
+                f"FAIL: fault-free worker shuffle moved {driver_bytes} "
+                f"bucket bytes through the driver ({refetches} refetches) "
+                "— the p2p data plane is leaking onto the driver path",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: worker shuffle keeps bucket bytes off the driver")
 
     if args.adaptive_baseline:
         try:

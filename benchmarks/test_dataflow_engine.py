@@ -334,6 +334,45 @@ def test_e21_dataflow_engine():
         "retried_shards": col_remote_stats["retried_shards"],
     }
 
+    # Worker-to-worker shuffle plane: the same build with shuffle buckets
+    # exchanged peer-to-peer.  The claim under test: on the fault-free
+    # path zero bucket bytes cross the driver (``driver_shuffle_bytes ==
+    # 0`` while ``p2p_shuffle_bytes > 0`` — both gated in
+    # check_dataflow_regression.py) and the result stays bit-identical.
+    remote_executor = RemoteExecutor(max_workers=n_remote_workers)
+    try:
+        start = time.perf_counter()
+        _, nbrs, _, metrics = beam_knn_graph(
+            x, 10, n_clusters=16, nprobe=4, seed=0,
+            options=EngineOptions(
+                remote_executor, num_shards=8, optimize=True,
+                columnar=False, shuffle="worker",
+            ),
+        )
+        p2p_elapsed = time.perf_counter() - start
+        p2p_stats = remote_executor.stats()
+    finally:
+        remote_executor.close()
+    np.testing.assert_array_equal(nbrs, knn_baseline)
+    rows.append((
+        "knn build remote p2p(2)", p2p_elapsed * 1e3,
+        metrics.executed_stages, metrics.fused_stages,
+        metrics.peak_shard_records,
+    ))
+    record["modes"]["knn_remote_p2p"] = {
+        "wall_ms": p2p_elapsed * 1e3,
+        "executed_stages": metrics.executed_stages,
+        "fused_stages": metrics.fused_stages,
+        "peak_shard_records": metrics.peak_shard_records,
+        "shuffled_records": metrics.shuffled_records,
+        "n_workers": n_remote_workers,
+        "p2p_shuffle_bytes": p2p_stats["p2p_shuffle_bytes"],
+        "driver_shuffle_bytes": p2p_stats["driver_shuffle_bytes"],
+        "bucket_refetches": p2p_stats["bucket_refetches"],
+        "worker_failures": p2p_stats["worker_failures"],
+        "retried_shards": p2p_stats["retried_shards"],
+    }
+
     # -- adaptive axis: cost-model-driven planning ------------------------
     # The planner picks num_shards itself (no explicit engine knobs), the
     # first drive calibrates the cost model from observed StageProfiles,
@@ -437,6 +476,13 @@ def test_e21_dataflow_engine():
     assert remote["broadcast_bytes"] <= (
         remote["unique_broadcast_bytes"] * remote["n_workers"]
     )
+    # Worker-to-worker shuffle: the volume the engine metered is the same
+    # either plane — only where the bytes moved differs (the byte-level
+    # gates live in check_dataflow_regression.py).
+    p2p = record["modes"]["knn_remote_p2p"]
+    assert p2p["shuffled_records"] == remote["shuffled_records"]
+    assert p2p["p2p_shuffle_bytes"] > 0
+    assert p2p["driver_shuffle_bytes"] == 0
     # Adaptive planning: the planner actually re-planned (chose more
     # shards than the 8-shard default), profiles were recorded, and every
     # predicted/actual pair carries a well-formed symmetric error (the

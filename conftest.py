@@ -23,6 +23,13 @@ harness always exercises both layouts regardless.
 test whose options leave ``adaptive`` unset runs with the cost-model
 planner choosing the engine knobs (results are bit-identical by design —
 this matrix entry proves it suite-wide).
+
+``--worker-shuffle`` flips the engine's module default shuffle data plane
+(``DEFAULT_SHUFFLE``) to ``"worker"``, so every test whose pipelines
+leave ``shuffle`` unset plans shuffles as worker-to-worker exchanges.
+Non-remote backends ignore the plane (they have no peers), so the flag
+only bites combined with ``--executor remote`` — where results must stay
+bit-identical with the driver-merge plane.
 """
 
 import pytest
@@ -66,6 +73,14 @@ def pytest_addoption(parser):
         help="run the whole suite with cost-model-driven adaptive "
              "planning on by default (results must stay bit-identical)",
     )
+    parser.addoption(
+        "--worker-shuffle",
+        action="store_true",
+        default=False,
+        help="default the shuffle data plane to worker-to-worker "
+             "exchanges (only bites with --executor remote; results "
+             "must stay bit-identical)",
+    )
 
 
 def pytest_configure(config):
@@ -84,3 +99,7 @@ def pytest_configure(config):
         from repro.dataflow import options
 
         options.DEFAULT_ADAPTIVE = True
+    if config.getoption("--worker-shuffle"):
+        from repro.dataflow import pcollection
+
+        pcollection.DEFAULT_SHUFFLE = "worker"

@@ -83,12 +83,19 @@ class CostModel:
         vectorized: bool = False,
         shuffled_records: int = 0,
         payload_bytes: int = 0,
+        shuffle_parallelism: int = 1,
     ) -> float:
         """Predicted wall-clock of one physical engine stage.
 
         ``overhead + rows / throughput`` plus the serialization cost of
         anything the stage ships (shuffled records at ``bytes_per_record``
         each, and the closure payload on payload-shipping backends).
+
+        ``shuffle_parallelism`` divides the moved-bytes term: with the
+        worker-to-worker shuffle the bucket volume crosses ``n`` worker
+        links concurrently instead of funnelling through the driver's
+        single link, so the driver-merge prediction over-charges by that
+        factor.
         """
         throughput = (
             self.vectorized_records_per_sec
@@ -98,7 +105,9 @@ class CostModel:
         seconds = self.stage_overhead_sec + max(rows, 0) / throughput
         moved = shuffled_records * self.bytes_per_record + payload_bytes
         if moved > 0:
-            seconds += moved / self.disk_bytes_per_sec
+            seconds += moved / (
+                self.disk_bytes_per_sec * max(int(shuffle_parallelism), 1)
+            )
         return float(seconds)
 
     def checkpoint_store_load_seconds(self, n_bytes: int) -> float:

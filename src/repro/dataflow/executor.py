@@ -161,12 +161,13 @@ class BroadcastRegistry:
     are recognized by identity without re-serializing, so a stage that
     closes over the embedding matrix costs one hash for the whole run.
     ``blobs`` maps digest → serialized bytes; executors :meth:`evict` a
-    blob's bytes once every worker holds it (the worker set is fixed
-    after startup, so the serialized copy has no further reader) —
-    long multi-round drives don't accumulate their whole large-capture
-    history on the driver.  The digest ledger survives eviction, so a
-    re-registered equal capture is recognized and simply re-serialized
-    on demand.
+    blob's bytes once every *current* worker holds it — long multi-round
+    drives don't accumulate their whole large-capture history on the
+    driver.  The digest ledger survives eviction, and the identity fast
+    path only short-circuits while the bytes exist, so a capture whose
+    blob was evicted is re-serialized on demand — which is what lets a
+    late-joining worker (elastic membership) or an LRU-evicted worker
+    cache receive the blob again.
     """
 
     def __init__(self, min_bytes: int = DEFAULT_BROADCAST_MIN_BYTES) -> None:
@@ -192,7 +193,14 @@ class BroadcastRegistry:
         entry = self._by_id.get(id(obj))
         if entry is not None:
             digest, ref = entry
-            if ref() is obj:
+            # The identity fast path must also prove the serialized
+            # bytes still exist: after a stage-end eviction, a ledger
+            # that says "seen" with no bytes behind it would hand
+            # ``_ship_blobs`` a digest it cannot ship — a KeyError the
+            # moment a late-joining worker (or an LRU-evicted one)
+            # needs the blob again.  Falling through re-serializes to
+            # the same digest on demand.
+            if ref() is obj and digest in self.blobs:
                 return digest
         blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(blob).hexdigest()

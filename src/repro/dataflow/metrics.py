@@ -42,6 +42,20 @@ Columnar-runtime counters (``Pipeline(columnar=...)``):
     Records that reached a materialization or shuffle boundary in
     columnar (struct-of-arrays) layout rather than as Python row tuples.
 
+Worker-to-worker shuffle counters (``EngineOptions(shuffle="worker")``
+on the remote backend):
+
+``p2p_shuffle_bytes``
+    Serialized shuffle-bucket bytes fetched worker-to-worker (the data
+    plane the driver never touched).
+``driver_shuffle_bytes``
+    Serialized shuffle-bucket bytes that crossed the driver anyway —
+    inline buckets for unserializable shards plus the fault fallback.
+    Zero on the fault-free path with every shard remoted.
+``bucket_refetches``
+    Buckets the driver had to re-derive from the original input shard
+    because their producing worker was gone.
+
 Per-stage observations (``stage_profiles``):
 
 Each physical stage the executor runs appends one :class:`StageProfile` —
@@ -113,6 +127,9 @@ class PipelineMetrics:
     checkpoint_stores: int = 0
     vectorized_stages: int = 0
     columnar_rows: int = 0
+    p2p_shuffle_bytes: int = 0
+    driver_shuffle_bytes: int = 0
+    bucket_refetches: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
     stage_profiles: List[StageProfile] = field(default_factory=list)
 
@@ -155,6 +172,14 @@ class PipelineMetrics:
         if self.stage_profiles:
             self.stage_profiles[-1].shuffled_records += n_records
 
+    def observe_exchange(
+        self, *, p2p_bytes: int, driver_bytes: int, refetches: int
+    ) -> None:
+        """One worker-to-worker shuffle exchange's byte accounting."""
+        self.p2p_shuffle_bytes += p2p_bytes
+        self.driver_shuffle_bytes += driver_bytes
+        self.bucket_refetches += refetches
+
     def observe_lifted_combiner(self) -> None:
         self.lifted_combiners += 1
 
@@ -183,6 +208,9 @@ class PipelineMetrics:
         self.checkpoint_stores = 0
         self.vectorized_stages = 0
         self.columnar_rows = 0
+        self.p2p_shuffle_bytes = 0
+        self.driver_shuffle_bytes = 0
+        self.bucket_refetches = 0
         self.stage_counts.clear()
         self.stage_profiles.clear()
 
@@ -201,6 +229,9 @@ class PipelineMetrics:
             checkpoint_stores=self.checkpoint_stores,
             vectorized_stages=self.vectorized_stages,
             columnar_rows=self.columnar_rows,
+            p2p_shuffle_bytes=self.p2p_shuffle_bytes,
+            driver_shuffle_bytes=self.driver_shuffle_bytes,
+            bucket_refetches=self.bucket_refetches,
             stage_counts=dict(self.stage_counts),
             stage_profiles=[
                 StageProfile(**p.to_dict()) for p in self.stage_profiles

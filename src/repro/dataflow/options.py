@@ -193,6 +193,16 @@ class EngineOptions:
         knob passed explicitly overrides the planner; results are
         bit-identical either way.  ``None`` defers to the engine-wide
         default (the test harness's ``--adaptive`` flips it).
+    shuffle:
+        Shuffle data plane: ``"driver"`` merges buckets on the driver
+        (the historical star topology), ``"worker"`` exchanges buckets
+        worker-to-worker on the remote backend (the driver plans the
+        bucket→worker assignment; bucket bytes move peer-to-peer, with
+        the driver round-trip kept as the fault fallback).  Backends
+        without a peer exchange — every in-process executor — always use
+        the driver merge, whatever this says.  ``None`` defers to the
+        engine-wide default (the test harness's ``--worker-shuffle``
+        flips it).  Results are bit-identical in both modes.
 
     Knobs the caller actually passed are tracked (:meth:`is_explicit`) so
     the adaptive planner knows which decisions are pinned — passing a
@@ -203,7 +213,7 @@ class EngineOptions:
         "executor", "num_shards", "spill_to_disk", "optimize", "columnar",
         "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
         "broadcast_min_bytes", "stream_chunk_size", "fuse", "adaptive",
-        "_explicit", "_frozen",
+        "shuffle", "_explicit", "_frozen",
     )
 
     #: Knob names in declaration order — the single list every
@@ -212,6 +222,7 @@ class EngineOptions:
         "executor", "num_shards", "spill_to_disk", "optimize", "columnar",
         "stream_source", "workers", "checkpoint_dir", "checkpoint_salt",
         "broadcast_min_bytes", "stream_chunk_size", "fuse", "adaptive",
+        "shuffle",
     )
 
     #: Default value per knob, applied when the keyword is not passed
@@ -230,6 +241,7 @@ class EngineOptions:
         "stream_chunk_size": 4096,
         "fuse": True,
         "adaptive": None,
+        "shuffle": None,
     }
 
     def __init__(
@@ -248,6 +260,7 @@ class EngineOptions:
         stream_chunk_size: Any = UNSET,
         fuse: Any = UNSET,
         adaptive: Any = UNSET,
+        shuffle: Any = UNSET,
     ) -> None:
         passed = {
             "executor": executor,
@@ -263,6 +276,7 @@ class EngineOptions:
             "stream_chunk_size": stream_chunk_size,
             "fuse": fuse,
             "adaptive": adaptive,
+            "shuffle": shuffle,
         }
         explicit = frozenset(k for k, v in passed.items() if v is not UNSET)
         resolved = {
@@ -282,6 +296,14 @@ class EngineOptions:
         stream_chunk_size = resolved["stream_chunk_size"]
         fuse = resolved["fuse"]
         adaptive = resolved["adaptive"]
+        shuffle = resolved["shuffle"]
+        if shuffle is not None:
+            shuffle = str(shuffle)
+            if shuffle not in ("driver", "worker"):
+                raise ValueError(
+                    "shuffle must be 'driver', 'worker', or None, got "
+                    f"{shuffle!r}"
+                )
         if isinstance(executor, Executor):
             resolved_executor: "str | Executor" = executor
         else:
@@ -366,6 +388,7 @@ class EngineOptions:
         object.__setattr__(
             self, "adaptive", _as_opt_bool(adaptive, "adaptive")
         )
+        object.__setattr__(self, "shuffle", shuffle)
         object.__setattr__(self, "_explicit", explicit)
         object.__setattr__(self, "_frozen", True)
 
@@ -661,6 +684,15 @@ def _parse_env_value(name: str, raw: str, key: str) -> Any:
             f"{key} must be a boolean (1/0, true/false, yes/no, on/off), "
             f"got {raw!r}"
         )
+    if name == "shuffle":
+        lowered = text.lower()
+        if lowered == "none":
+            return None
+        if lowered in ("driver", "worker"):
+            return lowered
+        raise ValueError(
+            f"{key} must be 'driver', 'worker', or 'none', got {raw!r}"
+        )
     if name == "workers":
         return tuple(w for w in text.split(",") if w) or None
     if name in ("checkpoint_dir", "checkpoint_salt", "executor"):
@@ -746,6 +778,14 @@ def add_engine_arguments(parser: Any) -> Any:
         help="comma-separated host:port list of remote worker daemons "
              "(python -m repro.dataflow.remote.worker); with --executor "
              "remote and no list, two localhost workers are auto-spawned",
+    )
+    group.add_argument(
+        "--shuffle", choices=("driver", "worker"), default=None,
+        help="shuffle data plane: merge buckets on the driver (the "
+             "default) or exchange them worker-to-worker on the remote "
+             "backend (the driver only plans the assignment; peer "
+             "fetches fall back through the driver when a producer "
+             "dies); results are bit-identical either way",
     )
     group.add_argument(
         "--checkpoint-dir", dest="checkpoint_dir", default=None,
@@ -911,6 +951,7 @@ class DataflowContext:
             touched_digests=self.touched_checkpoint_digests,
             planner=self.planner,
             plan_records=plan_records,
+            shuffle=o.shuffle,
         )
 
     def gc_checkpoints(self, keep: Iterable[str] = ()) -> int:

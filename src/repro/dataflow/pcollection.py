@@ -167,6 +167,14 @@ DEFAULT_OPTIMIZE = True
 #: run against the pure row runtime.
 DEFAULT_COLUMNAR = True
 
+#: Module default for ``Pipeline(shuffle=None)`` — the shuffle data
+#: plane: ``"driver"`` merges buckets on the driver (the historical star
+#: topology), ``"worker"`` exchanges them worker-to-worker on executors
+#: that implement ``run_exchange`` (the remote backend), with the driver
+#: path kept as the fault fallback.  The test harness flips this via the
+#: ``--worker-shuffle`` pytest option; results are bit-identical.
+DEFAULT_SHUFFLE = "driver"
+
 
 class Fold:
     """A declared per-key reduction — the unit of combiner lifting.
@@ -767,6 +775,15 @@ class Pipeline:
         Caller's estimate of the input size in records; used by the
         planner's cost gates and by ``explain``'s predicted-cost
         rendering when sources stream (eager sources are simply counted).
+    shuffle:
+        Shuffle data plane: ``"driver"`` merges buckets on the driver,
+        ``"worker"`` runs group/combine shuffles as a worker-to-worker
+        exchange on executors that implement ``run_exchange`` (the
+        remote backend) — bucket bytes move peer-to-peer and the driver
+        only plans the assignment, falling back to the driver merge for
+        anything the exchange cannot cover.  ``None`` (the default)
+        resolves to the module default ``DEFAULT_SHUFFLE``.  Results are
+        bit-identical in both modes.
     """
 
     def __init__(
@@ -784,6 +801,7 @@ class Pipeline:
         columnar: Optional[bool] = None,
         planner=None,
         plan_records: Optional[int] = None,
+        shuffle: Optional[str] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -791,12 +809,17 @@ class Pipeline:
             raise ValueError(
                 f"stream_chunk_size must be >= 1, got {stream_chunk_size}"
             )
+        if shuffle is not None and shuffle not in ("driver", "worker"):
+            raise ValueError(
+                f"shuffle must be 'driver', 'worker', or None, got {shuffle!r}"
+            )
         self.num_shards = int(num_shards)
         self.metrics = PipelineMetrics()
         self.spill_to_disk = bool(spill_to_disk)
         self.fuse = bool(fuse)
         self.optimize = DEFAULT_OPTIMIZE if optimize is None else bool(optimize)
         self.columnar = DEFAULT_COLUMNAR if columnar is None else bool(columnar)
+        self.shuffle = DEFAULT_SHUFFLE if shuffle is None else str(shuffle)
         self.stream_chunk_size = int(stream_chunk_size)
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_salt = checkpoint_salt
@@ -1496,17 +1519,115 @@ class Pipeline:
             f"not a post-shuffle-fusable kind: {base.kind!r}"
         )
 
-    def _shuffle_by_key(self, dep: _Node, *, label: str = "") -> List[list]:
-        """Shuffle write + driver-side merge; fuses the producing chain."""
-        ops, base, _ = self._upstream_chain(dep, for_shuffle=True)
-        base_shards = self._materialize_node(base)
+    def _exchange_enabled(self) -> bool:
+        """Is the worker-to-worker shuffle data plane in play?"""
+        return (
+            self.shuffle == "worker"
+            and getattr(self.executor, "run_exchange", None) is not None
+        )
+
+    def _shuffle_parallelism(self) -> int:
+        """Concurrent links bucket volume crosses (1 = driver funnel)."""
+        if not self._exchange_enabled():
+            return 1
+        try:
+            return max(int(self.executor.stats().get("n_workers", 1)), 1)
+        except Exception:  # pragma: no cover - defensive
+            return 1
+
+    def _run_exchange(
+        self,
+        write_fn,
+        base_shards,
+        read_fn,
+        *,
+        combine: bool = False,
+        meter_shards: bool = False,
+        write_fused: int = 0,
+        write_vectorized: bool = False,
+        write_label: str = "",
+        read_fused: int = 0,
+        read_label: str = "",
+    ) -> Optional[List[Any]]:
+        """Try one shuffle as a worker-to-worker exchange.
+
+        Returns the read-stage results, or ``None`` when the exchange is
+        off or the executor declined it (too few shards, nothing
+        serializes, no live workers) — the caller then runs the
+        driver-merge path with the *same* stage functions, so the two
+        paths cannot diverge.  Metering mirrors the driver path: two
+        stage executions, two profiles (shuffle volume credited to the
+        write), plus the exchange byte counters.
+        """
+        if not self._exchange_enabled():
+            return None
+        out = self.executor.run_exchange(
+            write_fn, base_shards, read_fn, self.num_shards, combine=combine
+        )
+        if out is None:
+            return None
+        results, info = out
+        try:
+            rows_in = sum(len(shard) for shard in base_shards)
+        except TypeError:
+            rows_in = 0
+        self.executor.stages_run += 1
+        self.metrics.observe_stage_execution(fused=write_fused)
+        if write_vectorized:
+            self.metrics.observe_vectorized_stage()
+        write_profile = StageProfile(
+            label=write_label,
+            wall_ms=info["write_seconds"] * 1000.0,
+            rows_in=rows_in,
+            fused=write_fused,
+            vectorized=write_vectorized,
+            payload_bytes=info["write_payload_bytes"],
+            digest=self._current_digest,
+        )
+        self.metrics.observe_stage_profile(write_profile)
+        self.metrics.observe_shuffle(
+            info["moved"],
+            pre_records=info["pre_records"] if combine else None,
+        )
+        self.metrics.attribute_shuffle_to_last_stage(info["moved"])
+        if meter_shards:
+            for count, is_col in zip(
+                info["dest_counts"], info["dest_columnar"]
+            ):
+                self.metrics.observe_shard(count, columnar=is_col)
+        self.executor.stages_run += 1
+        self.metrics.observe_stage_execution(fused=read_fused)
+        read_profile = StageProfile(
+            label=read_label,
+            wall_ms=info["read_seconds"] * 1000.0,
+            rows_in=sum(info["dest_counts"]),
+            fused=read_fused,
+            payload_bytes=info["read_payload_bytes"],
+            digest=self._current_digest,
+        )
+        self.metrics.observe_stage_profile(read_profile)
+        self.metrics.observe_exchange(
+            p2p_bytes=info["p2p_bytes"],
+            driver_bytes=info["driver_bytes"],
+            refetches=info["refetches"],
+        )
+        if self.planner is not None:
+            self.planner.record_profile(write_profile)
+            self.planner.record_profile(read_profile)
+        return results
+
+    def _driver_shuffle(
+        self, write_fn, base_shards, *, fused: int, vectorized: bool,
+        label: str,
+    ) -> List[Any]:
+        """Shuffle write stage + driver-side bucket merge."""
         num = self.num_shards
         bucket_lists = self._run_stage(
-            _make_keyed_bucketer(ops, num, columnar=self.columnar),
+            write_fn,
             base_shards,
-            fused=len(ops),
-            vectorized=self._vector_prefix(ops) > 0,
-            label=label or f"shuffle {self._describe(dep)}",
+            fused=fused,
+            vectorized=vectorized,
+            label=label,
         )
         # Merge per input-shard part order (identical to the old
         # ``extend`` sequence); columnar buckets concatenate column-wise,
@@ -1525,9 +1646,51 @@ class Pipeline:
         self.metrics.attribute_shuffle_to_last_stage(moved)
         return shards
 
+    def _shuffle_by_key(self, dep: _Node, *, label: str = "") -> List[list]:
+        """Shuffle write + driver-side merge; fuses the producing chain.
+
+        Always the driver data plane: callers that materialize the
+        routed shards (the ``reshard`` node) need them on the driver
+        anyway, so a worker exchange would move every byte twice.
+        """
+        ops, base, _ = self._upstream_chain(dep, for_shuffle=True)
+        base_shards = self._materialize_node(base)
+        return self._driver_shuffle(
+            _make_keyed_bucketer(ops, self.num_shards, columnar=self.columnar),
+            base_shards,
+            fused=len(ops),
+            vectorized=self._vector_prefix(ops) > 0,
+            label=label or f"shuffle {self._describe(dep)}",
+        )
+
     def _exec_group(self, node: _Node, post_ops=()) -> List[list]:
-        resharded = self._shuffle_by_key(
-            node.deps[0], label=f"shuffle-write {self._describe(node)}"
+        # One chain walk serves both data planes (the walk consumes
+        # fusion claims, so it must not run twice).
+        ops, base, _ = self._upstream_chain(node.deps[0], for_shuffle=True)
+        base_shards = self._materialize_node(base)
+        write_fn = _make_keyed_bucketer(
+            ops, self.num_shards, columnar=self.columnar
+        )
+        read_fn = _compose_post_ops(_group_shard, post_ops)
+        exchanged = self._run_exchange(
+            write_fn,
+            base_shards,
+            read_fn,
+            meter_shards=True,
+            write_fused=len(ops),
+            write_vectorized=self._vector_prefix(ops) > 0,
+            write_label=f"shuffle-write {self._describe(node)}",
+            read_fused=len(post_ops),
+            read_label=f"group-read {self._describe(node)}",
+        )
+        if exchanged is not None:
+            return exchanged
+        resharded = self._driver_shuffle(
+            write_fn,
+            base_shards,
+            fused=len(ops),
+            vectorized=self._vector_prefix(ops) > 0,
+            label=f"shuffle-write {self._describe(node)}",
         )
         # The key-routed intermediate is a real per-worker footprint (the
         # eager engine materialized it); meter it even though it is never
@@ -1537,7 +1700,7 @@ class Pipeline:
                 len(shard), columnar=isinstance(shard, ColumnarShard)
             )
         return self._run_stage(
-            _compose_post_ops(_group_shard, post_ops),
+            read_fn,
             resharded,
             fused=len(post_ops),
             label=f"group-read {self._describe(node)}",
@@ -1553,16 +1716,33 @@ class Pipeline:
         ops, base, _ = self._upstream_chain(node.deps[0], for_shuffle=True)
         base_shards = self._materialize_node(base)
         num = self.num_shards
+        write_fn = _make_precombiner(
+            ops, zero, add, num,
+            columnar=self.columnar,
+            batch=fold_batch,
+        )
+        read_fn = _compose_post_ops(_make_combiner_merger(merge), post_ops)
+        write_vectorized = self.columnar and (
+            fold_batch is not None or self._vector_prefix(ops) > 0
+        )
+        exchanged = self._run_exchange(
+            write_fn,
+            base_shards,
+            read_fn,
+            combine=True,
+            write_fused=len(ops),
+            write_vectorized=write_vectorized,
+            write_label=f"combine-write {self._describe(node)}",
+            read_fused=len(post_ops),
+            read_label=f"combine-read {self._describe(node)}",
+        )
+        if exchanged is not None:
+            return exchanged
         stage_out = self._run_stage(
-            _make_precombiner(
-                ops, zero, add, num,
-                columnar=self.columnar,
-                batch=fold_batch,
-            ),
+            write_fn,
             base_shards,
             fused=len(ops),
-            vectorized=self.columnar
-            and (fold_batch is not None or self._vector_prefix(ops) > 0),
+            vectorized=write_vectorized,
             label=f"combine-write {self._describe(node)}",
         )
         partials: List[list] = [[] for _ in range(num)]
@@ -1576,7 +1756,7 @@ class Pipeline:
         self.metrics.observe_shuffle(moved, pre_records=offered)
         self.metrics.attribute_shuffle_to_last_stage(moved)
         return self._run_stage(
-            _compose_post_ops(_make_combiner_merger(merge), post_ops),
+            read_fn,
             partials,
             fused=len(post_ops),
             label=f"combine-read {self._describe(node)}",
@@ -1753,7 +1933,10 @@ class Pipeline:
             if any(tok in body for tok in ("-write", "shuffle ", "rebalance")):
                 shuffled = rows
             predicted_ms = 1000.0 * model.predict_stage_seconds(
-                rows, vectorized=vectorized, shuffled_records=shuffled
+                rows,
+                vectorized=vectorized,
+                shuffled_records=shuffled,
+                shuffle_parallelism=self._shuffle_parallelism(),
             )
             out.append(f"{line} [cost ~{predicted_ms:.2f}ms]")
         return out

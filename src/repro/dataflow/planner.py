@@ -71,13 +71,16 @@ _EXECUTOR_SWITCH_STAGE_SEC = 0.25
 
 
 def predicted_vs_actual(
-    profiles: Iterable[StageProfile], model: CostModel
+    profiles: Iterable[StageProfile], model: CostModel,
+    *, shuffle_parallelism: int = 1,
 ) -> List[Dict[str, object]]:
     """Per-stage predicted vs observed wall time for a finished drive.
 
     Returns one row per profile: ``label``, ``rows``, ``vectorized``,
     ``predicted_ms``, ``actual_ms``, and ``rel_err`` (relative to the
     larger of the two, so it is symmetric and bounded by 1).
+    ``shuffle_parallelism`` > 1 reflects a worker-to-worker shuffle data
+    plane, where bucket volume crosses that many links concurrently.
     """
     rows: List[Dict[str, object]] = []
     for p in profiles:
@@ -86,6 +89,7 @@ def predicted_vs_actual(
             vectorized=p.vectorized,
             shuffled_records=p.shuffled_records,
             payload_bytes=p.payload_bytes,
+            shuffle_parallelism=shuffle_parallelism,
         )
         denom = max(predicted_ms, p.wall_ms, 1e-9)
         rows.append(

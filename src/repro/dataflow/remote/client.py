@@ -23,18 +23,38 @@ the stage completes on the survivors — ``worker_failures`` and
 results.  A *Python exception* inside a DoFn is not a fault: it fails
 the stage deterministically on every backend alike.  If every worker
 dies mid-stage, ``run_stage`` raises.
+
+Worker-to-worker shuffle
+------------------------
+``run_exchange(write_fn, shards, read_fn, num_shards)`` runs a shuffle
+as two worker stages with *no bucket data through the driver* on the
+fault-free path: write tasks park their buckets on the producing
+worker's daemon, the driver plans only the bucket→worker assignment,
+and read tasks fetch their parts peer-to-peer before running the read
+stage in place.  Any bucket the driver computed itself (unserializable
+shard) travels inline; any bucket whose producer died is recovered by
+the driver — fetched from a surviving daemon or re-derived from the
+original input shard — so results stay bit-identical under faults.
+
+Elastic membership: ``add_worker``/``remove_worker`` grow and shrink
+the channel list between stages.  A joining worker starts with an empty
+shipped-blob ledger, so the ship-on-first-use path streams it exactly
+the captures its first tasks need; a leaving worker's in-flight shard
+rides the normal requeue path.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import socket
 import threading
 import time
 import traceback
-from collections import deque
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.dataflow.columnar import ColumnarShard, merge_bucket_parts
 from repro.dataflow.executor import (
     DEFAULT_BROADCAST_MIN_BYTES,
     BroadcastRegistry,
@@ -46,16 +66,30 @@ from repro.dataflow.executor import (
 from repro.dataflow.remote import protocol
 from repro.dataflow.remote.cluster import LocalCluster
 from repro.dataflow.remote.protocol import (
+    FETCH_FAILED,
     MSG_BLOB,
+    MSG_BYE,
     MSG_ERROR,
+    MSG_EVICT_BLOBS,
+    MSG_EVICT_BUCKETS,
     MSG_HEARTBEAT,
     MSG_PING,
     MSG_PONG,
     MSG_RESULT,
+    MSG_SHUTDOWN,
     MSG_STAGE,
     MSG_TASK,
     MSG_TASK_COL,
+    MSG_TASK_SHUF,
+    MSG_TASK_SHUF_READ,
 )
+from repro.dataflow.remote.worker import _fetch_peer_buckets
+
+#: Per-worker broadcast-cache budget (bytes of shipped blobs tracked in
+#: the driver's ledger).  Crossing it evicts least-recently-referenced
+#: blobs worker-side via ``MSG_EVICT_BLOBS`` — and forgets them from the
+#: ledger first, so a later stage that needs one re-ships it.
+DEFAULT_WORKER_CACHE_MAX_BYTES = 1 << 30
 
 
 def _parse_address(spec) -> Tuple[str, int]:
@@ -73,15 +107,22 @@ def _parse_address(spec) -> Tuple[str, int]:
 
 
 class _Channel:
-    """One driver↔worker connection and its shipped-blob ledger."""
+    """One driver↔worker connection and its shipped-blob ledger.
 
-    __slots__ = ("address", "sock", "alive", "shipped")
+    The ledger is an LRU byte-bounded map ``digest → blob size``: it
+    both prevents re-shipping a blob the worker already holds and, when
+    the executor's ``worker_cache_max_bytes`` budget is exceeded, picks
+    the least-recently-referenced digests to evict worker-side.
+    """
+
+    __slots__ = ("address", "sock", "alive", "shipped", "shipped_bytes")
 
     def __init__(self, address: Tuple[str, int], sock: socket.socket) -> None:
         self.address = address
         self.sock = sock
         self.alive = True
-        self.shipped: "set[str]" = set()
+        self.shipped: "OrderedDict[str, int]" = OrderedDict()
+        self.shipped_bytes = 0
 
     def kill(self) -> None:
         self.alive = False
@@ -102,6 +143,9 @@ class _StageState:
     def __init__(self, n_tasks: int) -> None:
         self.results: List[Any] = [None] * n_tasks
         self.done = [False] * n_tasks
+        #: Which channel completed each task (``None`` = the driver).
+        #: The exchange write stage reads this to plan bucket fetches.
+        self.owners: List[Optional[_Channel]] = [None] * n_tasks
         self.pending = deque(range(n_tasks))
         self.in_flight = 0
         self.completed = 0
@@ -123,10 +167,13 @@ class _StageState:
                 # this condition) still unblocks us promptly.
                 self.cond.wait(0.05)
 
-    def complete(self, index: int, value: Any) -> None:
+    def complete(
+        self, index: int, value: Any, owner: "Optional[_Channel]" = None
+    ) -> None:
         with self.cond:
             self.results[index] = value
             self.done[index] = True
+            self.owners[index] = owner
             self.completed += 1
             self.in_flight -= 1
             self.cond.notify_all()
@@ -188,6 +235,14 @@ class RemoteExecutor(Executor):
         Load spilled shards on the driver before shipping.  Off by
         default (localhost workers read the driver's spill files
         directly); turn on for workers without a shared filesystem.
+    worker_cache_max_bytes:
+        Byte budget for each worker's broadcast-blob cache (default
+        1 GiB).  Exceeding it evicts least-recently-referenced blobs on
+        the worker and forgets them from the shipped ledger, so
+        long-lived shared daemons stop accumulating the capture history
+        of every drive they ever served; a later stage that needs an
+        evicted blob transparently re-ships it.  ``None`` disables the
+        cap.
     """
 
     name = "remote"
@@ -202,15 +257,26 @@ class RemoteExecutor(Executor):
         heartbeat_timeout: float = 10.0,
         broadcast_min_bytes: int = DEFAULT_BROADCAST_MIN_BYTES,
         resolve_before_send: bool = False,
+        worker_cache_max_bytes: Optional[int] = DEFAULT_WORKER_CACHE_MAX_BYTES,
     ) -> None:
         self.min_parallel_records = int(min_parallel_records)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.resolve_before_send = bool(resolve_before_send)
+        self.worker_cache_max_bytes = (
+            None if worker_cache_max_bytes is None
+            else int(worker_cache_max_bytes)
+        )
+        self._connect_timeout = float(connect_timeout)
         self.worker_failures = 0
         self.retried_shards = 0
         self.broadcast_bytes = 0
         self.broadcast_blobs = 0
         self.stage_payload_bytes = 0
+        self.blob_evictions = 0
+        self.p2p_shuffle_bytes = 0
+        self.driver_shuffle_bytes = 0
+        self.bucket_refetches = 0
+        self._exchange_counter = 0
         self._registry = BroadcastRegistry(broadcast_min_bytes)
         self._close_event = threading.Event()
         self._close_lock = threading.Lock()
@@ -256,9 +322,14 @@ class RemoteExecutor(Executor):
                 time.sleep(0.05)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # Handshake: one round trip proves a protocol-speaking worker.
+        # The deadline covers only the handshake reply — it must not
+        # leak onto later sends (see ``_recv_reply``).
         protocol.send_msg(sock, (MSG_PING,))
         sock.settimeout(30.0)
-        reply = protocol.recv_msg(sock)
+        try:
+            reply = protocol.recv_msg(sock)
+        finally:
+            sock.settimeout(None)
         if reply[0] != MSG_PONG:
             sock.close()
             raise RuntimeError(
@@ -286,7 +357,79 @@ class RemoteExecutor(Executor):
             "broadcast_blobs": self.broadcast_blobs,
             "unique_broadcast_bytes": self._registry.unique_bytes,
             "stage_payload_bytes": self.stage_payload_bytes,
+            "blob_evictions": self.blob_evictions,
+            "p2p_shuffle_bytes": self.p2p_shuffle_bytes,
+            "driver_shuffle_bytes": self.driver_shuffle_bytes,
+            "bucket_refetches": self.bucket_refetches,
         }
+
+    # -- elastic membership ------------------------------------------------
+
+    def add_worker(
+        self, worker: Any, *, connect_timeout: Optional[float] = None
+    ) -> Tuple[str, int]:
+        """Connect a new worker daemon and enter it into the task pool.
+
+        The worker participates from the next stage onward (stages
+        snapshot the live channel list when they start).  It joins with
+        an empty shipped-blob ledger, so the ship-on-first-use path
+        streams it exactly the broadcast captures its first stage needs
+        — nothing is pre-copied.  Returns the parsed ``(host, port)``.
+        """
+        address = _parse_address(worker)
+        timeout = (
+            self._connect_timeout if connect_timeout is None
+            else float(connect_timeout)
+        )
+        sock = self._connect(address, timeout)
+        channel = _Channel(address, sock)
+        with self._close_lock:
+            if self._close_event.is_set():
+                channel.kill()
+                raise RuntimeError("executor closed")
+            self._channels.append(channel)
+        return address
+
+    def remove_worker(self, worker: Any) -> Tuple[str, int]:
+        """Detach one worker (graceful ``MSG_BYE``, then drop the channel).
+
+        The daemon itself keeps running (it may serve other drivers); it
+        just stops receiving this executor's tasks.  If a stage is in
+        flight, its channel loop observes the closed socket and requeues
+        the worker's shard on the survivors — the normal fault path.
+        Returns the parsed ``(host, port)``.
+        """
+        address = _parse_address(worker)
+        with self._close_lock:
+            channel = next(
+                (ch for ch in self._channels if ch.address == address), None
+            )
+            if channel is None:
+                raise ValueError(f"no such worker: {address[0]}:{address[1]}")
+            self._channels.remove(channel)
+        try:
+            protocol.send_msg(channel.sock, (MSG_BYE,))
+        except OSError:
+            pass
+        channel.kill()
+        return address
+
+    def shutdown_workers(self, *, force: bool = False) -> None:
+        """Ask every connected daemon to exit, then close the executor.
+
+        Graceful by default: each daemon stops listening, drains every
+        connection's in-flight task to its reply, and then exits — other
+        drivers sharing the daemon lose it between tasks, never
+        mid-shard.  ``force=True`` requests the abrupt ``os._exit``.
+        """
+        for channel in list(self._channels):
+            if not channel.alive:
+                continue
+            try:
+                protocol.send_msg(channel.sock, (MSG_SHUTDOWN, force))
+            except OSError:
+                pass
+        self.close()
 
     # -- stage execution ---------------------------------------------------
 
@@ -468,17 +611,450 @@ class RemoteExecutor(Executor):
                 "processed):\n" + traceback.format_exc(),
             )
 
+    # -- worker-to-worker shuffle exchange ---------------------------------
+
+    def run_exchange(
+        self,
+        write_fn: Callable[[Any], Any],
+        shards: Sequence[Any],
+        read_fn: Callable[[Any], Any],
+        num_shards: int,
+        *,
+        combine: bool = False,
+    ) -> Optional[Tuple[List[Any], Dict[str, Any]]]:
+        """Run one shuffle (write stage + read stage) worker-to-worker.
+
+        ``write_fn`` is a bucketer: shard → ``num_shards`` buckets (or
+        ``(n_pre, buckets)`` when ``combine``).  Write tasks leave their
+        buckets resident on the producing worker; the driver collects
+        only ``(dest, n_records, n_bytes)`` routing metadata and plans
+        the read stage's bucket→worker assignment.  Read tasks fetch
+        their parts peer-to-peer, merge them in input-shard order
+        (exactly the driver's ``merge_bucket_parts``), and run
+        ``read_fn`` in place — on the fault-free path zero bucket bytes
+        cross the driver.
+
+        Fault fallback: a bucket whose producer died (or that the driver
+        computed itself for an unserializable shard) goes through the
+        driver — fetched from a surviving daemon when possible,
+        re-derived from the original input shard otherwise — so retries
+        stay bit-identical with the driver-merge path.
+
+        Returns ``(results, info)`` with one read-stage result per
+        destination shard and an ``info`` dict of exchange telemetry
+        (``moved``, ``pre_records``, ``p2p_bytes``, ``driver_bytes``,
+        ``local_bytes``, ``refetches``, per-destination counts, phase
+        timings) — or ``None`` when the exchange cannot run remotely
+        (too few shards, below ``min_parallel_records``, nothing
+        serializes, or no live workers) and the caller should use the
+        driver-merge shuffle path.
+        """
+        if self._close_event.is_set():
+            raise RuntimeError("executor closed")
+        shards = list(shards)
+        total = sum(len(shard) for shard in shards)
+        channels = [ch for ch in self._channels if ch.alive]
+        if (
+            not channels
+            or len(shards) < 2
+            or total < self.min_parallel_records
+        ):
+            return None
+        try:
+            w_payload, w_digests = dumps_with_broadcast(
+                write_fn, self._registry
+            )
+            r_payload, r_digests = dumps_with_broadcast(
+                read_fn, self._registry
+            )
+        except Exception:
+            return None
+        with self._stats_lock:
+            self._exchange_counter += 1
+            exchange_id = (
+                f"x{os.getpid():x}.{id(self):x}.{self._exchange_counter}"
+            )
+
+        # Buckets held on the driver: produced here for unserializable
+        # shards, or re-derived for dead producers (cached per input
+        # shard so one lost worker doesn't recompute a shard per
+        # destination).  Guarded by one lock together with the fallback
+        # byte counters — fallbacks may run on several channel threads.
+        driver_buckets: Dict[int, List[Any]] = {}
+        rederived: Dict[int, List[Any]] = {}
+        fallback_lock = threading.Lock()
+        info: Dict[str, Any] = {
+            "p2p_bytes": 0,
+            "driver_bytes": 0,
+            "local_bytes": 0,
+            "refetches": 0,
+        }
+
+        def bucket_for(input_idx: int, dest: int, *, refetch: bool) -> Any:
+            """One bucket via the driver: held, else re-derived (cached)."""
+            with fallback_lock:
+                buckets = driver_buckets.get(input_idx)
+                if buckets is None:
+                    buckets = rederived.get(input_idx)
+                if buckets is None:
+                    out = write_fn(_resolve(shards[input_idx]))
+                    buckets = out[1] if combine else out
+                    rederived[input_idx] = buckets
+                if refetch:
+                    info["refetches"] += 1
+                return buckets[dest]
+
+        def write_local(index: int) -> tuple:
+            out = write_fn(_resolve(shards[index]))
+            extra, buckets = (out if combine else (None, out))
+            with fallback_lock:
+                driver_buckets[index] = buckets
+            metas = [
+                (dest, len(bucket), 0)
+                for dest, bucket in enumerate(buckets)
+                if len(bucket)
+            ]
+            return (extra, metas)
+
+        def write_send(channel: _Channel, index: int) -> bool:
+            shard = shards[index]
+            if self.resolve_before_send:
+                shard = _resolve(shard)
+            try:
+                frame = protocol.dumps(
+                    (MSG_TASK_SHUF, index, exchange_id, combine, shard)
+                )
+            except Exception:
+                return False
+            protocol.send_frame(channel.sock, frame)
+            return True
+
+        t_write = time.perf_counter()
+        w_state = _StageState(len(shards))
+        try:
+            self._run_exchange_stage(
+                channels, w_payload, w_digests, w_state, write_send,
+                write_local, None,
+            )
+            self._check_exchange_stage(w_state)
+            for index in w_state.missing():
+                # Every worker died mid-write: finish on the driver.
+                w_state.results[index] = write_local(index)
+                w_state.done[index] = True
+                w_state.owners[index] = None
+        except BaseException:
+            self._evict_exchange(exchange_id)
+            raise
+        t_read = time.perf_counter()
+
+        # Assignment: per destination, the bucket parts in input-shard
+        # order — peer descriptors for live producers, inline payloads
+        # through the driver for driver-held or lost buckets.
+        moved = 0
+        offered: Optional[int] = 0 if combine else None
+        sources: List[List[tuple]] = [[] for _ in range(num_shards)]
+        for index in range(len(shards)):
+            extra, metas = w_state.results[index]
+            if combine and extra is not None:
+                offered += extra
+            owner = w_state.owners[index]
+            for dest, n_records, _n_bytes in metas:
+                moved += n_records
+                if owner is not None and owner.alive:
+                    host, port = owner.address
+                    sources[dest].append(
+                        ("peer", host, port, f"{exchange_id}/{index}/{dest}")
+                    )
+                    continue
+                payload = protocol.dumps(
+                    bucket_for(index, dest, refetch=owner is not None)
+                )
+                info["driver_bytes"] += len(payload)
+                sources[dest].append(("inline", payload))
+
+        def read_dest_local(index: int) -> tuple:
+            """Driver fallback for one destination shard."""
+            parts: List[Any] = []
+            for source in sources[index]:
+                if source[0] == "inline":
+                    parts.append(protocol.loads(source[1]))
+                    continue
+                _, host, port, bucket_id = source
+                try:
+                    payload = _fetch_peer_buckets(host, port, [bucket_id])[
+                        bucket_id
+                    ]
+                except (ConnectionError, OSError):
+                    payload = None
+                if payload is None:
+                    input_idx, dest = self._split_bucket_id(bucket_id)
+                    parts.append(bucket_for(input_idx, dest, refetch=True))
+                else:
+                    parts.append(protocol.loads(payload))
+                    with fallback_lock:
+                        info["driver_bytes"] += len(payload)
+            merged = merge_bucket_parts(parts)
+            value = read_fn(merged)
+            return (
+                value, len(merged), isinstance(merged, ColumnarShard), 0, 0,
+            )
+
+        def read_send(channel: _Channel, index: int) -> bool:
+            protocol.send_frame(
+                channel.sock,
+                protocol.dumps((MSG_TASK_SHUF_READ, index, sources[index])),
+            )
+            return True
+
+        def read_handle(
+            channel: _Channel, state: _StageState, index: int, value: Any
+        ) -> bool:
+            if (
+                isinstance(value, tuple)
+                and len(value) == 2
+                and value[0] == FETCH_FAILED
+            ):
+                # A producing peer is gone; this worker stays healthy —
+                # recover the shard on the driver and keep the channel
+                # pulling tasks.
+                try:
+                    result = read_dest_local(index)
+                except BaseException as exc:
+                    state.abandon(index)
+                    state.fail(exc, traceback.format_exc())
+                    return False
+                state.complete(index, result, owner=channel)
+                return True
+            state.complete(index, value, owner=channel)
+            return True
+
+        r_state = _StageState(num_shards)
+        try:
+            # Fresh snapshot: a worker that joined since the write stage
+            # can serve reads (it fetches its parts from peers).
+            read_channels = [ch for ch in self._channels if ch.alive]
+            if read_channels:
+                self._run_exchange_stage(
+                    read_channels, r_payload, r_digests, r_state, read_send,
+                    read_dest_local, read_handle,
+                )
+            self._check_exchange_stage(r_state)
+            for index in r_state.missing():
+                r_state.results[index] = read_dest_local(index)
+                r_state.done[index] = True
+        finally:
+            self._evict_exchange(exchange_id)
+        read_seconds = time.perf_counter() - t_read
+
+        # Stage-end registry eviction, same conservative rule as
+        # ``run_stage``: drop bytes every live channel already holds.
+        live = [ch for ch in self._channels if ch.alive]
+        for digest in w_digests | r_digests:
+            if live and all(digest in ch.shipped for ch in live):
+                self._registry.evict(digest)
+
+        results: List[Any] = []
+        dest_counts: List[int] = []
+        dest_columnar: List[bool] = []
+        for index in range(num_shards):
+            value, n_merged, is_col, p2p, local = r_state.results[index]
+            results.append(value)
+            dest_counts.append(n_merged)
+            dest_columnar.append(is_col)
+            info["p2p_bytes"] += p2p
+            info["local_bytes"] += local
+        with self._stats_lock:
+            self.p2p_shuffle_bytes += info["p2p_bytes"]
+            self.driver_shuffle_bytes += info["driver_bytes"]
+            self.bucket_refetches += info["refetches"]
+        info.update(
+            moved=moved,
+            pre_records=offered,
+            dest_counts=dest_counts,
+            dest_columnar=dest_columnar,
+            write_seconds=t_read - t_write,
+            read_seconds=read_seconds,
+            write_payload_bytes=len(w_payload),
+            read_payload_bytes=len(r_payload),
+        )
+        return results, info
+
+    @staticmethod
+    def _split_bucket_id(bucket_id: str) -> Tuple[int, int]:
+        """``"<exchange>/<input>/<dest>"`` → ``(input, dest)``."""
+        _exchange, input_idx, dest = bucket_id.rsplit("/", 2)
+        return int(input_idx), int(dest)
+
+    def _check_exchange_stage(self, state: _StageState) -> None:
+        if self._close_event.is_set():
+            raise RuntimeError("executor closed during stage")
+        if state.failure is not None:
+            exc, tb = state.failure
+            if exc is not None:
+                raise exc from RuntimeError(f"worker traceback:\n{tb}")
+            raise RuntimeError(f"stage failed on remote worker:\n{tb}")
+
+    def _evict_exchange(self, exchange_id: str) -> None:
+        """Best-effort: drop the exchange's buckets on every live worker."""
+        for channel in self._channels:
+            if not channel.alive:
+                continue
+            try:
+                protocol.send_msg(
+                    channel.sock, (MSG_EVICT_BUCKETS, exchange_id)
+                )
+            except OSError:
+                channel.kill()
+
+    def _run_exchange_stage(
+        self,
+        channels: List[_Channel],
+        payload: bytes,
+        digests: "frozenset[str]",
+        state: _StageState,
+        send_task: Callable[[_Channel, int], bool],
+        local_compute: Callable[[int], Any],
+        handle_result: Optional[
+            Callable[[_Channel, _StageState, int, Any], bool]
+        ],
+    ) -> None:
+        threads = [
+            threading.Thread(
+                target=self._exchange_loop,
+                args=(
+                    channel, payload, digests, state, send_task,
+                    local_compute, handle_result,
+                ),
+                daemon=True,
+                name=f"repro-remote-x-{channel.address[1]}",
+            )
+            for channel in channels
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def _exchange_loop(
+        self,
+        channel: _Channel,
+        payload: bytes,
+        digests: "frozenset[str]",
+        state: _StageState,
+        send_task: Callable[[_Channel, int], bool],
+        local_compute: Callable[[int], Any],
+        handle_result: Optional[
+            Callable[[_Channel, _StageState, int, Any], bool]
+        ],
+    ) -> None:
+        """Drive one worker through an exchange stage; never raises.
+
+        The skeleton — dynamic task pull, lockstep reply, dead-channel
+        requeue — matches ``_channel_loop``; what varies per phase is how
+        a task is sent (``send_task``; returning False means the frame
+        does not serialize and ``local_compute`` runs it on the driver)
+        and how a result is recorded (``handle_result``; ``None`` means
+        plain completion owned by this channel).
+        """
+        in_flight: Optional[int] = None
+        try:
+            self._send_stage(channel, payload, digests)
+            while True:
+                index = state.next_task(self._close_event)
+                if index is None:
+                    return
+                in_flight = index
+                if not send_task(channel, index):
+                    try:
+                        value = local_compute(index)
+                    except BaseException as exc:
+                        state.abandon(index)
+                        in_flight = None
+                        state.fail(exc, traceback.format_exc())
+                        return
+                    state.complete(index, value, owner=None)
+                    in_flight = None
+                    continue
+                reply = self._recv_reply(channel)
+                tag = reply[0]
+                if tag == MSG_RESULT:
+                    if handle_result is None:
+                        state.complete(reply[1], reply[2], owner=channel)
+                    elif not handle_result(channel, state, reply[1], reply[2]):
+                        in_flight = None
+                        return
+                    in_flight = None
+                elif tag == MSG_ERROR:
+                    state.abandon(index)
+                    in_flight = None
+                    state.fail(reply[2], reply[3])
+                    return
+                else:
+                    raise _ChannelDead(f"unexpected message tag {tag}")
+        except (
+            _ChannelDead,
+            ConnectionError,
+            OSError,
+            EOFError,
+            pickle.UnpicklingError,
+        ):
+            channel.kill()
+            if self._close_event.is_set():
+                if in_flight is not None:
+                    state.abandon(in_flight)
+                return
+            with self._stats_lock:
+                self.worker_failures += 1
+            if in_flight is not None:
+                with self._stats_lock:
+                    self.retried_shards += 1
+                state.requeue(in_flight)
+        except BaseException:
+            channel.kill()
+            if in_flight is not None:
+                state.abandon(in_flight)
+            state.fail(
+                None,
+                "driver-side channel error (worker reply could not be "
+                "processed):\n" + traceback.format_exc(),
+            )
+
     def _ship_blobs(
         self, channel: _Channel, digests: "frozenset[str]"
     ) -> None:
-        """Ship the blobs this channel has not seen yet (once each, ever)."""
-        for digest in sorted(digests - channel.shipped):
+        """Ship the blobs this channel has not seen (or has since evicted).
+
+        Every referenced digest is bumped to most-recently-used in the
+        channel's LRU ledger; if the ship pushes the worker's cache past
+        ``worker_cache_max_bytes``, the coldest unreferenced blobs are
+        evicted worker-side (the referencing payload is sent *after* the
+        eviction frame on the same FIFO channel, so a blob needed right
+        now is pinned by construction).
+        """
+        for digest in sorted(digests):
+            if digest in channel.shipped:
+                channel.shipped.move_to_end(digest)
+                continue
             blob = self._registry.blobs[digest]
             protocol.send_msg(channel.sock, (MSG_BLOB, digest, blob))
-            channel.shipped.add(digest)
+            channel.shipped[digest] = len(blob)
+            channel.shipped_bytes += len(blob)
             with self._stats_lock:
                 self.broadcast_bytes += len(blob)
                 self.broadcast_blobs += 1
+        cap = self.worker_cache_max_bytes
+        if cap is None or channel.shipped_bytes <= cap:
+            return
+        evict: List[str] = []
+        for digest in list(channel.shipped):
+            if channel.shipped_bytes <= cap or digest in digests:
+                break
+            evict.append(digest)
+            channel.shipped_bytes -= channel.shipped.pop(digest)
+        if evict:
+            protocol.send_msg(channel.sock, (MSG_EVICT_BLOBS, evict))
+            with self._stats_lock:
+                self.blob_evictions += len(evict)
 
     def _send_stage(
         self, channel: _Channel, payload: bytes, digests: "frozenset[str]"
@@ -490,13 +1066,26 @@ class RemoteExecutor(Executor):
             self.stage_payload_bytes += len(payload)
 
     def _recv_reply(self, channel: _Channel) -> tuple:
-        """Next non-heartbeat frame; silence past the timeout = dead."""
+        """Next non-heartbeat frame; silence past the timeout = dead.
+
+        The deadline is scoped to the reply wait and restored to
+        blocking afterwards: leaving it installed would put the same
+        ~10s ceiling on every later ``sendall`` — a multi-hundred-MB
+        broadcast blob that ships slower than that would raise
+        ``socket.timeout`` and be misclassified as a worker death.
+        """
         channel.sock.settimeout(self.heartbeat_timeout)
-        while True:
-            message = protocol.recv_msg(channel.sock)
-            if message[0] == MSG_HEARTBEAT:
-                continue
-            return message
+        try:
+            while True:
+                message = protocol.recv_msg(channel.sock)
+                if message[0] == MSG_HEARTBEAT:
+                    continue
+                return message
+        finally:
+            try:
+                channel.sock.settimeout(None)
+            except OSError:
+                pass
 
     # -- lifecycle ---------------------------------------------------------
 

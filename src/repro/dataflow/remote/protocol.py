@@ -31,8 +31,52 @@ Driver → worker messages
     again.  Reply contract is identical to ``MSG_TASK``.
 ``(MSG_BYE,)``
     Close this channel; the worker daemon keeps serving other channels.
-``(MSG_SHUTDOWN,)``
-    Terminate the whole worker process (used by auto-spawned clusters).
+``(MSG_SHUTDOWN,)`` / ``(MSG_SHUTDOWN, force)``
+    Stop the worker process.  The graceful form (``force`` falsy or
+    absent) closes the listener, lets every connection's in-flight task
+    drain to its reply, and only then exits — other connected drivers
+    lose the daemon *between* tasks, never mid-shard.  ``force=True``
+    keeps the historical abrupt ``os._exit``.
+
+Worker-to-worker shuffle (appended tags, values never shift):
+``(MSG_TASK_SHUF, index, exchange_id, combine, shard)``
+    A shuffle-write task: run the current stage function (a bucketer)
+    over ``shard``, but keep the resulting buckets resident on the
+    worker, registered in the daemon-wide bucket store under
+    ``"<exchange_id>/<index>/<dest>"`` ids.  The single reply is
+    ``(MSG_RESULT, index, (extra, metas))`` where ``metas`` lists
+    ``(dest, n_records, n_bytes)`` for each non-empty bucket and
+    ``extra`` is the pre-combine record count when ``combine`` is true
+    (the write fn returns ``(n_pre, buckets)``) else ``None`` — the
+    driver learns the routing without moving a byte of bucket data.
+``(MSG_FETCH_BUCKET, bucket_id)``
+    Peer-to-peer (or driver-fallback) bucket fetch, sent on a fresh
+    connection to the *producing* worker's daemon; answered with
+    ``MSG_BUCKET``.
+``(MSG_BUCKET, bucket_id, payload_bytes_or_None)``
+    The stored bucket's serialized bytes (``None`` when the id is
+    unknown — e.g. the exchange was already evicted).
+``(MSG_TASK_SHUF_READ, index, sources)``
+    A shuffle-read task: ``sources`` lists this destination shard's
+    bucket parts in input-shard order, each ``("peer", host, port,
+    bucket_id)`` or ``("inline", payload_bytes)``.  The worker fetches
+    peer parts (its own daemon's store is hit locally), merges them
+    exactly like the driver's ``merge_bucket_parts``, and runs the
+    current stage function over the merged shard.  The reply is
+    ``(MSG_RESULT, index, (value, n_merged, merged_columnar,
+    p2p_bytes, local_bytes))`` — or ``(MSG_RESULT, index,
+    (FETCH_FAILED, detail))`` when a producing peer is unreachable, in
+    which case the driver re-derives the shard itself (the fault
+    fallback).
+``(MSG_EVICT_BUCKETS, exchange_id)``
+    Drop every stored bucket of one exchange (sent when the read stage
+    completes).  No reply.
+``(MSG_EVICT_BLOBS, digests_or_None)``
+    Drop the listed broadcast blobs from this connection's cache
+    (``None`` = all).  The driver forgets them from its shipped ledger
+    first, so a later stage that needs one simply re-ships it —
+    long-lived shared daemons stop accumulating the capture history of
+    every drive they ever served.  No reply.
 
 Worker → driver, in addition to the replies above:
 ``(MSG_HEARTBEAT,)``
@@ -73,6 +117,17 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
 
 #: Appended after the original block so existing tag values never shift.
 MSG_TASK_COL = 10
+MSG_TASK_SHUF = 11
+MSG_FETCH_BUCKET = 12
+MSG_BUCKET = 13
+MSG_TASK_SHUF_READ = 14
+MSG_EVICT_BUCKETS = 15
+MSG_EVICT_BLOBS = 16
+
+#: Shuffle-read reply marker: the worker could not fetch every assigned
+#: bucket (a producing peer died); the driver re-derives the shard.  A
+#: module-level string constant so both sides compare by value.
+FETCH_FAILED = "__repro_bucket_fetch_failed__"
 
 _HEADER = struct.Struct(">Q")
 

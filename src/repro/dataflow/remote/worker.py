@@ -15,6 +15,20 @@ emits ``MSG_HEARTBEAT`` frames every ``--heartbeat-interval`` seconds so
 the driver can distinguish a long-running shard from a dead worker
 without imposing a task deadline.
 
+Worker-to-worker shuffle: a ``MSG_TASK_SHUF`` write task leaves its
+buckets in the *daemon-wide* bucket store (shared across connections —
+peers arrive on fresh connections), serialized once at write time;
+``MSG_FETCH_BUCKET`` serves those bytes to any peer (or to the driver's
+fault fallback), and a ``MSG_TASK_SHUF_READ`` task fetches its assigned
+parts, merges them in input-shard order (bit-identical to the driver's
+``merge_bucket_parts``), and runs the read stage in place — the driver
+sees routing metadata and final results, never bucket data.
+
+Shutdown is graceful by default: ``(MSG_SHUTDOWN,)`` closes the listener
+and drains every connection's in-flight task before exiting, so other
+connected drivers lose the daemon between tasks, never mid-shard.
+``(MSG_SHUTDOWN, True)`` keeps the abrupt ``os._exit`` for force kills.
+
 On start the daemon prints exactly one line to stdout::
 
     REPRO_WORKER_READY <host> <port>
@@ -38,14 +52,20 @@ import queue
 import socket
 import threading
 import traceback
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.dataflow.columnar import merge_bucket_parts
 from repro.dataflow.executor import _resolve, load_blob, loads_with_broadcast
 from repro.dataflow.remote import protocol
 from repro.dataflow.remote.protocol import (
+    FETCH_FAILED,
     MSG_BLOB,
+    MSG_BUCKET,
     MSG_BYE,
     MSG_ERROR,
+    MSG_EVICT_BLOBS,
+    MSG_EVICT_BUCKETS,
+    MSG_FETCH_BUCKET,
     MSG_HEARTBEAT,
     MSG_PING,
     MSG_PONG,
@@ -54,7 +74,39 @@ from repro.dataflow.remote.protocol import (
     MSG_STAGE,
     MSG_TASK,
     MSG_TASK_COL,
+    MSG_TASK_SHUF,
+    MSG_TASK_SHUF_READ,
 )
+
+from repro.dataflow.columnar import ColumnarShard
+
+
+def _fetch_peer_buckets(
+    host: str, port: int, bucket_ids: List[str]
+) -> Dict[str, Optional[bytes]]:
+    """Fetch several buckets from one peer daemon over a fresh connection.
+
+    Returns id → serialized bytes (``None`` when the peer no longer holds
+    the bucket).  Connection errors propagate — the caller turns them
+    into a ``FETCH_FAILED`` reply so the driver can fall back.
+    """
+    sock = socket.create_connection((host, port), timeout=30.0)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        out: Dict[str, Optional[bytes]] = {}
+        for bucket_id in bucket_ids:
+            protocol.send_msg(sock, (MSG_FETCH_BUCKET, bucket_id))
+            reply = protocol.recv_msg(sock)
+            if reply[0] != MSG_BUCKET or reply[1] != bucket_id:
+                raise ConnectionError("bucket fetch protocol violation")
+            out[bucket_id] = reply[2]
+        try:
+            protocol.send_msg(sock, (MSG_BYE,))
+        except OSError:
+            pass
+        return out
+    finally:
+        sock.close()
 
 
 class WorkerServer:
@@ -70,6 +122,16 @@ class WorkerServer:
         self.heartbeat_interval = float(heartbeat_interval)
         self._listener = socket.create_server((host, int(port)))
         self.host, self.port = self._listener.getsockname()[:2]
+        #: Daemon-wide bucket store: ``"<exchange>/<input>/<dest>" ->
+        #: serialized bucket`` — shared across connections because peers
+        #: (and the driver's fault fallback) fetch over fresh connections.
+        self._buckets: Dict[str, bytes] = {}
+        self._buckets_lock = threading.Lock()
+        #: In-flight task count across every connection, so a graceful
+        #: shutdown can drain to a task boundary before exiting.
+        self._active_tasks = 0
+        self._drain = threading.Condition()
+        self._shutting_down = False
 
     @property
     def address(self) -> str:
@@ -77,13 +139,58 @@ class WorkerServer:
 
     def serve_forever(self) -> None:  # pragma: no cover - run in subprocess
         while True:
-            conn, _addr = self._listener.accept()
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by a graceful shutdown
             threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             ).start()
 
     def close(self) -> None:
         self._listener.close()
+
+    # -- bucket store ------------------------------------------------------
+
+    def store_bucket(self, bucket_id: str, payload: bytes) -> None:
+        with self._buckets_lock:
+            self._buckets[bucket_id] = payload
+
+    def get_bucket(self, bucket_id: str) -> Optional[bytes]:
+        with self._buckets_lock:
+            return self._buckets.get(bucket_id)
+
+    def evict_exchange(self, exchange_id: str) -> None:
+        prefix = exchange_id + "/"
+        with self._buckets_lock:
+            for key in [k for k in self._buckets if k.startswith(prefix)]:
+                del self._buckets[key]
+
+    def bucket_store_bytes(self) -> int:
+        with self._buckets_lock:
+            return sum(len(v) for v in self._buckets.values())
+
+    # -- shutdown ----------------------------------------------------------
+
+    def _graceful_shutdown(self) -> None:
+        """Close the listener, drain in-flight tasks, then exit.
+
+        Idempotent; the caller's connection handler returns right after
+        initiating, so its driver sees the channel close promptly.
+        """
+        with self._drain:
+            if self._shutting_down:
+                return
+            self._shutting_down = True
+        self.close()
+
+        def drain_and_exit() -> None:
+            with self._drain:
+                while self._active_tasks > 0:
+                    self._drain.wait()
+            os._exit(0)
+
+        threading.Thread(target=drain_and_exit, daemon=True).start()
 
     # -- per-connection state machine -------------------------------------
 
@@ -106,6 +213,12 @@ class WorkerServer:
                         # referencing it fails to load, which surfaces as
                         # a task error with a real traceback.
                         blobs.pop(message[1], None)
+                elif tag == MSG_EVICT_BLOBS:
+                    if message[1] is None:
+                        blobs.clear()
+                    else:
+                        for digest in message[1]:
+                            blobs.pop(digest, None)
                 elif tag == MSG_STAGE:
                     try:
                         fn = loads_with_broadcast(message[1], blobs)
@@ -113,7 +226,11 @@ class WorkerServer:
                     except BaseException:
                         fn, fn_error = None, traceback.format_exc()
                 elif tag == MSG_TASK:
-                    self._run_task(sock, fn, fn_error, message[1], message[2])
+                    self._run_task(
+                        sock,
+                        message[1],
+                        self._make_plain_work(fn, fn_error, message[2]),
+                    )
                 elif tag == MSG_TASK_COL:
                     # Columnar task: the shard's ndarray columns are blob
                     # references against this channel's cache.  A resolve
@@ -136,11 +253,41 @@ class WorkerServer:
                             ),
                         )
                     else:
-                        self._run_task(sock, fn, fn_error, message[1], shard)
+                        self._run_task(
+                            sock,
+                            message[1],
+                            self._make_plain_work(fn, fn_error, shard),
+                        )
+                elif tag == MSG_TASK_SHUF:
+                    self._run_task(
+                        sock,
+                        message[1],
+                        self._make_shuffle_write_work(
+                            fn, fn_error,
+                            message[1], message[2], message[3], message[4],
+                        ),
+                    )
+                elif tag == MSG_TASK_SHUF_READ:
+                    self._run_task(
+                        sock,
+                        message[1],
+                        self._make_shuffle_read_work(
+                            fn, fn_error, message[2]
+                        ),
+                    )
+                elif tag == MSG_FETCH_BUCKET:
+                    protocol.send_msg(
+                        sock, (MSG_BUCKET, message[1], self.get_bucket(message[1]))
+                    )
+                elif tag == MSG_EVICT_BUCKETS:
+                    self.evict_exchange(message[1])
                 elif tag == MSG_BYE:
                     return
                 elif tag == MSG_SHUTDOWN:
-                    os._exit(0)
+                    if len(message) > 1 and message[1]:
+                        os._exit(0)
+                    self._graceful_shutdown()
+                    return
                 else:
                     return  # protocol violation: drop the channel
         except (ConnectionError, OSError):
@@ -151,48 +298,139 @@ class WorkerServer:
             except OSError:  # pragma: no cover - defensive
                 pass
 
-    def _run_task(
-        self, sock: socket.socket, fn, fn_error, index: int, shard
-    ) -> None:
-        """Compute one shard in a thread, heartbeating until it finishes."""
+    # -- task bodies (run inside the heartbeating compute thread) ----------
+
+    @staticmethod
+    def _check_fn(fn, fn_error):
+        if fn_error is not None:
+            raise RuntimeError(
+                "stage function failed to deserialize on the "
+                f"worker:\n{fn_error}"
+            )
+        return fn
+
+    def _make_plain_work(self, fn, fn_error, shard):
+        def work() -> Any:
+            return self._check_fn(fn, fn_error)(_resolve(shard))
+
+        return work
+
+    def _make_shuffle_write_work(
+        self, fn, fn_error, index: int, exchange_id: str, combine: bool, shard
+    ):
+        """Run the bucketer, park the buckets locally, return their metas."""
+
+        def work() -> Any:
+            out = self._check_fn(fn, fn_error)(_resolve(shard))
+            extra: Optional[int] = None
+            if combine:
+                extra, buckets = out
+            else:
+                buckets = out
+            metas: List[Tuple[int, int, int]] = []
+            for dest, bucket in enumerate(buckets):
+                n = len(bucket)
+                if not n:
+                    continue
+                payload = protocol.dumps(bucket)
+                self.store_bucket(f"{exchange_id}/{index}/{dest}", payload)
+                metas.append((dest, n, len(payload)))
+            return extra, metas
+
+        return work
+
+    def _make_shuffle_read_work(self, fn, fn_error, sources):
+        """Fetch the assigned bucket parts, merge in input order, read."""
+
+        def work() -> Any:
+            read_fn = self._check_fn(fn, fn_error)
+            # Group the peer parts by producer so each peer costs one
+            # connection; own-daemon parts are served from the local store.
+            by_peer: Dict[Tuple[str, int], List[str]] = {}
+            for source in sources:
+                if source[0] == "peer":
+                    _, host, port, bucket_id = source
+                    if not (host == self.host and port == self.port):
+                        by_peer.setdefault((host, port), []).append(bucket_id)
+            fetched: Dict[str, Optional[bytes]] = {}
+            for (host, port), ids in by_peer.items():
+                try:
+                    fetched.update(_fetch_peer_buckets(host, port, ids))
+                except (ConnectionError, OSError) as exc:
+                    return (FETCH_FAILED, f"{host}:{port}: {exc}")
+            parts: List[Any] = []
+            p2p_bytes = 0
+            local_bytes = 0
+            for source in sources:
+                if source[0] == "inline":
+                    payload = source[1]
+                    parts.append(protocol.loads(payload))
+                    continue
+                _, host, port, bucket_id = source
+                if host == self.host and port == self.port:
+                    payload = self.get_bucket(bucket_id)
+                    if payload is None:
+                        return (FETCH_FAILED, f"local bucket {bucket_id} gone")
+                    local_bytes += len(payload)
+                else:
+                    payload = fetched.get(bucket_id)
+                    if payload is None:
+                        return (
+                            FETCH_FAILED,
+                            f"{host}:{port} no longer holds {bucket_id}",
+                        )
+                    p2p_bytes += len(payload)
+                parts.append(protocol.loads(payload))
+            merged = merge_bucket_parts(parts)
+            n_merged = len(merged)
+            merged_columnar = isinstance(merged, ColumnarShard)
+            value = read_fn(merged)
+            return (value, n_merged, merged_columnar, p2p_bytes, local_bytes)
+
+        return work
+
+    def _run_task(self, sock: socket.socket, index: int, work) -> None:
+        """Compute one task in a thread, heartbeating until it finishes."""
         box: "queue.Queue[tuple]" = queue.Queue(maxsize=1)
+        with self._drain:
+            self._active_tasks += 1
 
         def compute() -> None:
             try:
-                if fn_error is not None:
-                    raise RuntimeError(
-                        "stage function failed to deserialize on the "
-                        f"worker:\n{fn_error}"
-                    )
-                box.put((MSG_RESULT, index, fn(_resolve(shard))))
+                box.put((MSG_RESULT, index, work()))
             except BaseException as exc:
                 box.put((MSG_ERROR, index, exc, traceback.format_exc()))
 
         thread = threading.Thread(target=compute, daemon=True)
         thread.start()
-        while True:
-            try:
-                reply = box.get(timeout=self.heartbeat_interval)
-                break
-            except queue.Empty:
-                protocol.send_msg(sock, (MSG_HEARTBEAT,))
         try:
-            payload = protocol.dumps(reply)
-        except Exception:
-            # Unpicklable result or exception object: ship the traceback.
-            if reply[0] == MSG_ERROR:
-                payload = protocol.dumps((MSG_ERROR, index, None, reply[3]))
-            else:
-                payload = protocol.dumps(
-                    (
-                        MSG_ERROR,
-                        index,
-                        None,
-                        "task result failed to serialize:\n"
-                        + traceback.format_exc(),
+            while True:
+                try:
+                    reply = box.get(timeout=self.heartbeat_interval)
+                    break
+                except queue.Empty:
+                    protocol.send_msg(sock, (MSG_HEARTBEAT,))
+            try:
+                payload = protocol.dumps(reply)
+            except Exception:
+                # Unpicklable result or exception object: ship the traceback.
+                if reply[0] == MSG_ERROR:
+                    payload = protocol.dumps((MSG_ERROR, index, None, reply[3]))
+                else:
+                    payload = protocol.dumps(
+                        (
+                            MSG_ERROR,
+                            index,
+                            None,
+                            "task result failed to serialize:\n"
+                            + traceback.format_exc(),
+                        )
                     )
-                )
-        protocol.send_frame(sock, payload)
+            protocol.send_frame(sock, payload)
+        finally:
+            with self._drain:
+                self._active_tasks -= 1
+                self._drain.notify_all()
 
 
 def main(argv=None) -> int:
@@ -215,7 +453,7 @@ def main(argv=None) -> int:
     )
     print(f"REPRO_WORKER_READY {server.host} {server.port}", flush=True)
     server.serve_forever()
-    return 0  # pragma: no cover - serve_forever never returns
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via LocalCluster

@@ -10,7 +10,9 @@ then executes each program across the full configuration matrix
                     x {sequential, thread, multiprocess, remote}
                     x {spill off, spill on}
 
-— 24 cells (the row-runtime axis skips the orthogonal spill knob) —
+— 24 cells (the row-runtime axis skips the orthogonal spill knob), plus
+two ``shuffle="worker"`` cells where the remote backend exchanges
+shuffle buckets peer-to-peer instead of through the driver —
 asserting **identical results in every cell**.  The remote
 cells run on two localhost worker daemons shared across the module (one
 :class:`LocalCluster`; each cell connects its own executor), so the
@@ -44,16 +46,22 @@ STREAM_CHUNK = 16
 #: The configuration matrix: the columnar runtime across every
 #: {optimize} x {executor} x {spill} combination, plus the row runtime
 #: across {optimize} x {executor} (spill is a storage knob orthogonal to
-#: the shard representation, so the row axis skips it).
+#: the shard representation, so the row axis skips it), plus the
+#: worker-to-worker shuffle plane on the remote backend (the only
+#: backend with peers; shuffle buckets move peer-to-peer instead of
+#: through the driver, results must not change).
 CELLS = [
-    (optimize, executor, spill, True)
+    (optimize, executor, spill, True, None)
     for optimize in (True, False)
     for executor in ("sequential", "thread", "multiprocess", "remote")
     for spill in (False, True)
 ] + [
-    (optimize, executor, False, False)
+    (optimize, executor, False, False, None)
     for optimize in (True, False)
     for executor in ("sequential", "thread", "multiprocess", "remote")
+] + [
+    (optimize, "remote", False, True, "worker")
+    for optimize in (True, False)
 ]
 
 
@@ -201,6 +209,7 @@ def _run_cell(
     spill: bool,
     columnar: bool = True,
     cluster=None,
+    shuffle=None,
 ):
     """One configuration cell, driven through the public configuration
     surface: an ``EngineOptions`` (holding the cell's backend, plan, and
@@ -221,6 +230,7 @@ def _run_cell(
         optimize=optimize,
         columnar=columnar,
         stream_chunk_size=STREAM_CHUNK,
+        shuffle=shuffle,
     )
     try:
         with DataflowContext(options) as ctx:
@@ -242,7 +252,7 @@ def test_differential_matrix(seed, remote_cluster):
     in-memory *row-runtime* reference (the engine's original
     record-at-a-time semantics)."""
     reference = _run_cell(seed, False, "sequential", False, columnar=False)
-    for optimize, executor_name, spill, columnar in CELLS:
+    for optimize, executor_name, spill, columnar, shuffle in CELLS:
         got = _run_cell(
             seed,
             optimize,
@@ -250,11 +260,12 @@ def test_differential_matrix(seed, remote_cluster):
             spill,
             columnar=columnar,
             cluster=remote_cluster,
+            shuffle=shuffle,
         )
         assert got == reference, (
             f"seed {seed}: cell (optimize={optimize}, "
             f"executor={executor_name}, spill={spill}, "
-            f"columnar={columnar}) diverged"
+            f"columnar={columnar}, shuffle={shuffle}) diverged"
         )
 
 

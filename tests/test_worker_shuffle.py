@@ -1,0 +1,543 @@
+"""Worker-to-worker shuffle, elastic membership, and the remote bug sweep.
+
+The tentpole contract: with ``shuffle="worker"`` on the remote backend,
+shuffle-write stages leave their buckets resident on the producing
+worker and the read stage fetches them peer-to-peer — on the fault-free
+path **zero bucket bytes cross the driver** (``driver_shuffle_bytes ==
+0`` while ``p2p_shuffle_bytes > 0``), and the results (and engine
+metrics) stay bit-identical to the sequential reference.  When a
+producing worker dies between write and read, the driver re-derives the
+lost buckets from the original input shards (``bucket_refetches``) and
+the drive still finishes bit-identically.
+
+The satellites ride along: elastic membership (``LocalCluster.spawn`` +
+``RemoteExecutor.add_worker``/``remove_worker``), the reply-timeout
+scoping regression in ``_recv_reply``, the worker-side blob-cache LRU
+byte cap, and graceful ``MSG_SHUTDOWN`` drain.
+
+Fault-injection tests spawn private clusters so killing a worker cannot
+disturb neighbouring tests; everything else shares one module cluster.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dataflow import pcollection
+from repro.dataflow.options import DataflowContext, EngineOptions
+from repro.dataflow.pcollection import Fold, Pipeline
+from repro.dataflow.remote import LocalCluster, RemoteExecutor
+from repro.dataflow.remote import protocol
+from repro.dataflow.remote.client import _Channel
+from repro.dataflow.remote.protocol import (
+    MSG_PING,
+    MSG_PONG,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with LocalCluster(2) as shared:
+        yield shared
+
+
+@pytest.fixture
+def remote(cluster):
+    executor = RemoteExecutor(
+        workers=cluster.addresses, min_parallel_records=0
+    )
+    yield executor
+    executor.close()
+
+
+def _group_drive(pipeline):
+    """A grouping beam: fused map upstream, sorted group downstream."""
+    data = [(i % 7, i) for i in range(400)]
+    return (
+        pipeline.create(data)
+        .map(lambda kv: (kv[0], kv[1] * 3 + 1))
+        .as_keyed()
+        .group_by_key()
+        .map_values(sorted)
+        .to_list()
+    )
+
+
+def _combine_drive(pipeline):
+    """A combine beam: the precombiner pre-aggregates before the wire."""
+    data = [(i % 5, i) for i in range(300)]
+    return (
+        pipeline.create(data)
+        .as_keyed()
+        .combine_per_key(int, lambda a, v: a + v, lambda a, b: a + b)
+        .to_list()
+    )
+
+
+class TestExchangeDataPlane:
+    """Fault-free p2p shuffles: zero driver bytes, identical everything."""
+
+    def test_group_zero_driver_bytes(self, remote):
+        seq = Pipeline(num_shards=4)
+        reference = sorted(_group_drive(seq))
+        pipeline = Pipeline(num_shards=4, executor=remote, shuffle="worker")
+        got = _group_drive(pipeline)
+        assert sorted(got) == reference
+        stats = remote.stats()
+        assert stats["p2p_shuffle_bytes"] > 0
+        assert stats["driver_shuffle_bytes"] == 0
+        assert stats["bucket_refetches"] == 0
+        # The pipeline's metrics mirror the executor counters.
+        assert pipeline.metrics.p2p_shuffle_bytes == stats["p2p_shuffle_bytes"]
+        assert pipeline.metrics.driver_shuffle_bytes == 0
+        # Counter-style metrics parity with the sequential reference —
+        # the exchange changes where bytes move, not what the engine did.
+        assert (
+            pipeline.metrics.shuffled_records,
+            pipeline.metrics.executed_stages,
+            pipeline.metrics.peak_shard_records,
+        ) == (
+            seq.metrics.shuffled_records,
+            seq.metrics.executed_stages,
+            seq.metrics.peak_shard_records,
+        )
+
+    def test_combine_zero_driver_bytes(self, remote):
+        seq = Pipeline(num_shards=4)
+        reference = sorted(_combine_drive(seq))
+        pipeline = Pipeline(num_shards=4, executor=remote, shuffle="worker")
+        got = _combine_drive(pipeline)
+        assert sorted(got) == reference
+        stats = remote.stats()
+        assert stats["p2p_shuffle_bytes"] > 0
+        assert stats["driver_shuffle_bytes"] == 0
+        assert (
+            pipeline.metrics.shuffled_records,
+            pipeline.metrics.pre_shuffle_records,
+            pipeline.metrics.executed_stages,
+        ) == (
+            seq.metrics.shuffled_records,
+            seq.metrics.pre_shuffle_records,
+            seq.metrics.executed_stages,
+        )
+
+    def test_columnar_group_zero_driver_bytes(self, remote):
+        reference = sorted(_group_drive(Pipeline(num_shards=4)))
+        pipeline = Pipeline(
+            num_shards=4, executor=remote, shuffle="worker", columnar=True
+        )
+        assert sorted(_group_drive(pipeline)) == reference
+        assert remote.stats()["driver_shuffle_bytes"] == 0
+
+    def test_lifted_fold_over_exchange(self, remote):
+        """The optimizer's lifted combiner rides the worker plane too."""
+        seq = Pipeline(num_shards=4, optimize=True)
+        data = list(range(500))
+        reference = sorted(
+            seq.create(data)
+            .key_by(lambda x: x % 6)
+            .group_by_key()
+            .map_values(Fold.sum())
+            .to_list()
+        )
+        pipeline = Pipeline(
+            num_shards=4, executor=remote, shuffle="worker", optimize=True
+        )
+        got = (
+            pipeline.create(data)
+            .key_by(lambda x: x % 6)
+            .group_by_key()
+            .map_values(Fold.sum())
+            .to_list()
+        )
+        assert sorted(got) == reference
+        assert pipeline.metrics.lifted_combiners == 1
+        assert remote.stats()["driver_shuffle_bytes"] == 0
+
+    def test_driver_plane_is_the_default(self, remote):
+        """Leaving ``shuffle`` unset keeps every bucket on the driver."""
+        if pcollection.DEFAULT_SHUFFLE != "driver":
+            pytest.skip("session default flipped by --worker-shuffle")
+        _group_drive(Pipeline(num_shards=4, executor=remote))
+        assert remote.stats()["p2p_shuffle_bytes"] == 0
+
+    def test_non_remote_backends_ignore_the_plane(self):
+        """``shuffle="worker"`` without peers degrades to driver merge."""
+        pipeline = Pipeline(num_shards=4, shuffle="worker")
+        assert sorted(_group_drive(pipeline)) == sorted(
+            _group_drive(Pipeline(num_shards=4))
+        )
+        assert pipeline.metrics.p2p_shuffle_bytes == 0
+
+    def test_shuffle_option_validated(self):
+        with pytest.raises(ValueError, match="shuffle"):
+            Pipeline(num_shards=4, shuffle="bogus")
+        with pytest.raises(ValueError, match="shuffle"):
+            EngineOptions(shuffle="bogus")
+        assert EngineOptions(shuffle="worker").shuffle == "worker"
+        assert EngineOptions().shuffle is None
+
+    def test_context_threads_shuffle_through(self, cluster):
+        options = EngineOptions(
+            "remote",
+            num_shards=4,
+            shuffle="worker",
+            workers=[f"{h}:{p}" for h, p in cluster.addresses],
+        )
+        with DataflowContext(options) as ctx:
+            pipeline = ctx.pipeline()
+            try:
+                assert pipeline.shuffle == "worker"
+                assert sorted(_group_drive(pipeline)) == sorted(
+                    _group_drive(Pipeline(num_shards=4))
+                )
+                assert pipeline.metrics.p2p_shuffle_bytes > 0
+            finally:
+                pipeline.close()
+
+
+class TestElasticMembership:
+    def test_spawned_worker_joins_and_serves(self):
+        """A worker spawned and added mid-drive receives tasks, the blob
+        cache reaching it lazily on first use."""
+        with LocalCluster(1) as private:
+            executor = RemoteExecutor(
+                workers=private.addresses,
+                min_parallel_records=0,
+                broadcast_min_bytes=1024,
+            )
+            try:
+                x = np.arange(8192, dtype=np.float64)
+
+                def lookup(records, _x=x):
+                    return [float(_x[r]) for r in records]
+
+                shards = [[i, i + 1] for i in range(0, 8, 2)]
+                expected = [lookup(s) for s in shards]
+                assert executor.run_stage(lookup, shards) == expected
+                assert executor.stats()["broadcast_blobs"] == 1
+
+                address = private.spawn()
+                assert executor.add_worker(address) == address
+                assert executor.stats()["n_workers"] == 2
+                # Same capture again: the joiner gets the blob on first
+                # use (one more ship), the veteran is not re-shipped.
+                assert executor.run_stage(lookup, shards) == expected
+                assert executor.stats()["broadcast_blobs"] == 2
+                assert executor.run_stage(lookup, shards) == expected
+                assert executor.stats()["broadcast_blobs"] == 2
+
+                # And the joiner serves the p2p shuffle plane.
+                pipeline = Pipeline(
+                    num_shards=4, executor=executor, shuffle="worker"
+                )
+                assert sorted(_group_drive(pipeline)) == sorted(
+                    _group_drive(Pipeline(num_shards=4))
+                )
+                assert executor.stats()["p2p_shuffle_bytes"] > 0
+                assert executor.stats()["driver_shuffle_bytes"] == 0
+            finally:
+                executor.close()
+
+    def test_add_worker_accepts_spec_strings(self, cluster):
+        executor = RemoteExecutor(workers=cluster.addresses[:1])
+        try:
+            host, port = cluster.addresses[1]
+            assert executor.add_worker(f"{host}:{port}") == (host, port)
+            assert executor.stats()["n_workers"] == 2
+        finally:
+            executor.close()
+
+    def test_remove_worker_shrinks_the_pool(self, cluster):
+        executor = RemoteExecutor(
+            workers=cluster.addresses, min_parallel_records=0
+        )
+        try:
+            executor.remove_worker(cluster.addresses[0])
+            assert executor.stats()["n_workers"] == 1
+            # The survivor still serves stages (and p2p degrades to a
+            # single-worker exchange, still off the driver).
+            assert executor.run_stage(sum, [[1, 2], [3, 4]]) == [3, 7]
+        finally:
+            executor.close()
+
+    def test_remove_unknown_worker_raises(self, cluster):
+        executor = RemoteExecutor(workers=cluster.addresses)
+        try:
+            with pytest.raises(ValueError, match="no such worker"):
+                executor.remove_worker(("127.0.0.1", 1))
+        finally:
+            executor.close()
+
+    def test_add_worker_after_close_raises(self, cluster):
+        executor = RemoteExecutor(workers=cluster.addresses)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.add_worker(cluster.addresses[0])
+
+
+class TestFaultFallback:
+    """A producer dying mid-shuffle degrades to the driver, bit-identically."""
+
+    def _exchange_drive_with_kill(self, kill):
+        """Run a grouped drive, invoking ``kill(executor)`` right after
+        the exchange's write phase (buckets resident, read not planned)."""
+        executor = RemoteExecutor(
+            max_workers=2, min_parallel_records=0, heartbeat_timeout=5.0
+        )
+        try:
+            original = executor._check_exchange_stage
+            fired = {"done": False}
+
+            def check(state):
+                original(state)
+                if not fired["done"]:
+                    fired["done"] = True
+                    kill(executor)
+
+            executor._check_exchange_stage = check
+            pipeline = Pipeline(
+                num_shards=4, executor=executor, shuffle="worker"
+            )
+
+            def slow_tag(kv):
+                time.sleep(0.05)  # both workers take write tasks
+                return (kv[0], kv[1] * 2)
+
+            data = [(i % 7, i) for i in range(200)]
+            got = (
+                pipeline.create(data)
+                .map(slow_tag)
+                .as_keyed()
+                .group_by_key()
+                .map_values(sorted)
+                .to_list()
+            )
+            seq = Pipeline(num_shards=4)
+            reference = (
+                seq.create(data)
+                .map(lambda kv: (kv[0], kv[1] * 2))
+                .as_keyed()
+                .group_by_key()
+                .map_values(sorted)
+                .to_list()
+            )
+            assert sorted(got) == sorted(reference)
+            return executor.stats()
+        finally:
+            executor.close()
+
+    def test_producer_killed_between_write_and_read(self):
+        def kill_one(executor):
+            os.kill(executor.worker_pids[0], signal.SIGKILL)
+            time.sleep(0.2)
+
+        stats = self._exchange_drive_with_kill(kill_one)
+        # The lost producer's buckets were re-derived on the driver; the
+        # survivor's parts for the broken destinations were pulled
+        # through the driver too — both count as fallback traffic.
+        assert stats["bucket_refetches"] > 0
+        assert stats["worker_failures"] >= 1
+
+    def test_all_producers_killed_completes_on_driver(self):
+        def kill_all(executor):
+            for pid in executor.worker_pids:
+                os.kill(pid, signal.SIGKILL)
+            time.sleep(0.2)
+
+        stats = self._exchange_drive_with_kill(kill_all)
+        assert stats["bucket_refetches"] > 0
+        assert stats["worker_failures"] == 2
+
+    def test_known_dead_producer_inlines_through_driver(self):
+        """When the driver already knows the producer is gone (channel
+        dead at planning time), its buckets ship inline — re-derived,
+        counted as driver bytes — and the drive still matches."""
+        def kill_and_mark(executor):
+            victim = executor._channels[0]
+            os.kill(executor.worker_pids[0], signal.SIGKILL)
+            victim.kill()
+
+        stats = self._exchange_drive_with_kill(kill_and_mark)
+        assert stats["bucket_refetches"] > 0
+        assert stats["driver_shuffle_bytes"] > 0
+
+
+class TestRecvReplyTimeoutScope:
+    """Regression: the reply deadline must not leak onto later sends."""
+
+    class _Stub:
+        heartbeat_timeout = 0.3
+
+    def test_reply_wait_restores_blocking_socket(self):
+        ours, theirs = socket.socketpair()
+        try:
+            channel = _Channel(("stub", 0), ours)
+            protocol.send_msg(theirs, (MSG_RESULT, 0, 42))
+            message = RemoteExecutor._recv_reply(self._Stub(), channel)
+            assert message == (MSG_RESULT, 0, 42)
+            assert ours.gettimeout() is None, "reply deadline leaked"
+        finally:
+            ours.close()
+            theirs.close()
+
+    def test_slow_large_send_after_reply_succeeds(self):
+        """A post-reply send that outlives the heartbeat timeout (a big
+        blob into a throttled pipe) must block, not raise
+        ``socket.timeout`` — the exact misclassification of the bug."""
+        ours, theirs = socket.socketpair()
+        try:
+            ours.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+            channel = _Channel(("stub", 0), ours)
+            protocol.send_msg(theirs, (MSG_RESULT, 0, None))
+            RemoteExecutor._recv_reply(self._Stub(), channel)
+
+            payload = b"x" * (4 << 20)  # far beyond the send buffer
+            received = []
+
+            def throttled_reader():
+                time.sleep(1.0)  # > heartbeat_timeout while we're blocked
+                received.append(protocol.recv_frame(theirs))
+
+            reader = threading.Thread(target=throttled_reader)
+            reader.start()
+            protocol.send_frame(ours, payload)  # raised socket.timeout pre-fix
+            reader.join(timeout=30)
+            assert received == [payload]
+        finally:
+            ours.close()
+            theirs.close()
+
+    def test_stage_leaves_channel_sockets_blocking(self, remote):
+        assert remote.run_stage(sum, [[1, 2], [3, 4]]) == [3, 7]
+        for channel in remote._channels:
+            assert channel.sock.gettimeout() is None
+
+
+class TestBlobCacheCap:
+    """The worker's per-connection blob cache is byte-bounded (LRU)."""
+
+    @staticmethod
+    def _capture_stage(executor, x, shards):
+        def lookup(records, _x=x):
+            return [float(_x[r % len(_x)]) for r in records]
+
+        return executor.run_stage(lookup, shards)
+
+    def test_over_cap_blobs_evicted_and_reshippable(self, cluster):
+        executor = RemoteExecutor(
+            workers=cluster.addresses,
+            min_parallel_records=0,
+            broadcast_min_bytes=1024,
+            worker_cache_max_bytes=200_000,
+        )
+        try:
+            shards = [[0, 1], [2, 3]]
+            arrays = [
+                np.arange(16384, dtype=np.float64) + i for i in range(3)
+            ]
+            for x in arrays:  # each ~131 KiB: the third pushes out the first
+                out = self._capture_stage(executor, x, shards)
+                assert out == [[float(x[r % len(x)]) for r in s] for s in shards]
+            stats = executor.stats()
+            assert stats["blob_evictions"] > 0
+            blobs_before = stats["broadcast_blobs"]
+            # The evicted first capture still works — re-shipped on use.
+            out = self._capture_stage(executor, arrays[0], shards)
+            assert out == [
+                [float(arrays[0][r % len(arrays[0])]) for r in s]
+                for s in shards
+            ]
+            assert executor.stats()["broadcast_blobs"] > blobs_before
+        finally:
+            executor.close()
+
+    def test_uncapped_cache_never_evicts(self, cluster):
+        executor = RemoteExecutor(
+            workers=cluster.addresses,
+            min_parallel_records=0,
+            broadcast_min_bytes=1024,
+            worker_cache_max_bytes=None,
+        )
+        try:
+            shards = [[0, 1], [2, 3]]
+            for i in range(3):
+                x = np.arange(16384, dtype=np.float64) + i
+                self._capture_stage(executor, x, shards)
+            assert executor.stats()["blob_evictions"] == 0
+        finally:
+            executor.close()
+
+
+class TestGracefulShutdown:
+    """``MSG_SHUTDOWN`` drains the in-flight task before exiting."""
+
+    @staticmethod
+    def _request_shutdown(address, *, force=False):
+        with socket.create_connection(address, timeout=10) as sock:
+            protocol.send_msg(sock, (MSG_PING,))
+            assert protocol.recv_msg(sock)[0] == MSG_PONG
+            message = (MSG_SHUTDOWN, True) if force else (MSG_SHUTDOWN,)
+            protocol.send_msg(sock, message)
+
+    def test_graceful_drains_inflight_task(self, tmp_path):
+        marker_dir = str(tmp_path)
+        with LocalCluster(2) as private:
+            executor = RemoteExecutor(
+                workers=private.addresses, min_parallel_records=0
+            )
+            try:
+                def slow(records, _dir=marker_dir):
+                    # Announce the task is *running* (a daemon with no
+                    # active task exits immediately on graceful
+                    # shutdown, so the test must not race task pickup).
+                    with open(
+                        os.path.join(_dir, f"started-{os.getpid()}"), "w"
+                    ):
+                        pass
+                    time.sleep(1.5)
+                    return sum(records)
+
+                results = {}
+
+                def drive():
+                    results["out"] = executor.run_stage(slow, [[1, 2], [3, 4]])
+
+                runner = threading.Thread(target=drive)
+                runner.start()
+                deadline = time.monotonic() + 30
+                while len(os.listdir(marker_dir)) < 2:
+                    assert time.monotonic() < deadline, "tasks never started"
+                    time.sleep(0.02)
+                for address in private.addresses:
+                    self._request_shutdown(address)
+                runner.join(timeout=30)
+                assert not runner.is_alive(), "stage never finished"
+                # The in-flight shards drained to their replies...
+                assert results["out"] == [3, 7]
+            finally:
+                executor.close()
+            # ...and then every daemon exited cleanly on its own.
+            for proc in private._procs:
+                assert proc.wait(timeout=15) == 0
+
+    def test_force_shutdown_exits_immediately(self):
+        with LocalCluster(1) as private:
+            self._request_shutdown(private.addresses[0], force=True)
+            assert private._procs[0].wait(timeout=15) == 0
+
+    def test_shutdown_workers_api(self):
+        with LocalCluster(1) as private:
+            executor = RemoteExecutor(workers=private.addresses)
+            executor.run_stage(len, [[1], [2, 3]])
+            executor.shutdown_workers()
+            assert private._procs[0].wait(timeout=15) == 0
+            with pytest.raises(RuntimeError, match="closed"):
+                executor.run_stage(len, [[1], [2]])
