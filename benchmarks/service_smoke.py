@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the selector service (the CI service job).
+
+Boots a real ``python -m repro.service`` process on an ephemeral port,
+then drives it exactly the way a user would:
+
+1. run the one-shot ``repro select`` CLI and keep its report as the
+   parity reference;
+2. submit the identical job over HTTP with
+   :class:`repro.service.client.ServiceClient`, poll to completion, and
+   assert the selected subset and objective are **bit-identical** to the
+   one-shot run;
+3. resubmit the same spec and assert it is answered from the result
+   store (``deduped_from == "store"``) without re-execution;
+4. hit ``/v1/metrics`` and sanity-check the queue counters and the warm
+   context's executor stats.
+
+Exits nonzero on the first violated expectation.  Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+sys.path.insert(0, SRC)
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+PRESET = "cifar100_tiny"
+N_POINTS = 200
+K = 20
+SEED = 0
+ENGINE_ARGS = ["--engine", "dataflow", "--executor", "sequential",
+               "--num-shards", "4"]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def _one_shot_reference(tmp):
+    """Run ``repro select`` once; return its saved report dict."""
+    report_path = os.path.join(tmp, "reference.json")
+    subprocess.run(
+        [sys.executable, "-m", "repro", "select",
+         "--preset", PRESET, "--n-points", str(N_POINTS),
+         "--k", str(K), "--seed", str(SEED), *ENGINE_ARGS,
+         "--report", report_path],
+        check=True, env=_env(), cwd=REPO,
+    )
+    with open(report_path) as fh:
+        return json.load(fh)
+
+
+def _start_service(tmp):
+    """Boot the service on an ephemeral port; return (proc, host, port)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0",
+         "--state-dir", os.path.join(tmp, "state")],
+        stdout=subprocess.PIPE, env=_env(), cwd=REPO, text=True,
+    )
+    deadline = time.monotonic() + 60
+    line = proc.stdout.readline()
+    if time.monotonic() > deadline or not line:
+        proc.terminate()
+        print(f"FAIL: no ready line from service (got {line!r})",
+              file=sys.stderr)
+        sys.exit(1)
+    tag, host, port = line.split()
+    assert tag == "REPRO_SERVICE_READY", line
+    return proc, host, int(port)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        reference = _one_shot_reference(tmp)
+        proc, host, port = _start_service(tmp)
+        try:
+            client = ServiceClient(host, port)
+            _check(client.healthz(), "service is healthy")
+
+            spec = {
+                "dataset": {"preset": PRESET, "n_points": N_POINTS,
+                            "seed": SEED},
+                "selector": {"k": K, "seed": SEED},
+                "engine_options": {"executor": "sequential",
+                                   "num_shards": 4},
+                "tenant": "ci-smoke",
+            }
+            record = client.submit(spec)
+            final = client.wait(record["job_id"], timeout=300.0)
+            _check(final["state"] == "done",
+                   f"job finished done (state={final['state']!r})")
+
+            payload = client.result(record["job_id"])
+            _check(
+                payload["report"]["selected"] == reference["selected"],
+                "service selection is bit-identical to one-shot CLI",
+            )
+            _check(
+                payload["report"]["objective"] == reference["objective"],
+                "service objective matches one-shot CLI exactly",
+            )
+
+            repeat = client.submit(spec)
+            repeat_final = client.wait(repeat["job_id"], timeout=60.0)
+            _check(repeat_final["deduped_from"] == "store",
+                   "identical resubmission deduped from the result store")
+
+            metrics = client.metrics()
+            _check(metrics["counters"]["completed"] == 2,
+                   "metrics count both jobs completed")
+            _check(metrics["counters"]["dedup_hits"] == 1,
+                   "metrics count the dedup hit")
+            _check(metrics["queue_depth"] == 0, "queue drained")
+            (context,) = metrics["warm_contexts"].values()
+            _check(context["executor_stats"].get("stages_run", 0) > 0,
+                   "warm context reports executor stages_run")
+            print("service smoke: all checks passed")
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -224,6 +224,110 @@ def cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived selector service (see :mod:`repro.service`)."""
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        max_queued=args.max_queued,
+        max_running=args.max_running,
+        max_num_shards=args.max_num_shards,
+        max_records=args.max_records,
+        default_timeout_s=args.default_timeout,
+    )
+    return serve(config, host=args.host, port=args.port)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a selection job to a running service (and optionally wait)."""
+    from repro.service.client import ServiceClient, ServiceError
+
+    spec = {
+        "dataset": {
+            "preset": args.preset,
+            "n_points": args.n_points,
+            "seed": args.seed,
+            "alpha": args.alpha,
+        },
+        "selector": {
+            "k": args.k,
+            "bounding": None if args.bounding == "none" else args.bounding,
+            "sampler": args.sampler,
+            "sampling_fraction": args.sampling_fraction,
+            "machines": args.machines,
+            "rounds": args.rounds,
+            "adaptive": args.adaptive,
+            "gamma": args.gamma,
+            "seed": args.seed,
+            "engine": args.engine,
+        },
+        "engine_options": EngineOptions.from_namespace(args).to_dict(),
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "timeout_s": args.timeout,
+        "force": args.force,
+    }
+    client = ServiceClient(args.host, args.port)
+    try:
+        record = client.submit(spec)
+    except ServiceError as exc:
+        print(f"rejected ({exc.status}): {exc}", file=sys.stderr)
+        return 1
+    print(f"job {record['job_id']} {record['state']} "
+          f"(digest {record['digest'][:12]})")
+    if not args.wait:
+        return 0
+    record = client.wait(record["job_id"], timeout=args.wait_timeout)
+    if record["state"] != "done":
+        print(f"job {record['job_id']} {record['state']}: "
+              f"{record.get('error') or ''}", file=sys.stderr)
+        return 1
+    result = client.result(record["job_id"])
+    report = result["report"]
+    selected = report["selected"]
+    if record.get("deduped_from"):
+        print(f"deduped from {record['deduped_from']} "
+              "(no re-execution)")
+    if args.out:
+        np.save(args.out, np.asarray(selected, dtype=np.int64))
+    print(f"selected {len(selected)} points, "
+          f"objective {report['objective']:.6f}")
+    if not args.out:
+        print(" ".join(map(str, selected[:20]))
+              + (" ..." if len(selected) > 20 else ""))
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List a running service's jobs (``--metrics`` adds the counters)."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    for record in client.jobs():
+        dedup = " (dedup)" if record.get("deduped_from") else ""
+        error = f" error={record['error']}" if record.get("error") else ""
+        print(f"{record['job_id']}  {record['state']:<9}  "
+              f"tenant={record['spec']['tenant']}  "
+              f"prio={record['spec']['priority']}  "
+              f"digest={record['digest'][:12]}{dedup}{error}")
+    if args.metrics:
+        metrics = client.metrics()
+        print(f"queue_depth={metrics['queue_depth']} "
+              f"running={metrics['running']}")
+        print("counters: " + ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(metrics["counters"].items())
+        ))
+        for key, ctx in metrics["warm_contexts"].items():
+            stats = ", ".join(
+                f"{k}={v}" for k, v in sorted(ctx["executor_stats"].items())
+            )
+            executor = ctx["options"].get("executor")
+            print(f"warm[{executor}]: {stats}")
+    return 0
+
+
 def cmd_score(args: argparse.Namespace) -> int:
     problem, _ = _build_problem(args)
     subset = np.load(args.subset)
@@ -298,6 +402,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_plan)
     add_engine_arguments(p_plan)
     p_plan.set_defaults(func=cmd_plan)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-lived selector service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7171,
+                         help="listen port (0 = ephemeral, printed on the "
+                              "REPRO_SERVICE_READY line)")
+    p_serve.add_argument("--state-dir", required=True,
+                         help="persistent job store directory")
+    p_serve.add_argument("--max-queued", type=int, default=64)
+    p_serve.add_argument("--max-running", type=int, default=4)
+    p_serve.add_argument("--max-num-shards", type=int, default=64)
+    p_serve.add_argument("--max-records", type=int, default=1_000_000)
+    p_serve.add_argument("--default-timeout", type=float, default=None,
+                         metavar="SECONDS")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a selection job to a running service"
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7171)
+    p_submit.add_argument("--preset", required=True,
+                          help="named synthetic dataset preset")
+    p_submit.add_argument("--n-points", type=int, default=None)
+    p_submit.add_argument("--alpha", type=float, default=0.9)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--k", type=int, required=True)
+    p_submit.add_argument("--bounding",
+                          choices=("none", "exact", "approximate"),
+                          default="none")
+    p_submit.add_argument("--sampler", choices=("uniform", "weighted"),
+                          default="uniform")
+    p_submit.add_argument("--sampling-fraction", type=float, default=1.0)
+    p_submit.add_argument("--machines", type=int, default=1)
+    p_submit.add_argument("--rounds", type=int, default=1)
+    p_submit.add_argument("--adaptive", action="store_true")
+    p_submit.add_argument("--gamma", type=float, default=0.75)
+    p_submit.add_argument("--engine", choices=("memory", "dataflow"),
+                          default="dataflow")
+    add_engine_arguments(p_submit)
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="per-job timeout in seconds")
+    p_submit.add_argument("--force", action="store_true",
+                          help="re-execute even when a completed digest "
+                               "match exists in the result store")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes and print the "
+                               "result")
+    p_submit.add_argument("--wait-timeout", type=float, default=300.0)
+    p_submit.add_argument("--out", help="write selected ids to .npy "
+                                        "(with --wait)")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a running service's jobs"
+    )
+    p_jobs.add_argument("--host", default="127.0.0.1")
+    p_jobs.add_argument("--port", type=int, default=7171)
+    p_jobs.add_argument("--metrics", action="store_true",
+                        help="also print queue depth, counters, and warm-"
+                             "context executor stats")
+    p_jobs.set_defaults(func=cmd_jobs)
 
     p_score = sub.add_parser("score", help="score a subset")
     _add_common(p_score)

@@ -220,6 +220,7 @@ class DistributedSelector:
         *,
         seed: SeedLike = None,
         partitioner: Partitioner = random_partitioner,
+        context=None,
     ) -> SelectionReport:
         """Run the full pipeline for a budget of ``k`` points.
 
@@ -228,12 +229,26 @@ class DistributedSelector:
         ignored; the dataflow greedy draws its own hash-based partitions),
         and the per-stage :class:`~repro.dataflow.metrics.PipelineMetrics`
         land in ``report.extra["bounding_metrics"/"greedy_metrics"]``.
+
+        ``context`` lends the run an existing warm
+        :class:`~repro.dataflow.options.DataflowContext` (dataflow engine
+        only): both stages run on its executor, the context is *not*
+        closed here, and ``report.extra["executor_stats"]`` reflects that
+        context's view — a long-lived service passes per-job
+        :meth:`~repro.dataflow.options.DataflowContext.scoped` views so
+        concurrent tenants share one warm pool with isolated stats.
         """
         k = check_cardinality(k, self.problem.n)
         rng = as_generator(seed)
         cfg = self.config
-        context = None
-        if cfg.engine == "dataflow":
+        own_context = None
+        if context is not None:
+            if cfg.engine != "dataflow":
+                raise ValueError(
+                    "context= requires engine='dataflow', got "
+                    f"engine={cfg.engine!r}"
+                )
+        elif cfg.engine == "dataflow":
             # One DataflowContext for the whole run: the bounding and
             # greedy pipelines share its resolved executor (a persistent
             # worker pool or cluster), and it aggregates both stages'
@@ -241,7 +256,7 @@ class DistributedSelector:
             # releases the executor iff the context created it.
             from repro.dataflow import DataflowContext
 
-            context = DataflowContext(cfg.options)
+            context = own_context = DataflowContext(cfg.options)
         try:
             report = self._select(
                 k, rng=rng, partitioner=partitioner, context=context
@@ -271,8 +286,8 @@ class DistributedSelector:
                     )
             return report
         finally:
-            if context is not None:
-                context.close()
+            if own_context is not None:
+                own_context.close()
 
     def _select(
         self,

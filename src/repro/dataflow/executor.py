@@ -812,6 +812,114 @@ class MultiprocessExecutor(Executor):
                 worker.process.join(timeout=5)
 
 
+class JobScopedExecutor(Executor):
+    """A per-job view of a shared executor: serialized dispatch, delta stats.
+
+    ``run_stage`` is not re-entrant from multiple driver threads (see the
+    module docstring), yet a long-lived service wants several concurrent
+    drives multiplexed onto one warm executor — its pool, broadcast blob
+    cache, and worker channels are exactly what makes the service warm.
+    Each drive therefore runs through its own ``JobScopedExecutor``: all
+    views of one base share a dispatch lock, so stages from concurrent
+    jobs interleave at stage granularity instead of corrupting worker
+    channels, and each view meters only its own work.
+
+    Stats isolation: the base executor's counters are cumulative across
+    every tenant it ever served.  Around each dispatch this proxy
+    snapshots ``base.stats()`` before and after (both under the lock, so
+    the delta is attributable to this job alone) and accumulates the
+    per-counter deltas.  :meth:`stats` reports those accumulated deltas —
+    a job's report says what *that job* shuffled, shipped, and retried —
+    while genuine gauges (``n_workers``, ``unique_broadcast_bytes``) pass
+    through live, since "how many workers" and "how big is the shared
+    blob cache" are properties of the pool, not of any one job.
+
+    ``run_exchange`` (the worker-shuffle entry point) is exposed only
+    when the base has it, so the engine's feature probe
+    ``getattr(executor, "run_exchange", None)`` keeps answering honestly
+    for bases without one.  :meth:`close` never closes the base — its
+    lifetime belongs to whoever created it.
+    """
+
+    #: Base-stats keys that describe the shared pool rather than work
+    #: performed, reported live instead of as per-job deltas.
+    _GAUGES = frozenset({"n_workers", "unique_broadcast_bytes"})
+
+    def __init__(self, base: Executor, lock: "threading.RLock") -> None:
+        self._base = base
+        self._lock = lock
+        self._stages_run = 0
+        self._counters: Dict[str, Any] = {}
+        self.name = base.name
+
+    # The engine increments ``executor.stages_run`` at its dispatch choke
+    # points; route the increment to the shared base (total throughput)
+    # while keeping this view's own count for per-job reports.
+    @property
+    def stages_run(self) -> int:
+        return self._stages_run
+
+    @stages_run.setter
+    def stages_run(self, value: int) -> None:
+        delta = value - self._stages_run
+        self._stages_run = value
+        with self._lock:
+            self._base.stages_run += delta
+
+    def _accumulate(
+        self, after: Dict[str, Any], before: Dict[str, Any]
+    ) -> None:
+        for key, value in after.items():
+            if key in self._GAUGES or key == "stages_run":
+                continue
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            delta = value - before.get(key, 0)
+            self._counters[key] = self._counters.get(key, 0) + delta
+
+    def run_stage(self, fn: StageFn, shards: Sequence[Any]) -> List[Any]:
+        with self._lock:
+            before = self._base.stats()
+            try:
+                return self._base.run_stage(fn, shards)
+            finally:
+                self._accumulate(self._base.stats(), before)
+
+    def stats(self) -> Dict[str, Any]:
+        out = dict(self._counters)
+        base_stats = self._base.stats()
+        for key in self._GAUGES:
+            if key in base_stats:
+                out[key] = base_stats[key]
+        if self._stages_run:
+            out["stages_run"] = self._stages_run
+        return out
+
+    def close(self) -> None:
+        """No-op: the shared base outlives every per-job view."""
+
+    def __getattr__(self, attr: str) -> Any:
+        if attr.startswith("_"):
+            raise AttributeError(attr)
+        if attr == "run_exchange":
+            base_fn = getattr(self._base, "run_exchange", None)
+            if base_fn is None:
+                raise AttributeError(attr)
+
+            def run_exchange(*args: Any, **kwargs: Any) -> Any:
+                with self._lock:
+                    before = self._base.stats()
+                    try:
+                        return base_fn(*args, **kwargs)
+                    finally:
+                        self._accumulate(self._base.stats(), before)
+
+            return run_exchange
+        return getattr(self._base, attr)
+
+
 # -- executor registry ------------------------------------------------------
 #
 # The single string→factory mapping behind every ``executor=`` knob in the

@@ -55,6 +55,11 @@ on the remote backend):
 ``bucket_refetches``
     Buckets the driver had to re-derive from the original input shard
     because their producing worker was gone.
+``bucket_fetch_chunks``
+    Bounded ``MSG_BUCKET_CHUNK`` frames received while fetching peer
+    buckets — large buckets stream in pieces instead of one frame per
+    fetch, so this counts only the chunked (multi-frame) transfers;
+    buckets small enough for a single frame add nothing.
 
 Per-stage observations (``stage_profiles``):
 
@@ -130,6 +135,7 @@ class PipelineMetrics:
     p2p_shuffle_bytes: int = 0
     driver_shuffle_bytes: int = 0
     bucket_refetches: int = 0
+    bucket_fetch_chunks: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
     stage_profiles: List[StageProfile] = field(default_factory=list)
 
@@ -173,12 +179,18 @@ class PipelineMetrics:
             self.stage_profiles[-1].shuffled_records += n_records
 
     def observe_exchange(
-        self, *, p2p_bytes: int, driver_bytes: int, refetches: int
+        self,
+        *,
+        p2p_bytes: int,
+        driver_bytes: int,
+        refetches: int,
+        fetch_chunks: int = 0,
     ) -> None:
         """One worker-to-worker shuffle exchange's byte accounting."""
         self.p2p_shuffle_bytes += p2p_bytes
         self.driver_shuffle_bytes += driver_bytes
         self.bucket_refetches += refetches
+        self.bucket_fetch_chunks += fetch_chunks
 
     def observe_lifted_combiner(self) -> None:
         self.lifted_combiners += 1
@@ -211,6 +223,7 @@ class PipelineMetrics:
         self.p2p_shuffle_bytes = 0
         self.driver_shuffle_bytes = 0
         self.bucket_refetches = 0
+        self.bucket_fetch_chunks = 0
         self.stage_counts.clear()
         self.stage_profiles.clear()
 
@@ -232,6 +245,7 @@ class PipelineMetrics:
             p2p_shuffle_bytes=self.p2p_shuffle_bytes,
             driver_shuffle_bytes=self.driver_shuffle_bytes,
             bucket_refetches=self.bucket_refetches,
+            bucket_fetch_chunks=self.bucket_fetch_chunks,
             stage_counts=dict(self.stage_counts),
             stage_profiles=[
                 StageProfile(**p.to_dict()) for p in self.stage_profiles

@@ -47,12 +47,14 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import warnings
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.dataflow.executor import (
     DEFAULT_BROADCAST_MIN_BYTES,
     Executor,
+    JobScopedExecutor,
     executor_names,
     resolve_executor,
 )
@@ -911,6 +913,8 @@ class DataflowContext:
         )
         self._owns_executor = not isinstance(options.executor, Executor)
         self.touched_checkpoint_digests: "set[str]" = set()
+        self._dispatch_lock = threading.RLock()
+        self._scoped = False
         self._closed = False
 
     def pipeline(self, **overrides: Any):
@@ -954,6 +958,32 @@ class DataflowContext:
             shuffle=o.shuffle,
         )
 
+    def scoped(self) -> "DataflowContext":
+        """A per-job view of this warm context for concurrent drives.
+
+        The view shares everything warm — options, executor pool (through
+        a :class:`~repro.dataflow.executor.JobScopedExecutor`, which
+        serializes dispatch across all views and meters only the view's
+        own work), adaptive planner, and the touched-digest set — while
+        giving each concurrent drive isolated executor stats, so per-job
+        reports stay correct when a long-lived service multiplexes
+        tenants onto one context.  Closing a view is a no-op on the
+        shared resources: the base context's executor stays up and the
+        planner's history flushes once, when the *base* closes.
+        """
+        if self._closed:
+            raise RuntimeError("DataflowContext closed")
+        view = object.__new__(DataflowContext)
+        view.options = self.options
+        view.planner = self.planner
+        view.executor = JobScopedExecutor(self.executor, self._dispatch_lock)
+        view._owns_executor = False
+        view.touched_checkpoint_digests = self.touched_checkpoint_digests
+        view._dispatch_lock = self._dispatch_lock
+        view._scoped = True
+        view._closed = False
+        return view
+
     def gc_checkpoints(self, keep: Iterable[str] = ()) -> int:
         """Delete checkpoint entries no pipeline of this run touched.
 
@@ -978,7 +1008,9 @@ class DataflowContext:
         if self._closed:
             return
         self._closed = True
-        if self.planner is not None:
+        # Scoped views share the planner; flushing its history from every
+        # concurrent job would race on the files, so only the base flushes.
+        if self.planner is not None and not self._scoped:
             self.planner.flush()
         if self._owns_executor:
             self.executor.close()

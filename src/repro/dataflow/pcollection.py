@@ -1610,6 +1610,7 @@ class Pipeline:
             p2p_bytes=info["p2p_bytes"],
             driver_bytes=info["driver_bytes"],
             refetches=info["refetches"],
+            fetch_chunks=info.get("fetch_chunks", 0),
         )
         if self.planner is not None:
             self.planner.record_profile(write_profile)

@@ -276,6 +276,7 @@ class RemoteExecutor(Executor):
         self.p2p_shuffle_bytes = 0
         self.driver_shuffle_bytes = 0
         self.bucket_refetches = 0
+        self.bucket_fetch_chunks = 0
         self._exchange_counter = 0
         self._registry = BroadcastRegistry(broadcast_min_bytes)
         self._close_event = threading.Event()
@@ -361,6 +362,7 @@ class RemoteExecutor(Executor):
             "p2p_shuffle_bytes": self.p2p_shuffle_bytes,
             "driver_shuffle_bytes": self.driver_shuffle_bytes,
             "bucket_refetches": self.bucket_refetches,
+            "bucket_fetch_chunks": self.bucket_fetch_chunks,
         }
 
     # -- elastic membership ------------------------------------------------
@@ -688,6 +690,7 @@ class RemoteExecutor(Executor):
             "driver_bytes": 0,
             "local_bytes": 0,
             "refetches": 0,
+            "fetch_chunks": 0,
         }
 
         def bucket_for(input_idx: int, dest: int, *, refetch: bool) -> Any:
@@ -781,11 +784,12 @@ class RemoteExecutor(Executor):
                     continue
                 _, host, port, bucket_id = source
                 try:
-                    payload = _fetch_peer_buckets(host, port, [bucket_id])[
-                        bucket_id
-                    ]
+                    got, n_chunks = _fetch_peer_buckets(
+                        host, port, [bucket_id]
+                    )
+                    payload = got[bucket_id]
                 except (ConnectionError, OSError):
-                    payload = None
+                    payload, n_chunks = None, 0
                 if payload is None:
                     input_idx, dest = self._split_bucket_id(bucket_id)
                     parts.append(bucket_for(input_idx, dest, refetch=True))
@@ -793,10 +797,12 @@ class RemoteExecutor(Executor):
                     parts.append(protocol.loads(payload))
                     with fallback_lock:
                         info["driver_bytes"] += len(payload)
+                        info["fetch_chunks"] += n_chunks
             merged = merge_bucket_parts(parts)
             value = read_fn(merged)
             return (
                 value, len(merged), isinstance(merged, ColumnarShard), 0, 0,
+                0,
             )
 
         def read_send(channel: _Channel, index: int) -> bool:
@@ -857,16 +863,20 @@ class RemoteExecutor(Executor):
         dest_counts: List[int] = []
         dest_columnar: List[bool] = []
         for index in range(num_shards):
-            value, n_merged, is_col, p2p, local = r_state.results[index]
+            value, n_merged, is_col, p2p, local, chunks = (
+                r_state.results[index]
+            )
             results.append(value)
             dest_counts.append(n_merged)
             dest_columnar.append(is_col)
             info["p2p_bytes"] += p2p
             info["local_bytes"] += local
+            info["fetch_chunks"] += chunks
         with self._stats_lock:
             self.p2p_shuffle_bytes += info["p2p_bytes"]
             self.driver_shuffle_bytes += info["driver_bytes"]
             self.bucket_refetches += info["refetches"]
+            self.bucket_fetch_chunks += info["fetch_chunks"]
         info.update(
             moved=moved,
             pre_records=offered,

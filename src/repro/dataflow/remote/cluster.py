@@ -53,6 +53,10 @@ class LocalCluster:
         during a long task).
     startup_timeout:
         Seconds to wait for each worker's ready line before giving up.
+    bucket_chunk_bytes:
+        Passed through as each worker's ``--bucket-chunk-bytes`` (the
+        per-frame cap on served shuffle buckets); ``None`` keeps the
+        worker default.
     """
 
     def __init__(
@@ -61,6 +65,7 @@ class LocalCluster:
         *,
         heartbeat_interval: float = 1.0,
         startup_timeout: float = 60.0,
+        bucket_chunk_bytes: "int | None" = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -68,6 +73,7 @@ class LocalCluster:
         self._procs: List[subprocess.Popen] = []
         self._heartbeat_interval = float(heartbeat_interval)
         self._startup_timeout = float(startup_timeout)
+        self._bucket_chunk_bytes = bucket_chunk_bytes
         try:
             procs = [self._spawn_proc() for _ in range(int(n_workers))]
             for proc in procs:
@@ -79,15 +85,18 @@ class LocalCluster:
             raise
 
     def _spawn_proc(self) -> subprocess.Popen:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.dataflow.remote.worker",
+            "--host", "127.0.0.1",
+            "--port", "0",
+            "--heartbeat-interval", str(self._heartbeat_interval),
+        ]
+        if self._bucket_chunk_bytes is not None:
+            argv += ["--bucket-chunk-bytes", str(self._bucket_chunk_bytes)]
         proc = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.dataflow.remote.worker",
-                "--host", "127.0.0.1",
-                "--port", "0",
-                "--heartbeat-interval", str(self._heartbeat_interval),
-            ],
+            argv,
             stdout=subprocess.PIPE,
             env=_worker_env(),
         )

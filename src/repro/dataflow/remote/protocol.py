@@ -51,11 +51,20 @@ Worker-to-worker shuffle (appended tags, values never shift):
     driver learns the routing without moving a byte of bucket data.
 ``(MSG_FETCH_BUCKET, bucket_id)``
     Peer-to-peer (or driver-fallback) bucket fetch, sent on a fresh
-    connection to the *producing* worker's daemon; answered with
-    ``MSG_BUCKET``.
+    connection to the *producing* worker's daemon; answered with one
+    ``MSG_BUCKET`` frame, or — when the stored payload exceeds the
+    daemon's ``bucket_chunk_bytes`` — a run of ``MSG_BUCKET_CHUNK``
+    frames.
 ``(MSG_BUCKET, bucket_id, payload_bytes_or_None)``
     The stored bucket's serialized bytes (``None`` when the id is
     unknown — e.g. the exchange was already evicted).
+``(MSG_BUCKET_CHUNK, bucket_id, seq, n_chunks, chunk_bytes)``
+    One bounded piece of a large bucket: ``seq`` counts from 0 and the
+    fetcher concatenates all ``n_chunks`` pieces in order to recover
+    the serialized bucket.  Keeps a multi-hundred-MB bucket from
+    occupying one giant frame (and one giant contiguous driver/worker
+    buffer) per fetch; the receiver meters the frames as
+    ``bucket_fetch_chunks``.
 ``(MSG_TASK_SHUF_READ, index, sources)``
     A shuffle-read task: ``sources`` lists this destination shard's
     bucket parts in input-shard order, each ``("peer", host, port,
@@ -64,7 +73,7 @@ Worker-to-worker shuffle (appended tags, values never shift):
     exactly like the driver's ``merge_bucket_parts``, and runs the
     current stage function over the merged shard.  The reply is
     ``(MSG_RESULT, index, (value, n_merged, merged_columnar,
-    p2p_bytes, local_bytes))`` — or ``(MSG_RESULT, index,
+    p2p_bytes, local_bytes, fetch_chunks))`` — or ``(MSG_RESULT, index,
     (FETCH_FAILED, detail))`` when a producing peer is unreachable, in
     which case the driver re-derives the shard itself (the fault
     fallback).
@@ -123,6 +132,12 @@ MSG_BUCKET = 13
 MSG_TASK_SHUF_READ = 14
 MSG_EVICT_BUCKETS = 15
 MSG_EVICT_BLOBS = 16
+MSG_BUCKET_CHUNK = 17
+
+#: Default upper bound on one ``MSG_BUCKET`` payload before the serving
+#: daemon switches to ``MSG_BUCKET_CHUNK`` streaming (workers take
+#: ``--bucket-chunk-bytes``; ``None`` disables chunking).
+DEFAULT_BUCKET_CHUNK_BYTES = 4 << 20
 
 #: Shuffle-read reply marker: the worker could not fetch every assigned
 #: bucket (a producing peer died); the driver re-derives the shard.  A

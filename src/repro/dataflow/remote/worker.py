@@ -58,9 +58,11 @@ from repro.dataflow.columnar import merge_bucket_parts
 from repro.dataflow.executor import _resolve, load_blob, loads_with_broadcast
 from repro.dataflow.remote import protocol
 from repro.dataflow.remote.protocol import (
+    DEFAULT_BUCKET_CHUNK_BYTES,
     FETCH_FAILED,
     MSG_BLOB,
     MSG_BUCKET,
+    MSG_BUCKET_CHUNK,
     MSG_BYE,
     MSG_ERROR,
     MSG_EVICT_BLOBS,
@@ -83,28 +85,51 @@ from repro.dataflow.columnar import ColumnarShard
 
 def _fetch_peer_buckets(
     host: str, port: int, bucket_ids: List[str]
-) -> Dict[str, Optional[bytes]]:
+) -> Tuple[Dict[str, Optional[bytes]], int]:
     """Fetch several buckets from one peer daemon over a fresh connection.
 
-    Returns id → serialized bytes (``None`` when the peer no longer holds
-    the bucket).  Connection errors propagate — the caller turns them
-    into a ``FETCH_FAILED`` reply so the driver can fall back.
+    Returns ``(id → serialized bytes, chunk_frames)`` — the value is
+    ``None`` when the peer no longer holds the bucket, and
+    ``chunk_frames`` counts the bounded ``MSG_BUCKET_CHUNK`` frames
+    received for buckets large enough to stream in pieces (single-frame
+    ``MSG_BUCKET`` replies add nothing).  Connection errors propagate —
+    the caller turns them into a ``FETCH_FAILED`` reply so the driver
+    can fall back.
     """
     sock = socket.create_connection((host, port), timeout=30.0)
     try:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         out: Dict[str, Optional[bytes]] = {}
+        chunk_frames = 0
         for bucket_id in bucket_ids:
             protocol.send_msg(sock, (MSG_FETCH_BUCKET, bucket_id))
             reply = protocol.recv_msg(sock)
-            if reply[0] != MSG_BUCKET or reply[1] != bucket_id:
+            if reply[0] == MSG_BUCKET and reply[1] == bucket_id:
+                out[bucket_id] = reply[2]
+                continue
+            if reply[0] != MSG_BUCKET_CHUNK or reply[1] != bucket_id:
                 raise ConnectionError("bucket fetch protocol violation")
-            out[bucket_id] = reply[2]
+            pieces: List[bytes] = []
+            while True:
+                if (
+                    reply[0] != MSG_BUCKET_CHUNK
+                    or reply[1] != bucket_id
+                    or reply[2] != len(pieces)
+                ):
+                    raise ConnectionError(
+                        "bucket chunk sequence protocol violation"
+                    )
+                pieces.append(reply[4])
+                chunk_frames += 1
+                if len(pieces) == reply[3]:
+                    break
+                reply = protocol.recv_msg(sock)
+            out[bucket_id] = b"".join(pieces)
         try:
             protocol.send_msg(sock, (MSG_BYE,))
         except OSError:
             pass
-        return out
+        return out, chunk_frames
     finally:
         sock.close()
 
@@ -118,8 +143,20 @@ class WorkerServer:
         port: int = 0,
         *,
         heartbeat_interval: float = 1.0,
+        bucket_chunk_bytes: Optional[int] = DEFAULT_BUCKET_CHUNK_BYTES,
     ) -> None:
         self.heartbeat_interval = float(heartbeat_interval)
+        #: Serve a stored bucket larger than this in bounded
+        #: ``MSG_BUCKET_CHUNK`` frames instead of one giant ``MSG_BUCKET``
+        #: frame (``None`` disables chunking).
+        self.bucket_chunk_bytes = (
+            None if bucket_chunk_bytes is None else int(bucket_chunk_bytes)
+        )
+        if self.bucket_chunk_bytes is not None and self.bucket_chunk_bytes < 1:
+            raise ValueError(
+                "bucket_chunk_bytes must be >= 1 or None, got "
+                f"{bucket_chunk_bytes}"
+            )
         self._listener = socket.create_server((host, int(port)))
         self.host, self.port = self._listener.getsockname()[:2]
         #: Daemon-wide bucket store: ``"<exchange>/<input>/<dest>" ->
@@ -169,6 +206,27 @@ class WorkerServer:
     def bucket_store_bytes(self) -> int:
         with self._buckets_lock:
             return sum(len(v) for v in self._buckets.values())
+
+    def _send_bucket(self, sock: socket.socket, bucket_id: str) -> None:
+        """Answer one ``MSG_FETCH_BUCKET``: a single frame for small (or
+        missing) payloads, bounded ``MSG_BUCKET_CHUNK`` frames otherwise."""
+        payload = self.get_bucket(bucket_id)
+        limit = self.bucket_chunk_bytes
+        if payload is None or limit is None or len(payload) <= limit:
+            protocol.send_msg(sock, (MSG_BUCKET, bucket_id, payload))
+            return
+        n_chunks = -(-len(payload) // limit)
+        for seq in range(n_chunks):
+            protocol.send_msg(
+                sock,
+                (
+                    MSG_BUCKET_CHUNK,
+                    bucket_id,
+                    seq,
+                    n_chunks,
+                    payload[seq * limit:(seq + 1) * limit],
+                ),
+            )
 
     # -- shutdown ----------------------------------------------------------
 
@@ -276,9 +334,7 @@ class WorkerServer:
                         ),
                     )
                 elif tag == MSG_FETCH_BUCKET:
-                    protocol.send_msg(
-                        sock, (MSG_BUCKET, message[1], self.get_bucket(message[1]))
-                    )
+                    self._send_bucket(sock, message[1])
                 elif tag == MSG_EVICT_BUCKETS:
                     self.evict_exchange(message[1])
                 elif tag == MSG_BYE:
@@ -353,11 +409,14 @@ class WorkerServer:
                     if not (host == self.host and port == self.port):
                         by_peer.setdefault((host, port), []).append(bucket_id)
             fetched: Dict[str, Optional[bytes]] = {}
+            fetch_chunks = 0
             for (host, port), ids in by_peer.items():
                 try:
-                    fetched.update(_fetch_peer_buckets(host, port, ids))
+                    got, n_chunks = _fetch_peer_buckets(host, port, ids)
                 except (ConnectionError, OSError) as exc:
                     return (FETCH_FAILED, f"{host}:{port}: {exc}")
+                fetched.update(got)
+                fetch_chunks += n_chunks
             parts: List[Any] = []
             p2p_bytes = 0
             local_bytes = 0
@@ -385,7 +444,10 @@ class WorkerServer:
             n_merged = len(merged)
             merged_columnar = isinstance(merged, ColumnarShard)
             value = read_fn(merged)
-            return (value, n_merged, merged_columnar, p2p_bytes, local_bytes)
+            return (
+                value, n_merged, merged_columnar, p2p_bytes, local_bytes,
+                fetch_chunks,
+            )
 
         return work
 
@@ -447,9 +509,15 @@ def main(argv=None) -> int:
     parser.add_argument("--heartbeat-interval", type=float, default=1.0,
                         help="seconds between liveness frames while a "
                              "task computes")
+    parser.add_argument("--bucket-chunk-bytes", type=int,
+                        default=DEFAULT_BUCKET_CHUNK_BYTES,
+                        help="serve stored shuffle buckets larger than this "
+                             "in bounded MSG_BUCKET_CHUNK frames; 0 disables "
+                             "chunking")
     args = parser.parse_args(argv)
     server = WorkerServer(
-        args.host, args.port, heartbeat_interval=args.heartbeat_interval
+        args.host, args.port, heartbeat_interval=args.heartbeat_interval,
+        bucket_chunk_bytes=args.bucket_chunk_bytes or None,
     )
     print(f"REPRO_WORKER_READY {server.host} {server.port}", flush=True)
     server.serve_forever()

@@ -1,0 +1,69 @@
+"""``python -m repro.service`` — run the selector service in the
+foreground.  Prints ``REPRO_SERVICE_READY <host> <port>`` once the
+socket is bound (``--port 0`` binds an ephemeral port; the printed line
+is how scripts and the CI smoke job learn it)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.service.server import ServiceConfig, serve
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description="long-lived selector service (job queue, warm "
+        "contexts, metrics endpoint)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7171,
+        help="listen port (0 binds an ephemeral port, printed on the "
+        "REPRO_SERVICE_READY line)",
+    )
+    parser.add_argument(
+        "--state-dir", required=True,
+        help="directory for the persistent job store (jobs/ and "
+        "results/); survives restarts",
+    )
+    parser.add_argument(
+        "--max-queued", type=int, default=64,
+        help="admission cap on queued jobs (429 beyond it)",
+    )
+    parser.add_argument(
+        "--max-running", type=int, default=4,
+        help="bounded pool of concurrent drives",
+    )
+    parser.add_argument(
+        "--max-num-shards", type=int, default=64,
+        help="per-job cap on EngineOptions.num_shards",
+    )
+    parser.add_argument(
+        "--max-records", type=int, default=1_000_000,
+        help="per-job cap on the dataset's point count",
+    )
+    parser.add_argument(
+        "--default-timeout", type=float, default=None, metavar="SECONDS",
+        help="timeout applied to jobs that carry none",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        max_queued=args.max_queued,
+        max_running=args.max_running,
+        max_num_shards=args.max_num_shards,
+        max_records=args.max_records,
+        default_timeout_s=args.default_timeout,
+    )
+    return serve(config, host=args.host, port=args.port)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Job model for the selector service: specs, digests, records, store.
+
+A *job* is one selection request: which dataset to build, which
+selector configuration to run, and which engine options to run it
+under.  Specs are plain JSON-able dicts end to end, because they cross
+the HTTP boundary and land on disk.
+
+The **plan digest** is the service's dedup key: a SHA-256 over the
+*normalized* spec — dataset + selector + resolved engine options, with
+every omitted field replaced by its default so ``{"k": 5}`` and
+``{"k": 5, "seed": 0}`` hash identically.  Tenant, priority, timeout,
+and the ``force`` flag are deliberately excluded: *who* asked and *how
+urgently* never changes *what* is computed, which is exactly what makes
+dedup safe across tenants.  Anything that does change the computation —
+a different seed, ``num_shards``, or ``checkpoint_salt`` — lands in the
+digest and therefore never dedups.
+
+The :class:`JobStore` is a directory of small JSON files — one per job
+record under ``jobs/``, one per *digest* under ``results/`` — written
+atomically (temp file + rename), so a restarted server recovers every
+record and every completed result, and re-enqueues the jobs a crash
+interrupted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.dataflow.options import EngineOptions
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "plan_digest",
+]
+
+#: Job lifecycle states.  ``queued → running → done`` is the happy path;
+#: ``failed`` carries the exception text, ``cancelled`` and ``timeout``
+#: are the two ways a job ends without a result.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "timeout")
+
+#: Dataset-spec fields and their defaults (``preset`` is required).
+_DATASET_DEFAULTS: Dict[str, Any] = {
+    "n_points": None,
+    "seed": 0,
+    "alpha": 0.9,
+    "knn_k": None,
+}
+
+#: Selector-spec fields and their defaults (``k`` is required).  These
+#: mirror ``SelectorConfig`` / the ``repro select`` flags; ``seed`` is
+#: the selection seed, distinct from the dataset seed.
+_SELECTOR_DEFAULTS: Dict[str, Any] = {
+    "bounding": None,
+    "sampler": "uniform",
+    "sampling_fraction": 1.0,
+    "machines": 1,
+    "rounds": 1,
+    "adaptive": False,
+    "gamma": 0.75,
+    "seed": 0,
+    "engine": "dataflow",
+}
+
+
+def _normalize_section(
+    section: Dict[str, Any],
+    defaults: Dict[str, Any],
+    required: str,
+    what: str,
+) -> Dict[str, Any]:
+    if not isinstance(section, dict):
+        raise ValueError(f"{what} must be an object, got {section!r}")
+    unknown = sorted(set(section) - set(defaults) - {required})
+    if unknown:
+        raise ValueError(
+            f"unknown {what} field(s) {unknown}; expected a subset of "
+            f"{sorted(set(defaults) | {required})}"
+        )
+    if required not in section or section[required] is None:
+        raise ValueError(f"{what} requires {required!r}")
+    out = dict(defaults)
+    out.update(section)
+    return out
+
+
+@dataclass
+class JobSpec:
+    """One selection request, normalized and JSON-able.
+
+    ``dataset`` names a registry preset (plus size/seed/alpha overrides);
+    ``selector`` carries the ``SelectorConfig`` knobs plus the selection
+    ``seed``; ``engine_options`` is an :class:`~repro.dataflow.options.
+    EngineOptions` dict (validated at construction, so a bad knob fails
+    at submit time, not deep inside a worker thread).  ``force`` bypasses
+    the service's result-store dedup — the job re-executes even when a
+    completed digest match exists, which is how the engine's own
+    checkpoint resume (``checkpoint_hits``) is exercised through the
+    service.
+    """
+
+    dataset: Dict[str, Any]
+    selector: Dict[str, Any]
+    engine_options: Dict[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
+    priority: int = 0
+    timeout_s: Optional[float] = None
+    force: bool = False
+
+    def __post_init__(self) -> None:
+        self.dataset = _normalize_section(
+            self.dataset, _DATASET_DEFAULTS, "preset", "dataset"
+        )
+        self.selector = _normalize_section(
+            self.selector, _SELECTOR_DEFAULTS, "k", "selector"
+        )
+        self.selector["k"] = int(self.selector["k"])
+        if self.selector["k"] < 1:
+            raise ValueError(
+                f"selector.k must be >= 1, got {self.selector['k']}"
+            )
+        if self.selector["engine"] not in ("memory", "dataflow"):
+            raise ValueError(
+                "selector.engine must be 'memory' or 'dataflow', got "
+                f"{self.selector['engine']!r}"
+            )
+        # Validate (and normalize) the engine knobs once, up front.
+        self.engine_options = EngineOptions.from_dict(
+            self.engine_options
+        ).to_dict()
+        self.tenant = str(self.tenant)
+        self.priority = int(self.priority)
+        if self.timeout_s is not None:
+            self.timeout_s = float(self.timeout_s)
+            if self.timeout_s <= 0:
+                raise ValueError(
+                    f"timeout_s must be > 0, got {self.timeout_s}"
+                )
+        self.force = bool(self.force)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown job spec field(s) {unknown}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        if "dataset" not in data or "selector" not in data:
+            raise ValueError("job spec requires 'dataset' and 'selector'")
+        return cls(**data)
+
+
+def plan_digest(spec: JobSpec) -> str:
+    """Deterministic identity of *what* a spec computes (the dedup key).
+
+    Covers the normalized dataset, selector, and resolved engine-options
+    sections; excludes tenant/priority/timeout/force (scheduling, not
+    semantics).  Engine options go through ``EngineOptions`` resolution
+    first, so spelling a default explicitly does not change the digest —
+    while any knob that changes results (``checkpoint_salt``, seeds,
+    ``num_shards`` …) does.
+    """
+    canonical = {
+        "dataset": spec.dataset,
+        "selector": spec.selector,
+        "engine_options": spec.engine_options,
+    }
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """One job's lifecycle state, as persisted in the store."""
+
+    job_id: str
+    spec: JobSpec
+    digest: str
+    state: str = "queued"
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    #: ``"store"`` when the result was served from a completed digest
+    #: match without executing; ``None`` when this job ran the drive.
+    deduped_from: Optional[str] = None
+
+    @classmethod
+    def create(cls, spec: JobSpec) -> "JobRecord":
+        return cls(
+            job_id=uuid.uuid4().hex,
+            spec=spec,
+            digest=plan_digest(spec),
+            created_at=time.time(),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["spec"] = self.spec.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        data = dict(data)
+        data["spec"] = JobSpec.from_dict(data["spec"])
+        return cls(**data)
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class JobStore:
+    """Directory-backed persistence for job records and results.
+
+    ``<state_dir>/jobs/<job_id>.json`` holds one :class:`JobRecord`;
+    ``<state_dir>/results/<digest>.json`` holds one completed result
+    payload, keyed by *digest* so every job of an identical spec — from
+    any tenant — shares one entry.  All writes are atomic renames, so a
+    crash never leaves a half-written record behind.
+    """
+
+    def __init__(self, state_dir: str) -> None:
+        self.state_dir = str(state_dir)
+        self.jobs_dir = os.path.join(self.state_dir, "jobs")
+        self.results_dir = os.path.join(self.state_dir, "results")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.results_dir, exist_ok=True)
+
+    # -- job records -------------------------------------------------------
+
+    def _job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def save_job(self, record: JobRecord) -> None:
+        _atomic_write_json(self._job_path(record.job_id), record.to_dict())
+
+    def load_job(self, job_id: str) -> Optional[JobRecord]:
+        try:
+            with open(self._job_path(job_id)) as fh:
+                return JobRecord.from_dict(json.load(fh))
+        except FileNotFoundError:
+            return None
+
+    def iter_jobs(self) -> Iterator[JobRecord]:
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            record = self.load_job(name[: -len(".json")])
+            if record is not None:
+                yield record
+
+    def list_jobs(self) -> List[JobRecord]:
+        return sorted(self.iter_jobs(), key=lambda r: r.created_at)
+
+    # -- results (digest-keyed) --------------------------------------------
+
+    def _result_path(self, digest: str) -> str:
+        return os.path.join(self.results_dir, f"{digest}.json")
+
+    def save_result(self, digest: str, payload: Dict[str, Any]) -> None:
+        _atomic_write_json(self._result_path(digest), payload)
+
+    def load_result(self, digest: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._result_path(digest)) as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+
+    def has_result(self, digest: str) -> bool:
+        return os.path.exists(self._result_path(digest))

@@ -476,6 +476,103 @@ class TestBlobCacheCap:
             executor.close()
 
 
+class TestChunkedBucketFetch:
+    """Large served buckets stream as bounded ``MSG_BUCKET_CHUNK`` frames."""
+
+    @staticmethod
+    def _fat_drive(pipeline, n_records=64, value_bytes=64 * 1024,
+                   record_sleep=0.0):
+        """A grouped drive whose shuffle buckets are multi-MB: each
+        record carries a distinct ~64 KiB string, ~4 MiB total.
+
+        ``record_sleep`` pads the fused write stage so the dynamic task
+        pull spreads write tasks over every worker — each then holds
+        resident buckets and every read must peer-fetch at least one
+        part, instead of one fast worker taking the whole stage and
+        serving itself locally (which would leave zero peer traffic to
+        observe).  The pause changes no values, so results stay
+        bit-identical to an unpadded reference.
+
+        Keys cycle mod 3 — coprime to the 4-way sharding, so every
+        input shard holds every key and every destination bucket merges
+        parts from both workers (``i % 2`` would align keys with shards
+        and let a producer serve its own destinations entirely locally).
+        """
+        data = [(i % 3, i) for i in range(n_records)]
+
+        def fatten(kv, _w=value_bytes, _s=record_sleep):
+            if _s:
+                time.sleep(_s)
+            return (kv[0], ("%06d" % kv[1]) * (_w // 6))
+
+        return sorted(
+            pipeline.create(data)
+            .map(fatten)
+            .as_keyed()
+            .group_by_key()
+            .map_values(sorted)
+            .to_list()
+        )
+
+    def test_multi_mb_bucket_streams_in_chunks(self):
+        """With a small per-frame cap the fetch arrives as many chunk
+        frames, counted by ``bucket_fetch_chunks`` — results and every
+        other metric stay bit-identical to the sequential reference."""
+        reference = self._fat_drive(Pipeline(num_shards=4))
+        with LocalCluster(2, bucket_chunk_bytes=128 * 1024) as private:
+            executor = RemoteExecutor(
+                workers=private.addresses, min_parallel_records=0
+            )
+            try:
+                pipeline = Pipeline(
+                    num_shards=4, executor=executor, shuffle="worker"
+                )
+                got = self._fat_drive(pipeline, record_sleep=0.02)
+                assert got == reference
+                stats = executor.stats()
+                # ~512 KiB per fetched bucket part over a 128 KiB cap:
+                # the peer fetches must have streamed, several frames
+                # each.
+                assert stats["p2p_shuffle_bytes"] > 0
+                assert stats["bucket_fetch_chunks"] >= 2
+                assert stats["driver_shuffle_bytes"] == 0
+                assert stats["bucket_refetches"] == 0
+                assert (
+                    pipeline.metrics.bucket_fetch_chunks
+                    == stats["bucket_fetch_chunks"]
+                )
+            finally:
+                executor.close()
+
+    def test_small_buckets_stay_single_frame(self, remote):
+        """Under the (4 MiB) default cap, small buckets add no chunk
+        frames — the single-``MSG_BUCKET`` fast path is untouched."""
+        pipeline = Pipeline(num_shards=4, executor=remote, shuffle="worker")
+        _group_drive(pipeline)
+        assert remote.stats()["bucket_fetch_chunks"] == 0
+        assert pipeline.metrics.bucket_fetch_chunks == 0
+
+    def test_chunking_disabled_still_serves_large_buckets(self):
+        """``--bucket-chunk-bytes 0`` disables streaming: one frame per
+        fetch, zero chunk frames, identical results."""
+        reference = self._fat_drive(Pipeline(num_shards=4))
+        with LocalCluster(2, bucket_chunk_bytes=0) as private:
+            executor = RemoteExecutor(
+                workers=private.addresses, min_parallel_records=0
+            )
+            try:
+                pipeline = Pipeline(
+                    num_shards=4, executor=executor, shuffle="worker"
+                )
+                got = self._fat_drive(pipeline, record_sleep=0.02)
+                assert got == reference
+                stats = executor.stats()
+                assert stats["p2p_shuffle_bytes"] > 0
+                assert stats["bucket_fetch_chunks"] == 0
+            finally:
+                executor.close()
+
+
 class TestGracefulShutdown:
     """``MSG_SHUTDOWN`` drains the in-flight task before exiting."""
 
