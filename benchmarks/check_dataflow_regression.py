@@ -63,6 +63,15 @@ Two checks, both read from the record ``test_dataflow_engine.py`` emits:
    regression (constants no longer fitted from the observed profiles)
    fails the error bound.
 
+7. **Incremental-reuse gate** (``--incremental-mode``, default
+   ``knn_incremental``): a 10% delta drive against a warm checkpoint
+   directory must actually reuse shards (``reused_shards > 0``) and must
+   re-execute strictly less than ``--max-incremental-stage-ratio``
+   (default 0.5) of the cold drive's stages.  A fingerprint or
+   content-digest regression keeps results bit-identical — the bench
+   asserts that inline — but silently recomputes everything, and fails
+   only here.
+
 Usage::
 
     python benchmarks/check_dataflow_regression.py \
@@ -118,6 +127,13 @@ def main(argv=None) -> int:
     parser.add_argument("--max-adaptive-rel-err", type=float, default=0.9,
                         help="fail when the median predicted-vs-actual "
                              "symmetric relative error exceeds this")
+    parser.add_argument("--incremental-mode", default="knn_incremental",
+                        help="delta-drive mode whose shard reuse is gated "
+                             "(empty string skips the gate)")
+    parser.add_argument("--max-incremental-stage-ratio", type=float,
+                        default=0.5,
+                        help="fail when the delta drive executes at least "
+                             "this fraction of the cold drive's stages")
     args = parser.parse_args(argv)
 
     with open(args.record) as fh:
@@ -323,6 +339,46 @@ def main(argv=None) -> int:
             )
             return 1
         print("OK: adaptive planning within budget and calibrated")
+
+    if args.incremental_mode:
+        try:
+            mode = modes[args.incremental_mode]
+            reused = int(mode["reused_shards"])
+            delta_stages = int(mode["executed_stages"])
+            cold_stages = int(mode["cold_stages"])
+        except KeyError as missing:
+            print(
+                f"incremental-gate mode/field {missing} not found in "
+                f"{args.record}",
+                file=sys.stderr,
+            )
+            return 2
+        ratio = (
+            delta_stages / cold_stages if cold_stages > 0 else float("inf")
+        )
+        print(
+            f"{args.incremental_mode}: {delta_stages} delta-drive stages "
+            f"vs {cold_stages} cold — ratio {ratio:.3f} (max allowed "
+            f"{args.max_incremental_stage_ratio:.2f}), "
+            f"{reused} shards reused"
+        )
+        if reused == 0:
+            print(
+                "FAIL: the delta drive reused zero shards — shard "
+                "fingerprinting or content-digested checkpoints regressed "
+                "and every branch recomputed",
+                file=sys.stderr,
+            )
+            return 1
+        if ratio >= args.max_incremental_stage_ratio:
+            print(
+                f"FAIL: delta drive executed {ratio:.3f} of the cold "
+                f"drive's stages (>= {args.max_incremental_stage_ratio:.2f})"
+                " — the invalidation cone is wider than the delta",
+                file=sys.stderr,
+            )
+            return 1
+        print("OK: delta drive recomputes only the invalidated cone")
     return 0
 
 

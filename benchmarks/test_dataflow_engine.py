@@ -26,6 +26,16 @@ workload:
   shipped to each worker exactly once across the build's stages
   (``check_dataflow_regression.py`` gates CI on
   ``broadcast_bytes <= unique_broadcast_bytes × n_workers``);
+- *incremental*: the delta runtime — a cold incremental selection drive
+  vs the same drive after a 10% synthetic delta, on one checkpoint
+  directory.  The delta drive must reuse shards (``reused_shards > 0``)
+  and re-execute well under half the cold drive's stages
+  (``check_dataflow_regression.py`` gates CI on both), while staying
+  bit-identical to a fresh cold drive over the same version;
+- *sieve streaming*: the one-pass :func:`beam_sieve_select` beam vs
+  batch greedy — records the quality ratio (sieve objective over batch
+  greedy objective) and the bounded per-sieve memory, the trade the
+  streaming baseline exists to show;
 - *pool persistence*: a many-small-stages pipeline (each stage forced onto
   the pool) that isolates worker-pool startup overhead — the workload that
   made the old fork-per-stage multiprocess backend a net slowdown, and the
@@ -416,6 +426,105 @@ def test_e21_dataflow_engine():
         "stage_costs": stage_costs,
         "median_rel_err": median_rel_err,
     }
+
+    # -- incremental axis: delta-driven recompute -------------------------
+    # One checkpoint directory, two drives: cold over version 0, then a
+    # 10% synthetic delta.  Fingerprint intersection must skip the
+    # untouched shard branches (checkpoint hits) so the delta drive
+    # executes a small fraction of the cold drive's stages — and a cold
+    # drive over the same version in a fresh directory must agree
+    # bit-for-bit (reuse changes what runs, never what comes out).
+    import tempfile
+
+    from repro.core.greedy import greedy_heap
+    from repro.core.problem import SubsetProblem
+    from repro.data.registry import load_dataset
+    from repro.dataflow.sieve_beam import beam_sieve_select
+    from repro.incremental import (
+        DatasetVersion,
+        IncrementalDriver,
+        synthetic_deltas,
+    )
+
+    n_sel = max(400, int(5_000 * BENCH_SCALE))
+    k_sel = max(16, n_sel // 20)
+    ds = load_dataset("cifar100_tiny", n_points=n_sel, seed=0)
+    problem = SubsetProblem.with_alpha(ds.utilities, ds.graph, 0.9)
+    v0 = DatasetVersion.initial(problem.utilities)
+    log = synthetic_deltas(v0, seed=1, steps=1, frac=0.1)
+    v1 = v0.apply_all(log)
+    with tempfile.TemporaryDirectory() as ckpt:
+        with DataflowContext(
+            EngineOptions(num_shards=8, checkpoint_dir=ckpt)
+        ) as ctx:
+            driver = IncrementalDriver(
+                problem, k_sel, context=ctx, data_shards=8
+            )
+            start = time.perf_counter()
+            cold = driver.drive(v0)
+            cold_elapsed = time.perf_counter() - start
+            start = time.perf_counter()
+            delta = driver.drive(v1, deltas=list(log))
+            delta_elapsed = time.perf_counter() - start
+    with tempfile.TemporaryDirectory() as ckpt:
+        with DataflowContext(
+            EngineOptions(num_shards=8, checkpoint_dir=ckpt)
+        ) as ctx:
+            fresh = IncrementalDriver(
+                problem, k_sel, context=ctx, data_shards=8
+            ).drive(v1)
+    np.testing.assert_array_equal(delta.selected, fresh.selected)
+    rows.append((
+        "incremental cold drive", cold_elapsed * 1e3,
+        cold.executed_stages, 0, cold.extra["num_alive"],
+    ))
+    rows.append((
+        "incremental 10% delta", delta_elapsed * 1e3,
+        delta.executed_stages, 0, delta.extra["num_alive"],
+    ))
+    record["modes"]["knn_incremental"] = {
+        "wall_ms": delta_elapsed * 1e3,
+        "wall_ms_cold": cold_elapsed * 1e3,
+        "executed_stages": delta.executed_stages,
+        "cold_stages": cold.executed_stages,
+        "reused_shards": delta.reused_shards,
+        "invalidated_shards": delta.invalidated_shards,
+        "delta_records": delta.delta_records,
+        "checkpoint_hits": delta.checkpoint_hits,
+        "data_shards": delta.extra["data_shards"],
+        "selection_n": n_sel,
+        "selection_k": k_sel,
+    }
+    assert delta.reused_shards > 0
+    assert delta.executed_stages < cold.executed_stages
+
+    # -- sieve-streaming axis: one-pass quality vs batch greedy -----------
+    batch = greedy_heap(problem, k_sel)
+    start = time.perf_counter()
+    sieve_result, sieve_metrics = beam_sieve_select(
+        problem, k_sel, seed=0, options=EngineOptions(num_shards=8)
+    )
+    sieve_elapsed = time.perf_counter() - start
+    quality = (
+        sieve_result.objective / batch.objective
+        if batch.objective > 0 else 1.0
+    )
+    rows.append((
+        "sieve streaming beam", sieve_elapsed * 1e3,
+        sieve_metrics.executed_stages, sieve_metrics.fused_stages,
+        sieve_metrics.peak_shard_records,
+    ))
+    record["modes"]["sieve_stream"] = {
+        "wall_ms": sieve_elapsed * 1e3,
+        "executed_stages": sieve_metrics.executed_stages,
+        "lifted_combiners": sieve_metrics.lifted_combiners,
+        "peak_shard_records": sieve_metrics.peak_shard_records,
+        "objective": sieve_result.objective,
+        "batch_greedy_objective": batch.objective,
+        "quality_ratio": quality,
+        "central_memory_points": sieve_result.central_memory_points,
+    }
+    assert sieve_metrics.lifted_combiners >= 1
 
     # -- pool-persistence axis: many small stages -------------------------
     # min_parallel_records=0 forces even tiny stages onto the pool; the

@@ -30,6 +30,12 @@ leave ``shuffle`` unset plans shuffles as worker-to-worker exchanges.
 Non-remote backends ignore the plane (they have no peers), so the flag
 only bites combined with ``--executor remote`` — where results must stay
 bit-identical with the driver-merge plane.
+
+``--incremental`` flips ``DEFAULT_VERIFY_REUSE`` in the incremental
+driver, so every delta drive in the suite cross-checks its reused-shard
+answer against a from-scratch recompute of the same version (results
+must be bit-identical — this matrix entry proves the invalidation cone
+is never too narrow, suite-wide).
 """
 
 import pytest
@@ -81,6 +87,13 @@ def pytest_addoption(parser):
              "exchanges (only bites with --executor remote; results "
              "must stay bit-identical)",
     )
+    parser.addoption(
+        "--incremental",
+        action="store_true",
+        default=False,
+        help="cross-check every incremental delta drive against a "
+             "from-scratch recompute (results must stay bit-identical)",
+    )
 
 
 def pytest_configure(config):
@@ -103,3 +116,7 @@ def pytest_configure(config):
         from repro.dataflow import pcollection
 
         pcollection.DEFAULT_SHUFFLE = "worker"
+    if config.getoption("--incremental"):
+        from repro.incremental import driver
+
+        driver.DEFAULT_VERIFY_REUSE = True

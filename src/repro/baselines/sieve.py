@@ -13,7 +13,7 @@ billion-point scale with k in the billions that is exactly what breaks.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -24,33 +24,25 @@ from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_cardinality
 
 
-def sieve_streaming(
+def sieve_pass(
     problem: SubsetProblem,
     k: int,
-    *,
-    epsilon: float = 0.2,
-    seed: SeedLike = None,
-) -> BaselineResult:
-    """Single-pass sieve-streaming under a cardinality constraint.
+    epsilon: float,
+    order: Sequence[int],
+) -> Tuple[List[int], int, int]:
+    """The single streaming pass, factored out of :func:`sieve_streaming`.
 
-    Elements stream in random order (``seed``).  Thresholds form the grid
-    ``{(1+ε)^i}`` covering ``[m, 2·k·m]`` where ``m`` is the best singleton
-    seen so far; each sieve admits an element whose marginal gain is at
-    least ``(Δ/2 - f(S))/(k - |S|)`` for its OPT-guess ``Δ``.
+    Consumes element ids in ``order`` and returns ``(best_ids,
+    num_sieves, memory_points)`` — the best sieve's selection (in
+    admission order), how many threshold sieves were live at the end, and
+    the largest per-sieve candidate set.  Shared with the dataflow beam
+    (:mod:`repro.dataflow.sieve_beam`), so the engine path and this
+    reference run literally the same loop.
     """
-    k = check_cardinality(k, problem.n)
-    if not 0 < epsilon < 1:
-        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
-    rng = as_generator(seed)
-    if k == 0:
-        return BaselineResult(np.empty(0, dtype=np.int64), 0.0, 0)
-
     alpha, beta = problem.alpha, problem.beta
     u = problem.utilities
     graph = problem.graph
-    objective = PairwiseObjective(problem)
 
-    stream = rng.permutation(problem.n)
     m_best = 0.0  # best singleton value so far
     # sieve state per threshold index i: (ids list, mask, value)
     sieves: Dict[int, tuple] = {}
@@ -61,7 +53,7 @@ def sieve_streaming(
         hi = int(np.ceil(np.log(max(2.0 * k * m, 1e-300)) / log_base))
         return range(lo, hi + 1)
 
-    for v in stream.tolist():
+    for v in order:
         singleton = alpha * u[v]
         if singleton > m_best:
             m_best = singleton
@@ -91,15 +83,44 @@ def sieve_streaming(
         if ids and value > best_value:
             best_value = value
             best_ids = ids
+    memory_points = max((len(ids) for ids, _m, _v in sieves.values()), default=0)
+    return best_ids, len(sieves), memory_points
+
+
+def sieve_streaming(
+    problem: SubsetProblem,
+    k: int,
+    *,
+    epsilon: float = 0.2,
+    seed: SeedLike = None,
+) -> BaselineResult:
+    """Single-pass sieve-streaming under a cardinality constraint.
+
+    Elements stream in random order (``seed``).  Thresholds form the grid
+    ``{(1+ε)^i}`` covering ``[m, 2·k·m]`` where ``m`` is the best singleton
+    seen so far; each sieve admits an element whose marginal gain is at
+    least ``(Δ/2 - f(S))/(k - |S|)`` for its OPT-guess ``Δ``.
+    """
+    k = check_cardinality(k, problem.n)
+    if not 0 < epsilon < 1:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    rng = as_generator(seed)
+    if k == 0:
+        return BaselineResult(np.empty(0, dtype=np.int64), 0.0, 0)
+
+    objective = PairwiseObjective(problem)
+    stream = rng.permutation(problem.n)
+    best_ids, num_sieves, memory_points = sieve_pass(
+        problem, k, epsilon, stream.tolist()
+    )
     selected = np.array(sorted(best_ids), dtype=np.int64)
     # Top up with random unselected points if the best sieve is short.
     if selected.size < k:
         pool = np.setdiff1d(np.arange(problem.n), selected)
         extra = rng.choice(pool, size=k - selected.size, replace=False)
         selected = np.sort(np.concatenate([selected, extra]))
-    memory_points = max((len(ids) for ids, _m, _v in sieves.values()), default=0)
     return BaselineResult(
         selected=selected,
         objective=float(objective.value(selected)),
-        central_memory_points=int(memory_points * max(len(sieves), 1)),
+        central_memory_points=int(memory_points * max(num_sieves, 1)),
     )

@@ -15,6 +15,15 @@ Commands
     Evaluate the pairwise submodular objective of a given subset.
 ``info``
     Print dataset / graph statistics.
+``watch``
+    Windowed streaming drive: evolve the dataset through a synthetic
+    delta stream and re-select per event-time window on one warm
+    context, printing each window's reuse accounting.
+
+``select --incremental`` drives the delta runtime instead of the batch
+selector: ``--dataset-version N`` advances the base dataset by ``N``
+synthetic delta steps, and with ``--checkpoint-dir`` a re-run over a
+later version re-executes only the shards the deltas touched.
 
 Examples
 --------
@@ -35,6 +44,10 @@ Examples
         --engine dataflow --engine-options options.json
     python -m repro select --preset cifar100_tiny --k 200 \
         --engine dataflow --checkpoint-dir ckpt/ --checkpoint-gc
+    python -m repro select --preset cifar100_tiny --k 200 --incremental \
+        --dataset-version 1 --checkpoint-dir ckpt/
+    python -m repro watch --preset cifar100_tiny --k 200 --steps 4 \
+        --window 2.0 --checkpoint-dir ckpt/
     python -m repro score --preset cifar100_tiny --subset ids.npy
 
 Engine flags are one shared block (:func:`repro.dataflow.options.
@@ -166,11 +179,106 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return _print_plans(problem, embeddings, args)
 
 
+def _print_incremental(result, prefix: str = "") -> None:
+    print(f"{prefix}selected {len(result)} points, "
+          f"objective {result.objective:.6f} (version {result.version})")
+    print(f"{prefix}reuse: {result.reused_shards} shards reused, "
+          f"{result.invalidated_shards} invalidated, "
+          f"{result.checkpoint_hits} checkpoint hits, "
+          f"{result.executed_stages} stages executed")
+
+
+def _run_incremental(problem, k: int, args: argparse.Namespace) -> int:
+    """``select --incremental``: one delta-aware drive (always dataflow)."""
+    from repro.dataflow.options import DataflowContext
+    from repro.incremental import (
+        DatasetVersion,
+        IncrementalDriver,
+        synthetic_deltas,
+    )
+
+    options = EngineOptions.from_namespace(args)
+    version = DatasetVersion.initial(problem.utilities)
+    log = None
+    if args.dataset_version > 0:
+        log = synthetic_deltas(
+            version,
+            seed=args.seed,
+            steps=args.dataset_version,
+            frac=args.delta_frac,
+        )
+    with DataflowContext(options) as ctx:
+        driver = IncrementalDriver(
+            problem, k, context=ctx, data_shards=args.data_shards
+        )
+        if args.explain:
+            target = version.apply_all(log) if log is not None else version
+            print(driver.explain(target))
+            return 0
+        # Attribute only the deltas beyond the checkpoint dir's last
+        # drive (synthetic step i carries timestamp i).
+        previous = driver.last_version()
+        deltas = None
+        if log is not None:
+            version = version.apply_all(log)
+            deltas = (
+                log.between(float(previous), float(args.dataset_version))
+                if previous is not None
+                else list(log)
+            )
+        result = driver.drive(version, deltas=deltas)
+    _print_incremental(result)
+    if result.delta_records:
+        print(f"deltas since last drive: {result.delta_records} records")
+    if args.out:
+        np.save(args.out, result.selected)
+    else:
+        print(" ".join(map(str, result.selected[:20].tolist()))
+              + (" ..." if len(result) > 20 else ""))
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Windowed streaming drive over a synthetic delta stream."""
+    from repro.dataflow.options import DataflowContext
+    from repro.incremental import (
+        DatasetVersion,
+        IncrementalDriver,
+        WindowSpec,
+        synthetic_deltas,
+    )
+
+    problem, _ = _build_problem(args)
+    k = args.k if args.k is not None else max(1, int(problem.n * 0.1))
+    options = EngineOptions.from_namespace(args)
+    version = DatasetVersion.initial(problem.utilities)
+    log = synthetic_deltas(
+        version, seed=args.seed, steps=args.steps, frac=args.delta_frac
+    )
+    spec = WindowSpec(args.window, slide=args.slide)
+    with DataflowContext(options) as ctx:
+        driver = IncrementalDriver(
+            problem, k, context=ctx, data_shards=args.data_shards
+        )
+        results = driver.drive_windows(
+            version, log, spec, max_windows=args.max_windows
+        )
+    for w in results:
+        print(f"window {w.index} [{w.start:g}, {w.end:g}): "
+              f"{w.delta_records} delta records")
+        _print_incremental(w.result, prefix="  ")
+    if results and args.out:
+        np.save(args.out, results[-1].result.selected)
+    return 0
+
+
 def cmd_select(args: argparse.Namespace) -> int:
     problem, embeddings = _build_problem(args)
+    k = args.k if args.k is not None else max(1, int(problem.n * args.fraction))
+    if args.incremental:
+        return _run_incremental(problem, k, args)
     if args.explain:
         return _print_plans(problem, embeddings, args)
-    k = args.k if args.k is not None else max(1, int(problem.n * args.fraction))
     config = SelectorConfig(
         bounding=None if args.bounding == "none" else args.bounding,
         sampler=args.sampler,
@@ -235,6 +343,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_num_shards=args.max_num_shards,
         max_records=args.max_records,
         default_timeout_s=args.default_timeout,
+        result_max_age_s=args.result_max_age,
+        result_max_bytes=args.result_max_bytes,
     )
     return serve(config, host=args.host, port=args.port)
 
@@ -249,8 +359,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
             "n_points": args.n_points,
             "seed": args.seed,
             "alpha": args.alpha,
+            "version": args.dataset_version,
         },
         "selector": {
+            "incremental": args.incremental,
             "k": args.k,
             "bounding": None if args.bounding == "none" else args.bounding,
             "sampler": args.sampler,
@@ -289,6 +401,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if record.get("deduped_from"):
         print(f"deduped from {record['deduped_from']} "
               "(no re-execution)")
+    incremental = report.get("incremental")
+    if incremental:
+        print(f"incremental: {incremental['reused_shards']} shards reused, "
+              f"{incremental['invalidated_shards']} invalidated, "
+              f"{incremental['delta_records']} delta records, "
+              f"{incremental['executed_stages']} stages executed")
     if args.out:
         np.save(args.out, np.asarray(selected, dtype=np.int64))
     print(f"selected {len(selected)} points, "
@@ -300,10 +418,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 
 def cmd_jobs(args: argparse.Namespace) -> int:
-    """List a running service's jobs (``--metrics`` adds the counters)."""
+    """List a running service's jobs (``--metrics`` adds the counters,
+    ``--gc`` evicts stored results)."""
     from repro.service.client import ServiceClient
 
     client = ServiceClient(args.host, args.port)
+    if args.gc:
+        removed = client.gc_results(
+            max_age_s=args.gc_max_age, max_bytes=args.gc_max_bytes
+        )
+        print(f"result gc: removed {removed} stored results")
+        return 0
     for record in client.jobs():
         dedup = " (dedup)" if record.get("deduped_from") else ""
         error = f" error={record['error']}" if record.get("error") else ""
@@ -353,6 +478,19 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_incremental(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset-version", type=int, default=0,
+                        help="advance the base dataset by this many "
+                             "synthetic delta steps (deterministic in "
+                             "--seed)")
+    parser.add_argument("--data-shards", type=int, default=8,
+                        help="contiguous id ranges delta invalidation "
+                             "works at (fixed per checkpoint dir)")
+    parser.add_argument("--delta-frac", type=float, default=0.1,
+                        help="fraction of alive points each synthetic "
+                             "delta step touches")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -394,6 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print the physical dataflow plans with "
                                "predicted per-stage costs and exit without "
                                "executing")
+    p_select.add_argument("--incremental", action="store_true",
+                          help="drive the delta-aware incremental runtime "
+                               "(dataflow engine; with --checkpoint-dir, "
+                               "re-runs over a later --dataset-version "
+                               "re-execute only the touched shards)")
+    _add_incremental(p_select)
     p_select.set_defaults(func=cmd_select)
 
     p_plan = sub.add_parser(
@@ -418,6 +562,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-records", type=int, default=1_000_000)
     p_serve.add_argument("--default-timeout", type=float, default=None,
                          metavar="SECONDS")
+    p_serve.add_argument("--result-max-age", type=float, default=None,
+                         metavar="SECONDS",
+                         help="evict stored results older than this "
+                              "(opportunistic, after every completed job)")
+    p_serve.add_argument("--result-max-bytes", type=int, default=None,
+                         help="evict oldest stored results while results/ "
+                              "exceeds this size")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -443,6 +594,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--gamma", type=float, default=0.75)
     p_submit.add_argument("--engine", choices=("memory", "dataflow"),
                           default="dataflow")
+    p_submit.add_argument("--incremental", action="store_true",
+                          help="run the job through the delta-aware "
+                               "incremental runtime (dataflow engine); "
+                               "resubmitting with a later --dataset-version "
+                               "recomputes only the delta cone")
+    p_submit.add_argument("--dataset-version", type=int, default=0,
+                          help="dataset version: base advanced by this many "
+                               "synthetic delta steps")
     add_engine_arguments(p_submit)
     p_submit.add_argument("--tenant", default="default")
     p_submit.add_argument("--priority", type=int, default=0)
@@ -467,7 +626,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--metrics", action="store_true",
                         help="also print queue depth, counters, and warm-"
                              "context executor stats")
+    p_jobs.add_argument("--gc", action="store_true",
+                        help="evict stored results by age/size instead of "
+                             "listing jobs")
+    p_jobs.add_argument("--gc-max-age", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --gc: evict results older than this "
+                             "(default: the service's configured bound)")
+    p_jobs.add_argument("--gc-max-bytes", type=int, default=None,
+                        help="with --gc: evict oldest results while the "
+                             "store exceeds this size")
     p_jobs.set_defaults(func=cmd_jobs)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="windowed streaming drive over a synthetic delta stream",
+    )
+    _add_common(p_watch)
+    p_watch.add_argument("--k", type=int, default=None, help="subset size")
+    p_watch.add_argument("--steps", type=int, default=4,
+                         help="synthetic delta steps (one per event-time "
+                              "unit)")
+    p_watch.add_argument("--window", type=float, default=2.0,
+                         help="event-time window size")
+    p_watch.add_argument("--slide", type=float, default=None,
+                         help="slide interval (default: tumbling)")
+    p_watch.add_argument("--max-windows", type=int, default=None)
+    p_watch.add_argument("--out", help="write the last window's selected "
+                                       "ids to .npy")
+    add_engine_arguments(p_watch)
+    p_watch.add_argument(
+        "--data-shards", type=int, default=8,
+        help="contiguous id ranges delta invalidation works at")
+    p_watch.add_argument("--delta-frac", type=float, default=0.1,
+                         help="fraction of alive points each delta step "
+                              "touches")
+    p_watch.set_defaults(func=cmd_watch)
 
     p_score = sub.add_parser("score", help="score a subset")
     _add_common(p_score)

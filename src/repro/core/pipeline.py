@@ -35,6 +35,7 @@ from repro.core.distributed import (
 from repro.core.objective import PairwiseObjective
 from repro.core.problem import SubsetProblem
 from repro.dataflow.options import UNSET, EngineOptions, legacy_engine_options
+from repro.utils.cancel import CancelToken
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_cardinality
 
@@ -221,6 +222,7 @@ class DistributedSelector:
         seed: SeedLike = None,
         partitioner: Partitioner = random_partitioner,
         context=None,
+        cancel: Optional[CancelToken] = None,
     ) -> SelectionReport:
         """Run the full pipeline for a budget of ``k`` points.
 
@@ -237,6 +239,13 @@ class DistributedSelector:
         context's view — a long-lived service passes per-job
         :meth:`~repro.dataflow.options.DataflowContext.scoped` views so
         concurrent tenants share one warm pool with isolated stats.
+
+        ``cancel`` is a cooperative stop flag
+        (:class:`~repro.utils.cancel.CancelToken`): the run checks it
+        between the bounding and greedy stages and raises
+        :class:`~repro.utils.cancel.DriveCancelled` at the first set
+        check — stages never stop midway, so checkpoints stay consistent
+        and a re-run resumes from completed boundaries.
         """
         k = check_cardinality(k, self.problem.n)
         rng = as_generator(seed)
@@ -259,7 +268,8 @@ class DistributedSelector:
             context = own_context = DataflowContext(cfg.options)
         try:
             report = self._select(
-                k, rng=rng, partitioner=partitioner, context=context
+                k, rng=rng, partitioner=partitioner, context=context,
+                cancel=cancel,
             )
             if context is not None:
                 stats = context.executor.stats()
@@ -296,6 +306,7 @@ class DistributedSelector:
         rng: np.random.Generator,
         partitioner: Partitioner,
         context,
+        cancel: Optional[CancelToken] = None,
     ) -> SelectionReport:
         cfg = self.config
         dataflow = context is not None
@@ -305,6 +316,8 @@ class DistributedSelector:
         candidates: Optional[np.ndarray] = None
         k_remaining = k
 
+        if cancel is not None:
+            cancel.raise_if_cancelled("selector drive")
         if cfg.bounding is not None:
             if dataflow:
                 from repro.dataflow import beam_bound
@@ -332,6 +345,8 @@ class DistributedSelector:
             candidates = bounding_result.remaining
             k_remaining = bounding_result.k_remaining
 
+        if cancel is not None:
+            cancel.raise_if_cancelled("selector drive")
         greedy_result: Optional[DistributedResult] = None
         if k_remaining > 0:
             if candidates is not None and candidates.size < k_remaining:

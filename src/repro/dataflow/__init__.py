@@ -98,6 +98,7 @@ from repro.dataflow.bounding_beam import BeamBoundingDriver, beam_bound
 from repro.dataflow.greedy_beam import beam_distributed_greedy
 from repro.dataflow.knn_beam import beam_knn_graph
 from repro.dataflow.scoring_beam import beam_score
+from repro.dataflow.sieve_beam import StreamingSieve, beam_sieve_select
 
 __all__ = [
     "Pipeline",
@@ -134,4 +135,6 @@ __all__ = [
     "beam_score",
     "beam_distributed_greedy",
     "beam_knn_graph",
+    "StreamingSieve",
+    "beam_sieve_select",
 ]

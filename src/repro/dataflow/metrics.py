@@ -61,6 +61,19 @@ on the remote backend):
     fetch, so this counts only the chunked (multi-frame) transfers;
     buckets small enough for a single frame add nothing.
 
+Incremental-drive counters (``repro.incremental``):
+
+``reused_shards``
+    Data shards of an incremental drive whose per-shard branch restored
+    from a checkpoint instead of re-executing (the delta left their
+    content fingerprint unchanged).
+``invalidated_shards``
+    Data shards the delta's fingerprint intersection invalidated — their
+    cone of stages re-executed.
+``delta_records``
+    Records carried by the deltas applied since the previous drive
+    (appends + updates + expires).
+
 Per-stage observations (``stage_profiles``):
 
 Each physical stage the executor runs appends one :class:`StageProfile` —
@@ -136,6 +149,9 @@ class PipelineMetrics:
     driver_shuffle_bytes: int = 0
     bucket_refetches: int = 0
     bucket_fetch_chunks: int = 0
+    reused_shards: int = 0
+    invalidated_shards: int = 0
+    delta_records: int = 0
     stage_counts: Dict[str, int] = field(default_factory=dict)
     stage_profiles: List[StageProfile] = field(default_factory=list)
 
@@ -192,6 +208,14 @@ class PipelineMetrics:
         self.bucket_refetches += refetches
         self.bucket_fetch_chunks += fetch_chunks
 
+    def observe_incremental(
+        self, *, reused: int = 0, invalidated: int = 0, delta_records: int = 0
+    ) -> None:
+        """One incremental drive's shard-reuse accounting."""
+        self.reused_shards += reused
+        self.invalidated_shards += invalidated
+        self.delta_records += delta_records
+
     def observe_lifted_combiner(self) -> None:
         self.lifted_combiners += 1
 
@@ -224,6 +248,9 @@ class PipelineMetrics:
         self.driver_shuffle_bytes = 0
         self.bucket_refetches = 0
         self.bucket_fetch_chunks = 0
+        self.reused_shards = 0
+        self.invalidated_shards = 0
+        self.delta_records = 0
         self.stage_counts.clear()
         self.stage_profiles.clear()
 
@@ -246,6 +273,9 @@ class PipelineMetrics:
             driver_shuffle_bytes=self.driver_shuffle_bytes,
             bucket_refetches=self.bucket_refetches,
             bucket_fetch_chunks=self.bucket_fetch_chunks,
+            reused_shards=self.reused_shards,
+            invalidated_shards=self.invalidated_shards,
+            delta_records=self.delta_records,
             stage_counts=dict(self.stage_counts),
             stage_profiles=[
                 StageProfile(**p.to_dict()) for p in self.stage_profiles

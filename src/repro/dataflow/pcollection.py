@@ -1833,7 +1833,18 @@ class Pipeline:
 
     # -- plan rendering ----------------------------------------------------
 
-    def _explain(self, node: _Node, *, costs: Optional[bool] = None) -> str:
+    #: Transient flag set by :meth:`_explain`: when on, stage lines whose
+    #: boundary digest already has a checkpoint entry on disk render a
+    #: ``[checkpoint: reuse]`` note (opt-in, so golden plans are unmoved).
+    _explain_reuse = False
+
+    def _explain(
+        self,
+        node: _Node,
+        *,
+        costs: Optional[bool] = None,
+        reuse: bool = False,
+    ) -> str:
         """Render the physical plan that a sink on ``node`` would execute.
 
         Stages built by a named composite (:meth:`PCollection.apply`)
@@ -1845,6 +1856,12 @@ class Pipeline:
         adaptive planner), every stage line is annotated with the cost
         model's predicted wall time — the same prediction the planner
         bases its decisions on.
+
+        With ``reuse`` (off by default), stages whose plan digest already
+        has a checkpoint entry in ``checkpoint_dir`` are annotated
+        ``[checkpoint: reuse]`` — what a drive would load instead of
+        executing.  The incremental driver renders the reused cone this
+        way.
         """
         if costs is None:
             costs = self.planner is not None
@@ -1852,7 +1869,11 @@ class Pipeline:
             self._lift_combiners(node)
         lines: List[Tuple[tuple, str]] = []
         memo: dict = {}
-        ref = self._render_plan(node, lines, memo)
+        self._explain_reuse = bool(reuse) and self.checkpoint_dir is not None
+        try:
+            ref = self._render_plan(node, lines, memo)
+        finally:
+            self._explain_reuse = False
         header = (
             f"plan (optimize={'on' if self.optimize else 'off'}, "
             f"fuse={'on' if self.fuse else 'off'}, "
@@ -1953,6 +1974,20 @@ class Pipeline:
     def _describe(node: _Node) -> str:
         return f"{node.kind} '{node.name}'" if node.name else node.kind
 
+    def _reuse_note(self, node: _Node) -> str:
+        """``[checkpoint: reuse]`` when ``node``'s boundary would load.
+
+        Only active during an ``_explain(reuse=True)`` render; checks the
+        same digest → file mapping :meth:`_materialize_node` consults, so
+        the annotation and the actual load agree.
+        """
+        if not self._explain_reuse:
+            return ""
+        digest = self._node_digest(node)
+        if digest is None or not os.path.exists(self._checkpoint_path(digest)):
+            return ""
+        return " [checkpoint: reuse]"
+
     def _vector_note(self, nodes) -> str:
         """Annotation for a fused chain's vectorized prefix.
 
@@ -1997,6 +2032,7 @@ class Pipeline:
             ops = chain + [node]
             desc = " + ".join(self._describe(n) for n in ops)
             desc += self._vector_note(ops)
+            desc += self._reuse_note(node)
             if self._fuses_post_shuffle(base, base_live):
                 ref = self._render_shuffle(base, lines, memo, post=desc)
             else:
@@ -2056,7 +2092,8 @@ class Pipeline:
             )
             return self._emit(
                 lines,
-                f"group-read {self._describe(node)}{fused_note} <- {write}",
+                f"group-read {self._describe(node)}{fused_note}"
+                f"{self._reuse_note(node)} <- {write}",
                 scope,
             )
         if kind == "combine_per_key":
@@ -2075,7 +2112,8 @@ class Pipeline:
             )
             return self._emit(
                 lines,
-                f"combine-read {self._describe(node)}{fused_note} <- {write}",
+                f"combine-read {self._describe(node)}{fused_note}"
+                f"{self._reuse_note(node)} <- {write}",
                 scope,
             )
         if kind == "cogroup":
@@ -2111,8 +2149,8 @@ class Pipeline:
             ]
             return self._emit(
                 lines,
-                f"flatten {self._describe(node)}{fused_note} <- "
-                + ", ".join(dep_refs),
+                f"flatten {self._describe(node)}{fused_note}"
+                f"{self._reuse_note(node)} <- " + ", ".join(dep_refs),
                 scope,
             )
         if kind == "source":  # uncached source: pipeline was closed
@@ -2146,7 +2184,9 @@ class PCollection:
         """The stored shards, materializing on first access."""
         return self.pipeline._materialize(self._node)
 
-    def explain(self, *, costs: Optional[bool] = None) -> str:
+    def explain(
+        self, *, costs: Optional[bool] = None, reuse: bool = False
+    ) -> str:
         """Render the optimized physical plan for this collection.
 
         Does not execute anything, but does apply the same logical
@@ -2157,8 +2197,10 @@ class PCollection:
         ``costs`` appends the cost model's predicted wall time to every
         stage line; it defaults to on exactly when the pipeline runs with
         an adaptive planner, so existing golden plans are unaffected.
+        ``reuse`` (off by default) annotates stages whose checkpointed
+        boundary already exists on disk — see ``Pipeline._explain``.
         """
-        return self.pipeline._explain(self._node, costs=costs)
+        return self.pipeline._explain(self._node, costs=costs, reuse=reuse)
 
     def count(self) -> int:
         """Total element count (a distributed aggregate, O(1) driver state)."""

@@ -1,0 +1,37 @@
+"""Incremental selection runtime: selection as a live view over deltas.
+
+See :mod:`repro.incremental.delta` for the dataset-version model and
+:mod:`repro.incremental.driver` for delta-driven recompute and windowed
+streaming drives.
+"""
+
+from repro.incremental.delta import (
+    DatasetVersion,
+    Delta,
+    DeltaLog,
+    invalidation_summary,
+    shard_bounds,
+    synthetic_deltas,
+)
+from repro.incremental.driver import (
+    IncrementalDriver,
+    IncrementalResult,
+    WindowResult,
+    WindowSpec,
+)
+from repro.utils.cancel import CancelToken, DriveCancelled
+
+__all__ = [
+    "CancelToken",
+    "DatasetVersion",
+    "Delta",
+    "DeltaLog",
+    "DriveCancelled",
+    "IncrementalDriver",
+    "IncrementalResult",
+    "WindowResult",
+    "WindowSpec",
+    "invalidation_summary",
+    "shard_bounds",
+    "synthetic_deltas",
+]

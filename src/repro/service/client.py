@@ -96,6 +96,25 @@ class ServiceClient:
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/metrics")
 
+    def gc_results(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict stored results by age/size; returns the eviction count.
+
+        Omitted bounds fall back to the service's configured defaults.
+        """
+        body: Dict[str, Any] = {}
+        if max_age_s is not None:
+            body["max_age_s"] = max_age_s
+        if max_bytes is not None:
+            body["max_bytes"] = max_bytes
+        return int(
+            self._request("POST", "/v1/results/gc", body=body)["removed"]
+        )
+
     def healthz(self) -> bool:
         return bool(self._request("GET", "/v1/healthz").get("ok"))
 

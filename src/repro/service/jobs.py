@@ -41,6 +41,7 @@ __all__ = [
     "JobRecord",
     "JobSpec",
     "JobStore",
+    "family_digest",
     "plan_digest",
 ]
 
@@ -50,11 +51,17 @@ __all__ = [
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "timeout")
 
 #: Dataset-spec fields and their defaults (``preset`` is required).
+#: ``version`` is the dataset's delta-log position: version ``v`` is the
+#: base dataset with ``v`` synthetic delta steps applied (deterministic
+#: in the dataset seed), so resubmitting a job with an advanced version
+#: is a *different* plan digest whose incremental drive reuses the
+#: previous version's checkpointed shards.
 _DATASET_DEFAULTS: Dict[str, Any] = {
     "n_points": None,
     "seed": 0,
     "alpha": 0.9,
     "knn_k": None,
+    "version": 0,
 }
 
 #: Selector-spec fields and their defaults (``k`` is required).  These
@@ -70,6 +77,10 @@ _SELECTOR_DEFAULTS: Dict[str, Any] = {
     "gamma": 0.75,
     "seed": 0,
     "engine": "dataflow",
+    #: Run the job through the incremental runtime: the drive reuses
+    #: checkpointed shards from earlier dataset versions of the same
+    #: family and reports ``reused_shards``/``invalidated_shards``.
+    "incremental": False,
 }
 
 
@@ -134,6 +145,16 @@ class JobSpec:
                 "selector.engine must be 'memory' or 'dataflow', got "
                 f"{self.selector['engine']!r}"
             )
+        self.dataset["version"] = int(self.dataset["version"])
+        if self.dataset["version"] < 0:
+            raise ValueError(
+                f"dataset.version must be >= 0, got {self.dataset['version']}"
+            )
+        self.selector["incremental"] = bool(self.selector["incremental"])
+        if self.selector["incremental"] and self.selector["engine"] != "dataflow":
+            raise ValueError(
+                "selector.incremental requires selector.engine='dataflow'"
+            )
         # Validate (and normalize) the engine knobs once, up front.
         self.engine_options = EngineOptions.from_dict(
             self.engine_options
@@ -177,6 +198,28 @@ def plan_digest(spec: JobSpec) -> str:
     """
     canonical = {
         "dataset": spec.dataset,
+        "selector": spec.selector,
+        "engine_options": spec.engine_options,
+    }
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def family_digest(spec: JobSpec) -> str:
+    """Identity of a spec's *incremental family*: everything except the
+    dataset version.
+
+    Incremental jobs of one family share a checkpoint directory, so a
+    drive over version ``N+1`` finds version ``N``'s shard boundaries —
+    that is the whole point.  Anything else that changes the computation
+    (seeds, ``k``, engine knobs) keys a different family.
+    """
+    canonical = {
+        "dataset": {
+            key: value
+            for key, value in spec.dataset.items()
+            if key != "version"
+        },
         "selector": spec.selector,
         "engine_options": spec.engine_options,
     }
@@ -296,3 +339,59 @@ class JobStore:
 
     def has_result(self, digest: str) -> bool:
         return os.path.exists(self._result_path(digest))
+
+    def gc_results(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Age/size-bounded eviction of the ``results/`` directory.
+
+        Two passes: entries whose mtime is older than ``max_age_s`` are
+        dropped first, then — while the directory still exceeds
+        ``max_bytes`` — the oldest survivors go until it fits.  Job
+        records are untouched: a job whose result was evicted keeps its
+        terminal state, only ``result()`` re-derivation is lost (a
+        ``force`` resubmission recomputes through the engine's
+        checkpoints).  Returns the number of entries removed.
+        """
+        if max_age_s is None and max_bytes is None:
+            return 0
+        now = time.time() if now is None else now
+        entries: List[tuple] = []  # (mtime, size, path)
+        for name in os.listdir(self.results_dir):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.results_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        removed = 0
+
+        def evict(entry: tuple) -> bool:
+            try:
+                os.unlink(entry[2])
+                return True
+            except OSError:
+                return False
+
+        survivors: List[tuple] = []
+        for entry in entries:
+            if max_age_s is not None and now - entry[0] > max_age_s:
+                removed += evict(entry)
+            else:
+                survivors.append(entry)
+        if max_bytes is not None:
+            total = sum(entry[1] for entry in survivors)
+            for entry in survivors:
+                if total <= max_bytes:
+                    break
+                if evict(entry):
+                    removed += 1
+                    total -= entry[1]
+        return removed

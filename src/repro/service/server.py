@@ -34,10 +34,28 @@ Admission control
     before anything is persisted or scheduled.
 
 Timeouts and cancellation
-    A queued job cancels immediately; a running job's drive cannot be
-    interrupted mid-stage, so cancellation (and timeout) detaches it —
-    the drive thread finishes its in-flight work in the background and
-    its result is discarded.
+    A queued job cancels immediately.  A running job's drive carries a
+    :class:`~repro.utils.cancel.CancelToken` checked at stage boundaries
+    (and between windows for incremental drives), so cancellation stops
+    it cooperatively at the next boundary instead of discarding a
+    detached thread.  A timeout sets the same token — the drive thread
+    is detached for reporting purposes but stops at its next check
+    rather than running to completion.
+
+Incremental drives
+    A spec with ``selector.incremental=true`` (dataflow engine only)
+    runs through :class:`repro.incremental.IncrementalDriver` against a
+    checkpoint directory shared by the job's *family* — every field
+    except ``dataset.version``.  Resubmitting with an advanced version
+    recomputes only the shards its synthetic deltas touched; the result
+    payload reports ``reused_shards`` / ``invalidated_shards``.
+
+Result eviction
+    The ``results/`` store is garbage-collected by age and total size
+    (``result_max_age_s`` / ``result_max_bytes``): opportunistically
+    after every stored result, and on demand via ``POST
+    /v1/results/gc`` (``repro jobs --gc``).  Evictions are counted in
+    the ``results_evicted`` metric.
 
 The HTTP front end is a stdlib ``ThreadingHTTPServer``; every response
 is JSON.  Routes::
@@ -47,6 +65,7 @@ is JSON.  Routes::
     GET  /v1/jobs/<id>        one job record
     GET  /v1/jobs/<id>/result completed result payload
     POST /v1/jobs/<id>/cancel cancel queued/running job
+    POST /v1/results/gc       evict stored results      → {"removed": n}
     GET  /v1/metrics          queue depth, counters, per-profile
                               executor stats, lifecycle events
     GET  /v1/healthz          liveness probe
@@ -56,6 +75,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import os
 import threading
 import time
 import traceback
@@ -66,7 +86,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dataflow.options import DataflowContext, EngineOptions
 from repro.service.client import AdmissionError, ServiceError
-from repro.service.jobs import JobRecord, JobSpec, JobStore
+from repro.service.jobs import JobRecord, JobSpec, JobStore, family_digest
+from repro.utils.cancel import CancelToken, DriveCancelled
 
 __all__ = ["SelectorService", "ServiceConfig", "serve", "start_http_server"]
 
@@ -86,6 +107,10 @@ class ServiceConfig:
     default_timeout_s: Optional[float] = None
     #: Distinct (preset, size, seed, alpha) datasets kept warm.
     problem_cache_size: int = 8
+    #: Evict stored results older than this many seconds (``None`` = keep).
+    result_max_age_s: Optional[float] = None
+    #: Evict oldest stored results while ``results/`` exceeds this size.
+    result_max_bytes: Optional[int] = None
 
 
 class SelectorService:
@@ -108,6 +133,7 @@ class SelectorService:
         self._records: Dict[str, JobRecord] = {}
         self._inflight: Dict[str, str] = {}  # digest -> leader job_id
         self._cancel_requested: "set[str]" = set()
+        self._cancel_tokens: Dict[str, CancelToken] = {}
         self._running: "set[str]" = set()
         self._contexts: "OrderedDict[str, DataflowContext]" = OrderedDict()
         self._problems: "OrderedDict[str, Tuple[Any, Any]]" = OrderedDict()
@@ -120,6 +146,7 @@ class SelectorService:
             "failed": 0,
             "cancelled": 0,
             "timeouts": 0,
+            "results_evicted": 0,
         }
         self._closed = False
         # Recover persisted state: completed records are kept for
@@ -191,7 +218,12 @@ class SelectorService:
         return payload
 
     def cancel(self, job_id: str) -> JobRecord:
-        """Cancel a job: immediate when queued, detaching when running."""
+        """Cancel a job: immediate when queued, cooperative when running.
+
+        A running drive carries a :class:`CancelToken`; setting it here
+        makes the drive raise :class:`DriveCancelled` at its next stage
+        (or window) boundary instead of running to completion.
+        """
         with self._cond:
             record = self._records.get(job_id)
             if record is None:
@@ -204,8 +236,35 @@ class SelectorService:
                 self._event(record, "cancelled")
             elif record.state == "running":
                 self._cancel_requested.add(job_id)
+                token = self._cancel_tokens.get(job_id)
+                if token is not None:
+                    token.cancel(f"job {job_id[:8]} cancelled by client")
                 self._event(record, "cancel_requested")
             return record
+
+    def gc_results(
+        self,
+        *,
+        max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+    ) -> int:
+        """Evict stored results by age/size; returns the eviction count.
+
+        Explicit arguments override the configured defaults
+        (``result_max_age_s`` / ``result_max_bytes``); with neither set
+        anywhere this is a no-op.
+        """
+        if max_age_s is None:
+            max_age_s = self.config.result_max_age_s
+        if max_bytes is None:
+            max_bytes = self.config.result_max_bytes
+        removed = self.store.gc_results(
+            max_age_s=max_age_s, max_bytes=max_bytes
+        )
+        if removed:
+            with self._lock:
+                self._counters["results_evicted"] += removed
+        return removed
 
     def jobs(self) -> List[JobRecord]:
         with self._lock:
@@ -381,10 +440,15 @@ class SelectorService:
         if timeout is None:
             timeout = self.config.default_timeout_s
         box: Dict[str, Any] = {}
+        token = CancelToken()
+        with self._lock:
+            self._cancel_tokens[record.job_id] = token
 
         def drive() -> None:
             try:
-                box["payload"] = self._execute(record)
+                box["payload"] = self._execute(record, cancel=token)
+            except DriveCancelled:
+                box["cancelled"] = True
             except BaseException as exc:  # noqa: BLE001 - reported to client
                 box["error"] = "".join(
                     traceback.format_exception_only(type(exc), exc)
@@ -393,40 +457,57 @@ class SelectorService:
         thread = threading.Thread(
             target=drive, name=f"drive-{record.job_id[:8]}", daemon=True
         )
-        thread.start()
-        thread.join(timeout)
-        if thread.is_alive():
-            self._finish(
-                record,
-                "timeout",
-                error=f"exceeded {timeout:g}s",
-                counter="timeouts",
-            )
-            return
-        with self._lock:
-            cancelled = record.job_id in self._cancel_requested
-        if cancelled:
-            self._finish(record, "cancelled", counter="cancelled")
-            return
-        if "error" in box:
-            self._finish(
-                record, "failed", error=box["error"], counter="failed"
-            )
-            return
-        self.store.save_result(record.digest, box["payload"])
-        self._finish(record, "done", counter="completed")
+        try:
+            thread.start()
+            thread.join(timeout)
+            if thread.is_alive():
+                # Report the timeout now; the token makes the detached
+                # drive stop at its next stage boundary instead of
+                # burning the worker pool to completion.
+                token.cancel(f"job {record.job_id[:8]} exceeded {timeout:g}s")
+                self._finish(
+                    record,
+                    "timeout",
+                    error=f"exceeded {timeout:g}s",
+                    counter="timeouts",
+                )
+                return
+            with self._lock:
+                cancelled = record.job_id in self._cancel_requested
+            if cancelled or box.get("cancelled"):
+                self._finish(record, "cancelled", counter="cancelled")
+                return
+            if "error" in box:
+                self._finish(
+                    record, "failed", error=box["error"], counter="failed"
+                )
+                return
+            self.store.save_result(record.digest, box["payload"])
+            self._finish(record, "done", counter="completed")
+            if (
+                self.config.result_max_age_s is not None
+                or self.config.result_max_bytes is not None
+            ):
+                self.gc_results()
+        finally:
+            with self._lock:
+                self._cancel_tokens.pop(record.job_id, None)
 
     # -- execution ---------------------------------------------------------
 
-    def _execute(self, record: JobRecord) -> Dict[str, Any]:
+    def _execute(
+        self, record: JobRecord, cancel: Optional[CancelToken] = None
+    ) -> Dict[str, Any]:
         # Imported here so importing the service package (e.g. for the
         # client) stays cheap; these pull in NumPy and the whole engine.
         from repro.core.pipeline import DistributedSelector, SelectorConfig
         from repro.io import report_to_dict
 
         spec = record.spec
-        problem, _ = self._problem(spec.dataset)
         sel = spec.selector
+        if sel["incremental"]:
+            return self._execute_incremental(record, cancel=cancel)
+        problem, _ = self._problem(spec.dataset)
         options = EngineOptions.from_dict(spec.engine_options)
         config = SelectorConfig(
             bounding=sel["bounding"],
@@ -444,18 +525,94 @@ class SelectorService:
             view = self._warm_context(options).scoped()
             try:
                 report = selector.select(
-                    sel["k"], seed=sel["seed"], context=view
+                    sel["k"], seed=sel["seed"], context=view, cancel=cancel
                 )
             finally:
                 view.close()
         else:
-            report = selector.select(sel["k"], seed=sel["seed"])
+            report = selector.select(sel["k"], seed=sel["seed"], cancel=cancel)
         return {
             "job_id": record.job_id,
             "digest": record.digest,
             "tenant": spec.tenant,
             "report": report_to_dict(report),
             "executor_stats": report.extra.get("executor_stats", {}),
+        }
+
+    def _execute_incremental(
+        self, record: JobRecord, cancel: Optional[CancelToken] = None
+    ) -> Dict[str, Any]:
+        """Drive an ``incremental: true`` job through the delta runtime.
+
+        ``dataset.version`` picks the dataset version: version ``v`` is
+        the base ground set advanced by ``v`` synthetic delta steps
+        (deterministic in the dataset seed).  All versions of one job
+        *family* (the spec minus the version) share a checkpoint
+        directory under the service state dir, so resubmitting with the
+        version advanced re-executes only the delta cone and the payload
+        reports how much was reused.
+        """
+        from repro.incremental import (
+            DatasetVersion,
+            IncrementalDriver,
+            synthetic_deltas,
+        )
+
+        spec = record.spec
+        sel = spec.selector
+        dataset = spec.dataset
+        base = {k: v for k, v in dataset.items() if k != "version"}
+        problem, _ = self._problem(base)
+        version = DatasetVersion.initial(problem.utilities)
+        steps = dataset["version"]
+        log = None
+        if steps > 0:
+            log = synthetic_deltas(
+                version, seed=dataset["seed"], steps=steps, frac=0.1
+            )
+            version = version.apply_all(log)
+        checkpoint_dir = os.path.join(
+            self.config.state_dir, "incremental", family_digest(spec)
+        )
+        options = EngineOptions.from_dict(
+            {**spec.engine_options, "checkpoint_dir": checkpoint_dir}
+        )
+        view = self._warm_context(options).scoped()
+        try:
+            driver = IncrementalDriver(
+                problem, sel["k"], context=view, data_shards=8
+            )
+            # Attribute the deltas applied since the family's last drive
+            # (synthetic step i carries timestamp i) to the metrics.
+            previous = driver.last_version()
+            deltas = (
+                log.between(float(previous), float(steps))
+                if log is not None and previous is not None
+                else list(log)
+                if log is not None
+                else None
+            )
+            result = driver.drive(version, deltas=deltas, cancel=cancel)
+            stats = view.executor.stats()
+        finally:
+            view.close()
+        return {
+            "job_id": record.job_id,
+            "digest": record.digest,
+            "tenant": spec.tenant,
+            "report": {
+                "selected": [int(v) for v in result.selected],
+                "objective": float(result.objective),
+                "version": int(result.version),
+                "incremental": {
+                    "reused_shards": result.reused_shards,
+                    "invalidated_shards": result.invalidated_shards,
+                    "delta_records": result.delta_records,
+                    "checkpoint_hits": result.checkpoint_hits,
+                    "executed_stages": result.executed_stages,
+                },
+            },
+            "executor_stats": stats,
         }
 
     def _warm_context(self, options: EngineOptions) -> DataflowContext:
@@ -566,6 +723,23 @@ def _make_handler(service: SelectorService):
                     and parts[3] == "cancel"
                 ):
                     self._json(200, service.cancel(parts[2]).to_dict())
+                elif parts == ["v1", "results", "gc"]:
+                    try:
+                        body = self._read_body()
+                    except (ValueError, TypeError) as exc:
+                        self._json(400, {"error": str(exc)})
+                        return
+                    max_age = body.get("max_age_s")
+                    max_bytes = body.get("max_bytes")
+                    removed = service.gc_results(
+                        max_age_s=(
+                            float(max_age) if max_age is not None else None
+                        ),
+                        max_bytes=(
+                            int(max_bytes) if max_bytes is not None else None
+                        ),
+                    )
+                    self._json(200, {"removed": removed})
                 else:
                     self._json(404, {"error": f"no route {self.path!r}"})
             except ServiceError as exc:

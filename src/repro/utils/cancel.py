@@ -1,0 +1,45 @@
+"""Cooperative cancellation for long-running drives.
+
+A :class:`CancelToken` is a thread-safe stop flag the *owner* sets and the
+*worker* polls at safe points — between selector stages, between
+incremental shard phases, and between windows.  Cancellation is therefore
+cooperative: a drive never stops mid-stage (which could strand a shuffle
+or a checkpoint half-written), it stops at the next boundary and raises
+:class:`DriveCancelled`, leaving the checkpoint directory consistent so a
+re-run resumes from completed boundaries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class DriveCancelled(RuntimeError):
+    """Raised at a safe point after the drive's token was set."""
+
+
+class CancelToken:
+    """Thread-safe stop flag, checked between stages and windows."""
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Request a stop; the drive exits at its next safe point."""
+        if reason is not None:
+            self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self, where: str = "drive") -> None:
+        """Called by the drive at safe points."""
+        if self._event.is_set():
+            detail = f": {self.reason}" if self.reason else ""
+            raise DriveCancelled(f"{where} cancelled{detail}")

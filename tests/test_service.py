@@ -205,7 +205,7 @@ class TestScheduling:
         """Replace the drive with one that optionally blocks on ``gate``
         and logs tenant order; returns a tiny fake result payload."""
 
-        def fake_execute(record):
+        def fake_execute(record, cancel=None):
             if order is not None:
                 order.append(record.spec.tenant)
             if gate is not None and not gate.wait(timeout=30):
